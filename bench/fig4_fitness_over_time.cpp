@@ -1,0 +1,92 @@
+// Regenerates Fig. 4: relative fitness (fitness / ALS fitness) over time for
+// every SliceNStitch variant (updated per event, sampled at boundaries) and
+// every baseline (updated once per period) on all four datasets.
+
+#include <cstdio>
+#include <vector>
+
+#include "data/datasets.h"
+#include "experiments/harness.h"
+#include "experiments/report.h"
+
+namespace sns {
+namespace {
+
+const char* kBaselines[] = {"ALS", "OnlineSCP", "CP-stream", "NeCPD(1)",
+                            "NeCPD(10)"};
+const SnsVariant kVariants[] = {SnsVariant::kMat, SnsVariant::kVec,
+                                SnsVariant::kRnd, SnsVariant::kVecPlus,
+                                SnsVariant::kRndPlus};
+
+void RunDataset(const DatasetSpec& spec) {
+  auto stream_or = GenerateSyntheticStream(spec.stream);
+  SNS_CHECK(stream_or.ok());
+  const DataStream& stream = stream_or.value();
+  PrintDatasetLine(spec, stream.size());
+
+  // ALS per boundary is both a method and the relative-fitness denominator.
+  RunResult als = RunPeriodic(spec, stream, MakeBaseline("ALS", spec));
+
+  std::vector<RunResult> results;
+  for (SnsVariant variant : kVariants) {
+    results.push_back(RunContinuous(spec, stream, variant));
+  }
+  for (const char* name : kBaselines) {
+    if (std::string(name) == "ALS") {
+      results.push_back(als);
+      continue;
+    }
+    results.push_back(RunPeriodic(spec, stream, MakeBaseline(name, spec)));
+  }
+
+  // Print the curves: one column per method, one row per boundary (time
+  // expressed in periods since the live phase began).
+  std::printf("\nRelative fitness over time (1.0 = batch ALS):\n");
+  std::vector<std::vector<FitnessSample>> curves;
+  std::vector<std::string> headers = {"period"};
+  for (const RunResult& result : results) {
+    curves.push_back(RelativeTo(result.fitness_curve, als.fitness_curve));
+    headers.push_back(result.method);
+  }
+  TableReporter table(headers);
+  for (size_t row = 0; row < als.fitness_curve.size(); ++row) {
+    const int64_t time = als.fitness_curve[row].time;
+    std::vector<std::string> cells = {std::to_string(row + 1)};
+    for (const auto& curve : curves) {
+      std::string cell = "-";
+      for (const FitnessSample& sample : curve) {
+        if (sample.time == time) {
+          cell = TableReporter::Num(sample.fitness, 3);
+          break;
+        }
+      }
+      cells.push_back(cell);
+    }
+    table.AddRow(std::move(cells));
+  }
+  table.Print();
+
+  std::printf("Mean relative fitness: ");
+  for (size_t i = 0; i < results.size(); ++i) {
+    std::printf("%s=%.3f ", results[i].method.c_str(), MeanOf(curves[i]));
+  }
+  std::printf("\n");
+}
+
+void Run() {
+  PrintExperimentBanner(
+      "Fig. 4 (relative fitness over time)",
+      "stable SNS variants (MAT/+VEC/+RND) track 0.7-1.0 of ALS "
+      "continuously; SNS-VEC / SNS-RND may degrade or diverge; NeCPD lowest");
+  for (const DatasetSpec& spec : AllDatasetPresets(BenchEventScaleFromEnv())) {
+    RunDataset(spec);
+  }
+}
+
+}  // namespace
+}  // namespace sns
+
+int main() {
+  sns::Run();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Regenerates Fig. 5: (a) runtime per update and (b) average relative
+// fitness, for every method on all four datasets — the paper's headline
+// speed/accuracy trade-off (SNS+RND up to 464x faster than CP-stream with
+// 72-100% of the best fitness).
+
+#include <cstdio>
+#include <vector>
+
+#include "data/datasets.h"
+#include "experiments/harness.h"
+#include "experiments/report.h"
+
+namespace sns {
+namespace {
+
+struct MethodSummary {
+  std::string method;
+  double update_micros = 0.0;
+  double mean_relative_fitness = 0.0;
+};
+
+std::vector<MethodSummary> RunDataset(const DatasetSpec& spec) {
+  auto stream_or = GenerateSyntheticStream(spec.stream);
+  SNS_CHECK(stream_or.ok());
+  const DataStream& stream = stream_or.value();
+  PrintDatasetLine(spec, stream.size());
+
+  RunResult als = RunPeriodic(spec, stream, MakeBaseline("ALS", spec));
+
+  std::vector<RunResult> results;
+  for (SnsVariant variant :
+       {SnsVariant::kRndPlus, SnsVariant::kVecPlus, SnsVariant::kRnd,
+        SnsVariant::kVec, SnsVariant::kMat}) {
+    results.push_back(RunContinuous(spec, stream, variant));
+  }
+  for (const char* name : {"CP-stream", "OnlineSCP", "NeCPD(1)", "NeCPD(10)"}) {
+    results.push_back(RunPeriodic(spec, stream, MakeBaseline(name, spec)));
+  }
+  results.push_back(als);
+
+  std::vector<MethodSummary> summaries;
+  TableReporter table({"Method", "Update granularity", "Runtime/update (us)",
+                       "Avg relative fitness"});
+  for (const RunResult& result : results) {
+    MethodSummary summary;
+    summary.method = result.method;
+    summary.update_micros = result.mean_update_micros;
+    summary.mean_relative_fitness =
+        MeanOf(RelativeTo(result.fitness_curve, als.fitness_curve));
+    summaries.push_back(summary);
+    const bool continuous = result.method.rfind("SNS", 0) == 0;
+    table.AddRow({summary.method, continuous ? "per event" : "per period",
+                  TableReporter::Num(summary.update_micros, 1),
+                  TableReporter::Num(summary.mean_relative_fitness, 3)});
+  }
+  table.Print();
+
+  // Paper headline: speedup of the fastest stable SNS over the fastest
+  // per-period baseline update.
+  double sns_rnd_plus = 0.0, best_baseline = 1e300;
+  for (const MethodSummary& summary : summaries) {
+    if (summary.method == "SNS+RND") sns_rnd_plus = summary.update_micros;
+    if (summary.method == "CP-stream" || summary.method == "OnlineSCP") {
+      best_baseline = std::min(best_baseline, summary.update_micros);
+    }
+  }
+  if (sns_rnd_plus > 0.0) {
+    std::printf("SNS+RND vs fastest online baseline: %.0fx faster per update\n",
+                best_baseline / sns_rnd_plus);
+  }
+  return summaries;
+}
+
+void Run() {
+  PrintExperimentBanner(
+      "Fig. 5 (runtime per update & average relative fitness)",
+      "SNS variants update in us-scale, orders faster than per-period "
+      "baselines; fitness order SNS-MAT > SNS+VEC > SNS+RND, all within "
+      "0.72-1.0 of ALS");
+  for (const DatasetSpec& spec : AllDatasetPresets(BenchEventScaleFromEnv())) {
+    RunDataset(spec);
+  }
+}
+
+}  // namespace
+}  // namespace sns
+
+int main() {
+  sns::Run();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Regenerates Fig. 6: total running time of the SliceNStitch variants as a
+// function of the number of events — expected to be linear. SNS-MAT is
+// omitted, exactly as in the paper ("due to long execution time").
+
+#include <cstdio>
+
+#include "data/datasets.h"
+#include "experiments/harness.h"
+#include "experiments/report.h"
+
+namespace sns {
+namespace {
+
+void RunDataset(DatasetSpec spec) {
+  const int64_t base_events = spec.stream.num_events;
+  TableReporter table({"#Events", "SNS-VEC (s)", "SNS-RND (s)", "SNS+VEC (s)",
+                       "SNS+RND (s)"});
+  for (int multiple = 1; multiple <= 5; ++multiple) {
+    spec.stream.num_events = base_events * multiple;
+    auto stream_or = GenerateSyntheticStream(spec.stream);
+    SNS_CHECK(stream_or.ok());
+    const DataStream& stream = stream_or.value();
+
+    std::vector<std::string> cells = {std::to_string(stream.size())};
+    for (SnsVariant variant : {SnsVariant::kVec, SnsVariant::kRnd,
+                               SnsVariant::kVecPlus, SnsVariant::kRndPlus}) {
+      RunResult result = RunContinuous(spec, stream, variant);
+      cells.push_back(TableReporter::Num(result.total_update_seconds, 3));
+    }
+    table.AddRow(std::move(cells));
+  }
+  PrintDatasetLine(spec, base_events * 5);
+  table.Print();
+}
+
+void Run() {
+  PrintExperimentBanner(
+      "Fig. 6 (data scalability)",
+      "total update time grows linearly in the number of events for all "
+      "four row-wise variants (SNS-MAT omitted, as in the paper)");
+  // The paper sweeps 1..5 x 1e5 events on every dataset; we sweep 1..5 x the
+  // preset event count on the two ends of the density spectrum to keep the
+  // default run short (all four with SNS_BENCH_SCALE if desired).
+  const double scale = BenchEventScaleFromEnv();
+  RunDataset(ChicagoCrimePreset(scale));
+  RunDataset(NewYorkTaxiPreset(scale));
+}
+
+}  // namespace
+}  // namespace sns
+
+int main() {
+  sns::Run();
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Regenerates Fig. 7: effect of the sampling threshold θ on the relative
+// fitness (top) and update time (bottom) of SNS-RND and SNS+RND. Expected:
+// fitness rises with θ with diminishing returns; update time grows linearly.
+
+#include <cstdio>
+
+#include "data/datasets.h"
+#include "experiments/harness.h"
+#include "experiments/report.h"
+
+namespace sns {
+namespace {
+
+void RunDataset(const DatasetSpec& spec) {
+  auto stream_or = GenerateSyntheticStream(spec.stream);
+  SNS_CHECK(stream_or.ok());
+  const DataStream& stream = stream_or.value();
+  PrintDatasetLine(spec, stream.size());
+
+  RunResult als = RunPeriodic(spec, stream, MakeBaseline("ALS", spec));
+
+  TableReporter table({"theta", "SNS-RND rel.fit", "SNS-RND us/upd",
+                       "SNS+RND rel.fit", "SNS+RND us/upd"});
+  const int64_t default_theta = spec.engine.sample_threshold;
+  for (double fraction : {0.25, 0.5, 1.0, 1.5, 2.0}) {
+    const int64_t theta = std::max<int64_t>(
+        1, static_cast<int64_t>(static_cast<double>(default_theta) * fraction));
+    auto with_theta = [theta](ContinuousCpdOptions& options) {
+      options.sample_threshold = theta;
+    };
+    RunResult rnd = RunContinuous(spec, stream, SnsVariant::kRnd, with_theta);
+    RunResult rnd_plus =
+        RunContinuous(spec, stream, SnsVariant::kRndPlus, with_theta);
+    table.AddRow(
+        {std::to_string(theta),
+         TableReporter::Num(
+             MeanOf(RelativeTo(rnd.fitness_curve, als.fitness_curve)), 3),
+         TableReporter::Num(rnd.mean_update_micros, 1),
+         TableReporter::Num(
+             MeanOf(RelativeTo(rnd_plus.fitness_curve, als.fitness_curve)), 3),
+         TableReporter::Num(rnd_plus.mean_update_micros, 1)});
+  }
+  table.Print();
+}
+
+void Run() {
+  PrintExperimentBanner(
+      "Fig. 7 (effect of the sampling threshold theta)",
+      "relative fitness increases with theta with diminishing returns; "
+      "update time grows roughly linearly in theta; SNS-RND can destabilize "
+      "at small theta (it fails on Chicago Crime in the paper)");
+  for (const DatasetSpec& spec : AllDatasetPresets(BenchEventScaleFromEnv())) {
+    RunDataset(spec);
+  }
+}
+
+}  // namespace
+}  // namespace sns
+
+int main() {
+  sns::Run();
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Regenerates Fig. 8: effect of the clipping bound η on the relative fitness
+// of SNS+VEC and SNS+RND. Expected: fitness is insensitive to η as long as η
+// is large enough, and degrades when η clips genuine factor mass (η does not
+// affect speed, so only fitness is reported).
+
+#include <cstdio>
+
+#include "data/datasets.h"
+#include "experiments/harness.h"
+#include "experiments/report.h"
+
+namespace sns {
+namespace {
+
+void RunDataset(const DatasetSpec& spec) {
+  auto stream_or = GenerateSyntheticStream(spec.stream);
+  SNS_CHECK(stream_or.ok());
+  const DataStream& stream = stream_or.value();
+  PrintDatasetLine(spec, stream.size());
+
+  RunResult als = RunPeriodic(spec, stream, MakeBaseline("ALS", spec));
+
+  TableReporter table({"eta", "SNS+VEC rel.fit", "SNS+RND rel.fit"});
+  for (double eta : {32.0, 100.0, 320.0, 1000.0, 3200.0, 16000.0}) {
+    auto with_eta = [eta](ContinuousCpdOptions& options) {
+      options.clip_bound = eta;
+    };
+    RunResult vec_plus =
+        RunContinuous(spec, stream, SnsVariant::kVecPlus, with_eta);
+    RunResult rnd_plus =
+        RunContinuous(spec, stream, SnsVariant::kRndPlus, with_eta);
+    table.AddRow(
+        {TableReporter::Num(eta, 0),
+         TableReporter::Num(
+             MeanOf(RelativeTo(vec_plus.fitness_curve, als.fitness_curve)), 3),
+         TableReporter::Num(
+             MeanOf(RelativeTo(rnd_plus.fitness_curve, als.fitness_curve)),
+             3)});
+  }
+  table.Print();
+}
+
+void Run() {
+  PrintExperimentBanner(
+      "Fig. 8 (effect of the clipping bound eta)",
+      "fitness of SNS+VEC / SNS+RND is flat across eta once eta is large "
+      "enough (32 .. 16000 sweep, as in the paper)");
+  for (const DatasetSpec& spec : AllDatasetPresets(BenchEventScaleFromEnv())) {
+    RunDataset(spec);
+  }
+}
+
+}  // namespace
+}  // namespace sns
+
+int main() {
+  sns::Run();
+  return 0;
+}

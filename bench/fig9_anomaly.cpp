@@ -1,0 +1,175 @@
+// Regenerates Fig. 9: anomaly detection on the New York Taxi stream. 20
+// abnormally large changes (5x the maximum single-event change) are injected
+// at random times/entries; each method flags the top-20 z-scores of its
+// reconstruction errors. SliceNStitch (SNS+RND) scores every event the
+// instant it arrives, so its occurrence-to-detection gap is its per-event
+// update latency; the per-period baselines must wait for the period to
+// close (gap ~ T/2 on average, >1400s in the paper).
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "apps/anomaly_detection.h"
+#include "baselines/periodic_algorithm.h"
+#include "core/continuous_cpd.h"
+#include "data/datasets.h"
+#include "experiments/harness.h"
+#include "experiments/report.h"
+#include "stream/periodic_window.h"
+
+namespace sns {
+namespace {
+
+constexpr int kInjected = 20;
+constexpr double kSpikeMagnitude = 15.0;  // 5x the max 1-second change (=3).
+
+struct DetectorResult {
+  std::string method;
+  double precision_at_k = 0.0;
+  double mean_gap_seconds = 0.0;  // Occurrence -> detection.
+  int64_t scored = 0;
+};
+
+DetectorResult RunContinuousDetector(const DatasetSpec& spec,
+                                     const DataStream& stream,
+                                     const std::vector<InjectedAnomaly>& truth) {
+  auto engine = ContinuousCpd::Create(stream.mode_dims(), spec.engine);
+  SNS_CHECK(engine.ok());
+  ContinuousCpd cpd = std::move(engine).value();
+
+  std::vector<Detection> detections;
+  RunningZScore stats;
+  cpd.SetEventObserver([&](const WindowDelta& delta, const KruskalModel& model,
+                           const SparseTensor& window) {
+    if (delta.kind != EventKind::kArrival || delta.cells.empty()) return;
+    const ModeIndex& cell = delta.cells[0].index;
+    const double error = std::fabs(window.Get(cell) - model.Evaluate(cell));
+    detections.push_back(
+        {delta.time, delta.tuple.index, stats.ScoreAndUpdate(error), false});
+  });
+
+  const int64_t warmup_end = spec.WarmupEndTime();
+  size_t i = 0;
+  const auto& tuples = stream.tuples();
+  for (; i < tuples.size() && tuples[i].time <= warmup_end; ++i) {
+    cpd.IngestOnly(tuples[i]);
+  }
+  cpd.InitializeWithAls();
+  for (; i < tuples.size(); ++i) cpd.ProcessTuple(tuples[i]);
+
+  LabelDetections(truth, /*time_slack=*/0, &detections);
+  DetectorResult result;
+  result.method = std::string(cpd.updater_name());
+  result.precision_at_k = PrecisionAtTopK(detections, kInjected);
+  // Detection is instantaneous in stream time; the real gap is the per-event
+  // computation latency.
+  result.mean_gap_seconds = cpd.MeanUpdateMicros() * 1e-6;
+  result.scored = static_cast<int64_t>(detections.size());
+  return result;
+}
+
+DetectorResult RunPeriodicDetector(const DatasetSpec& spec,
+                                   const DataStream& stream,
+                                   const std::vector<InjectedAnomaly>& truth,
+                                   const std::string& baseline) {
+  PeriodicTensorWindow window(stream.mode_dims(), spec.engine.window_size,
+                              spec.engine.period);
+  std::unique_ptr<PeriodicAlgorithm> algorithm = MakeBaseline(baseline, spec);
+
+  std::vector<Detection> detections;
+  RunningZScore stats;
+  const int w_newest = spec.engine.window_size - 1;
+
+  const int64_t warmup_end = spec.WarmupEndTime();
+  size_t i = 0;
+  const auto& tuples = stream.tuples();
+  for (; i < tuples.size() && tuples[i].time <= warmup_end; ++i) {
+    window.AddTuple(tuples[i]);
+  }
+  window.CloseUpTo(warmup_end);
+  Rng rng(spec.engine.seed + 41);
+  algorithm->Initialize(window.WindowTensor(), rng);
+
+  int64_t next_boundary = warmup_end + spec.engine.period;
+  auto run_boundary = [&](int64_t boundary) {
+    window.CloseUpTo(boundary);
+    SparseTensor window_tensor = window.WindowTensor();
+    SparseTensor unit = window.NewestUnit();
+    algorithm->OnPeriod(window_tensor, unit);
+    // Score every entry of the newest unit against the refreshed model.
+    unit.ForEachNonzero([&](const ModeIndex& index, double value) {
+      const double predicted = algorithm->model().Evaluate(
+          index.WithAppended(static_cast<int32_t>(w_newest)));
+      const double error = std::fabs(value - predicted);
+      detections.push_back(
+          {boundary, index, stats.ScoreAndUpdate(error), false});
+    });
+  };
+  for (; i < tuples.size(); ++i) {
+    while (tuples[i].time > next_boundary) {
+      run_boundary(next_boundary);
+      next_boundary += spec.engine.period;
+    }
+    window.AddTuple(tuples[i]);
+  }
+  run_boundary(next_boundary);
+
+  LabelDetections(truth, /*time_slack=*/spec.engine.period, &detections);
+  DetectorResult result;
+  result.method = baseline;
+  result.precision_at_k = PrecisionAtTopK(detections, kInjected);
+  result.mean_gap_seconds = MeanDetectionDelay(
+      truth, detections, kInjected,
+      /*miss_penalty=*/static_cast<double>(spec.engine.period));
+  result.scored = static_cast<int64_t>(detections.size());
+  return result;
+}
+
+void Run() {
+  PrintExperimentBanner(
+      "Fig. 9 (anomaly detection on New York Taxi)",
+      "SNS+RND and OnlineSCP reach precision ~0.8 @ top-20; SNS+RND detects "
+      "in ~milliseconds (computation only) while per-period methods wait "
+      "~T/2 (>1400s in the paper)");
+
+  DatasetSpec spec = NewYorkTaxiPreset(BenchEventScaleFromEnv());
+  auto clean = GenerateSyntheticStream(spec.stream);
+  SNS_CHECK(clean.ok());
+
+  Rng rng(4242);
+  std::vector<InjectedAnomaly> truth;
+  DataStream stream =
+      InjectAnomalies(clean.value(), kInjected, kSpikeMagnitude,
+                      spec.WarmupEndTime() + spec.engine.period, rng, &truth);
+  PrintDatasetLine(spec, stream.size());
+  std::printf("Injected %d spikes of value %.0f after t=%lld\n", kInjected,
+              kSpikeMagnitude,
+              static_cast<long long>(spec.WarmupEndTime()));
+
+  std::vector<DetectorResult> results;
+  results.push_back(RunContinuousDetector(spec, stream, truth));
+  results.push_back(RunPeriodicDetector(spec, stream, truth, "OnlineSCP"));
+  results.push_back(RunPeriodicDetector(spec, stream, truth, "CP-stream"));
+
+  TableReporter table({"Method", "Precision@20", "Mean gap (s)",
+                       "#Scored", "Paper precision", "Paper gap (s)"});
+  const char* paper_precision[] = {"0.80", "0.80", "0.70"};
+  const char* paper_gap[] = {"0.0015", "1601.00", "1424.57"};
+  for (size_t i = 0; i < results.size(); ++i) {
+    table.AddRow({results[i].method,
+                  TableReporter::Num(results[i].precision_at_k, 2),
+                  TableReporter::Num(results[i].mean_gap_seconds, 6),
+                  std::to_string(results[i].scored), paper_precision[i],
+                  paper_gap[i]});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace sns
+
+int main() {
+  sns::Run();
+  return 0;
+}

@@ -1,0 +1,138 @@
+// google-benchmark microbenchmarks: steady-state per-event update latency of
+// every SliceNStitch variant (the quantity behind Fig. 5a), the continuous
+// window bookkeeping alone (Algorithm 1), and the Gram-solver ablation
+// (Cholesky fast path vs symmetric-eigen pseudoinverse) called out in
+// DESIGN.md.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "core/continuous_cpd.h"
+#include "core/gram_solve.h"
+#include "data/datasets.h"
+#include "linalg/pseudo_inverse.h"
+#include "stream/continuous_window.h"
+
+namespace sns {
+namespace {
+
+// A prepared engine over a mid-size window plus an endless arrival
+// synthesizer, so iterations measure steady-state event processing.
+struct EngineFixture {
+  explicit EngineFixture(SnsVariant variant)
+      : spec(NewYorkTaxiPreset(0.4)), rng(7) {
+    spec.engine.variant = variant;
+    auto stream = GenerateSyntheticStream(spec.stream);
+    SNS_CHECK(stream.ok());
+    auto created = ContinuousCpd::Create(stream.value().mode_dims(),
+                                         spec.engine);
+    SNS_CHECK(created.ok());
+    engine = std::make_unique<ContinuousCpd>(std::move(created).value());
+    const int64_t warmup_end = spec.WarmupEndTime();
+    for (const Tuple& tuple : stream.value().tuples()) {
+      if (tuple.time > warmup_end) break;
+      engine->IngestOnly(tuple);
+    }
+    engine->InitializeWithAls();
+    now = warmup_end;
+  }
+
+  Tuple NextTuple() {
+    now += 1 + static_cast<int64_t>(rng.NextUint64(3));
+    Tuple tuple;
+    for (int64_t dim : spec.stream.mode_dims) {
+      tuple.index.PushBack(static_cast<int32_t>(rng.UniformInt(0, dim - 1)));
+    }
+    tuple.value = 1.0;
+    tuple.time = now;
+    return tuple;
+  }
+
+  DatasetSpec spec;
+  Rng rng;
+  std::unique_ptr<ContinuousCpd> engine;
+  int64_t now = 0;
+};
+
+void BM_ProcessTuple(benchmark::State& state) {
+  EngineFixture fixture(static_cast<SnsVariant>(state.range(0)));
+  for (auto _ : state) {
+    fixture.engine->ProcessTuple(fixture.NextTuple());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(VariantName(static_cast<SnsVariant>(state.range(0))));
+}
+BENCHMARK(BM_ProcessTuple)
+    ->Arg(static_cast<int>(SnsVariant::kVec))
+    ->Arg(static_cast<int>(SnsVariant::kRnd))
+    ->Arg(static_cast<int>(SnsVariant::kVecPlus))
+    ->Arg(static_cast<int>(SnsVariant::kRndPlus))
+    ->Unit(benchmark::kMicrosecond);
+
+// SNS-MAT separately with fewer iterations (it is ~1000x slower).
+void BM_ProcessTupleMat(benchmark::State& state) {
+  EngineFixture fixture(SnsVariant::kMat);
+  for (auto _ : state) {
+    fixture.engine->ProcessTuple(fixture.NextTuple());
+  }
+  state.SetLabel("SNS-MAT");
+}
+BENCHMARK(BM_ProcessTupleMat)->Iterations(30)->Unit(benchmark::kMicrosecond);
+
+// Algorithm 1 alone: window bookkeeping without factor updates.
+void BM_WindowOnly(benchmark::State& state) {
+  DatasetSpec spec = NewYorkTaxiPreset(0.4);
+  ContinuousTensorWindow window(spec.stream.mode_dims,
+                                spec.engine.window_size, spec.engine.period);
+  Rng rng(11);
+  int64_t now = 0;
+  for (auto _ : state) {
+    now += 1 + static_cast<int64_t>(rng.NextUint64(3));
+    Tuple tuple;
+    for (int64_t dim : spec.stream.mode_dims) {
+      tuple.index.PushBack(static_cast<int32_t>(rng.UniformInt(0, dim - 1)));
+    }
+    tuple.value = 1.0;
+    tuple.time = now;
+    window.AdvanceTo(now);
+    benchmark::DoNotOptimize(window.Ingest(tuple));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WindowOnly);
+
+// Gram-solver ablation: R x R solve via the production path (Cholesky with
+// pseudoinverse fallback) vs always-pseudoinverse.
+void BM_GramSolveProduction(benchmark::State& state) {
+  const int64_t rank = state.range(0);
+  Rng rng(13);
+  Matrix a = Matrix::RandomNormal(4 * rank, rank, rng);
+  Matrix h = MultiplyTransposeA(a, a);
+  std::vector<double> b(static_cast<size_t>(rank), 1.0);
+  std::vector<double> x(static_cast<size_t>(rank));
+  for (auto _ : state) {
+    SolveRowAgainstGram(h, b.data(), x.data());
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_GramSolveProduction)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_GramSolvePinvOnly(benchmark::State& state) {
+  const int64_t rank = state.range(0);
+  Rng rng(13);
+  Matrix a = Matrix::RandomNormal(4 * rank, rank, rng);
+  Matrix h = MultiplyTransposeA(a, a);
+  std::vector<double> b(static_cast<size_t>(rank), 1.0);
+  std::vector<double> x(static_cast<size_t>(rank));
+  for (auto _ : state) {
+    Matrix pinv = PseudoInverseSymmetric(h);
+    RowTimesMatrix(b.data(), pinv, x.data());
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_GramSolvePinvOnly)->Arg(10)->Arg(20)->Arg(40);
+
+}  // namespace
+}  // namespace sns
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Real-time anomaly detection (the paper's §VI-G application): spikes
+// injected into a crime-report-like stream are flagged the instant they
+// arrive, by z-scoring each event's reconstruction error against the
+// continuously maintained CP model.
+//
+// Build & run:  ./build/examples/anomaly_detection
+
+#include <cmath>
+#include <cstdio>
+
+#include "apps/anomaly_detection.h"
+#include "core/continuous_cpd.h"
+#include "data/datasets.h"
+
+int main() {
+  // Chicago-Crime-like stream: (community, crime type) at hour resolution.
+  sns::DatasetSpec spec = sns::ChicagoCrimePreset(0.5);
+  auto clean = sns::GenerateSyntheticStream(spec.stream);
+  if (!clean.ok()) return 1;
+
+  // Inject 15 spikes of magnitude 12 at random times and cells.
+  sns::Rng rng(99);
+  std::vector<sns::InjectedAnomaly> truth;
+  sns::DataStream stream = sns::InjectAnomalies(
+      clean.value(), /*count=*/15, /*magnitude=*/12.0,
+      spec.WarmupEndTime() + spec.engine.period, rng, &truth);
+  std::printf("injected %zu spikes into %lld events\n", truth.size(),
+              static_cast<long long>(stream.size()));
+
+  auto engine = sns::ContinuousCpd::Create(stream.mode_dims(), spec.engine);
+  if (!engine.ok()) return 1;
+  sns::ContinuousCpd cpd = std::move(engine).value();
+
+  // Score every arrival before the factors absorb it.
+  std::vector<sns::Detection> detections;
+  sns::RunningZScore stats;
+  cpd.SetEventObserver([&](const sns::WindowDelta& delta,
+                           const sns::KruskalModel& model,
+                           const sns::SparseTensor& window) {
+    if (delta.kind != sns::EventKind::kArrival || delta.cells.empty()) return;
+    const sns::ModeIndex& cell = delta.cells[0].index;
+    const double error = std::fabs(window.Get(cell) - model.Evaluate(cell));
+    const double z = stats.ScoreAndUpdate(error);
+    detections.push_back({delta.time, delta.tuple.index, z, false});
+    if (z > 10.0) {
+      std::printf("  !! t=%lld cell=%s value=%.0f z=%.1f\n",
+                  static_cast<long long>(delta.time),
+                  delta.tuple.index.ToString().c_str(), delta.tuple.value, z);
+    }
+  });
+
+  const int64_t warmup_end = spec.WarmupEndTime();
+  size_t i = 0;
+  for (; i < stream.tuples().size() &&
+         stream.tuples()[i].time <= warmup_end;
+       ++i) {
+    cpd.IngestOnly(stream.tuples()[i]);
+  }
+  cpd.InitializeWithAls();
+  for (; i < stream.tuples().size(); ++i) {
+    cpd.ProcessTuple(stream.tuples()[i]);
+  }
+
+  sns::LabelDetections(truth, /*time_slack=*/0, &detections);
+  std::printf("\nprecision@15 = %.2f (|scored| = %zu events)\n",
+              sns::PrecisionAtTopK(detections, 15), detections.size());
+  std::printf("detection latency = computation only: %.3f ms/event\n",
+              cpd.MeanUpdateMicros() * 1e-3);
+  return 0;
+}

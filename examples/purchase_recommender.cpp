@@ -1,0 +1,94 @@
+// Purchase-history recommendation: a 4-mode stream (user, product, color,
+// quantity) — the paper's Definition 1 example — decomposed continuously.
+// The factor matrices give live user/product embeddings; recommendations
+// are products whose embedding aligns with the user's, weighted by current
+// component activity. Demonstrates a 4-mode tensor and embedding use.
+//
+// Build & run:  ./build/examples/purchase_recommender
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/continuous_cpd.h"
+#include "data/synthetic.h"
+
+namespace {
+
+// Scores product p for user u: Σ_r user_r · product_r · activity_r.
+double Score(const sns::KruskalModel& model, int user, int product,
+             const std::vector<double>& activity) {
+  double score = 0.0;
+  for (int64_t r = 0; r < model.rank(); ++r) {
+    score += model.factor(0)(user, r) * model.factor(1)(product, r) *
+             activity[static_cast<size_t>(r)];
+  }
+  return score;
+}
+
+}  // namespace
+
+int main() {
+  // 300 users x 120 products x 8 colors; ~25k purchases over 30 days of
+  // minutes, with quantities 1-3.
+  sns::SyntheticStreamConfig config;
+  config.mode_dims = {300, 120, 8};
+  config.num_events = 25000;
+  config.time_span = 30 * 1440;
+  config.latent_rank = 6;  // Six "taste" communities.
+  config.noise_fraction = 0.1;
+  config.diurnal_period = 1440;
+  config.value_min = 1.0;
+  config.value_max = 3.0;
+  config.seed = 7;
+  auto stream = sns::GenerateSyntheticStream(config);
+  if (!stream.ok()) return 1;
+
+  sns::ContinuousCpdOptions options;
+  options.rank = 6;
+  options.window_size = 7;      // One-week sliding window...
+  options.period = 1440;        // ...of daily units.
+  options.variant = sns::SnsVariant::kRndPlus;
+  options.sample_threshold = 30;
+  auto engine = sns::ContinuousCpd::Create(config.mode_dims, options);
+  if (!engine.ok()) return 1;
+  sns::ContinuousCpd cpd = std::move(engine).value();
+
+  const int64_t warmup_end = options.window_size * options.period;
+  size_t i = 0;
+  const auto& tuples = stream.value().tuples();
+  for (; i < tuples.size() && tuples[i].time <= warmup_end; ++i) {
+    cpd.IngestOnly(tuples[i]);
+  }
+  cpd.InitializeWithAls();
+  std::printf("week-one model ready: fitness %.3f on %lld purchases\n",
+              cpd.Fitness(), static_cast<long long>(cpd.window().nnz()));
+
+  // Stream the remaining purchases; the model follows taste drift daily.
+  for (; i < tuples.size(); ++i) cpd.ProcessTuple(tuples[i]);
+  std::printf("processed %lld events at %.1f us/update, final fitness %.3f\n",
+              static_cast<long long>(cpd.events_processed()),
+              cpd.MeanUpdateMicros(), cpd.Fitness());
+
+  // Current component activity = newest time-mode row.
+  const sns::KruskalModel& model = cpd.model();
+  const sns::Matrix& time_factor = model.factor(model.num_modes() - 1);
+  std::vector<double> activity(static_cast<size_t>(model.rank()));
+  for (int64_t r = 0; r < model.rank(); ++r) {
+    activity[static_cast<size_t>(r)] = time_factor(time_factor.rows() - 1, r);
+  }
+
+  // Top-3 recommendations for a few users.
+  for (int user : {0, 17, 123}) {
+    std::vector<std::pair<double, int>> ranking;
+    for (int product = 0; product < 120; ++product) {
+      ranking.emplace_back(Score(model, user, product, activity), product);
+    }
+    std::sort(ranking.rbegin(), ranking.rend());
+    std::printf("user %3d -> recommend products: %d (%.2f), %d (%.2f), %d "
+                "(%.2f)\n",
+                user, ranking[0].second, ranking[0].first, ranking[1].second,
+                ranking[1].first, ranking[2].second, ranking[2].first);
+  }
+  return 0;
+}

@@ -1,0 +1,134 @@
+#include "apps/anomaly_detection.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sns {
+
+double RunningZScore::Score(double value) const {
+  if (count_ < 2) return 0.0;
+  const double var = variance();
+  if (var <= 0.0) return 0.0;
+  return (value - mean_) / std::sqrt(var);
+}
+
+void RunningZScore::Update(double value) {
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningZScore::variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+DataStream InjectAnomalies(const DataStream& stream, int count,
+                           double magnitude, int64_t after_time, Rng& rng,
+                           std::vector<InjectedAnomaly>* injected) {
+  SNS_CHECK(injected != nullptr);
+  injected->clear();
+  const int64_t end_time = stream.end_time();
+  SNS_CHECK(after_time < end_time);
+
+  std::vector<Tuple> spikes;
+  spikes.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Tuple spike;
+    for (int64_t dim : stream.mode_dims()) {
+      spike.index.PushBack(static_cast<int32_t>(rng.UniformInt(0, dim - 1)));
+    }
+    spike.value = magnitude;
+    spike.time = rng.UniformInt(after_time + 1, end_time);
+    spikes.push_back(spike);
+    injected->push_back({spike, spike.time});
+  }
+  std::sort(spikes.begin(), spikes.end(),
+            [](const Tuple& a, const Tuple& b) { return a.time < b.time; });
+  std::sort(injected->begin(), injected->end(),
+            [](const InjectedAnomaly& a, const InjectedAnomaly& b) {
+              return a.injection_time < b.injection_time;
+            });
+
+  // Merge by time (spikes after equal-time originals).
+  DataStream merged(stream.mode_dims());
+  merged.Reserve(stream.size() + count);
+  size_t spike_pos = 0;
+  for (const Tuple& tuple : stream.tuples()) {
+    while (spike_pos < spikes.size() &&
+           spikes[spike_pos].time < tuple.time) {
+      SNS_CHECK(merged.Append(spikes[spike_pos++]).ok());
+    }
+    SNS_CHECK(merged.Append(tuple).ok());
+  }
+  while (spike_pos < spikes.size()) {
+    SNS_CHECK(merged.Append(spikes[spike_pos++]).ok());
+  }
+  return merged;
+}
+
+void LabelDetections(const std::vector<InjectedAnomaly>& injected,
+                     int64_t time_slack, std::vector<Detection>* detections) {
+  SNS_CHECK(detections != nullptr);
+  for (Detection& detection : *detections) {
+    detection.is_injected = false;
+    for (const InjectedAnomaly& anomaly : injected) {
+      if (!(anomaly.tuple.index == detection.index)) continue;
+      if (detection.event_time >= anomaly.injection_time &&
+          detection.event_time <= anomaly.injection_time + time_slack) {
+        detection.is_injected = true;
+        break;
+      }
+    }
+  }
+}
+
+namespace {
+
+std::vector<const Detection*> TopKByZ(const std::vector<Detection>& detections,
+                                      int k) {
+  std::vector<const Detection*> sorted;
+  sorted.reserve(detections.size());
+  for (const Detection& d : detections) sorted.push_back(&d);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Detection* a, const Detection* b) {
+              return a->z_score > b->z_score;
+            });
+  if (static_cast<int>(sorted.size()) > k) {
+    sorted.resize(static_cast<size_t>(k));
+  }
+  return sorted;
+}
+
+}  // namespace
+
+double PrecisionAtTopK(const std::vector<Detection>& detections, int k) {
+  if (k <= 0) return 0.0;
+  const auto top = TopKByZ(detections, k);
+  if (top.empty()) return 0.0;
+  int hits = 0;
+  for (const Detection* d : top) hits += d->is_injected ? 1 : 0;
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double MeanDetectionDelay(const std::vector<InjectedAnomaly>& injected,
+                          const std::vector<Detection>& detections, int k,
+                          double miss_penalty) {
+  if (injected.empty()) return 0.0;
+  const auto top = TopKByZ(detections, k);
+  double total = 0.0;
+  for (const InjectedAnomaly& anomaly : injected) {
+    double best = miss_penalty;
+    for (const Detection* d : top) {
+      if (!d->is_injected) continue;
+      if (!(d->index == anomaly.tuple.index)) continue;
+      if (d->event_time < anomaly.injection_time) continue;
+      best = std::min(
+          best, static_cast<double>(d->event_time - anomaly.injection_time));
+    }
+    total += best;
+  }
+  return total / static_cast<double>(injected.size());
+}
+
+}  // namespace sns

@@ -1,0 +1,89 @@
+// Anomaly detection on tensor streams (§VI-G / Fig. 9).
+//
+// The detector flags events whose reconstruction error — the gap between the
+// arriving value and the CP model's prediction for that cell — is an outlier
+// under a running z-score. SliceNStitch scores every arrival the moment it
+// happens; conventional methods can only score a whole tensor unit once its
+// period closes, which is exactly the detection-latency gap Fig. 9 measures.
+
+#ifndef SLICENSTITCH_APPS_ANOMALY_DETECTION_H_
+#define SLICENSTITCH_APPS_ANOMALY_DETECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "stream/data_stream.h"
+#include "tensor/kruskal.h"
+#include "tensor/sparse_tensor.h"
+
+namespace sns {
+
+/// Streaming mean/variance (Welford) with z-score queries.
+class RunningZScore {
+ public:
+  /// z-score of `value` under the statistics accumulated so far (0 until two
+  /// observations exist or the variance is degenerate).
+  double Score(double value) const;
+
+  /// Adds an observation.
+  void Update(double value);
+
+  /// Score-then-update convenience.
+  double ScoreAndUpdate(double value) {
+    const double z = Score(value);
+    Update(value);
+    return z;
+  }
+
+  int64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const;
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// One injected anomaly: a spike tuple added to the stream.
+struct InjectedAnomaly {
+  Tuple tuple;
+  int64_t injection_time = 0;
+};
+
+/// A scored detection produced by a detector.
+struct Detection {
+  int64_t event_time = 0;      // When the detector saw the data.
+  ModeIndex index;             // Non-time mode indices of the cell.
+  double z_score = 0.0;
+  bool is_injected = false;    // Ground truth (filled by the evaluation).
+};
+
+/// Injects `count` spike tuples of value `magnitude` at uniformly random
+/// times in (after_time, stream end], at uniformly random indices. Returns
+/// the merged chronological stream; `injected` receives the ground truth.
+DataStream InjectAnomalies(const DataStream& stream, int count,
+                           double magnitude, int64_t after_time, Rng& rng,
+                           std::vector<InjectedAnomaly>* injected);
+
+/// Marks each detection as injected if it matches an injected anomaly's
+/// non-time indices and its event_time is at or after the injection (within
+/// `time_slack` time units). Each injection is matched at most once per
+/// detection list.
+void LabelDetections(const std::vector<InjectedAnomaly>& injected,
+                     int64_t time_slack, std::vector<Detection>* detections);
+
+/// Precision of the top-k detections by z-score (= recall when k equals the
+/// number of injected anomalies, as in the paper's setup).
+double PrecisionAtTopK(const std::vector<Detection>& detections, int k);
+
+/// Mean gap between injection time and the earliest top-k detection that
+/// matches it; unmatched injections contribute `miss_penalty`.
+double MeanDetectionDelay(const std::vector<InjectedAnomaly>& injected,
+                          const std::vector<Detection>& detections, int k,
+                          double miss_penalty);
+
+}  // namespace sns
+
+#endif  // SLICENSTITCH_APPS_ANOMALY_DETECTION_H_

@@ -1,0 +1,113 @@
+#include "baselines/cp_stream.h"
+
+#include <cmath>
+
+#include "baselines/unit_ops.h"
+#include "core/als.h"
+#include "core/gram_solve.h"
+#include "tensor/mttkrp.h"
+
+namespace sns {
+
+void CpStream::Initialize(const SparseTensor& window, Rng& rng) {
+  CpdState state(AlsDecompose(window, rank_, init_options_, rng));
+  state.AbsorbLambda();
+  model_ = state.model;
+  grams_ = state.grams;
+
+  const int time_mode = num_nontime_modes();
+  const Matrix& time_factor = model_.factor(time_mode);
+  const int64_t w_size = time_factor.rows();
+
+  // Seed the decayed history from the initial window's units, oldest first,
+  // so the accumulators reflect the same exponential profile they would have
+  // had if streamed.
+  time_history_gram_ = Matrix(rank_, rank_);
+  mttkrp_acc_.clear();
+  for (int m = 0; m < num_nontime_modes(); ++m) {
+    mttkrp_acc_.emplace_back(model_.factor(m).rows(), rank_);
+  }
+  std::vector<SparseTensor> units = SplitWindowIntoUnits(window);
+  for (int64_t w = 0; w < w_size; ++w) {
+    const double* c_row = time_factor.Row(w);
+    const double weight =
+        std::pow(forgetting_, static_cast<double>(w_size - 1 - w));
+    for (int64_t i = 0; i < rank_; ++i) {
+      for (int64_t j = 0; j < rank_; ++j) {
+        time_history_gram_(i, j) += weight * c_row[i] * c_row[j];
+      }
+    }
+    for (int m = 0; m < num_nontime_modes(); ++m) {
+      AccumulateUnitMttkrp(units[static_cast<size_t>(w)], model_.factors(),
+                           c_row, m, weight,
+                           mttkrp_acc_[static_cast<size_t>(m)]);
+    }
+  }
+}
+
+void CpStream::RefreshGram(int mode) {
+  grams_[static_cast<size_t>(mode)] =
+      MultiplyTransposeA(model_.factor(mode), model_.factor(mode));
+}
+
+void CpStream::OnPeriod(const SparseTensor& /*window*/,
+                        const SparseTensor& newest_unit) {
+  const int time_mode = num_nontime_modes();
+  Matrix& time_factor = model_.factor(time_mode);
+  const int64_t w_size = time_factor.rows();
+
+  // 1. Solve the newest time row: c = rhs (∗_{m<M} A'A)†.
+  std::vector<double> rhs = UnitTimeRowRhs(newest_unit, model_.factors());
+  Matrix h_time = HadamardOfGramsExcept(grams_, time_mode);
+  std::vector<double> c_row(static_cast<size_t>(rank_));
+  SolveRowAgainstGram(h_time, rhs.data(), c_row.data());
+
+  // 2. Decay and augment the history statistics.
+  time_history_gram_ = Scale(time_history_gram_, forgetting_);
+  for (int64_t i = 0; i < rank_; ++i) {
+    for (int64_t j = 0; j < rank_; ++j) {
+      time_history_gram_(i, j) +=
+          c_row[static_cast<size_t>(i)] * c_row[static_cast<size_t>(j)];
+    }
+  }
+  for (int m = 0; m < num_nontime_modes(); ++m) {
+    mttkrp_acc_[static_cast<size_t>(m)] =
+        Scale(mttkrp_acc_[static_cast<size_t>(m)], forgetting_);
+    AccumulateUnitMttkrp(newest_unit, model_.factors(), c_row.data(), m,
+                         /*sign=*/+1.0, mttkrp_acc_[static_cast<size_t>(m)]);
+  }
+
+  // 3. Refresh the non-time factors against the weighted history with the
+  // proximal anchoring of the reference CP-stream implementation:
+  // A = (P + rho*A_old)(H + rho*I)^+. The proximal term keeps factors near
+  // their previous values when a period carries little data, which is what
+  // prevents divergence on very sparse streams.
+  for (int m = 0; m < num_nontime_modes(); ++m) {
+    Matrix h = time_history_gram_;
+    for (int n = 0; n < num_nontime_modes(); ++n) {
+      if (n == m) continue;
+      h = Hadamard(h, grams_[static_cast<size_t>(n)]);
+    }
+    double trace = 0.0;
+    for (int64_t k = 0; k < rank_; ++k) trace += h(k, k);
+    const double rho =
+        0.1 * (trace / static_cast<double>(rank_) + 1e-12);
+    for (int64_t k = 0; k < rank_; ++k) h(k, k) += rho;
+    Matrix rhs = mttkrp_acc_[static_cast<size_t>(m)];
+    const Matrix& old_factor = model_.factor(m);
+    for (int64_t i = 0; i < rhs.rows(); ++i) {
+      double* rhs_row = rhs.Row(i);
+      const double* old_row = old_factor.Row(i);
+      for (int64_t k = 0; k < rank_; ++k) rhs_row[k] += rho * old_row[k];
+    }
+    model_.factor(m) = SolveRowsAgainstGram(h, rhs);
+    RefreshGram(m);
+  }
+
+  // 4. The window model keeps the W latest time rows.
+  ShiftTimeFactorRows(time_factor);
+  std::copy(c_row.begin(), c_row.end(), time_factor.Row(w_size - 1));
+  RefreshGram(time_mode);
+}
+
+}  // namespace sns

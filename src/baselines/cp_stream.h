@@ -1,0 +1,55 @@
+// CP-stream baseline (Smith, Huang, Sidiropoulos & Karypis, "Streaming
+// Tensor Factorization for Infinite Data Sources", SDM 2018), adapted to the
+// sliding-window setting of the paper's experiments.
+//
+// Per period: the newest unit's time row c_t is solved in closed form, the
+// exponentially-weighted history Grams G = Σ_s γ^{t−s} c_s c_s' and per-mode
+// MTTKRP accumulators P(m) = Σ_s γ^{t−s} MTTKRP(Y_s, c_s) are decayed and
+// augmented, and each non-time factor is refreshed as
+// A(m) = P(m) [G ∗ (∗_{n≠m} A(n)'A(n))]†. The window model exposes the W
+// most recent time rows for fitness evaluation.
+
+#ifndef SLICENSTITCH_BASELINES_CP_STREAM_H_
+#define SLICENSTITCH_BASELINES_CP_STREAM_H_
+
+#include <deque>
+
+#include "baselines/periodic_algorithm.h"
+#include "core/options.h"
+
+namespace sns {
+
+class CpStream : public PeriodicAlgorithm {
+ public:
+  /// forgetting ∈ (0, 1]: weight decay per period (γ). The default 0.9
+  /// gives an effective memory of ≈ W = 10 periods, matching the windowed
+  /// comparison.
+  CpStream(int64_t rank, const AlsOptions& init_options,
+           double forgetting = 0.9)
+      : rank_(rank), init_options_(init_options), forgetting_(forgetting) {
+    SNS_CHECK(forgetting_ > 0.0 && forgetting_ <= 1.0);
+  }
+
+  std::string_view name() const override { return "CP-stream"; }
+
+  void Initialize(const SparseTensor& window, Rng& rng) override;
+  void OnPeriod(const SparseTensor& window,
+                const SparseTensor& newest_unit) override;
+  const KruskalModel& model() const override { return model_; }
+
+ private:
+  int num_nontime_modes() const { return model_.num_modes() - 1; }
+  void RefreshGram(int mode);
+
+  int64_t rank_;
+  AlsOptions init_options_;
+  double forgetting_;
+  KruskalModel model_;
+  std::vector<Matrix> grams_;
+  Matrix time_history_gram_;        // G = Σ γ^{t−s} c_s c_s'.
+  std::vector<Matrix> mttkrp_acc_;  // P(m), decayed.
+};
+
+}  // namespace sns
+
+#endif  // SLICENSTITCH_BASELINES_CP_STREAM_H_

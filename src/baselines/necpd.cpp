@@ -1,0 +1,120 @@
+#include "baselines/necpd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/als.h"
+#include "tensor/mttkrp.h"
+
+namespace sns {
+
+void NeCpd::Initialize(const SparseTensor& window, Rng& rng) {
+  CpdState state(AlsDecompose(window, rank_, init_options_, rng));
+  state.AbsorbLambda();
+  model_ = state.model;
+  velocity_.clear();
+  for (int m = 0; m < model_.num_modes(); ++m) {
+    velocity_.emplace_back(model_.factor(m).rows(), rank_);
+  }
+}
+
+void NeCpd::SgdStep(const ModeIndex& cell, double value) {
+  // Nesterov look-ahead rows: row + μ·velocity.
+  const int modes = model_.num_modes();
+  std::vector<std::vector<double>> lookahead(static_cast<size_t>(modes));
+  for (int m = 0; m < modes; ++m) {
+    const double* row = model_.factor(m).Row(cell[m]);
+    const double* vel = velocity_[static_cast<size_t>(m)].Row(cell[m]);
+    auto& ahead = lookahead[static_cast<size_t>(m)];
+    ahead.resize(static_cast<size_t>(rank_));
+    for (int64_t r = 0; r < rank_; ++r) {
+      ahead[static_cast<size_t>(r)] = row[r] + momentum_ * vel[r];
+    }
+  }
+
+  // Residual at the look-ahead point.
+  double approx = 0.0;
+  for (int64_t r = 0; r < rank_; ++r) {
+    double prod = 1.0;
+    for (int m = 0; m < modes; ++m) {
+      prod *= lookahead[static_cast<size_t>(m)][static_cast<size_t>(r)];
+    }
+    approx += prod;
+  }
+  const double residual = value - approx;
+
+  // Per-mode gradient step with an LMS-normalized learning rate. The +1
+  // regularizer bounds the step even when the other modes' rows are nearly
+  // zero (a bare epsilon floor lets steps explode on sparse factors).
+  for (int m = 0; m < modes; ++m) {
+    double norm_sq = 1.0;
+    std::vector<double> had(static_cast<size_t>(rank_), 1.0);
+    for (int n = 0; n < modes; ++n) {
+      if (n == m) continue;
+      for (int64_t r = 0; r < rank_; ++r) {
+        had[static_cast<size_t>(r)] *=
+            lookahead[static_cast<size_t>(n)][static_cast<size_t>(r)];
+      }
+    }
+    for (int64_t r = 0; r < rank_; ++r) {
+      norm_sq += had[static_cast<size_t>(r)] * had[static_cast<size_t>(r)];
+    }
+    const double step = learning_rate_ * residual / norm_sq;
+    double* vel = velocity_[static_cast<size_t>(m)].Row(cell[m]);
+    double* row = model_.factor(m).Row(cell[m]);
+    double vel_norm_sq = 0.0;
+    for (int64_t r = 0; r < rank_; ++r) {
+      vel[r] = momentum_ * vel[r] + step * had[static_cast<size_t>(r)];
+      vel_norm_sq += vel[r] * vel[r];
+    }
+    // Gradient clipping: cap the per-row velocity norm at 1.
+    const double scale =
+        vel_norm_sq > 1.0 ? 1.0 / std::sqrt(vel_norm_sq) : 1.0;
+    // L2 weight decay on the touched row (sampled-objective regularizer).
+    const double shrink = 1.0 - learning_rate_ * weight_decay_;
+    for (int64_t r = 0; r < rank_; ++r) {
+      vel[r] *= scale;
+      row[r] = shrink * row[r] + vel[r];
+    }
+  }
+}
+
+void NeCpd::OnPeriod(const SparseTensor& window,
+                     const SparseTensor& /*newest_unit*/) {
+  const int time_mode = model_.num_modes() - 1;
+  ShiftTimeFactorRows(model_.factor(time_mode));
+  // Fresh momentum each period: velocities carried across boundaries keep
+  // pushing rows that this period's data may never touch and destabilize
+  // the sparse modes.
+  for (Matrix& velocity : velocity_) velocity.SetZero();
+
+  // Collect the window's non-zeros once; epochs shuffle their visit order.
+  // An equal number of uniformly drawn cells (almost all zero) is added as
+  // negative samples — SGD on the non-zeros alone lets predictions at zero
+  // cells inflate unchecked on sparse tensors.
+  std::vector<std::pair<ModeIndex, double>> samples;
+  samples.reserve(static_cast<size_t>(2 * window.nnz()));
+  window.ForEachNonzero([&](const ModeIndex& index, double value) {
+    samples.emplace_back(index, value);
+  });
+  const int64_t negatives = window.nnz();
+  for (int64_t n = 0; n < negatives; ++n) {
+    ModeIndex cell;
+    for (int m = 0; m < window.num_modes(); ++m) {
+      cell.PushBack(
+          static_cast<int32_t>(rng_.UniformInt(0, window.dim(m) - 1)));
+    }
+    samples.emplace_back(cell, window.Get(cell));
+  }
+
+  for (int epoch = 0; epoch < epochs_; ++epoch) {
+    // Fisher–Yates shuffle driven by the library Rng.
+    for (size_t i = samples.size(); i > 1; --i) {
+      std::swap(samples[i - 1],
+                samples[static_cast<size_t>(rng_.NextUint64(i))]);
+    }
+    for (const auto& [index, value] : samples) SgdStep(index, value);
+  }
+}
+
+}  // namespace sns

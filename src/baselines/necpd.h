@@ -1,0 +1,66 @@
+// NeCPD(n) baseline (Anaissi, Suleiman & Zandavi, "NeCPD: An Online Tensor
+// Decomposition with Optimal Stochastic Gradient Descent", arXiv 2020):
+// stochastic gradient descent with Nesterov's accelerated gradient.
+// Adapted — like every baseline in the paper — to decompose the sliding
+// tensor window: at each period boundary the time factor slides and n SGD
+// epochs run over the window's non-zeros (plus an equal number of sampled
+// zero cells) in random order. Gradients use a normalized step size (LMS
+// style), per-row gradient clipping, and L2 weight decay on touched rows —
+// the standard stabilizers of SGD matrix/tensor factorization on very
+// sparse data.
+
+#ifndef SLICENSTITCH_BASELINES_NECPD_H_
+#define SLICENSTITCH_BASELINES_NECPD_H_
+
+#include "baselines/periodic_algorithm.h"
+#include "core/options.h"
+
+namespace sns {
+
+class NeCpd : public PeriodicAlgorithm {
+ public:
+  /// `epochs` is the paper's n (they report NeCPD(1) and NeCPD(10)).
+  /// The defaults keep the effective normalized step learning_rate/(1−μ)
+  /// at 0.2, inside the LMS stability region; per-row velocity norms are
+  /// additionally capped at 1 (gradient clipping) since the multilinear
+  /// objective's curvature grows with the factor magnitudes.
+  NeCpd(int64_t rank, const AlsOptions& init_options, int epochs,
+        double learning_rate = 0.05, double momentum = 0.3,
+        double weight_decay = 0.1, uint64_t seed = 0x2ecb)
+      : rank_(rank),
+        init_options_(init_options),
+        epochs_(epochs),
+        learning_rate_(learning_rate),
+        momentum_(momentum),
+        weight_decay_(weight_decay),
+        rng_(seed),
+        name_("NeCPD(" + std::to_string(epochs) + ")") {
+    SNS_CHECK(epochs_ >= 1);
+  }
+
+  std::string_view name() const override { return name_; }
+
+  void Initialize(const SparseTensor& window, Rng& rng) override;
+  void OnPeriod(const SparseTensor& window,
+                const SparseTensor& newest_unit) override;
+  const KruskalModel& model() const override { return model_; }
+
+ private:
+  /// One Nesterov SGD step on the squared error of a single window cell.
+  void SgdStep(const ModeIndex& cell, double value);
+
+  int64_t rank_;
+  AlsOptions init_options_;
+  int epochs_;
+  double learning_rate_;
+  double momentum_;
+  double weight_decay_;
+  Rng rng_;
+  std::string name_;
+  KruskalModel model_;
+  std::vector<Matrix> velocity_;  // Nesterov momentum per factor matrix.
+};
+
+}  // namespace sns
+
+#endif  // SLICENSTITCH_BASELINES_NECPD_H_

@@ -1,0 +1,121 @@
+#include "baselines/online_scp.h"
+
+#include "baselines/unit_ops.h"
+#include "core/als.h"
+#include "core/gram_solve.h"
+#include "tensor/mttkrp.h"
+
+namespace sns {
+namespace {
+
+/// Frozen Gram-side contribution of one unit for mode `mode`:
+/// (c c') ∗ (∗_{n≠mode, n non-time} A(n)'A(n)), with everything evaluated at
+/// the unit's entry time.
+Matrix UnitGramContribution(const std::vector<Matrix>& grams,
+                            const double* time_row, int mode,
+                            int num_nontime_modes) {
+  const int64_t rank = grams[0].rows();
+  Matrix g(rank, rank);
+  for (int64_t i = 0; i < rank; ++i) {
+    for (int64_t j = 0; j < rank; ++j) g(i, j) = time_row[i] * time_row[j];
+  }
+  for (int n = 0; n < num_nontime_modes; ++n) {
+    if (n == mode) continue;
+    g = Hadamard(g, grams[static_cast<size_t>(n)]);
+  }
+  return g;
+}
+
+}  // namespace
+
+void OnlineScp::Initialize(const SparseTensor& window, Rng& rng) {
+  CpdState state(AlsDecompose(window, rank_, init_options_, rng));
+  state.AbsorbLambda();
+  model_ = state.model;
+  grams_ = state.grams;
+
+  // Per-unit frozen contributions under the initial factors; the
+  // accumulators P(m), G(m) are their sums.
+  const int time_mode = num_nontime_modes();
+  mttkrp_acc_.clear();
+  gram_acc_.clear();
+  for (int m = 0; m < num_nontime_modes(); ++m) {
+    mttkrp_acc_.emplace_back(model_.factor(m).rows(), rank_);
+    gram_acc_.emplace_back(rank_, rank_);
+  }
+  unit_contributions_.clear();
+  std::vector<SparseTensor> units = SplitWindowIntoUnits(window);
+  for (size_t w = 0; w < units.size(); ++w) {
+    AdmitUnit(units[w], model_.factor(time_mode).Row(static_cast<int64_t>(w)));
+  }
+}
+
+void OnlineScp::AdmitUnit(const SparseTensor& unit, const double* time_row) {
+  UnitContribution contribution;
+  for (int m = 0; m < num_nontime_modes(); ++m) {
+    Matrix p(model_.factor(m).rows(), rank_);
+    AccumulateUnitMttkrp(unit, model_.factors(), time_row, m, /*sign=*/+1.0,
+                         p);
+    Matrix g =
+        UnitGramContribution(grams_, time_row, m, num_nontime_modes());
+    mttkrp_acc_[static_cast<size_t>(m)] =
+        Add(mttkrp_acc_[static_cast<size_t>(m)], p);
+    gram_acc_[static_cast<size_t>(m)] =
+        Add(gram_acc_[static_cast<size_t>(m)], g);
+    contribution.mttkrp.push_back(std::move(p));
+    contribution.gram.push_back(std::move(g));
+  }
+  unit_contributions_.push_back(std::move(contribution));
+}
+
+void OnlineScp::RefreshGram(int mode) {
+  grams_[static_cast<size_t>(mode)] =
+      MultiplyTransposeA(model_.factor(mode), model_.factor(mode));
+}
+
+void OnlineScp::OnPeriod(const SparseTensor& /*window*/,
+                         const SparseTensor& newest_unit) {
+  const int time_mode = num_nontime_modes();
+  const int64_t rank = rank_;
+  Matrix& time_factor = model_.factor(time_mode);
+  const int64_t w_size = time_factor.rows();
+
+  // 1. Retire the expiring unit: subtract exactly what it contributed when
+  //    it entered (frozen-history bookkeeping, both sides of the normal
+  //    equations).
+  SNS_CHECK(!unit_contributions_.empty());
+  for (int m = 0; m < num_nontime_modes(); ++m) {
+    mttkrp_acc_[static_cast<size_t>(m)] =
+        Subtract(mttkrp_acc_[static_cast<size_t>(m)],
+                 unit_contributions_.front().mttkrp[static_cast<size_t>(m)]);
+    gram_acc_[static_cast<size_t>(m)] =
+        Subtract(gram_acc_[static_cast<size_t>(m)],
+                 unit_contributions_.front().gram[static_cast<size_t>(m)]);
+  }
+  unit_contributions_.pop_front();
+
+  // 2. Slide the time factor and solve the newest row in closed form:
+  //    c = rhs (∗_{m<M} A(m)'A(m))†.
+  ShiftTimeFactorRows(time_factor);
+  std::vector<double> rhs = UnitTimeRowRhs(newest_unit, model_.factors());
+  Matrix h_time = HadamardOfGramsExcept(grams_, time_mode);
+  std::vector<double> new_row(static_cast<size_t>(rank));
+  SolveRowAgainstGram(h_time, rhs.data(), new_row.data());
+  std::copy(new_row.begin(), new_row.end(), time_factor.Row(w_size - 1));
+  RefreshGram(time_mode);
+
+  // 3. Admit the new unit: compute, cache, and add its contributions.
+  AdmitUnit(newest_unit, new_row.data());
+
+  // 4. Refresh each non-time factor against the frozen normal equations:
+  //    A(m) = P(m) G(m)†, mildly ridged against near-singular history.
+  for (int m = 0; m < num_nontime_modes(); ++m) {
+    Matrix h = gram_acc_[static_cast<size_t>(m)];
+    AddRidge(h, 1e-4);
+    model_.factor(m) = SolveRowsAgainstGram(
+        h, mttkrp_acc_[static_cast<size_t>(m)]);
+    RefreshGram(m);
+  }
+}
+
+}  // namespace sns

@@ -1,0 +1,61 @@
+// OnlineSCP baseline (Zhou, Erfani & Bailey, "Online CP Decomposition for
+// Sparse Tensors", ICDM 2018), adapted — as in the paper's experiments — to
+// the sliding tensor window.
+//
+// The method's core idea is kept intact: per-mode MTTKRP accumulators P(m)
+// are maintained incrementally (cost proportional to the non-zeros of the
+// entering and leaving units, not the window), under the assumption that
+// contributions computed when a unit entered remain valid while the factors
+// drift — they are frozen. Each period: the expiring unit's *cached* entry
+// contribution is subtracted (exact cancellation, so staleness is bounded by
+// the W periods a unit spends in the window), the time factor shifts, the
+// new unit's time row is solved in closed form, its contribution is added
+// and cached, and every non-time factor is refreshed as A(m) = P(m) H(m)†.
+
+#ifndef SLICENSTITCH_BASELINES_ONLINE_SCP_H_
+#define SLICENSTITCH_BASELINES_ONLINE_SCP_H_
+
+#include <deque>
+
+#include "baselines/periodic_algorithm.h"
+#include "core/options.h"
+
+namespace sns {
+
+class OnlineScp : public PeriodicAlgorithm {
+ public:
+  OnlineScp(int64_t rank, const AlsOptions& init_options)
+      : rank_(rank), init_options_(init_options) {}
+
+  std::string_view name() const override { return "OnlineSCP"; }
+
+  void Initialize(const SparseTensor& window, Rng& rng) override;
+  void OnPeriod(const SparseTensor& window,
+                const SparseTensor& newest_unit) override;
+  const KruskalModel& model() const override { return model_; }
+
+ private:
+  /// Frozen contributions of one unit to both sides of the per-mode normal
+  /// equations, captured when the unit entered the window.
+  struct UnitContribution {
+    std::vector<Matrix> mttkrp;  // P-side, N_m × R per non-time mode.
+    std::vector<Matrix> gram;    // G-side, R × R per non-time mode.
+  };
+
+  int num_nontime_modes() const { return model_.num_modes() - 1; }
+  void RefreshGram(int mode);
+  /// Computes + caches the unit's contributions and adds them to P/G.
+  void AdmitUnit(const SparseTensor& unit, const double* time_row);
+
+  int64_t rank_;
+  AlsOptions init_options_;
+  KruskalModel model_;
+  std::vector<Matrix> grams_;
+  std::vector<Matrix> mttkrp_acc_;  // P(m) per non-time mode.
+  std::vector<Matrix> gram_acc_;    // G(m) per non-time mode.
+  std::deque<UnitContribution> unit_contributions_;  // Oldest first, ≤ W.
+};
+
+}  // namespace sns
+
+#endif  // SLICENSTITCH_BASELINES_ONLINE_SCP_H_

@@ -1,0 +1,16 @@
+#include "baselines/periodic_algorithm.h"
+
+namespace sns {
+
+void ShiftTimeFactorRows(Matrix& time_factor) {
+  const int64_t w = time_factor.rows();
+  const int64_t r = time_factor.cols();
+  for (int64_t i = 0; i + 1 < w; ++i) {
+    const double* next = time_factor.Row(i + 1);
+    double* current = time_factor.Row(i);
+    for (int64_t k = 0; k < r; ++k) current[k] = next[k];
+  }
+  // Row W−1 keeps the previous newest row as a warm start.
+}
+
+}  // namespace sns

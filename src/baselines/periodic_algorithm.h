@@ -1,0 +1,44 @@
+// Interface of the conventional-CPD baselines the paper compares against
+// (§VI-A): ALS, OnlineSCP, CP-stream, and NeCPD(n). As in the paper, each is
+// adapted to decompose the sliding tensor window and updates its factors
+// once per period T — at period boundaries — rather than per event.
+
+#ifndef SLICENSTITCH_BASELINES_PERIODIC_ALGORITHM_H_
+#define SLICENSTITCH_BASELINES_PERIODIC_ALGORITHM_H_
+
+#include <string_view>
+
+#include "common/random.h"
+#include "tensor/kruskal.h"
+#include "tensor/sparse_tensor.h"
+
+namespace sns {
+
+/// A CP decomposition algorithm driven at period boundaries.
+class PeriodicAlgorithm {
+ public:
+  virtual ~PeriodicAlgorithm() = default;
+
+  /// Display name, e.g. "OnlineSCP".
+  virtual std::string_view name() const = 0;
+
+  /// Initializes the factors from the warm-up window (M-mode, time last).
+  virtual void Initialize(const SparseTensor& window, Rng& rng) = 0;
+
+  /// One period elapsed: `window` is the up-to-date M-mode window tensor and
+  /// `newest_unit` the (M−1)-mode tensor unit that just closed.
+  virtual void OnPeriod(const SparseTensor& window,
+                        const SparseTensor& newest_unit) = 0;
+
+  /// Current window model (time mode last, newest time row at W−1).
+  virtual const KruskalModel& model() const = 0;
+};
+
+/// Shifts the time-mode factor up one row (row 0 drops out, row W−1 becomes
+/// a copy of the previous newest row as the starting guess for the unit that
+/// just opened). Shared by the incremental baselines.
+void ShiftTimeFactorRows(Matrix& time_factor);
+
+}  // namespace sns
+
+#endif  // SLICENSTITCH_BASELINES_PERIODIC_ALGORITHM_H_

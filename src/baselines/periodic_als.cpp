@@ -1,0 +1,16 @@
+#include "baselines/periodic_als.h"
+
+#include "core/als.h"
+
+namespace sns {
+
+void PeriodicAls::Initialize(const SparseTensor& window, Rng& rng) {
+  model_ = AlsDecompose(window, rank_, options_, rng);
+}
+
+void PeriodicAls::OnPeriod(const SparseTensor& window,
+                           const SparseTensor& /*newest_unit*/) {
+  model_ = AlsDecompose(window, rank_, options_, rng_);
+}
+
+}  // namespace sns

@@ -1,0 +1,34 @@
+// The "ALS" baseline: batch CP decomposition recomputed from scratch on the
+// window at every period boundary. The accuracy ceiling (its fitness is the
+// denominator of relative fitness) and by far the slowest method.
+
+#ifndef SLICENSTITCH_BASELINES_PERIODIC_ALS_H_
+#define SLICENSTITCH_BASELINES_PERIODIC_ALS_H_
+
+#include "baselines/periodic_algorithm.h"
+#include "core/options.h"
+
+namespace sns {
+
+class PeriodicAls : public PeriodicAlgorithm {
+ public:
+  PeriodicAls(int64_t rank, const AlsOptions& options, uint64_t seed)
+      : rank_(rank), options_(options), rng_(seed) {}
+
+  std::string_view name() const override { return "ALS"; }
+
+  void Initialize(const SparseTensor& window, Rng& rng) override;
+  void OnPeriod(const SparseTensor& window,
+                const SparseTensor& newest_unit) override;
+  const KruskalModel& model() const override { return model_; }
+
+ private:
+  int64_t rank_;
+  AlsOptions options_;
+  Rng rng_;
+  KruskalModel model_;
+};
+
+}  // namespace sns
+
+#endif  // SLICENSTITCH_BASELINES_PERIODIC_ALS_H_

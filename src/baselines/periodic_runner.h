@@ -1,0 +1,68 @@
+// Drives a PeriodicAlgorithm over a multi-aspect data stream: feeds tuples
+// into the conventional sliding window, invokes the algorithm at every
+// period boundary, and records per-boundary fitness and update latency —
+// the "dots" of Fig. 4 and the baseline rows of Figs. 1 and 5.
+
+#ifndef SLICENSTITCH_BASELINES_PERIODIC_RUNNER_H_
+#define SLICENSTITCH_BASELINES_PERIODIC_RUNNER_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/periodic_algorithm.h"
+#include "common/random.h"
+#include "stream/periodic_window.h"
+
+namespace sns {
+
+/// One factor-matrix refresh at a period boundary.
+struct PeriodicObservation {
+  int64_t boundary_time = 0;
+  double fitness = 0.0;        // Against the window right after the update.
+  double update_micros = 0.0;  // Time spent inside OnPeriod.
+};
+
+class PeriodicRunner {
+ public:
+  PeriodicRunner(std::vector<int64_t> mode_dims, int window_size,
+                 int64_t period, std::unique_ptr<PeriodicAlgorithm> algorithm);
+
+  /// Feeds a warm-up tuple (before Initialize; no algorithm updates).
+  void Warmup(const Tuple& tuple);
+
+  /// Closes every period up to `boundary_time` (a multiple of the period)
+  /// and initializes the algorithm from the resulting window. Subsequent
+  /// Process() calls trigger per-period updates after that boundary.
+  void Initialize(Rng& rng, int64_t boundary_time);
+
+  /// Feeds a live tuple, running the algorithm at any boundary it crosses.
+  void Process(const Tuple& tuple);
+
+  /// Runs the algorithm for every boundary up to and including `time`.
+  void FinishUpTo(int64_t time);
+
+  const std::vector<PeriodicObservation>& observations() const {
+    return observations_;
+  }
+  const KruskalModel& model() const { return algorithm_->model(); }
+  std::string_view algorithm_name() const { return algorithm_->name(); }
+
+  /// Current window tensor (conventional model) for external evaluation.
+  SparseTensor WindowTensor() const { return window_.WindowTensor(); }
+
+  /// Mean per-boundary update latency in microseconds.
+  double MeanUpdateMicros() const;
+
+ private:
+  void RunBoundary(int64_t boundary);
+
+  PeriodicTensorWindow window_;
+  std::unique_ptr<PeriodicAlgorithm> algorithm_;
+  int64_t next_boundary_ = 0;
+  bool initialized_ = false;
+  std::vector<PeriodicObservation> observations_;
+};
+
+}  // namespace sns
+
+#endif  // SLICENSTITCH_BASELINES_PERIODIC_RUNNER_H_

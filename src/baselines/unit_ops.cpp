@@ -1,0 +1,72 @@
+#include "baselines/unit_ops.h"
+
+namespace sns {
+
+std::vector<double> UnitTimeRowRhs(const SparseTensor& unit,
+                                   const std::vector<Matrix>& factors) {
+  const int modes = unit.num_modes();  // M−1 non-time modes.
+  const int64_t rank = factors[0].cols();
+  std::vector<double> rhs(static_cast<size_t>(rank), 0.0);
+  std::vector<double> had(static_cast<size_t>(rank));
+  unit.ForEachNonzero([&](const ModeIndex& index, double value) {
+    std::fill(had.begin(), had.end(), 1.0);
+    for (int m = 0; m < modes; ++m) {
+      const double* row = factors[static_cast<size_t>(m)].Row(index[m]);
+      for (int64_t r = 0; r < rank; ++r) had[static_cast<size_t>(r)] *= row[r];
+    }
+    for (int64_t r = 0; r < rank; ++r) {
+      rhs[static_cast<size_t>(r)] += value * had[static_cast<size_t>(r)];
+    }
+  });
+  return rhs;
+}
+
+void AccumulateUnitMttkrp(const SparseTensor& unit,
+                          const std::vector<Matrix>& factors,
+                          const double* time_row, int mode, double sign,
+                          Matrix& p) {
+  const int modes = unit.num_modes();
+  const int64_t rank = p.cols();
+  std::vector<double> had(static_cast<size_t>(rank));
+  unit.ForEachNonzero([&](const ModeIndex& index, double value) {
+    for (int64_t r = 0; r < rank; ++r) {
+      had[static_cast<size_t>(r)] = time_row[r];
+    }
+    for (int m = 0; m < modes; ++m) {
+      if (m == mode) continue;
+      const double* row = factors[static_cast<size_t>(m)].Row(index[m]);
+      for (int64_t r = 0; r < rank; ++r) had[static_cast<size_t>(r)] *= row[r];
+    }
+    double* p_row = p.Row(index[mode]);
+    for (int64_t r = 0; r < rank; ++r) {
+      p_row[r] += sign * value * had[static_cast<size_t>(r)];
+    }
+  });
+}
+
+void AddRidge(Matrix& h, double relative) {
+  SNS_CHECK(h.rows() == h.cols());
+  double trace = 0.0;
+  for (int64_t i = 0; i < h.rows(); ++i) trace += h(i, i);
+  const double ridge =
+      relative * (trace / static_cast<double>(h.rows()) + 1e-12);
+  for (int64_t i = 0; i < h.rows(); ++i) h(i, i) += ridge;
+}
+
+std::vector<SparseTensor> SplitWindowIntoUnits(const SparseTensor& window) {
+  const int time_mode = window.num_modes() - 1;
+  const int64_t w_size = window.dim(time_mode);
+  std::vector<int64_t> unit_dims(window.dims().begin(),
+                                 window.dims().end() - 1);
+  std::vector<SparseTensor> units;
+  units.reserve(static_cast<size_t>(w_size));
+  for (int64_t w = 0; w < w_size; ++w) units.emplace_back(unit_dims);
+  window.ForEachNonzero([&](const ModeIndex& index, double value) {
+    ModeIndex unit_index;
+    for (int m = 0; m < time_mode; ++m) unit_index.PushBack(index[m]);
+    units[static_cast<size_t>(index[time_mode])].Add(unit_index, value);
+  });
+  return units;
+}
+
+}  // namespace sns

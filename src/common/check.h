@@ -1,0 +1,39 @@
+// Lightweight assertion macros used on library-internal invariants.
+//
+// SNS_CHECK is always on (it guards logic errors that would otherwise corrupt
+// state); SNS_DCHECK compiles to nothing in release builds and is used on hot
+// paths. Neither is part of the public error-handling contract — recoverable
+// conditions are reported through sns::Status instead (see common/status.h).
+
+#ifndef SLICENSTITCH_COMMON_CHECK_H_
+#define SLICENSTITCH_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sns::internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "SNS_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace sns::internal
+
+#define SNS_CHECK(expr)                                         \
+  do {                                                          \
+    if (!(expr)) {                                              \
+      ::sns::internal::CheckFailed(#expr, __FILE__, __LINE__);  \
+    }                                                           \
+  } while (0)
+
+#ifdef NDEBUG
+#define SNS_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define SNS_DCHECK(expr) SNS_CHECK(expr)
+#endif
+
+#endif  // SLICENSTITCH_COMMON_CHECK_H_

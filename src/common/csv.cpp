@@ -1,0 +1,89 @@
+#include "common/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+
+namespace sns {
+
+std::vector<std::string> SplitLine(std::string_view line, char delimiter) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (true) {
+    size_t pos = line.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      fields.emplace_back(line.substr(start));
+      break;
+    }
+    fields.emplace_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return fields;
+}
+
+StatusOr<int64_t> ParseInt64(std::string_view text) {
+  if (text.empty()) return Status::InvalidArgument("empty integer field");
+  std::string buf(text);
+  errno = 0;
+  char* end = nullptr;
+  long long value = std::strtoll(buf.c_str(), &end, 10);
+  if (errno == ERANGE) {
+    return Status::OutOfRange("integer out of range: " + buf);
+  }
+  if (end == buf.c_str() || *end != '\0') {
+    return Status::InvalidArgument("not an integer: " + buf);
+  }
+  return static_cast<int64_t>(value);
+}
+
+StatusOr<double> ParseDouble(std::string_view text) {
+  if (text.empty()) return Status::InvalidArgument("empty double field");
+  std::string buf(text);
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(buf.c_str(), &end);
+  if (errno == ERANGE) {
+    return Status::OutOfRange("double out of range: " + buf);
+  }
+  if (end == buf.c_str() || *end != '\0') {
+    return Status::InvalidArgument("not a double: " + buf);
+  }
+  return value;
+}
+
+StatusOr<std::vector<std::vector<std::string>>> ReadDelimitedFile(
+    const std::string& path, char delimiter, bool skip_header) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IOError("cannot open " + path);
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (first && skip_header) {
+      first = false;
+      continue;
+    }
+    first = false;
+    rows.push_back(SplitLine(line, delimiter));
+  }
+  return rows;
+}
+
+Status WriteDelimitedFile(const std::string& path, char delimiter,
+                          const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path, std::ios::app);
+  if (!out.is_open()) return Status::IOError("cannot open " + path);
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << delimiter;
+      out << row[i];
+    }
+    out << '\n';
+  }
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace sns

@@ -1,0 +1,34 @@
+// Minimal delimited-text reader/writer used to load real dataset streams
+// (when available) and to dump benchmark series for plotting. Handles plain
+// (unquoted) CSV/TSV, which is what the SliceNStitch datasets use.
+
+#ifndef SLICENSTITCH_COMMON_CSV_H_
+#define SLICENSTITCH_COMMON_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sns {
+
+/// Splits one delimited line into fields (no quoting / escaping).
+std::vector<std::string> SplitLine(std::string_view line, char delimiter);
+
+/// Parses a string as int64/double; returns error on trailing garbage.
+StatusOr<int64_t> ParseInt64(std::string_view text);
+StatusOr<double> ParseDouble(std::string_view text);
+
+/// Reads a whole delimited file into rows of fields. Skips empty lines. If
+/// skip_header is true the first non-empty line is dropped.
+StatusOr<std::vector<std::vector<std::string>>> ReadDelimitedFile(
+    const std::string& path, char delimiter, bool skip_header);
+
+/// Appends rows to a delimited file (creating it if needed).
+Status WriteDelimitedFile(const std::string& path, char delimiter,
+                          const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace sns
+
+#endif  // SLICENSTITCH_COMMON_CSV_H_

@@ -1,0 +1,76 @@
+// Deterministic pseudo-random number generation for the whole library.
+//
+// All stochastic components (θ-sampling in SNS-RND, synthetic stream
+// generation, factor initialization, property tests) draw from sns::Rng so
+// that a single seed reproduces an entire experiment. The core generator is
+// xoshiro256** seeded via SplitMix64 — fast, high quality, and dependency
+// free.
+
+#ifndef SLICENSTITCH_COMMON_RANDOM_H_
+#define SLICENSTITCH_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sns {
+
+/// Deterministic random number generator (xoshiro256**).
+///
+/// Not thread-safe; create one Rng per thread or experiment. Satisfies the
+/// UniformRandomBitGenerator concept so it can drive <random> distributions
+/// and std::shuffle when needed.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x5eed5eed5eed5eedULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+
+  /// Next raw 64-bit value.
+  uint64_t operator()() { return Next(); }
+  uint64_t Next();
+
+  /// Uniform in [0, bound). bound must be > 0. Uses Lemire rejection to avoid
+  /// modulo bias.
+  uint64_t NextUint64(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Standard normal via Box–Muller (cached second deviate).
+  double Normal();
+  double Normal(double mean, double stddev) { return mean + stddev * Normal(); }
+
+  /// Exponential with the given rate (mean 1/rate).
+  double Exponential(double rate);
+
+  /// Poisson-distributed count with the given mean (Knuth for small means,
+  /// PTRS transformation for large means).
+  int64_t Poisson(double mean);
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Weights must be non-negative and not all zero.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// Samples k distinct indices uniformly from [0, n) (Floyd's algorithm);
+  /// if k >= n returns all of [0, n). Order of the result is unspecified.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace sns
+
+#endif  // SLICENSTITCH_COMMON_RANDOM_H_

@@ -1,0 +1,110 @@
+// Status / StatusOr: exception-free error propagation for fallible APIs
+// (configuration validation, file loading, dimension checks at API
+// boundaries). Modeled on the RocksDB/Arrow idiom.
+
+#ifndef SLICENSTITCH_COMMON_STATUS_H_
+#define SLICENSTITCH_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace sns {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kIOError,
+};
+
+/// Result of an operation that can fail without a payload.
+///
+/// Cheap to copy in the OK case (empty message). Functions that can fail
+/// return Status (or StatusOr<T>); callers must consult ok() before relying
+/// on side effects.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: rank must be positive".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. value() aborts if not ok, so
+/// callers either check ok() first or use value_or-style flow.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {                  // NOLINT
+    SNS_CHECK(!status_.ok());  // OK StatusOr must carry a value.
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    SNS_CHECK(status_.ok());
+    return *value_;
+  }
+  T& value() & {
+    SNS_CHECK(status_.ok());
+    return *value_;
+  }
+  T&& value() && {
+    SNS_CHECK(status_.ok());
+    return *std::move(value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace sns
+
+/// Early-return helper: propagate a non-OK Status to the caller.
+#define SNS_RETURN_IF_ERROR(expr)          \
+  do {                                     \
+    ::sns::Status _st = (expr);            \
+    if (!_st.ok()) return _st;             \
+  } while (0)
+
+#endif  // SLICENSTITCH_COMMON_STATUS_H_

@@ -1,0 +1,38 @@
+// Monotonic wall-clock stopwatch used by the benchmark harnesses to report
+// per-update latencies and total runtimes.
+
+#ifndef SLICENSTITCH_COMMON_STOPWATCH_H_
+#define SLICENSTITCH_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace sns {
+
+/// Measures elapsed time on the steady clock. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the measurement window.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sns
+
+#endif  // SLICENSTITCH_COMMON_STOPWATCH_H_

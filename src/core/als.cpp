@@ -1,0 +1,62 @@
+#include "core/als.h"
+
+#include <cmath>
+
+#include "core/gram_solve.h"
+#include "tensor/mttkrp.h"
+
+namespace sns {
+
+void AlsSweep(const SparseTensor& x, CpdState& state, bool normalize_columns) {
+  const int modes = state.num_modes();
+  const int64_t rank = state.rank();
+  for (int m = 0; m < modes; ++m) {
+    Matrix mttkrp = Mttkrp(x, state.model.factors(), m);     // U of Alg. 2.
+    Matrix h = HadamardOfGramsExcept(state.grams, m);        // H of Alg. 2.
+    Matrix updated = SolveRowsAgainstGram(h, mttkrp);        // U H†.
+
+    if (normalize_columns) {
+      // λ_r = ‖column r‖₂; Ā gets unit columns (Alg. 2 lines 5-6). Zero
+      // columns keep λ_r = 0 and stay zero.
+      for (int64_t r = 0; r < rank; ++r) {
+        double norm_sq = 0.0;
+        for (int64_t i = 0; i < updated.rows(); ++i) {
+          norm_sq += updated(i, r) * updated(i, r);
+        }
+        const double norm = std::sqrt(norm_sq);
+        state.model.lambda()[static_cast<size_t>(r)] = norm;
+        if (norm > 0.0) {
+          const double inv = 1.0 / norm;
+          for (int64_t i = 0; i < updated.rows(); ++i) updated(i, r) *= inv;
+        }
+      }
+    }
+    state.model.factor(m) = std::move(updated);
+    state.grams[m] =
+        MultiplyTransposeA(state.model.factor(m), state.model.factor(m));
+  }
+}
+
+KruskalModel AlsDecompose(const SparseTensor& x, int64_t rank,
+                          const AlsOptions& options, Rng& rng) {
+  CpdState state(KruskalModel::Random(x.dims(), rank, rng));
+  double previous_fitness = state.model.Fitness(x);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    AlsSweep(x, state, options.normalize_columns);
+    const double fitness = state.model.Fitness(x);
+    if (fitness - previous_fitness < options.fitness_tolerance &&
+        iter > 0) {
+      break;
+    }
+    previous_fitness = fitness;
+  }
+  return state.model;
+}
+
+double AlsReferenceFitness(const SparseTensor& x, int64_t rank,
+                           const AlsOptions& options, Rng& rng) {
+  if (x.nnz() == 0) return 0.0;
+  return AlsDecompose(x, rank, options, rng).Fitness(x);
+}
+
+}  // namespace sns

@@ -1,0 +1,36 @@
+// Alternating Least Squares (Eq. 4) — the standard batch CP decomposition.
+//
+// ALS plays three roles in the reproduction, exactly as in the paper:
+//   1. factor initialization on the initial tensor window (§VI-A),
+//   2. the offline accuracy reference of "relative fitness" (§VI),
+//   3. a single sweep of it is the body of SNS-MAT (Alg. 2).
+
+#ifndef SLICENSTITCH_CORE_ALS_H_
+#define SLICENSTITCH_CORE_ALS_H_
+
+#include "common/random.h"
+#include "core/cpd_state.h"
+#include "core/options.h"
+#include "tensor/sparse_tensor.h"
+
+namespace sns {
+
+/// One full alternating sweep over every mode of `x` (Alg. 2 lines 1-7):
+/// A(m) ← X_(m)(⊙_{n≠m} A(n)) H†, optionally followed by column
+/// normalization into λ. Grams are refreshed per mode.
+void AlsSweep(const SparseTensor& x, CpdState& state, bool normalize_columns);
+
+/// Batch CP decomposition of `x` with random Uniform[0,1) initialization:
+/// sweeps until the fitness gain drops below options.fitness_tolerance or
+/// options.max_iterations is hit.
+KruskalModel AlsDecompose(const SparseTensor& x, int64_t rank,
+                          const AlsOptions& options, Rng& rng);
+
+/// Fitness reached by a fresh batch ALS on `x` — the denominator of the
+/// paper's relative-fitness metric.
+double AlsReferenceFitness(const SparseTensor& x, int64_t rank,
+                           const AlsOptions& options, Rng& rng);
+
+}  // namespace sns
+
+#endif  // SLICENSTITCH_CORE_ALS_H_

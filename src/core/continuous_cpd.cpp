@@ -1,0 +1,118 @@
+#include "core/continuous_cpd.h"
+
+#include "core/als.h"
+#include "core/sns_mat.h"
+#include "core/sns_rnd.h"
+#include "core/sns_rnd_plus.h"
+#include "core/sns_vec.h"
+#include "core/sns_vec_plus.h"
+
+namespace sns {
+namespace {
+
+std::unique_ptr<EventUpdater> MakeUpdater(const ContinuousCpdOptions& options) {
+  switch (options.variant) {
+    case SnsVariant::kMat:
+      return std::make_unique<SnsMatUpdater>();
+    case SnsVariant::kVec:
+      return std::make_unique<SnsVecUpdater>();
+    case SnsVariant::kRnd:
+      return std::make_unique<SnsRndUpdater>(options.sample_threshold,
+                                             options.seed + 1);
+    case SnsVariant::kVecPlus:
+      return std::make_unique<SnsVecPlusUpdater>(options.clip_bound,
+                                                 options.nonnegative_factors);
+    case SnsVariant::kRndPlus:
+      return std::make_unique<SnsRndPlusUpdater>(
+          options.sample_threshold, options.clip_bound, options.seed + 1,
+          options.nonnegative_factors);
+  }
+  return nullptr;
+}
+
+std::vector<int64_t> WithTimeMode(std::vector<int64_t> mode_dims, int w) {
+  mode_dims.push_back(w);
+  return mode_dims;
+}
+
+}  // namespace
+
+StatusOr<ContinuousCpd> ContinuousCpd::Create(
+    std::vector<int64_t> mode_dims, const ContinuousCpdOptions& options) {
+  SNS_RETURN_IF_ERROR(options.Validate());
+  if (mode_dims.empty()) {
+    return Status::InvalidArgument("at least one non-time mode is required");
+  }
+  if (static_cast<int>(mode_dims.size()) + 1 > kMaxTensorModes) {
+    return Status::InvalidArgument("too many modes");
+  }
+  for (int64_t dim : mode_dims) {
+    if (dim < 1) return Status::InvalidArgument("mode sizes must be >= 1");
+  }
+  return ContinuousCpd(std::move(mode_dims), options);
+}
+
+ContinuousCpd::ContinuousCpd(std::vector<int64_t> mode_dims,
+                             const ContinuousCpdOptions& options)
+    : options_(options),
+      window_(mode_dims, options.window_size, options.period),
+      rng_(options.seed) {
+  state_ = CpdState(KruskalModel::Random(
+      WithTimeMode(std::move(mode_dims), options.window_size), options.rank,
+      rng_));
+  updater_ = MakeUpdater(options_);
+  SNS_CHECK(updater_ != nullptr);
+}
+
+void ContinuousCpd::IngestOnly(const Tuple& tuple) {
+  window_.AdvanceTo(tuple.time);
+  window_.Ingest(tuple);
+}
+
+void ContinuousCpd::InitializeWithAls() {
+  state_ =
+      CpdState(AlsDecompose(window_.tensor(), options_.rank, options_.init,
+                            rng_));
+  if (options_.variant != SnsVariant::kMat) {
+    // The row variants operate on raw factors with λ = 1.
+    state_.AbsorbLambda();
+  }
+  if (options_.nonnegative_factors) {
+    // Project the unconstrained ALS initialization onto the feasible set;
+    // subsequent updates keep factors in [0, η].
+    for (int m = 0; m < state_.num_modes(); ++m) {
+      Matrix& factor = state_.model.factor(m);
+      for (int64_t i = 0; i < factor.rows(); ++i) {
+        double* row = factor.Row(i);
+        for (int64_t r = 0; r < factor.cols(); ++r) {
+          if (row[r] < 0.0) row[r] = 0.0;
+        }
+      }
+    }
+    state_.RecomputeGrams();
+  }
+  updates_enabled_ = true;
+}
+
+void ContinuousCpd::HandleEvent(const WindowDelta& delta) {
+  if (!updates_enabled_) return;
+  if (observer_) observer_(delta, state_.model, window_.tensor());
+  Stopwatch timer;
+  updater_->OnEvent(window_.tensor(), delta, state_);
+  update_seconds_ += timer.ElapsedSeconds();
+  ++events_processed_;
+}
+
+void ContinuousCpd::ProcessTuple(const Tuple& tuple) {
+  window_.AdvanceTo(tuple.time,
+                    [this](const WindowDelta& delta) { HandleEvent(delta); });
+  WindowDelta delta = window_.Ingest(tuple);
+  HandleEvent(delta);
+}
+
+void ContinuousCpd::AdvanceTo(int64_t time) {
+  window_.AdvanceTo(time,
+                    [this](const WindowDelta& delta) { HandleEvent(delta); });
+}
+
+}  // namespace sns

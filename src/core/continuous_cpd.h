@@ -1,0 +1,113 @@
+// ContinuousCpd — the public entry point of the library.
+//
+// Owns the continuous tensor window (Algorithm 1), the decomposition state,
+// and one of the five online updaters (§V), and keeps the factor matrices in
+// sync with every window event. Typical usage:
+//
+//   ContinuousCpdOptions options;
+//   options.period = 3600;                      // T = 1 hour
+//   options.variant = SnsVariant::kRndPlus;
+//   auto engine = ContinuousCpd::Create({265, 265}, options);
+//   for (tuple : warmup_tuples) engine.value().IngestOnly(tuple);
+//   engine.value().InitializeWithAls();          // factors from the window
+//   for (tuple : live_tuples) engine.value().ProcessTuple(tuple);
+//   double fit = engine.value().Fitness();
+
+#ifndef SLICENSTITCH_CORE_CONTINUOUS_CPD_H_
+#define SLICENSTITCH_CORE_CONTINUOUS_CPD_H_
+
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "core/cpd_state.h"
+#include "core/options.h"
+#include "core/updater.h"
+#include "stream/continuous_window.h"
+
+namespace sns {
+
+/// Continuous CP decomposition of one multi-aspect data stream.
+/// Move-only (owns the updater).
+class ContinuousCpd {
+ public:
+  /// Validates options and builds an engine over the given non-time mode
+  /// sizes. Factors start as random Uniform[0,1); call InitializeWithAls()
+  /// after warming the window up to match the paper's protocol.
+  static StatusOr<ContinuousCpd> Create(std::vector<int64_t> mode_dims,
+                                        const ContinuousCpdOptions& options);
+
+  ContinuousCpd(ContinuousCpd&&) = default;
+  ContinuousCpd& operator=(ContinuousCpd&&) = default;
+
+  /// Applies a tuple (and any earlier-due slide events) to the window only —
+  /// the factors are untouched. Used for the warm-up phase.
+  void IngestOnly(const Tuple& tuple);
+
+  /// Runs batch ALS on the current window to (re)initialize the factors and
+  /// enables per-event updates. For the unnormalized variants λ is folded
+  /// back into the factors.
+  void InitializeWithAls();
+
+  /// Processes one arriving tuple: drains scheduled slide/expiry events due
+  /// before it (each updating the factors), then the arrival event.
+  void ProcessTuple(const Tuple& tuple);
+
+  /// Drains scheduled events due at or before `time` with factor updates.
+  void AdvanceTo(int64_t time);
+
+  const SparseTensor& window() const { return window_.tensor(); }
+  const ContinuousTensorWindow& window_model() const { return window_; }
+  const KruskalModel& model() const { return state_.model; }
+  const CpdState& state() const { return state_; }
+  const ContinuousCpdOptions& options() const { return options_; }
+  std::string_view updater_name() const { return updater_->name(); }
+
+  /// Fitness of the current factors against the current window.
+  double Fitness() const { return state_.model.Fitness(window_.tensor()); }
+
+  /// Observer invoked for every window event after the delta has been
+  /// applied to the window but before the factor update — the point where
+  /// prediction errors |x − x̃| are meaningful for anomaly detection (§VI-G).
+  using EventObserver = std::function<void(
+      const WindowDelta&, const KruskalModel&, const SparseTensor&)>;
+  void SetEventObserver(EventObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// Number of window events that triggered factor updates.
+  int64_t events_processed() const { return events_processed_; }
+  /// Total wall-clock time spent inside factor updates.
+  double update_seconds() const { return update_seconds_; }
+  /// Mean factor-update latency in microseconds (0 before any event).
+  double MeanUpdateMicros() const {
+    return events_processed_ == 0
+               ? 0.0
+               : update_seconds_ * 1e6 /
+                     static_cast<double>(events_processed_);
+  }
+
+ private:
+  ContinuousCpd(std::vector<int64_t> mode_dims,
+                const ContinuousCpdOptions& options);
+
+  void HandleEvent(const WindowDelta& delta);
+
+  ContinuousCpdOptions options_;
+  ContinuousTensorWindow window_;
+  CpdState state_;
+  std::unique_ptr<EventUpdater> updater_;
+  EventObserver observer_;
+  Rng rng_;
+  bool updates_enabled_ = false;
+  int64_t events_processed_ = 0;
+  double update_seconds_ = 0.0;
+};
+
+}  // namespace sns
+
+#endif  // SLICENSTITCH_CORE_CONTINUOUS_CPD_H_

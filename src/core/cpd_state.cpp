@@ -1,0 +1,61 @@
+#include "core/cpd_state.h"
+
+#include <cmath>
+
+namespace sns {
+
+void CpdState::RecomputeGrams() {
+  grams.clear();
+  grams.reserve(static_cast<size_t>(num_modes()));
+  for (int m = 0; m < num_modes(); ++m) {
+    grams.push_back(MultiplyTransposeA(model.factor(m), model.factor(m)));
+  }
+}
+
+void CpdState::AbsorbLambda() {
+  const int modes = num_modes();
+  const int64_t r = rank();
+  for (int64_t k = 0; k < r; ++k) {
+    double& lambda_k = model.lambda()[static_cast<size_t>(k)];
+    if (lambda_k == 1.0) continue;
+    // Distribute the magnitude evenly; the sign goes to the first mode.
+    const double magnitude =
+        std::pow(std::fabs(lambda_k), 1.0 / static_cast<double>(modes));
+    const double sign = lambda_k < 0.0 ? -1.0 : 1.0;
+    for (int m = 0; m < modes; ++m) {
+      Matrix& factor = model.factor(m);
+      const double scale = (m == 0) ? sign * magnitude : magnitude;
+      for (int64_t i = 0; i < factor.rows(); ++i) factor(i, k) *= scale;
+    }
+    lambda_k = 1.0;
+  }
+  RecomputeGrams();
+}
+
+void ApplyGramRowUpdate(Matrix& gram, const double* old_row,
+                        const double* new_row) {
+  const int64_t r = gram.rows();
+  for (int64_t i = 0; i < r; ++i) {
+    double* gram_row = gram.Row(i);
+    const double new_i = new_row[i];
+    const double old_i = old_row[i];
+    for (int64_t j = 0; j < r; ++j) {
+      gram_row[j] += new_i * new_row[j] - old_i * old_row[j];
+    }
+  }
+}
+
+void ApplyPrevGramRowUpdate(Matrix& prev_gram, const double* prev_row,
+                            const double* new_row) {
+  const int64_t r = prev_gram.rows();
+  for (int64_t i = 0; i < r; ++i) {
+    double* gram_row = prev_gram.Row(i);
+    const double prev_i = prev_row[i];
+    if (prev_i == 0.0) continue;
+    for (int64_t j = 0; j < r; ++j) {
+      gram_row[j] += prev_i * (new_row[j] - prev_row[j]);
+    }
+  }
+}
+
+}  // namespace sns

@@ -1,0 +1,60 @@
+#include "core/gram_solve.h"
+
+#include <cmath>
+
+#include "linalg/cholesky.h"
+#include "linalg/pseudo_inverse.h"
+
+namespace sns {
+namespace {
+
+// Minimum acceptable ratio between the smallest and largest Cholesky pivot:
+// below this the Gram is treated as numerically singular and the
+// pseudoinverse path is used instead.
+constexpr double kPivotRatioFloor = 1e-7;
+
+bool CholeskyIsWellConditioned(const Cholesky& chol) {
+  const Matrix& lower = chol.lower();
+  double min_pivot = lower(0, 0), max_pivot = lower(0, 0);
+  for (int64_t i = 1; i < lower.rows(); ++i) {
+    min_pivot = std::min(min_pivot, lower(i, i));
+    max_pivot = std::max(max_pivot, lower(i, i));
+  }
+  return max_pivot > 0.0 && min_pivot / max_pivot > kPivotRatioFloor;
+}
+
+}  // namespace
+
+void SolveRowAgainstGram(const Matrix& h, const double* b, double* x) {
+  const int64_t n = h.rows();
+  auto chol = Cholesky::Factorize(h);
+  if (chol.ok() && CholeskyIsWellConditioned(chol.value())) {
+    // H symmetric: b H† == (H⁻¹ b')' for nonsingular H.
+    std::vector<double> rhs(b, b + n);
+    std::vector<double> sol = chol.value().Solve(rhs);
+    for (int64_t i = 0; i < n; ++i) x[i] = sol[static_cast<size_t>(i)];
+    return;
+  }
+  Matrix pinv = PseudoInverseSymmetric(h);
+  RowTimesMatrix(b, pinv, x);
+}
+
+Matrix SolveRowsAgainstGram(const Matrix& h, const Matrix& b) {
+  SNS_CHECK(b.cols() == h.rows());
+  Matrix x(b.rows(), b.cols());
+  auto chol = Cholesky::Factorize(h);
+  if (chol.ok() && CholeskyIsWellConditioned(chol.value())) {
+    std::vector<double> rhs(static_cast<size_t>(b.cols()));
+    for (int64_t i = 0; i < b.rows(); ++i) {
+      const double* b_row = b.Row(i);
+      std::copy(b_row, b_row + b.cols(), rhs.begin());
+      std::vector<double> sol = chol.value().Solve(rhs);
+      std::copy(sol.begin(), sol.end(), x.Row(i));
+    }
+    return x;
+  }
+  Matrix pinv = PseudoInverseSymmetric(h);
+  return Multiply(b, pinv);
+}
+
+}  // namespace sns

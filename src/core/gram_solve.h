@@ -1,0 +1,25 @@
+// Row solve against a Gram matrix: x = b H† (Eqs. 4, 9, 12, 16).
+//
+// H = ∗ A'A is symmetric PSD. The fast path is a Cholesky solve (identical
+// result when H is safely positive definite); when H is singular or
+// ill-conditioned the solve falls back to the symmetric eigendecomposition
+// pseudoinverse, which is what the paper's H† denotes.
+
+#ifndef SLICENSTITCH_CORE_GRAM_SOLVE_H_
+#define SLICENSTITCH_CORE_GRAM_SOLVE_H_
+
+#include "linalg/matrix.h"
+
+namespace sns {
+
+/// Computes x = b H† for symmetric PSD H (order n). `b` and `x` hold n
+/// values and must not alias.
+void SolveRowAgainstGram(const Matrix& h, const double* b, double* x);
+
+/// Computes X = B H† for a full matrix of right-hand rows (B is m×n, H is
+/// n×n). Used by batch ALS / SNS-MAT.
+Matrix SolveRowsAgainstGram(const Matrix& h, const Matrix& b);
+
+}  // namespace sns
+
+#endif  // SLICENSTITCH_CORE_GRAM_SOLVE_H_

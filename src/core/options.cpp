@@ -1,0 +1,47 @@
+#include "core/options.h"
+
+namespace sns {
+
+std::string VariantName(SnsVariant variant) {
+  switch (variant) {
+    case SnsVariant::kMat:
+      return "SNS-MAT";
+    case SnsVariant::kVec:
+      return "SNS-VEC";
+    case SnsVariant::kRnd:
+      return "SNS-RND";
+    case SnsVariant::kVecPlus:
+      return "SNS+VEC";
+    case SnsVariant::kRndPlus:
+      return "SNS+RND";
+  }
+  return "SNS-?";
+}
+
+Status ContinuousCpdOptions::Validate() const {
+  if (rank < 1) return Status::InvalidArgument("rank must be >= 1");
+  if (window_size < 1) {
+    return Status::InvalidArgument("window_size must be >= 1");
+  }
+  if (period < 1) return Status::InvalidArgument("period must be >= 1");
+  if (sample_threshold < 1) {
+    return Status::InvalidArgument("sample_threshold must be >= 1");
+  }
+  if (clip_bound <= 0.0) {
+    return Status::InvalidArgument("clip_bound must be positive");
+  }
+  if (nonnegative_factors && variant != SnsVariant::kVecPlus &&
+      variant != SnsVariant::kRndPlus) {
+    return Status::InvalidArgument(
+        "nonnegative_factors requires a clipped variant (SNS+VEC / SNS+RND)");
+  }
+  if (init.max_iterations < 1) {
+    return Status::InvalidArgument("init.max_iterations must be >= 1");
+  }
+  if (init.fitness_tolerance < 0.0) {
+    return Status::InvalidArgument("init.fitness_tolerance must be >= 0");
+  }
+  return Status::OK();
+}
+
+}  // namespace sns

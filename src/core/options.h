@@ -1,0 +1,66 @@
+// Configuration of the continuous CPD engine: which SliceNStitch variant to
+// run and its hyperparameters (Table III of the paper).
+
+#ifndef SLICENSTITCH_CORE_OPTIONS_H_
+#define SLICENSTITCH_CORE_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace sns {
+
+/// The five online updaters of §V.
+enum class SnsVariant {
+  kMat,      // SNS-MAT: one full ALS sweep per event (Alg. 2).
+  kVec,      // SNS-VEC: affected-row least squares (Alg. 3+4).
+  kRnd,      // SNS-RND: θ-sampled affected-row updates (Alg. 3+4).
+  kVecPlus,  // SNS+VEC: coordinate descent + clipping (Alg. 5).
+  kRndPlus,  // SNS+RND: θ-sampled coordinate descent + clipping (Alg. 5).
+};
+
+/// Short display name, e.g. "SNS-MAT", "SNS+RND".
+std::string VariantName(SnsVariant variant);
+
+/// Options controlling batch ALS (initialization and the offline baseline).
+struct AlsOptions {
+  /// Maximum number of full alternating sweeps.
+  int max_iterations = 50;
+  /// Stop when the fitness improvement of a sweep drops below this.
+  double fitness_tolerance = 1e-5;
+  /// Column-normalize factors after each mode update (Alg. 2 line 6).
+  bool normalize_columns = true;
+};
+
+/// Full configuration of a continuous CPD engine.
+struct ContinuousCpdOptions {
+  /// Decomposition rank R.
+  int64_t rank = 20;
+  /// Number of time-mode indices W.
+  int window_size = 10;
+  /// Period T in stream time units.
+  int64_t period = 3600;
+  /// Which updater processes window events.
+  SnsVariant variant = SnsVariant::kRndPlus;
+  /// θ: sampling threshold of the RND variants (Alg. 4/5).
+  int64_t sample_threshold = 20;
+  /// η: clipping bound of the + variants (Alg. 5 line 5).
+  double clip_bound = 1000.0;
+  /// Extension (not in the paper): constrain factors of the + variants to be
+  /// non-negative by clipping to [0, η] — projected coordinate descent,
+  /// giving NMF-style interpretable factors for count data. Only valid with
+  /// kVecPlus / kRndPlus.
+  bool nonnegative_factors = false;
+  /// ALS settings used by InitializeWithAls().
+  AlsOptions init;
+  /// Seed for factor initialization and θ-sampling.
+  uint64_t seed = 0x5115e9;
+
+  /// Validates ranges; returned by ContinuousCpd::Create on failure.
+  Status Validate() const;
+};
+
+}  // namespace sns
+
+#endif  // SLICENSTITCH_CORE_OPTIONS_H_

@@ -1,0 +1,82 @@
+#include "core/row_updater_base.h"
+
+#include <algorithm>
+
+namespace sns {
+
+void RowUpdaterBase::OnEvent(const SparseTensor& window,
+                             const WindowDelta& delta, CpdState& state) {
+  if (delta.cells.empty()) return;  // Zero-valued tuple.
+  BeginEvent(delta, state);
+
+  const int time_mode = state.num_modes() - 1;
+  const int w_size = static_cast<int>(state.model.factor(time_mode).rows());
+  const int w = delta.w;
+
+  // Time-mode rows first (Alg. 3 lines 3-6; 0-based indices). For a slide
+  // both the slice the value left (W−w) and the one it entered (W−w−1) are
+  // refreshed; arrivals touch only W−1, expiries only 0.
+  if (w > 0) UpdateRow(time_mode, w_size - w, window, delta, state);
+  if (w < w_size) UpdateRow(time_mode, w_size - w - 1, window, delta, state);
+
+  // Then the i_m-th row of every non-time factor (Alg. 3 lines 7-8).
+  for (int m = 0; m < time_mode; ++m) {
+    UpdateRow(m, delta.tuple.index[m], window, delta, state);
+  }
+}
+
+void RowUpdaterBase::BeginEvent(const WindowDelta& delta,
+                                const CpdState& state) {
+  if (NeedsPrevGrams()) prev_grams_ = state.grams;  // Alg. 3 line 1.
+
+  snapshots_.clear();
+  const int time_mode = state.num_modes() - 1;
+  auto snapshot = [&](int mode, int64_t row) {
+    const Matrix& factor = state.model.factor(mode);
+    const double* data = factor.Row(row);
+    snapshots_.push_back(
+        {mode, row, std::vector<double>(data, data + factor.cols())});
+  };
+  for (const DeltaCell& cell : delta.cells) {
+    snapshot(time_mode, cell.index[time_mode]);
+  }
+  for (int m = 0; m < time_mode; ++m) snapshot(m, delta.tuple.index[m]);
+}
+
+const double* RowUpdaterBase::PrevRow(int mode, int64_t row,
+                                      const CpdState& state) const {
+  for (const RowSnapshot& snap : snapshots_) {
+    if (snap.mode == mode && snap.row == row) return snap.values.data();
+  }
+  return state.model.factor(mode).Row(row);
+}
+
+double RowUpdaterBase::EvaluatePrevModel(const ModeIndex& index,
+                                         const CpdState& state) const {
+  const int modes = state.num_modes();
+  const int64_t rank = state.rank();
+  const double* rows[kMaxTensorModes];
+  for (int m = 0; m < modes; ++m) rows[m] = PrevRow(m, index[m], state);
+  double sum = 0.0;
+  for (int64_t r = 0; r < rank; ++r) {
+    double prod = 1.0;
+    for (int m = 0; m < modes; ++m) prod *= rows[m][r];
+    sum += prod;
+  }
+  return sum;
+}
+
+void RowUpdaterBase::CommitRow(int mode, int64_t row,
+                               const std::vector<double>& old_row,
+                               CpdState& state) {
+  const double* new_row = state.model.factor(mode).Row(row);
+  ApplyGramRowUpdate(state.grams[static_cast<size_t>(mode)], old_row.data(),
+                     new_row);
+  if (NeedsPrevGrams()) {
+    // old_row is also the event-start (prev) row: rows update once per event.
+    ApplyPrevGramRowUpdate(prev_grams_[static_cast<size_t>(mode)],
+                           old_row.data(), new_row);
+  }
+}
+
+}  // namespace sns

@@ -1,0 +1,71 @@
+// Common outline of SNS-VEC / SNS-RND / SNS+VEC / SNS+RND (Algorithm 3).
+//
+// Per event, only the rows that approximate changed cells are touched:
+// first the affected time-mode row(s) (the slice the value left and the
+// slice it entered), then the i_m-th row of every non-time factor. This base
+// class implements that dispatch plus the bookkeeping the variants share:
+//   - Gram maintenance Q(m) = A(m)'A(m) after each row commit (Eq. 13),
+//   - the event-start copy U(m) = A(m)'_prev A(m) and its maintenance
+//     (Alg. 3 line 1, Eqs. 17/26) for the sampling variants,
+//   - row snapshots so the pre-event model X̃ = ⟦B(1)…B(M)⟧ can be evaluated
+//     exactly while rows are being overwritten (needed by the residual
+//     corrections x̄_J = x_J − x̃_J of Eqs. 16/23).
+
+#ifndef SLICENSTITCH_CORE_ROW_UPDATER_BASE_H_
+#define SLICENSTITCH_CORE_ROW_UPDATER_BASE_H_
+
+#include <vector>
+
+#include "core/updater.h"
+
+namespace sns {
+
+class RowUpdaterBase : public EventUpdater {
+ public:
+  void OnEvent(const SparseTensor& window, const WindowDelta& delta,
+               CpdState& state) final;
+
+ protected:
+  /// True for the RND variants, which need U(m) = A(m)'_prev A(m).
+  virtual bool NeedsPrevGrams() const = 0;
+
+  /// Updates A(mode)(row, :) in `state` (factor write + CommitRow call).
+  virtual void UpdateRow(int mode, int64_t row, const SparseTensor& window,
+                         const WindowDelta& delta, CpdState& state) = 0;
+
+  /// U(m) matrices copied from Q(m) at event start and maintained by
+  /// CommitRow. Only valid when NeedsPrevGrams().
+  const std::vector<Matrix>& prev_grams() const { return prev_grams_; }
+
+  /// The value A(mode)(row, :) had at event start (snapshot for rows being
+  /// updated, live row otherwise).
+  const double* PrevRow(int mode, int64_t row, const CpdState& state) const;
+
+  /// X̃ at one cell using the event-start factors B(m) (λ is 1 for all row
+  /// variants).
+  double EvaluatePrevModel(const ModeIndex& index,
+                           const CpdState& state) const;
+
+  /// After writing the new row into state.model, updates Q(mode) (Eq. 13 /
+  /// Eqs. 24-25) and, when applicable, U(mode) (Eq. 17 / Eq. 26).
+  /// `old_row` is the row content from immediately before this update, which
+  /// equals its event-start value because each row updates once per event.
+  void CommitRow(int mode, int64_t row, const std::vector<double>& old_row,
+                 CpdState& state);
+
+ private:
+  struct RowSnapshot {
+    int mode;
+    int64_t row;
+    std::vector<double> values;
+  };
+
+  void BeginEvent(const WindowDelta& delta, const CpdState& state);
+
+  std::vector<Matrix> prev_grams_;
+  std::vector<RowSnapshot> snapshots_;
+};
+
+}  // namespace sns
+
+#endif  // SLICENSTITCH_CORE_ROW_UPDATER_BASE_H_

@@ -1,0 +1,71 @@
+#include "core/slice_sampler.h"
+
+#include <unordered_set>
+
+namespace sns {
+namespace {
+
+bool IsDeltaCell(const WindowDelta& delta, const ModeIndex& index) {
+  for (const DeltaCell& cell : delta.cells) {
+    if (cell.index == index) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<ModeIndex> SampleSliceCells(const SparseTensor& window, int mode,
+                                        int64_t row, int64_t count,
+                                        const WindowDelta& delta, Rng& rng) {
+  const int modes = window.num_modes();
+  // Size of the slice grid (product of the other modes' extents).
+  double grid_size = 1.0;
+  for (int n = 0; n < modes; ++n) {
+    if (n != mode) grid_size *= static_cast<double>(window.dim(n));
+  }
+
+  std::vector<ModeIndex> cells;
+  if (grid_size <= static_cast<double>(count) + delta.cells.size()) {
+    // Tiny slice: enumerate every cell (odometer over the other modes).
+    ModeIndex index;
+    for (int n = 0; n < modes; ++n) index.PushBack(0);
+    index[mode] = static_cast<int32_t>(row);
+    while (true) {
+      if (!IsDeltaCell(delta, index)) cells.push_back(index);
+      int n = modes - 1;
+      while (n >= 0) {
+        if (n == mode) {
+          --n;
+          continue;
+        }
+        if (++index[n] < window.dim(n)) break;
+        index[n] = 0;
+        --n;
+      }
+      if (n < 0) break;
+    }
+    return cells;
+  }
+
+  // Rejection sampling without replacement; duplicates are rare because the
+  // grid dwarfs `count`.
+  std::unordered_set<ModeIndex, ModeIndexHash> seen;
+  cells.reserve(static_cast<size_t>(count));
+  int attempts = 0;
+  const int max_attempts = static_cast<int>(count) * 20 + 64;
+  while (static_cast<int64_t>(cells.size()) < count &&
+         attempts++ < max_attempts) {
+    ModeIndex index;
+    for (int n = 0; n < modes; ++n) {
+      index.PushBack(n == mode ? static_cast<int32_t>(row)
+                               : static_cast<int32_t>(rng.UniformInt(
+                                     0, window.dim(n) - 1)));
+    }
+    if (IsDeltaCell(delta, index)) continue;
+    if (!seen.insert(index).second) continue;
+    cells.push_back(index);
+  }
+  return cells;
+}
+
+}  // namespace sns

@@ -1,0 +1,31 @@
+// Uniform sampling of cells from one tensor slice for SNS-RND / SNS+RND
+// (Alg. 4 line 12 / Alg. 5 line 10).
+//
+// S is drawn from the *full index grid* of the slice {J : J[mode] = row} —
+// zero cells included — not merely from its non-zeros: the paper defines
+// x̄_J = x_J − x̃_J "for any index J of X", and sampled zero cells (where
+// x̄_J = −x̃_J) are what pulls spurious model mass back down. Cells changed
+// by the current event are excluded per footnote 2.
+
+#ifndef SLICENSTITCH_CORE_SLICE_SAMPLER_H_
+#define SLICENSTITCH_CORE_SLICE_SAMPLER_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "stream/event.h"
+#include "tensor/sparse_tensor.h"
+
+namespace sns {
+
+/// Returns up to `count` distinct cells sampled uniformly without
+/// replacement from the slice grid {J : J[mode] = row} of `window`'s shape,
+/// never returning a cell of `delta`. If the slice grid (minus delta cells)
+/// has at most `count` cells, all of them are returned.
+std::vector<ModeIndex> SampleSliceCells(const SparseTensor& window, int mode,
+                                        int64_t row, int64_t count,
+                                        const WindowDelta& delta, Rng& rng);
+
+}  // namespace sns
+
+#endif  // SLICENSTITCH_CORE_SLICE_SAMPLER_H_

@@ -1,0 +1,15 @@
+#include "core/sns_mat.h"
+
+#include "core/als.h"
+
+namespace sns {
+
+void SnsMatUpdater::OnEvent(const SparseTensor& window,
+                            const WindowDelta& delta, CpdState& state) {
+  if (delta.cells.empty()) return;  // Zero-valued tuple: window unchanged.
+  // The maintained factors are a strong warm start, so a single ALS sweep
+  // with column normalization (Alg. 2) suffices per event.
+  AlsSweep(window, state, /*normalize_columns=*/true);
+}
+
+}  // namespace sns

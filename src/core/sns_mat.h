@@ -1,0 +1,22 @@
+// SNS-MAT (Alg. 2): the naive extension of ALS to the continuous model —
+// one full normalized ALS sweep over the whole window per event. Most
+// accurate and most expensive of the family (Theorem 3).
+
+#ifndef SLICENSTITCH_CORE_SNS_MAT_H_
+#define SLICENSTITCH_CORE_SNS_MAT_H_
+
+#include "core/updater.h"
+
+namespace sns {
+
+class SnsMatUpdater : public EventUpdater {
+ public:
+  std::string_view name() const override { return "SNS-MAT"; }
+
+  void OnEvent(const SparseTensor& window, const WindowDelta& delta,
+               CpdState& state) override;
+};
+
+}  // namespace sns
+
+#endif  // SLICENSTITCH_CORE_SNS_MAT_H_

@@ -1,0 +1,27 @@
+// SNS-VEC (Alg. 3 + Alg. 4 updateRowVec): updates only the affected factor
+// rows. Time-mode rows use the model-approximation shortcut
+// A(M) ← A(M) + ΔX_(M) K H† (Eq. 9); non-time rows solve their row least
+// squares exactly (Eq. 12). Fast but — without normalization or clipping —
+// prone to numerical blow-up (Observation 3 of the paper).
+
+#ifndef SLICENSTITCH_CORE_SNS_VEC_H_
+#define SLICENSTITCH_CORE_SNS_VEC_H_
+
+#include "core/row_updater_base.h"
+
+namespace sns {
+
+class SnsVecUpdater : public RowUpdaterBase {
+ public:
+  std::string_view name() const override { return "SNS-VEC"; }
+
+ protected:
+  bool NeedsPrevGrams() const override { return false; }
+
+  void UpdateRow(int mode, int64_t row, const SparseTensor& window,
+                 const WindowDelta& delta, CpdState& state) override;
+};
+
+}  // namespace sns
+
+#endif  // SLICENSTITCH_CORE_SNS_VEC_H_

@@ -1,0 +1,70 @@
+#include "core/sns_vec_plus.h"
+
+#include <cmath>
+#include <vector>
+
+#include "tensor/mttkrp.h"
+
+namespace sns {
+
+void CoordinateDescentRow(double* row, int64_t rank, const Matrix& hq,
+                          const double* numerator, double clip_min,
+                          double clip_max) {
+  for (int64_t k = 0; k < rank; ++k) {
+    const double c_k = hq(k, k);
+    if (!(c_k > 1e-300)) continue;  // Dead component: leave the entry.
+    // d_k = Σ_{r≠k} row[r]·HQ(r,k) against the live (partially updated) row.
+    double d_k = 0.0;
+    for (int64_t r = 0; r < rank; ++r) d_k += row[r] * hq(r, k);
+    d_k -= row[k] * c_k;
+    double value = (numerator[k] - d_k) / c_k;
+    // Clipping (Alg. 5 line 5): projection onto [clip_min, clip_max] never
+    // increases the convex per-entry objective.
+    if (value > clip_max) {
+      value = clip_max;
+    } else if (value < clip_min) {
+      value = clip_min;
+    }
+    row[k] = value;
+  }
+}
+
+void SnsVecPlusUpdater::UpdateRow(int mode, int64_t row,
+                                  const SparseTensor& window,
+                                  const WindowDelta& delta, CpdState& state) {
+  const int64_t rank = state.rank();
+  const int time_mode = state.num_modes() - 1;
+  Matrix& factor = state.model.factor(mode);
+  std::vector<double> old_row(factor.Row(row), factor.Row(row) + rank);
+
+  const Matrix hq = HadamardOfGramsExcept(state.grams, mode);
+  std::vector<double> numerator(static_cast<size_t>(rank), 0.0);
+
+  if (mode == time_mode) {
+    // Eq. 22: e_k + Σ_J Δx_J Π_{n≠M} a(n)_{j_n k}. Time rows are updated
+    // first within an event, so U(n) = Q(n) for all n ≠ M and
+    // e_k = Σ_r b_{i r} (∗_{n≠M} Q(n))(r, k) = (B row) · HQ(:,k).
+    RowTimesMatrix(old_row.data(), hq, numerator.data());
+    std::vector<double> had(static_cast<size_t>(rank));
+    for (const DeltaCell& cell : delta.cells) {
+      if (cell.index[time_mode] != row) continue;
+      HadamardRowProduct(state.model.factors(), cell.index, time_mode,
+                         had.data());
+      for (int64_t r = 0; r < rank; ++r) {
+        numerator[static_cast<size_t>(r)] +=
+            cell.delta * had[static_cast<size_t>(r)];
+      }
+    }
+  } else {
+    // Eq. 21: Σ_{J∈Ω} (x_J + Δx_J) Π_{n≠m} a(n)_{j_n k} — the row MTTKRP
+    // over the live window. It only involves other modes' rows, so it stays
+    // constant across the coordinate loop.
+    MttkrpRow(window, state.model.factors(), mode, row, numerator.data());
+  }
+
+  CoordinateDescentRow(factor.Row(row), rank, hq, numerator.data(), clip_min_,
+                       clip_max_);
+  CommitRow(mode, row, old_row, state);  // Eqs. 24-25.
+}
+
+}  // namespace sns

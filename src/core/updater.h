@@ -1,0 +1,32 @@
+// Interface every online updater implements: react to one window event
+// (Problem 2 of the paper) by adjusting the factor matrices.
+
+#ifndef SLICENSTITCH_CORE_UPDATER_H_
+#define SLICENSTITCH_CORE_UPDATER_H_
+
+#include <string_view>
+
+#include "core/cpd_state.h"
+#include "stream/event.h"
+#include "tensor/sparse_tensor.h"
+
+namespace sns {
+
+/// Processes window events. `window` is the live window with the delta
+/// already applied, so it equals the X + ΔX of the update rules; `delta`
+/// carries ΔX itself (Definition 6).
+class EventUpdater {
+ public:
+  virtual ~EventUpdater() = default;
+
+  /// Display name, e.g. "SNS+RND".
+  virtual std::string_view name() const = 0;
+
+  /// Updates `state` in response to one event.
+  virtual void OnEvent(const SparseTensor& window, const WindowDelta& delta,
+                       CpdState& state) = 0;
+};
+
+}  // namespace sns
+
+#endif  // SLICENSTITCH_CORE_UPDATER_H_

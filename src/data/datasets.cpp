@@ -1,0 +1,131 @@
+#include "data/datasets.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace sns {
+namespace {
+
+constexpr int kRank = 20;       // Table III.
+constexpr int kWindowSize = 10; // Table III.
+
+ContinuousCpdOptions EngineDefaults(int64_t period, int64_t theta,
+                                    uint64_t seed) {
+  ContinuousCpdOptions options;
+  options.rank = kRank;
+  options.window_size = kWindowSize;
+  options.period = period;
+  options.variant = SnsVariant::kRndPlus;
+  options.sample_threshold = theta;
+  options.clip_bound = 1000.0;  // η of Table III.
+  options.init.max_iterations = 40;
+  options.init.fitness_tolerance = 1e-4;
+  options.seed = seed;
+  return options;
+}
+
+int64_t ScaledEvents(double base, double scale) {
+  return std::max<int64_t>(200, static_cast<int64_t>(base * scale));
+}
+
+}  // namespace
+
+DatasetSpec DivvyBikesPreset(double event_scale) {
+  DatasetSpec spec;
+  spec.name = "divvy";
+  spec.paper_name = "Divvy Bikes";
+  spec.engine = EngineDefaults(/*period=*/1440, /*theta=*/20, /*seed=*/101);
+  spec.stream.mode_dims = {673, 673};
+  spec.stream.num_events = ScaledEvents(8000, event_scale);
+  spec.stream.time_span =
+      (1 + kLiveWindows) * kWindowSize * spec.engine.period;
+  spec.stream.latent_rank = 12;
+  spec.stream.noise_fraction = 0.15;
+  spec.stream.popularity_skew = 1.1;
+  spec.stream.diurnal_period = 1440;  // Minutes per day.
+  spec.stream.diurnal_strength = 0.6;
+  spec.stream.seed = 811;
+  spec.paper_size = "673 x 673 x 525594 [min]";
+  spec.paper_nnz_millions = 3.82;
+  spec.paper_density = 1.604e-5;
+  return spec;
+}
+
+DatasetSpec ChicagoCrimePreset(double event_scale) {
+  DatasetSpec spec;
+  spec.name = "crime";
+  spec.paper_name = "Chicago Crime";
+  spec.engine = EngineDefaults(/*period=*/720, /*theta=*/20, /*seed=*/102);
+  spec.stream.mode_dims = {77, 32};
+  spec.stream.num_events = ScaledEvents(12000, event_scale);
+  spec.stream.time_span =
+      (1 + kLiveWindows) * kWindowSize * spec.engine.period;
+  spec.stream.latent_rank = 10;
+  spec.stream.noise_fraction = 0.2;
+  spec.stream.popularity_skew = 1.0;
+  spec.stream.diurnal_period = 24;  // Hours per day.
+  spec.stream.diurnal_strength = 0.4;
+  spec.stream.seed = 822;
+  spec.paper_size = "77 x 32 x 148464 [hour]";
+  spec.paper_nnz_millions = 5.33;
+  spec.paper_density = 1.457e-2;
+  return spec;
+}
+
+DatasetSpec NewYorkTaxiPreset(double event_scale) {
+  DatasetSpec spec;
+  spec.name = "taxi";
+  spec.paper_name = "New York Taxi";
+  spec.engine = EngineDefaults(/*period=*/3600, /*theta=*/20, /*seed=*/103);
+  spec.stream.mode_dims = {265, 265};
+  spec.stream.num_events = ScaledEvents(15000, event_scale);
+  spec.stream.time_span =
+      (1 + kLiveWindows) * kWindowSize * spec.engine.period;
+  spec.stream.latent_rank = 15;
+  spec.stream.noise_fraction = 0.1;
+  spec.stream.popularity_skew = 1.2;
+  spec.stream.diurnal_period = 86400;  // Seconds per day.
+  spec.stream.diurnal_strength = 0.6;
+  spec.stream.seed = 833;
+  spec.paper_size = "265 x 265 x 5184000 [sec]";
+  spec.paper_nnz_millions = 84.39;
+  spec.paper_density = 2.318e-4;
+  return spec;
+}
+
+DatasetSpec RideAustinPreset(double event_scale) {
+  DatasetSpec spec;
+  spec.name = "austin";
+  spec.paper_name = "Ride Austin";
+  spec.engine = EngineDefaults(/*period=*/1440, /*theta=*/50, /*seed=*/104);
+  spec.stream.mode_dims = {219, 219, 24};
+  spec.stream.num_events = ScaledEvents(6000, event_scale);
+  spec.stream.time_span =
+      (1 + kLiveWindows) * kWindowSize * spec.engine.period;
+  spec.stream.latent_rank = 10;
+  spec.stream.noise_fraction = 0.15;
+  spec.stream.popularity_skew = 1.2;
+  spec.stream.diurnal_period = 1440;  // Minutes per day.
+  spec.stream.diurnal_strength = 0.5;
+  spec.stream.seed = 844;
+  spec.paper_size = "219 x 219 x 24 x 285136 [min]";
+  spec.paper_nnz_millions = 0.89;
+  spec.paper_density = 2.739e-6;
+  return spec;
+}
+
+std::vector<DatasetSpec> AllDatasetPresets(double event_scale) {
+  return {DivvyBikesPreset(event_scale), ChicagoCrimePreset(event_scale),
+          NewYorkTaxiPreset(event_scale), RideAustinPreset(event_scale)};
+}
+
+double BenchEventScaleFromEnv() {
+  const char* raw = std::getenv("SNS_BENCH_SCALE");
+  if (raw == nullptr) return 1.0;
+  char* end = nullptr;
+  const double value = std::strtod(raw, &end);
+  if (end == raw || value <= 0.0) return 1.0;
+  return std::clamp(value, 0.05, 100.0);
+}
+
+}  // namespace sns

@@ -1,0 +1,58 @@
+#include "data/loader.h"
+
+#include "common/csv.h"
+
+namespace sns {
+
+StatusOr<DataStream> LoadStreamCsv(const std::string& path,
+                                   std::vector<int64_t> mode_dims,
+                                   char delimiter, bool skip_header) {
+  auto rows = ReadDelimitedFile(path, delimiter, skip_header);
+  if (!rows.ok()) return rows.status();
+
+  const size_t modes = mode_dims.size();
+  DataStream stream(std::move(mode_dims));
+  stream.Reserve(static_cast<int64_t>(rows.value().size()));
+  size_t line = skip_header ? 2 : 1;
+  for (const auto& fields : rows.value()) {
+    if (fields.size() != modes + 2) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line) + ": expected " +
+          std::to_string(modes + 2) + " fields, got " +
+          std::to_string(fields.size()));
+    }
+    Tuple tuple;
+    for (size_t m = 0; m < modes; ++m) {
+      auto index = ParseInt64(fields[m]);
+      if (!index.ok()) return index.status();
+      tuple.index.PushBack(static_cast<int32_t>(index.value()));
+    }
+    auto value = ParseDouble(fields[modes]);
+    if (!value.ok()) return value.status();
+    tuple.value = value.value();
+    auto time = ParseInt64(fields[modes + 1]);
+    if (!time.ok()) return time.status();
+    tuple.time = time.value();
+    SNS_RETURN_IF_ERROR(stream.Append(tuple));
+    ++line;
+  }
+  return stream;
+}
+
+Status SaveStreamCsv(const DataStream& stream, const std::string& path,
+                     char delimiter) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(static_cast<size_t>(stream.size()));
+  for (const Tuple& tuple : stream.tuples()) {
+    std::vector<std::string> fields;
+    for (int m = 0; m < tuple.index.size(); ++m) {
+      fields.push_back(std::to_string(tuple.index[m]));
+    }
+    fields.push_back(std::to_string(tuple.value));
+    fields.push_back(std::to_string(tuple.time));
+    rows.push_back(std::move(fields));
+  }
+  return WriteDelimitedFile(path, delimiter, rows);
+}
+
+}  // namespace sns

@@ -1,0 +1,35 @@
+// CSV loader for real multi-aspect data streams, so the original paper
+// datasets (or any log with the same shape) can replace the synthetic
+// generators. Expected row format, one event per line:
+//
+//   i_1,...,i_{M-1},value,timestamp
+//
+// with 0-based integer categorical indices, a real value, and an integer
+// timestamp; rows must be sorted by timestamp.
+
+#ifndef SLICENSTITCH_DATA_LOADER_H_
+#define SLICENSTITCH_DATA_LOADER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "stream/data_stream.h"
+
+namespace sns {
+
+/// Loads a stream with the given non-time mode sizes from a delimited file.
+/// Fails on malformed rows, out-of-range indices, or time regressions.
+StatusOr<DataStream> LoadStreamCsv(const std::string& path,
+                                   std::vector<int64_t> mode_dims,
+                                   char delimiter = ',',
+                                   bool skip_header = false);
+
+/// Writes a stream in the same format (useful for exporting synthetic
+/// streams for external tools).
+Status SaveStreamCsv(const DataStream& stream, const std::string& path,
+                     char delimiter = ',');
+
+}  // namespace sns
+
+#endif  // SLICENSTITCH_DATA_LOADER_H_

@@ -1,0 +1,126 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace sns {
+
+Status SyntheticStreamConfig::Validate() const {
+  if (mode_dims.empty()) {
+    return Status::InvalidArgument("mode_dims must be non-empty");
+  }
+  for (int64_t dim : mode_dims) {
+    if (dim < 1) return Status::InvalidArgument("mode sizes must be >= 1");
+  }
+  if (num_events < 0) return Status::InvalidArgument("num_events < 0");
+  if (time_span < 1) return Status::InvalidArgument("time_span < 1");
+  if (latent_rank < 1) return Status::InvalidArgument("latent_rank < 1");
+  if (noise_fraction < 0.0 || noise_fraction > 1.0) {
+    return Status::InvalidArgument("noise_fraction must be in [0, 1]");
+  }
+  if (diurnal_strength < 0.0 || diurnal_strength > 1.0) {
+    return Status::InvalidArgument("diurnal_strength must be in [0, 1]");
+  }
+  if (diurnal_period < 1) return Status::InvalidArgument("diurnal_period < 1");
+  if (value_min > value_max) {
+    return Status::InvalidArgument("value_min > value_max");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// A latent component: one categorical profile per non-time mode. The k-th
+/// most popular index of a random permutation gets weight (k+1)^(-skew).
+struct Component {
+  std::vector<std::vector<double>> mode_weights;
+};
+
+std::vector<Component> MakeComponents(const SyntheticStreamConfig& config,
+                                      Rng& rng) {
+  std::vector<Component> components(
+      static_cast<size_t>(config.latent_rank));
+  for (Component& component : components) {
+    for (int64_t dim : config.mode_dims) {
+      std::vector<double> weights(static_cast<size_t>(dim));
+      // Random permutation of ranks.
+      std::vector<size_t> perm(static_cast<size_t>(dim));
+      for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+      for (size_t i = perm.size(); i > 1; --i) {
+        std::swap(perm[i - 1], perm[static_cast<size_t>(rng.NextUint64(i))]);
+      }
+      for (size_t k = 0; k < perm.size(); ++k) {
+        weights[perm[k]] =
+            std::pow(static_cast<double>(k + 1), -config.popularity_skew);
+      }
+      component.mode_weights.push_back(std::move(weights));
+    }
+  }
+  return components;
+}
+
+}  // namespace
+
+StatusOr<DataStream> GenerateSyntheticStream(
+    const SyntheticStreamConfig& config) {
+  SNS_RETURN_IF_ERROR(config.Validate());
+  Rng rng(config.seed);
+
+  std::vector<Component> components = MakeComponents(config, rng);
+  // Skewed component mixing: popular patterns dominate.
+  std::vector<double> mixing(static_cast<size_t>(config.latent_rank));
+  for (size_t r = 0; r < mixing.size(); ++r) {
+    mixing[r] = std::pow(static_cast<double>(r + 1), -1.0);
+  }
+
+  // Arrival times: uniform proposals thinned by the diurnal profile
+  // (equivalent to sampling from the modulated intensity), then sorted.
+  std::vector<int64_t> times;
+  times.reserve(static_cast<size_t>(config.num_events));
+  const double two_pi = 2.0 * M_PI;
+  while (static_cast<int64_t>(times.size()) < config.num_events) {
+    const int64_t t = rng.UniformInt(1, config.time_span);
+    const double phase = two_pi * static_cast<double>(t % config.diurnal_period) /
+                         static_cast<double>(config.diurnal_period);
+    const double accept =
+        (1.0 + config.diurnal_strength * std::sin(phase)) /
+        (1.0 + config.diurnal_strength);
+    if (rng.UniformDouble() < accept) times.push_back(t);
+  }
+  std::sort(times.begin(), times.end());
+
+  const bool integral_values = config.value_min == std::floor(config.value_min) &&
+                               config.value_max == std::floor(config.value_max);
+  DataStream stream(config.mode_dims);
+  stream.Reserve(config.num_events);
+  const int modes = static_cast<int>(config.mode_dims.size());
+  for (int64_t n = 0; n < config.num_events; ++n) {
+    Tuple tuple;
+    tuple.time = times[static_cast<size_t>(n)];
+    if (rng.UniformDouble() < config.noise_fraction) {
+      for (int m = 0; m < modes; ++m) {
+        tuple.index.PushBack(static_cast<int32_t>(
+            rng.UniformInt(0, config.mode_dims[static_cast<size_t>(m)] - 1)));
+      }
+    } else {
+      const Component& component = components[rng.Categorical(mixing)];
+      for (int m = 0; m < modes; ++m) {
+        tuple.index.PushBack(static_cast<int32_t>(
+            rng.Categorical(component.mode_weights[static_cast<size_t>(m)])));
+      }
+    }
+    if (integral_values) {
+      tuple.value = static_cast<double>(rng.UniformInt(
+          static_cast<int64_t>(config.value_min),
+          static_cast<int64_t>(config.value_max)));
+    } else {
+      tuple.value = rng.UniformDouble(config.value_min, config.value_max);
+    }
+    SNS_RETURN_IF_ERROR(stream.Append(tuple));
+  }
+  return stream;
+}
+
+}  // namespace sns

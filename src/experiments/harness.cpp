@@ -1,0 +1,157 @@
+#include "experiments/harness.h"
+
+#include <algorithm>
+
+#include "baselines/cp_stream.h"
+#include "baselines/necpd.h"
+#include "baselines/online_scp.h"
+#include "baselines/periodic_als.h"
+
+namespace sns {
+
+double RunResult::MeanFitness(double fraction) const {
+  if (fitness_curve.empty()) return 0.0;
+  const size_t start = static_cast<size_t>(
+      static_cast<double>(fitness_curve.size()) * (1.0 - fraction));
+  double sum = 0.0;
+  size_t count = 0;
+  for (size_t i = std::min(start, fitness_curve.size() - 1);
+       i < fitness_curve.size(); ++i) {
+    sum += fitness_curve[i].fitness;
+    ++count;
+  }
+  return sum / static_cast<double>(count);
+}
+
+RunResult RunContinuous(
+    const DatasetSpec& spec, const DataStream& stream, SnsVariant variant,
+    const std::function<void(ContinuousCpdOptions&)>& override_options) {
+  ContinuousCpdOptions options = spec.engine;
+  options.variant = variant;
+  if (override_options) override_options(options);
+
+  auto engine = ContinuousCpd::Create(stream.mode_dims(), options);
+  SNS_CHECK(engine.ok());
+  ContinuousCpd cpd = std::move(engine).value();
+
+  const int64_t warmup_end = spec.WarmupEndTime();
+  const auto& tuples = stream.tuples();
+  size_t i = 0;
+  for (; i < tuples.size() && tuples[i].time <= warmup_end; ++i) {
+    cpd.IngestOnly(tuples[i]);
+  }
+  cpd.InitializeWithAls();
+
+  RunResult result;
+  result.method = VariantName(variant);
+  int64_t next_boundary = warmup_end + options.period;
+  for (; i < tuples.size(); ++i) {
+    while (tuples[i].time > next_boundary) {
+      cpd.AdvanceTo(next_boundary);
+      result.fitness_curve.push_back({next_boundary, cpd.Fitness()});
+      next_boundary += options.period;
+    }
+    cpd.ProcessTuple(tuples[i]);
+  }
+  const int64_t last_boundary =
+      (stream.end_time() / options.period) * options.period;
+  while (next_boundary <= last_boundary) {
+    cpd.AdvanceTo(next_boundary);
+    result.fitness_curve.push_back({next_boundary, cpd.Fitness()});
+    next_boundary += options.period;
+  }
+
+  result.mean_update_micros = cpd.MeanUpdateMicros();
+  result.total_update_seconds = cpd.update_seconds();
+  result.updates = cpd.events_processed();
+  result.num_parameters = cpd.model().NumParameters();
+  return result;
+}
+
+RunResult RunPeriodic(const DatasetSpec& spec, const DataStream& stream,
+                      std::unique_ptr<PeriodicAlgorithm> algorithm) {
+  RunResult result;
+  result.method = std::string(algorithm->name());
+
+  PeriodicRunner runner(stream.mode_dims(), spec.engine.window_size,
+                        spec.engine.period, std::move(algorithm));
+  const int64_t warmup_end = spec.WarmupEndTime();
+  const auto& tuples = stream.tuples();
+  size_t i = 0;
+  for (; i < tuples.size() && tuples[i].time <= warmup_end; ++i) {
+    runner.Warmup(tuples[i]);
+  }
+  Rng rng(spec.engine.seed + 17);
+  runner.Initialize(rng, warmup_end);
+  for (; i < tuples.size(); ++i) runner.Process(tuples[i]);
+  runner.FinishUpTo(stream.end_time());
+
+  for (const PeriodicObservation& obs : runner.observations()) {
+    result.fitness_curve.push_back({obs.boundary_time, obs.fitness});
+    result.total_update_seconds += obs.update_micros * 1e-6;
+  }
+  result.updates = static_cast<int64_t>(runner.observations().size());
+  result.mean_update_micros = runner.MeanUpdateMicros();
+  result.num_parameters = runner.model().NumParameters();
+  return result;
+}
+
+std::unique_ptr<PeriodicAlgorithm> MakeBaseline(const std::string& name,
+                                                const DatasetSpec& spec) {
+  AlsOptions init = spec.engine.init;
+  const int64_t rank = spec.engine.rank;
+  if (name == "ALS") {
+    return std::make_unique<PeriodicAls>(rank, init, spec.engine.seed + 29);
+  }
+  if (name == "OnlineSCP") return std::make_unique<OnlineScp>(rank, init);
+  if (name == "CP-stream") return std::make_unique<CpStream>(rank, init);
+  if (name == "NeCPD(1)") {
+    return std::make_unique<NeCpd>(rank, init, /*epochs=*/1);
+  }
+  if (name == "NeCPD(10)") {
+    return std::make_unique<NeCpd>(rank, init, /*epochs=*/10);
+  }
+  SNS_CHECK(false);  // Unknown baseline name.
+  return nullptr;
+}
+
+std::vector<FitnessSample> RelativeTo(const std::vector<FitnessSample>& curve,
+                                      const std::vector<FitnessSample>& als) {
+  std::vector<FitnessSample> out;
+  for (const FitnessSample& sample : curve) {
+    for (const FitnessSample& reference : als) {
+      if (reference.time == sample.time && reference.fitness > 0.0) {
+        out.push_back({sample.time, sample.fitness / reference.fitness});
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+double MeanOf(const std::vector<FitnessSample>& curve) {
+  if (curve.empty()) return 0.0;
+  double sum = 0.0;
+  for (const FitnessSample& sample : curve) sum += sample.fitness;
+  return sum / static_cast<double>(curve.size());
+}
+
+KruskalModel MergeTimeRows(const KruskalModel& model, int64_t group) {
+  SNS_CHECK(group >= 1);
+  const int time_mode = model.num_modes() - 1;
+  const Matrix& fine = model.factor(time_mode);
+  const int64_t merged_rows = (fine.rows() + group - 1) / group;
+  Matrix coarse(merged_rows, fine.cols());
+  for (int64_t i = 0; i < fine.rows(); ++i) {
+    double* target = coarse.Row(i / group);
+    const double* source = fine.Row(i);
+    for (int64_t r = 0; r < fine.cols(); ++r) target[r] += source[r];
+  }
+  std::vector<Matrix> factors = model.factors();
+  factors[static_cast<size_t>(time_mode)] = std::move(coarse);
+  KruskalModel merged(std::move(factors));
+  merged.lambda() = model.lambda();
+  return merged;
+}
+
+}  // namespace sns

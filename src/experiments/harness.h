@@ -1,0 +1,82 @@
+// Experiment harness shared by the benchmark binaries: runs the paper's
+// protocol (§VI-A) — warm up one window span, initialize factors with ALS,
+// process events during kLiveWindows·W·T — for both the continuous engine
+// and the periodic baselines, collecting fitness trajectories and update
+// latencies. Lives in the library so it is unit-tested like everything else.
+
+#ifndef SLICENSTITCH_EXPERIMENTS_HARNESS_H_
+#define SLICENSTITCH_EXPERIMENTS_HARNESS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/periodic_algorithm.h"
+#include "baselines/periodic_runner.h"
+#include "core/continuous_cpd.h"
+#include "data/datasets.h"
+#include "stream/data_stream.h"
+
+namespace sns {
+
+/// Fitness measured at one checkpoint (a period boundary).
+struct FitnessSample {
+  int64_t time = 0;
+  double fitness = 0.0;
+};
+
+/// Result of running one method over one dataset.
+struct RunResult {
+  std::string method;
+  /// Mean latency of one factor update (per event for SliceNStitch methods,
+  /// per period for baselines), in microseconds.
+  double mean_update_micros = 0.0;
+  /// Total time spent in factor updates, seconds.
+  double total_update_seconds = 0.0;
+  /// Number of factor updates performed.
+  int64_t updates = 0;
+  /// Fitness at each period boundary of the live phase.
+  std::vector<FitnessSample> fitness_curve;
+  /// Number of model parameters at the end of the run.
+  int64_t num_parameters = 0;
+
+  /// Mean fitness over the last `fraction` of the curve (default: all).
+  double MeanFitness(double fraction = 1.0) const;
+};
+
+/// Runs a SliceNStitch variant through the standard protocol. Fitness is
+/// sampled at every period boundary of the live phase so curves align with
+/// the baselines'. `override_options` (optional) tweaks the preset's engine
+/// options (θ/η sweeps).
+RunResult RunContinuous(
+    const DatasetSpec& spec, const DataStream& stream, SnsVariant variant,
+    const std::function<void(ContinuousCpdOptions&)>& override_options = {});
+
+/// Runs a periodic baseline through the same protocol.
+RunResult RunPeriodic(const DatasetSpec& spec, const DataStream& stream,
+                      std::unique_ptr<PeriodicAlgorithm> algorithm);
+
+/// Builds the baseline by name: "ALS", "OnlineSCP", "CP-stream", "NeCPD(1)",
+/// "NeCPD(10)".
+std::unique_ptr<PeriodicAlgorithm> MakeBaseline(const std::string& name,
+                                                const DatasetSpec& spec);
+
+/// Divides each entry of `curve` by the ALS fitness at the same boundary
+/// (skipping boundaries where the reference is not positive). Relative
+/// fitness ≡ fitness_target / fitness_ALS (§VI-A).
+std::vector<FitnessSample> RelativeTo(const std::vector<FitnessSample>& curve,
+                                      const std::vector<FitnessSample>& als);
+
+/// Mean of a fitness curve (0 when empty).
+double MeanOf(const std::vector<FitnessSample>& curve);
+
+/// Merges groups of `group` consecutive time-mode rows by summing them
+/// (footnote 7 of the paper): returns a model whose time mode has
+/// ceil(W/group) rows. Used to compare fine-grained conventional CPD against
+/// the coarse window in Fig. 1.
+KruskalModel MergeTimeRows(const KruskalModel& model, int64_t group);
+
+}  // namespace sns
+
+#endif  // SLICENSTITCH_EXPERIMENTS_HARNESS_H_

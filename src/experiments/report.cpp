@@ -1,0 +1,81 @@
+#include "experiments/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace sns {
+
+TableReporter::TableReporter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TableReporter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TableReporter::Print() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::printf("|");
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : "";
+      std::printf(" %-*s |", static_cast<int>(widths[c]), cell.c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  std::printf("|");
+  for (size_t c = 0; c < widths.size(); ++c) {
+    std::printf("%s|", std::string(widths[c] + 2, '-').c_str());
+  }
+  std::printf("\n");
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TableReporter::Num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string TableReporter::Sci(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", precision, value);
+  return buf;
+}
+
+void PrintExperimentBanner(const std::string& artifact,
+                           const std::string& expectation) {
+  std::printf("==============================================================\n");
+  std::printf("SliceNStitch reproduction — %s\n", artifact.c_str());
+  std::printf("--------------------------------------------------------------\n");
+  std::printf(
+      "Data: synthetic stand-ins for the paper datasets (same modes, T, "
+      "theta,\neta; scaled event counts — set SNS_BENCH_SCALE to change). "
+      "Compare\nSHAPES with the paper, not absolute numbers.\n");
+  std::printf("Expected shape: %s\n", expectation.c_str());
+  std::printf("==============================================================\n");
+}
+
+void PrintDatasetLine(const DatasetSpec& spec, int64_t num_events) {
+  std::string modes;
+  for (size_t m = 0; m < spec.stream.mode_dims.size(); ++m) {
+    if (m > 0) modes += "x";
+    modes += std::to_string(spec.stream.mode_dims[m]);
+  }
+  std::printf(
+      "\n--- %s (%s): modes %s, T=%lld, W=%d, R=%lld, theta=%lld, eta=%g, "
+      "events=%lld ---\n",
+      spec.paper_name.c_str(), spec.name.c_str(), modes.c_str(),
+      static_cast<long long>(spec.engine.period), spec.engine.window_size,
+      static_cast<long long>(spec.engine.rank),
+      static_cast<long long>(spec.engine.sample_threshold),
+      spec.engine.clip_bound, static_cast<long long>(num_events));
+}
+
+}  // namespace sns

@@ -1,0 +1,43 @@
+// Console reporting helpers for the benchmark binaries: aligned tables and
+// the standard experiment banner (dataset, hyperparameters, scale note).
+
+#ifndef SLICENSTITCH_EXPERIMENTS_REPORT_H_
+#define SLICENSTITCH_EXPERIMENTS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "data/datasets.h"
+
+namespace sns {
+
+/// Simple fixed-width console table.
+class TableReporter {
+ public:
+  explicit TableReporter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  /// Renders the table (header + separator + rows) to stdout.
+  void Print() const;
+
+  /// Formats a double with the given precision.
+  static std::string Num(double value, int precision = 3);
+  /// Scientific notation, e.g. 1.604e-05.
+  static std::string Sci(double value, int precision = 3);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints the standard banner: which paper artifact the binary regenerates,
+/// the dataset's Table III hyperparameters, and the synthetic-scale caveat.
+void PrintExperimentBanner(const std::string& artifact,
+                           const std::string& expectation);
+
+/// One-line dataset summary (name, modes, T, θ, events).
+void PrintDatasetLine(const DatasetSpec& spec, int64_t num_events);
+
+}  // namespace sns
+
+#endif  // SLICENSTITCH_EXPERIMENTS_REPORT_H_

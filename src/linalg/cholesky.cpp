@@ -1,0 +1,62 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+namespace sns {
+
+StatusOr<Cholesky> Cholesky::Factorize(const Matrix& a) {
+  SNS_CHECK(a.rows() == a.cols());
+  const int64_t n = a.rows();
+  Matrix lower(n, n);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (int64_t k = 0; k < j; ++k) sum -= lower(i, k) * lower(j, k);
+      if (i == j) {
+        if (sum <= 0.0 || !std::isfinite(sum)) {
+          return Status::FailedPrecondition(
+              "matrix is not positive definite");
+        }
+        lower(i, i) = std::sqrt(sum);
+      } else {
+        lower(i, j) = sum / lower(j, j);
+      }
+    }
+  }
+  return Cholesky(std::move(lower));
+}
+
+std::vector<double> Cholesky::Solve(const std::vector<double>& b) const {
+  const int64_t n = lower_.rows();
+  SNS_CHECK(static_cast<int64_t>(b.size()) == n);
+  std::vector<double> y(b);
+  // Forward substitution L y = b.
+  for (int64_t i = 0; i < n; ++i) {
+    double sum = y[i];
+    const double* row = lower_.Row(i);
+    for (int64_t k = 0; k < i; ++k) sum -= row[k] * y[k];
+    y[i] = sum / row[i];
+  }
+  // Back substitution L' x = y.
+  for (int64_t i = n - 1; i >= 0; --i) {
+    double sum = y[i];
+    for (int64_t k = i + 1; k < n; ++k) sum -= lower_(k, i) * y[k];
+    y[i] = sum / lower_(i, i);
+  }
+  return y;
+}
+
+Matrix Cholesky::Solve(const Matrix& b) const {
+  const int64_t n = lower_.rows();
+  SNS_CHECK(b.rows() == n);
+  Matrix x(n, b.cols());
+  std::vector<double> col(n);
+  for (int64_t j = 0; j < b.cols(); ++j) {
+    for (int64_t i = 0; i < n; ++i) col[i] = b(i, j);
+    std::vector<double> sol = Solve(col);
+    for (int64_t i = 0; i < n; ++i) x(i, j) = sol[i];
+  }
+  return x;
+}
+
+}  // namespace sns

@@ -1,0 +1,37 @@
+// Cholesky (LL') factorization for symmetric positive-definite systems.
+// Used as the fast path for solving Gram systems when they are well
+// conditioned; callers fall back to the pseudoinverse (pseudo_inverse.h)
+// when factorization fails.
+
+#ifndef SLICENSTITCH_LINALG_CHOLESKY_H_
+#define SLICENSTITCH_LINALG_CHOLESKY_H_
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace sns {
+
+/// Cholesky factorization of a symmetric positive-definite matrix.
+class Cholesky {
+ public:
+  /// Factorizes `a` (only the lower triangle is read). Fails with
+  /// FailedPrecondition if a non-positive pivot is found.
+  static StatusOr<Cholesky> Factorize(const Matrix& a);
+
+  /// Solves A x = b for a single right-hand side (b.size() == n).
+  std::vector<double> Solve(const std::vector<double>& b) const;
+
+  /// Solves A X = B columnwise; B is n×m, the result is n×m.
+  Matrix Solve(const Matrix& b) const;
+
+  /// The lower-triangular factor L with A = L L'.
+  const Matrix& lower() const { return lower_; }
+
+ private:
+  explicit Cholesky(Matrix lower) : lower_(std::move(lower)) {}
+  Matrix lower_;
+};
+
+}  // namespace sns
+
+#endif  // SLICENSTITCH_LINALG_CHOLESKY_H_

@@ -1,0 +1,194 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/random.h"
+
+namespace sns {
+
+Matrix Matrix::Identity(int64_t n) {
+  Matrix m(n, n);
+  for (int64_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::RandomUniform(int64_t rows, int64_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (int64_t i = 0; i < rows; ++i) {
+    double* row = m.Row(i);
+    for (int64_t j = 0; j < cols; ++j) row[j] = rng.UniformDouble();
+  }
+  return m;
+}
+
+Matrix Matrix::RandomNormal(int64_t rows, int64_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (int64_t i = 0; i < rows; ++i) {
+    double* row = m.Row(i);
+    for (int64_t j = 0; j < cols; ++j) row[j] = rng.Normal();
+  }
+  return m;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+double Matrix::MaxAbs() const {
+  double best = 0.0;
+  for (double v : data_) best = std::max(best, std::fabs(v));
+  return best;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (int64_t i = 0; i < rows_; ++i) {
+    const double* row = Row(i);
+    for (int64_t j = 0; j < cols_; ++j) out(j, i) = row[j];
+  }
+  return out;
+}
+
+std::string Matrix::ToString(int precision) const {
+  std::string out;
+  char buf[64];
+  for (int64_t i = 0; i < rows_; ++i) {
+    for (int64_t j = 0; j < cols_; ++j) {
+      std::snprintf(buf, sizeof(buf), "% .*f ", precision, (*this)(i, j));
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Matrix Multiply(const Matrix& a, const Matrix& b) {
+  SNS_CHECK(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  const int64_t n = a.rows(), k_dim = a.cols(), m = b.cols();
+  for (int64_t i = 0; i < n; ++i) {
+    const double* a_row = a.Row(i);
+    double* c_row = c.Row(i);
+    for (int64_t k = 0; k < k_dim; ++k) {
+      const double a_ik = a_row[k];
+      if (a_ik == 0.0) continue;
+      const double* b_row = b.Row(k);
+      for (int64_t j = 0; j < m; ++j) c_row[j] += a_ik * b_row[j];
+    }
+  }
+  return c;
+}
+
+Matrix MultiplyTransposeA(const Matrix& a, const Matrix& b) {
+  SNS_CHECK(a.rows() == b.rows());
+  Matrix c(a.cols(), b.cols());
+  const int64_t n = a.rows(), p = a.cols(), m = b.cols();
+  for (int64_t k = 0; k < n; ++k) {
+    const double* a_row = a.Row(k);
+    const double* b_row = b.Row(k);
+    for (int64_t i = 0; i < p; ++i) {
+      const double a_ki = a_row[i];
+      if (a_ki == 0.0) continue;
+      double* c_row = c.Row(i);
+      for (int64_t j = 0; j < m; ++j) c_row[j] += a_ki * b_row[j];
+    }
+  }
+  return c;
+}
+
+Matrix Hadamard(const Matrix& a, const Matrix& b) {
+  SNS_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  Matrix c(a.rows(), a.cols());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const double* a_row = a.Row(i);
+    const double* b_row = b.Row(i);
+    double* c_row = c.Row(i);
+    for (int64_t j = 0; j < a.cols(); ++j) c_row[j] = a_row[j] * b_row[j];
+  }
+  return c;
+}
+
+Matrix KhatriRao(const Matrix& a, const Matrix& b) {
+  SNS_CHECK(a.cols() == b.cols());
+  const int64_t r = a.cols();
+  Matrix c(a.rows() * b.rows(), r);
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const double* a_row = a.Row(i);
+    for (int64_t k = 0; k < b.rows(); ++k) {
+      const double* b_row = b.Row(k);
+      double* c_row = c.Row(i * b.rows() + k);
+      for (int64_t j = 0; j < r; ++j) c_row[j] = a_row[j] * b_row[j];
+    }
+  }
+  return c;
+}
+
+Matrix Add(const Matrix& a, const Matrix& b) {
+  SNS_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  Matrix c(a.rows(), a.cols());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const double* a_row = a.Row(i);
+    const double* b_row = b.Row(i);
+    double* c_row = c.Row(i);
+    for (int64_t j = 0; j < a.cols(); ++j) c_row[j] = a_row[j] + b_row[j];
+  }
+  return c;
+}
+
+Matrix Subtract(const Matrix& a, const Matrix& b) {
+  SNS_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  Matrix c(a.rows(), a.cols());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const double* a_row = a.Row(i);
+    const double* b_row = b.Row(i);
+    double* c_row = c.Row(i);
+    for (int64_t j = 0; j < a.cols(); ++j) c_row[j] = a_row[j] - b_row[j];
+  }
+  return c;
+}
+
+Matrix Scale(const Matrix& a, double factor) {
+  Matrix c(a.rows(), a.cols());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const double* a_row = a.Row(i);
+    double* c_row = c.Row(i);
+    for (int64_t j = 0; j < a.cols(); ++j) c_row[j] = factor * a_row[j];
+  }
+  return c;
+}
+
+void RowTimesMatrix(const double* row, const Matrix& m, double* out) {
+  const int64_t rows = m.rows(), cols = m.cols();
+  std::fill(out, out + cols, 0.0);
+  for (int64_t i = 0; i < rows; ++i) {
+    const double r_i = row[i];
+    if (r_i == 0.0) continue;
+    const double* m_row = m.Row(i);
+    for (int64_t j = 0; j < cols; ++j) out[j] += r_i * m_row[j];
+  }
+}
+
+double Dot(const double* a, const double* b, int64_t n) {
+  double sum = 0.0;
+  for (int64_t i = 0; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  SNS_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  double best = 0.0;
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const double* a_row = a.Row(i);
+    const double* b_row = b.Row(i);
+    for (int64_t j = 0; j < a.cols(); ++j) {
+      best = std::max(best, std::fabs(a_row[j] - b_row[j]));
+    }
+  }
+  return best;
+}
+
+}  // namespace sns

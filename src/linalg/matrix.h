@@ -1,0 +1,114 @@
+// Dense row-major matrix and the small set of kernels the CPD algorithms
+// need. Built from scratch (no BLAS/Eigen): every hot operation in
+// SliceNStitch works on R×R Gram matrices or single 1×R rows with R ≈ 20, so
+// straightforward loops are fast enough and keep the library dependency-free.
+
+#ifndef SLICENSTITCH_LINALG_MATRIX_H_
+#define SLICENSTITCH_LINALG_MATRIX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace sns {
+
+class Rng;
+
+/// Dense row-major matrix of doubles.
+///
+/// Copyable and movable. Elements are zero-initialized on construction and
+/// resize. Indexing is bounds-checked in debug builds only.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(int64_t rows, int64_t cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows * cols), 0.0) {
+    SNS_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  /// n×n identity.
+  static Matrix Identity(int64_t n);
+
+  /// Matrix with i.i.d. Uniform[0,1) entries (the paper's factor init).
+  static Matrix RandomUniform(int64_t rows, int64_t cols, Rng& rng);
+
+  /// Matrix with i.i.d. standard normal entries.
+  static Matrix RandomNormal(int64_t rows, int64_t cols, Rng& rng);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+
+  double& operator()(int64_t i, int64_t j) {
+    SNS_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<size_t>(i * cols_ + j)];
+  }
+  double operator()(int64_t i, int64_t j) const {
+    SNS_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<size_t>(i * cols_ + j)];
+  }
+
+  /// Raw pointer to the start of row i (contiguous cols() doubles).
+  double* Row(int64_t i) {
+    SNS_DCHECK(i >= 0 && i < rows_);
+    return data_.data() + i * cols_;
+  }
+  const double* Row(int64_t i) const {
+    SNS_DCHECK(i >= 0 && i < rows_);
+    return data_.data() + i * cols_;
+  }
+
+  const std::vector<double>& data() const { return data_; }
+
+  void SetZero() { std::fill(data_.begin(), data_.end(), 0.0); }
+  void Fill(double value) { std::fill(data_.begin(), data_.end(), value); }
+
+  /// sqrt of the sum of squared entries.
+  double FrobeniusNorm() const;
+
+  /// Largest absolute entry (0 for an empty matrix).
+  double MaxAbs() const;
+
+  Matrix Transposed() const;
+
+  /// Debug rendering with fixed precision.
+  std::string ToString(int precision = 4) const;
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<double> data_;
+};
+
+/// C = A * B.
+Matrix Multiply(const Matrix& a, const Matrix& b);
+
+/// C = A' * B (avoids materializing the transpose). Used for Gram matrices.
+Matrix MultiplyTransposeA(const Matrix& a, const Matrix& b);
+
+/// Elementwise (Hadamard) product; shapes must match.
+Matrix Hadamard(const Matrix& a, const Matrix& b);
+
+/// Column-wise Khatri-Rao product: (IK)×R from I×R and K×R, with row
+/// (i*K + k) = A(i,:) ∗ B(k,:). Matches the ⊙ operator of the paper. Used by
+/// tests and reference implementations, not by hot paths.
+Matrix KhatriRao(const Matrix& a, const Matrix& b);
+
+Matrix Add(const Matrix& a, const Matrix& b);
+Matrix Subtract(const Matrix& a, const Matrix& b);
+Matrix Scale(const Matrix& a, double factor);
+
+/// out[1×n] = row[1×m] * m×n matrix. `out` must not alias `row`.
+void RowTimesMatrix(const double* row, const Matrix& m, double* out);
+
+/// Dot product of two length-n arrays.
+double Dot(const double* a, const double* b, int64_t n);
+
+/// Max absolute difference between same-shaped matrices.
+double MaxAbsDiff(const Matrix& a, const Matrix& b);
+
+}  // namespace sns
+
+#endif  // SLICENSTITCH_LINALG_MATRIX_H_

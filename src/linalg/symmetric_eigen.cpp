@@ -1,0 +1,79 @@
+#include "linalg/symmetric_eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace sns {
+
+SymmetricEigen DecomposeSymmetric(const Matrix& a, double tolerance,
+                                  int max_sweeps) {
+  SNS_CHECK(a.rows() == a.cols());
+  const int64_t n = a.rows();
+  Matrix d = a;  // Working copy driven to diagonal form.
+  Matrix v = Matrix::Identity(n);
+
+  auto off_diag_norm = [&]() {
+    double sum = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = i + 1; j < n; ++j) sum += 2.0 * d(i, j) * d(i, j);
+    }
+    return std::sqrt(sum);
+  };
+
+  const double frob = std::max(a.FrobeniusNorm(), 1e-300);
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diag_norm() <= tolerance * frob) break;
+    for (int64_t p = 0; p < n - 1; ++p) {
+      for (int64_t q = p + 1; q < n; ++q) {
+        const double apq = d(p, q);
+        if (std::fabs(apq) <= 1e-300) continue;
+        const double app = d(p, p);
+        const double aqq = d(q, q);
+        // Rotation angle that zeroes d(p, q).
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) +
+                          std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (int64_t k = 0; k < n; ++k) {
+          const double dkp = d(k, p);
+          const double dkq = d(k, q);
+          d(k, p) = c * dkp - s * dkq;
+          d(k, q) = s * dkp + c * dkq;
+        }
+        for (int64_t k = 0; k < n; ++k) {
+          const double dpk = d(p, k);
+          const double dqk = d(q, k);
+          d(p, k) = c * dpk - s * dqk;
+          d(q, k) = s * dpk + c * dqk;
+        }
+        for (int64_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<int64_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int64_t x, int64_t y) { return d(x, x) > d(y, y); });
+
+  SymmetricEigen result;
+  result.values.resize(n);
+  result.vectors = Matrix(n, n);
+  for (int64_t j = 0; j < n; ++j) {
+    result.values[j] = d(order[j], order[j]);
+    for (int64_t i = 0; i < n; ++i) result.vectors(i, j) = v(i, order[j]);
+  }
+  return result;
+}
+
+}  // namespace sns

@@ -1,0 +1,32 @@
+// Symmetric eigendecomposition via the cyclic Jacobi rotation method.
+//
+// The Gram matrices H = ∗ A'A that SliceNStitch inverts are R×R symmetric
+// positive semi-definite with R ≈ 20, a regime where Jacobi is simple,
+// numerically robust (it never loses symmetry), and fast enough.
+
+#ifndef SLICENSTITCH_LINALG_SYMMETRIC_EIGEN_H_
+#define SLICENSTITCH_LINALG_SYMMETRIC_EIGEN_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace sns {
+
+/// Result of decomposing symmetric A as V diag(values) V'.
+struct SymmetricEigen {
+  /// Eigenvalues in descending order.
+  std::vector<double> values;
+  /// Column j of `vectors` is the unit eigenvector for values[j].
+  Matrix vectors;
+};
+
+/// Decomposes a symmetric matrix (only assumed symmetric, not definite).
+/// Sweeps until off-diagonal mass is below `tolerance` relative to the
+/// Frobenius norm, or `max_sweeps` cyclic sweeps have run.
+SymmetricEigen DecomposeSymmetric(const Matrix& a, double tolerance = 1e-12,
+                                  int max_sweeps = 64);
+
+}  // namespace sns
+
+#endif  // SLICENSTITCH_LINALG_SYMMETRIC_EIGEN_H_

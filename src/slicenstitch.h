@@ -1,0 +1,30 @@
+// Umbrella header: the public API of the SliceNStitch library.
+//
+//   #include "slicenstitch.h"
+//
+// pulls in everything a downstream application typically needs:
+//   - ContinuousCpd / ContinuousCpdOptions — the continuous CPD engine,
+//   - DataStream / Tuple                   — stream construction,
+//   - KruskalModel                         — reading the factor matrices,
+//   - synthetic generators + dataset presets + CSV loading,
+//   - the anomaly-detection toolkit of §VI-G.
+//
+// Finer-grained headers (linalg/, tensor/, baselines/, experiments/) remain
+// available for advanced use — e.g. running the paper's baselines or
+// embedding the batch ALS solver directly.
+
+#ifndef SLICENSTITCH_SLICENSTITCH_H_
+#define SLICENSTITCH_SLICENSTITCH_H_
+
+#include "apps/anomaly_detection.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "core/continuous_cpd.h"
+#include "core/options.h"
+#include "data/datasets.h"
+#include "data/loader.h"
+#include "data/synthetic.h"
+#include "stream/data_stream.h"
+#include "tensor/kruskal.h"
+
+#endif  // SLICENSTITCH_SLICENSTITCH_H_

@@ -1,0 +1,121 @@
+#include "stream/continuous_window.h"
+
+#include <limits>
+
+namespace sns {
+namespace {
+
+std::vector<int64_t> WindowDims(std::vector<int64_t> mode_dims,
+                                int window_size) {
+  mode_dims.push_back(window_size);
+  return mode_dims;
+}
+
+}  // namespace
+
+ContinuousTensorWindow::ContinuousTensorWindow(std::vector<int64_t> mode_dims,
+                                               int window_size, int64_t period)
+    : window_(WindowDims(std::move(mode_dims), window_size)),
+      window_size_(window_size),
+      period_(period) {
+  SNS_CHECK(window_size_ >= 1);
+  SNS_CHECK(period_ >= 1);
+}
+
+WindowDelta ContinuousTensorWindow::Ingest(const Tuple& tuple) {
+  SNS_CHECK(tuple.index.size() == num_modes() - 1);
+  SNS_CHECK(tuple.time >= last_event_time_);
+  SNS_CHECK(NextScheduledTime() >= tuple.time);  // Drain the schedule first.
+  last_event_time_ = tuple.time;
+
+  WindowDelta delta;
+  delta.kind = EventKind::kArrival;
+  delta.w = 0;
+  delta.time = tuple.time;
+  delta.tuple = tuple;
+  if (tuple.value == 0.0) return delta;
+
+  const ModeIndex cell = tuple.index.WithAppended(window_size_ - 1);
+  window_.Add(cell, tuple.value);
+  delta.cells.push_back({cell, tuple.value});
+
+  schedule_.push(
+      Scheduled{tuple.time + period_, next_seq_++, tuple, /*w=*/1});
+  return delta;
+}
+
+Status ContinuousTensorWindow::IngestChecked(const Tuple& tuple,
+                                             WindowDelta* delta) {
+  if (tuple.index.size() != num_modes() - 1) {
+    return Status::InvalidArgument("tuple arity mismatch");
+  }
+  for (int m = 0; m < tuple.index.size(); ++m) {
+    if (tuple.index[m] < 0 || tuple.index[m] >= window_.dim(m)) {
+      return Status::OutOfRange("tuple index out of range in mode " +
+                                std::to_string(m));
+    }
+  }
+  if (tuple.time < last_event_time_) {
+    return Status::FailedPrecondition("tuples must be chronological");
+  }
+  if (NextScheduledTime() < tuple.time) {
+    return Status::FailedPrecondition(
+        "scheduled events before this tuple must be drained first");
+  }
+  WindowDelta out = Ingest(tuple);
+  if (delta != nullptr) *delta = std::move(out);
+  return Status::OK();
+}
+
+int64_t ContinuousTensorWindow::NextScheduledTime() const {
+  return schedule_.empty() ? std::numeric_limits<int64_t>::max()
+                           : schedule_.top().due;
+}
+
+WindowDelta ContinuousTensorWindow::PopScheduled() {
+  SNS_CHECK(!schedule_.empty());
+  Scheduled event = schedule_.top();
+  schedule_.pop();
+  SNS_CHECK(event.due >= last_event_time_);
+  last_event_time_ = event.due;
+  return ApplyScheduled(event);
+}
+
+WindowDelta ContinuousTensorWindow::ApplyScheduled(const Scheduled& event) {
+  const Tuple& tuple = event.tuple;
+  const int w = event.w;
+  const double v = tuple.value;
+
+  WindowDelta delta;
+  delta.w = w;
+  delta.time = event.due;
+  delta.tuple = tuple;
+
+  // S.2 / S.3: remove from slice W−w (0-based), the slice the value has
+  // occupied for the past period.
+  const ModeIndex from = tuple.index.WithAppended(window_size_ - w);
+  window_.Add(from, -v);
+  delta.cells.push_back({from, -v});
+
+  if (w < window_size_) {
+    delta.kind = EventKind::kSlide;
+    const ModeIndex to = tuple.index.WithAppended(window_size_ - w - 1);
+    window_.Add(to, v);
+    delta.cells.push_back({to, v});
+    schedule_.push(Scheduled{tuple.time + static_cast<int64_t>(w + 1) * period_,
+                             next_seq_++, tuple, w + 1});
+  } else {
+    delta.kind = EventKind::kExpiry;
+  }
+  return delta;
+}
+
+void ContinuousTensorWindow::AdvanceTo(
+    int64_t time, const std::function<void(const WindowDelta&)>& on_event) {
+  while (!schedule_.empty() && schedule_.top().due <= time) {
+    WindowDelta delta = PopScheduled();
+    if (on_event) on_event(delta);
+  }
+}
+
+}  // namespace sns

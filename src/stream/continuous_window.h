@@ -1,0 +1,106 @@
+// Event-driven implementation of the continuous tensor model (Algorithm 1).
+//
+// The window D(t, W) is an M-mode sparse tensor whose last mode is time with
+// W indices (0 = oldest unit, W−1 = newest). Each ingested tuple immediately
+// adds its value to the newest slice and schedules its first slide; pops of
+// the schedule heap move the value backwards one slice per period until it
+// expires, exactly reproducing events S.1–S.3. Complexity matches Theorems
+// 1–2: O(M) per event, O(W+1) events per tuple, space linear in the active
+// tuples.
+
+#ifndef SLICENSTITCH_STREAM_CONTINUOUS_WINDOW_H_
+#define SLICENSTITCH_STREAM_CONTINUOUS_WINDOW_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/status.h"
+#include "stream/event.h"
+#include "tensor/sparse_tensor.h"
+
+namespace sns {
+
+/// Maintains the up-to-date tensor window of a multi-aspect data stream
+/// under the continuous tensor model.
+///
+/// Callers interleave Ingest (tuple arrivals, chronological) with draining
+/// scheduled events: before ingesting a tuple at time t, drain every
+/// scheduled event due at or before t (AdvanceTo(t)) so window state always
+/// reflects D(t, W). Scheduled events due exactly at an arrival's timestamp
+/// are processed before the arrival, making replays deterministic.
+class ContinuousTensorWindow {
+ public:
+  /// mode_dims: sizes of the M−1 non-time modes. window_size: W ≥ 1 time
+  /// indices. period: T ≥ 1 time units per tensor unit.
+  ContinuousTensorWindow(std::vector<int64_t> mode_dims, int window_size,
+                         int64_t period);
+
+  /// The live window tensor X = D(t, W); last mode is time.
+  const SparseTensor& tensor() const { return window_; }
+
+  int window_size() const { return window_size_; }
+  int64_t period() const { return period_; }
+  /// Number of modes of the window tensor (M = non-time modes + 1).
+  int num_modes() const { return window_.num_modes(); }
+  const std::vector<int64_t>& mode_dims() const { return window_.dims(); }
+
+  /// Applies S.1 for a tuple: adds v at slice W−1, schedules the next event.
+  /// Tuples must arrive in non-decreasing time order and only after all
+  /// earlier-due scheduled events have been drained. Zero-valued tuples
+  /// produce an empty delta and schedule nothing.
+  WindowDelta Ingest(const Tuple& tuple);
+
+  /// Validating wrapper around Ingest for API-boundary use.
+  Status IngestChecked(const Tuple& tuple, WindowDelta* delta);
+
+  bool HasScheduled() const { return !schedule_.empty(); }
+
+  /// Due time of the earliest scheduled slide/expiry event;
+  /// int64_t max when none are pending.
+  int64_t NextScheduledTime() const;
+
+  /// Pops the earliest scheduled event, applies it (S.2 or S.3), schedules
+  /// the follow-up, and returns its delta. Requires HasScheduled().
+  WindowDelta PopScheduled();
+
+  /// Applies every scheduled event due at or before `time`, invoking
+  /// `on_event` (if non-null) after each application.
+  void AdvanceTo(int64_t time,
+                 const std::function<void(const WindowDelta&)>& on_event = {});
+
+  /// Number of tuples currently inside the window span (active tuples).
+  int64_t ActiveTupleCount() const {
+    return static_cast<int64_t>(schedule_.size());
+  }
+
+ private:
+  struct Scheduled {
+    int64_t due;
+    uint64_t seq;  // FIFO tie-break for equal due times.
+    Tuple tuple;
+    int w;  // Which update this is: 1..W (W = expiry).
+  };
+  struct ScheduledLater {
+    bool operator()(const Scheduled& a, const Scheduled& b) const {
+      if (a.due != b.due) return a.due > b.due;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Applies the w-th update of a tuple to the window, returns the delta.
+  WindowDelta ApplyScheduled(const Scheduled& event);
+
+  SparseTensor window_;
+  int window_size_;
+  int64_t period_;
+  uint64_t next_seq_ = 0;
+  int64_t last_event_time_ = INT64_MIN;
+  std::priority_queue<Scheduled, std::vector<Scheduled>, ScheduledLater>
+      schedule_;
+};
+
+}  // namespace sns
+
+#endif  // SLICENSTITCH_STREAM_CONTINUOUS_WINDOW_H_

@@ -1,0 +1,63 @@
+// In-memory multi-aspect data stream (Definition 1): a chronological
+// sequence of timestamped tuples over fixed non-time mode sizes.
+
+#ifndef SLICENSTITCH_STREAM_DATA_STREAM_H_
+#define SLICENSTITCH_STREAM_DATA_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "stream/event.h"
+
+namespace sns {
+
+/// Owns the tuples of a stream plus its schema (sizes of the M−1 non-time
+/// modes). Tuples must be appended in non-decreasing time order.
+class DataStream {
+ public:
+  explicit DataStream(std::vector<int64_t> mode_dims)
+      : mode_dims_(std::move(mode_dims)) {
+    SNS_CHECK(!mode_dims_.empty());
+  }
+
+  /// Sizes of the non-time modes (N_1, …, N_{M-1}).
+  const std::vector<int64_t>& mode_dims() const { return mode_dims_; }
+  int num_modes() const { return static_cast<int>(mode_dims_.size()); }
+
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  int64_t size() const { return static_cast<int64_t>(tuples_.size()); }
+  bool empty() const { return tuples_.empty(); }
+
+  /// Time stamps of the first/last tuple (0 when empty).
+  int64_t start_time() const { return empty() ? 0 : tuples_.front().time; }
+  int64_t end_time() const { return empty() ? 0 : tuples_.back().time; }
+
+  /// Appends one tuple; fails if indices are out of range or time regresses.
+  Status Append(const Tuple& tuple) {
+    if (tuple.index.size() != num_modes()) {
+      return Status::InvalidArgument("tuple arity mismatch");
+    }
+    for (int m = 0; m < num_modes(); ++m) {
+      if (tuple.index[m] < 0 || tuple.index[m] >= mode_dims_[m]) {
+        return Status::OutOfRange("tuple index out of range in mode " +
+                                  std::to_string(m));
+      }
+    }
+    if (!tuples_.empty() && tuple.time < tuples_.back().time) {
+      return Status::FailedPrecondition("tuples must be chronological");
+    }
+    tuples_.push_back(tuple);
+    return Status::OK();
+  }
+
+  void Reserve(int64_t n) { tuples_.reserve(static_cast<size_t>(n)); }
+
+ private:
+  std::vector<int64_t> mode_dims_;
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace sns
+
+#endif  // SLICENSTITCH_STREAM_DATA_STREAM_H_

@@ -1,0 +1,52 @@
+// Event types of the continuous tensor model.
+//
+// A timestamped tuple (Definition 1) causes W+1 window events (§IV-B):
+// its arrival (S.1), W−1 slides between adjacent tensor units (S.2), and
+// its expiry (S.3). WindowDelta captures the resulting change ΔX of the
+// tensor window (Definition 6) that the updaters consume.
+
+#ifndef SLICENSTITCH_STREAM_EVENT_H_
+#define SLICENSTITCH_STREAM_EVENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/mode_index.h"
+
+namespace sns {
+
+/// One record of a multi-aspect data stream: (i_1, …, i_{M-1}, v) at time t.
+/// `index` holds the M−1 categorical (non-time) mode indices.
+struct Tuple {
+  ModeIndex index;
+  double value = 0.0;
+  int64_t time = 0;
+};
+
+/// Kind of window event caused by a tuple.
+enum class EventKind {
+  kArrival,  // S.1: +v at time slice W−1 (0-based newest).
+  kSlide,    // S.2: −v at slice W−w, +v at slice W−w−1 (0-based), 1 ≤ w < W.
+  kExpiry,   // S.3: −v at slice 0.
+};
+
+/// One changed cell of the window: full M-mode coordinate and signed delta.
+struct DeltaCell {
+  ModeIndex index;  // Window coordinate (non-time indices + time index).
+  double delta = 0.0;
+};
+
+/// The change ΔX in the window due to one event (Definition 6): one cell for
+/// arrival/expiry, two for a slide. `w = (t − t_n)/T` distinguishes the
+/// cases (0 = arrival, 1..W−1 = slide, W = expiry).
+struct WindowDelta {
+  EventKind kind = EventKind::kArrival;
+  int w = 0;
+  int64_t time = 0;      // When the event occurred.
+  Tuple tuple;           // Originating stream tuple.
+  std::vector<DeltaCell> cells;
+};
+
+}  // namespace sns
+
+#endif  // SLICENSTITCH_STREAM_EVENT_H_

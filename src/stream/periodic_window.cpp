@@ -1,0 +1,57 @@
+#include "stream/periodic_window.h"
+
+namespace sns {
+
+PeriodicTensorWindow::PeriodicTensorWindow(std::vector<int64_t> mode_dims,
+                                           int window_size, int64_t period)
+    : mode_dims_(std::move(mode_dims)),
+      window_size_(window_size),
+      period_(period) {
+  SNS_CHECK(window_size_ >= 1);
+  SNS_CHECK(period_ >= 1);
+}
+
+void PeriodicTensorWindow::AddTuple(const Tuple& tuple) {
+  SNS_CHECK(tuple.index.size() == static_cast<int>(mode_dims_.size()));
+  // A tuple at time t belongs to the unit covering (kT, (k+1)T] ∋ t. Close
+  // any fully elapsed periods first.
+  while (tuple.time > next_unit_start_ + period_) CloseOnePeriod();
+  if (tuple.value != 0.0) accumulating_[tuple.index] += tuple.value;
+}
+
+void PeriodicTensorWindow::CloseUpTo(int64_t time) {
+  while (next_unit_start_ + period_ <= time) CloseOnePeriod();
+}
+
+void PeriodicTensorWindow::CloseOnePeriod() {
+  units_.push_back(std::move(accumulating_));
+  accumulating_.clear();
+  next_unit_start_ += period_;
+  if (static_cast<int>(units_.size()) > window_size_) units_.pop_front();
+}
+
+SparseTensor PeriodicTensorWindow::WindowTensor() const {
+  std::vector<int64_t> dims = mode_dims_;
+  dims.push_back(window_size_);
+  SparseTensor window(dims);
+  // Newest unit at index W−1; units_ is oldest-first.
+  const int count = static_cast<int>(units_.size());
+  for (int u = 0; u < count; ++u) {
+    const int time_index = window_size_ - count + u;
+    if (time_index < 0) continue;
+    for (const auto& [index, value] : units_[static_cast<size_t>(u)]) {
+      window.Add(index.WithAppended(time_index), value);
+    }
+  }
+  return window;
+}
+
+SparseTensor PeriodicTensorWindow::NewestUnit() const {
+  SparseTensor unit(mode_dims_);
+  if (!units_.empty()) {
+    for (const auto& [index, value] : units_.back()) unit.Add(index, value);
+  }
+  return unit;
+}
+
+}  // namespace sns

@@ -1,0 +1,73 @@
+// Conventional (discrete) tensor window used by the baselines.
+//
+// In the common tensor modeling method (§III), the window only changes at
+// period boundaries t = kT: a new tensor unit aggregating the last period is
+// appended, and the oldest unit is dropped once W units exist. Baseline
+// algorithms (ALS / OnlineSCP / CP-stream / NeCPD) update their factor
+// matrices exactly at these boundaries.
+
+#ifndef SLICENSTITCH_STREAM_PERIODIC_WINDOW_H_
+#define SLICENSTITCH_STREAM_PERIODIC_WINDOW_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "stream/event.h"
+#include "tensor/sparse_tensor.h"
+
+namespace sns {
+
+/// Sliding window of up to W tensor units, each the per-period aggregation
+/// G_w of the stream (period (kT, (k+1)T] maps to unit k).
+class PeriodicTensorWindow {
+ public:
+  /// mode_dims: sizes of the M−1 non-time modes.
+  PeriodicTensorWindow(std::vector<int64_t> mode_dims, int window_size,
+                       int64_t period);
+
+  int window_size() const { return window_size_; }
+  int64_t period() const { return period_; }
+  const std::vector<int64_t>& mode_dims() const { return mode_dims_; }
+
+  /// Adds a tuple; tuples must be fed in non-decreasing time order and
+  /// belong to the current (not yet closed) period or later. Tuples beyond
+  /// the current period implicitly close intermediate periods.
+  void AddTuple(const Tuple& tuple);
+
+  /// Closes periods so that all units ending at or before `time` exist
+  /// (time should be a multiple of the period). After this call the window
+  /// reflects D(time, W) of the conventional model.
+  void CloseUpTo(int64_t time);
+
+  /// Number of closed units currently in the window (≤ W).
+  int num_units() const { return static_cast<int>(units_.size()); }
+
+  /// Materializes the M-mode window tensor; the newest closed unit sits at
+  /// time index W−1 (older units shifted toward 0; missing leading units are
+  /// zero). O(nnz) per call.
+  SparseTensor WindowTensor() const;
+
+  /// Materializes the newest closed unit as an (M−1)-mode tensor.
+  SparseTensor NewestUnit() const;
+
+  /// End time of the most recently closed unit (kT), or 0 if none closed.
+  int64_t LastClosedTime() const { return next_unit_start_; }
+
+ private:
+  using UnitMap = std::unordered_map<ModeIndex, double, ModeIndexHash>;
+
+  void CloseOnePeriod();
+
+  std::vector<int64_t> mode_dims_;
+  int window_size_;
+  int64_t period_;
+  int64_t next_unit_start_ = 0;  // Start time of the accumulating unit.
+  UnitMap accumulating_;
+  std::deque<UnitMap> units_;  // Oldest first; size ≤ W.
+};
+
+}  // namespace sns
+
+#endif  // SLICENSTITCH_STREAM_PERIODIC_WINDOW_H_

@@ -1,0 +1,80 @@
+#include "tensor/kruskal.h"
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace sns {
+
+KruskalModel::KruskalModel(std::vector<Matrix> factors)
+    : factors_(std::move(factors)) {
+  SNS_CHECK(!factors_.empty());
+  rank_ = factors_[0].cols();
+  for (const Matrix& f : factors_) SNS_CHECK(f.cols() == rank_);
+  lambda_.assign(static_cast<size_t>(rank_), 1.0);
+}
+
+KruskalModel KruskalModel::Random(const std::vector<int64_t>& dims,
+                                  int64_t rank, Rng& rng) {
+  std::vector<Matrix> factors;
+  factors.reserve(dims.size());
+  for (int64_t n : dims) factors.push_back(Matrix::RandomUniform(n, rank, rng));
+  return KruskalModel(std::move(factors));
+}
+
+int64_t KruskalModel::NumParameters() const {
+  int64_t total = 0;
+  for (const Matrix& f : factors_) total += f.rows() * f.cols();
+  return total;
+}
+
+double KruskalModel::Evaluate(const ModeIndex& index) const {
+  SNS_DCHECK(index.size() == num_modes());
+  double sum = 0.0;
+  for (int64_t r = 0; r < rank_; ++r) {
+    double prod = lambda_[static_cast<size_t>(r)];
+    for (int m = 0; m < num_modes() && prod != 0.0; ++m) {
+      prod *= factors_[m](index[m], r);
+    }
+    sum += prod;
+  }
+  return sum;
+}
+
+double KruskalModel::NormSquared() const {
+  // ∗_m A(m)'A(m), then λ' G λ.
+  Matrix gram = MultiplyTransposeA(factors_[0], factors_[0]);
+  for (int m = 1; m < num_modes(); ++m) {
+    gram = Hadamard(gram, MultiplyTransposeA(factors_[m], factors_[m]));
+  }
+  double sum = 0.0;
+  for (int64_t r = 0; r < rank_; ++r) {
+    for (int64_t s = 0; s < rank_; ++s) {
+      sum += lambda_[static_cast<size_t>(r)] * gram(r, s) *
+             lambda_[static_cast<size_t>(s)];
+    }
+  }
+  return sum;
+}
+
+double KruskalModel::InnerProduct(const SparseTensor& x) const {
+  double sum = 0.0;
+  x.ForEachNonzero([&](const ModeIndex& index, double value) {
+    sum += value * Evaluate(index);
+  });
+  return sum;
+}
+
+double KruskalModel::ResidualNormSquared(const SparseTensor& x) const {
+  const double value =
+      NormSquared() - 2.0 * InnerProduct(x) + x.FrobeniusNormSquared();
+  return value > 0.0 ? value : 0.0;
+}
+
+double KruskalModel::Fitness(const SparseTensor& x) const {
+  const double x_norm_sq = x.FrobeniusNormSquared();
+  if (x_norm_sq <= 0.0) return 0.0;
+  return 1.0 - std::sqrt(ResidualNormSquared(x) / x_norm_sq);
+}
+
+}  // namespace sns

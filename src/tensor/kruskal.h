@@ -1,0 +1,72 @@
+// Kruskal (CP) model: the output of CP decomposition — M factor matrices
+// plus per-component weights λ (Eq. 1 of the paper). Provides cell
+// evaluation, the Gram-identity norm, and the exact fitness metric
+// 1 − ‖X̃ − X‖_F / ‖X‖_F used throughout the evaluation section.
+
+#ifndef SLICENSTITCH_TENSOR_KRUSKAL_H_
+#define SLICENSTITCH_TENSOR_KRUSKAL_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "tensor/sparse_tensor.h"
+
+namespace sns {
+
+class Rng;
+
+/// CP model ⟦λ; A(1), …, A(M)⟧ with A(m) of shape dims[m]×R.
+///
+/// λ defaults to all-ones; only SNS-MAT (which column-normalizes per Alg. 2)
+/// keeps a non-trivial λ.
+class KruskalModel {
+ public:
+  KruskalModel() : rank_(0) {}
+
+  /// Model with the given factors; λ = 1.
+  explicit KruskalModel(std::vector<Matrix> factors);
+
+  /// Uniform[0,1) random factors of shape dims[m]×rank — the standard sparse
+  /// CP initialization (non-negative so early approximations are not
+  /// self-cancelling).
+  static KruskalModel Random(const std::vector<int64_t>& dims, int64_t rank,
+                             Rng& rng);
+
+  int num_modes() const { return static_cast<int>(factors_.size()); }
+  int64_t rank() const { return rank_; }
+
+  const Matrix& factor(int mode) const { return factors_[mode]; }
+  Matrix& factor(int mode) { return factors_[mode]; }
+  const std::vector<Matrix>& factors() const { return factors_; }
+
+  const std::vector<double>& lambda() const { return lambda_; }
+  std::vector<double>& lambda() { return lambda_; }
+
+  /// Total number of model parameters Σ_m N_m·R (the quantity in Fig. 1d).
+  int64_t NumParameters() const;
+
+  /// Model value at one cell: Σ_r λ_r Π_m A(m)(i_m, r).
+  double Evaluate(const ModeIndex& index) const;
+
+  /// ‖X̃‖²_F via the Gram identity λ'(∗_m A(m)'A(m))λ — O(Σ N_m R²), no
+  /// materialization of the dense tensor.
+  double NormSquared() const;
+
+  /// ⟨X̃, X⟩ = Σ over non-zeros of X of x_J · X̃_J — O(|X| M R).
+  double InnerProduct(const SparseTensor& x) const;
+
+  /// ‖X̃ − X‖²_F (clamped at 0 against floating-point cancellation).
+  double ResidualNormSquared(const SparseTensor& x) const;
+
+  /// Fitness = 1 − ‖X̃ − X‖_F / ‖X‖_F. Returns 0 when X is all zero.
+  double Fitness(const SparseTensor& x) const;
+
+ private:
+  std::vector<Matrix> factors_;
+  std::vector<double> lambda_;
+  int64_t rank_;
+};
+
+}  // namespace sns
+
+#endif  // SLICENSTITCH_TENSOR_KRUSKAL_H_

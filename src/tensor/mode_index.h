@@ -1,0 +1,95 @@
+// Fixed-capacity multi-mode index: the coordinate of one tensor cell.
+//
+// SliceNStitch tensors have 3–5 modes (the paper's datasets have 3 or 4), so
+// coordinates are stored inline — no heap allocation per non-zero — with a
+// hard cap of kMaxTensorModes modes.
+
+#ifndef SLICENSTITCH_TENSOR_MODE_INDEX_H_
+#define SLICENSTITCH_TENSOR_MODE_INDEX_H_
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+#include "common/check.h"
+
+namespace sns {
+
+/// Maximum tensor order supported by the library.
+inline constexpr int kMaxTensorModes = 8;
+
+/// Coordinate of a tensor cell: `size()` mode indices, each 0-based.
+class ModeIndex {
+ public:
+  ModeIndex() : size_(0) { dims_.fill(0); }
+
+  ModeIndex(std::initializer_list<int32_t> values) : ModeIndex() {
+    SNS_CHECK(values.size() <= kMaxTensorModes);
+    for (int32_t v : values) dims_[size_++] = v;
+  }
+
+  int size() const { return size_; }
+
+  int32_t operator[](int mode) const {
+    SNS_DCHECK(mode >= 0 && mode < size_);
+    return dims_[mode];
+  }
+  int32_t& operator[](int mode) {
+    SNS_DCHECK(mode >= 0 && mode < size_);
+    return dims_[mode];
+  }
+
+  /// Appends one more mode index.
+  void PushBack(int32_t value) {
+    SNS_CHECK(size_ < kMaxTensorModes);
+    dims_[size_++] = value;
+  }
+
+  /// Returns a copy with `value` appended (e.g. non-time index + time index).
+  ModeIndex WithAppended(int32_t value) const {
+    ModeIndex out = *this;
+    out.PushBack(value);
+    return out;
+  }
+
+  friend bool operator==(const ModeIndex& a, const ModeIndex& b) {
+    if (a.size_ != b.size_) return false;
+    for (int m = 0; m < a.size_; ++m) {
+      if (a.dims_[m] != b.dims_[m]) return false;
+    }
+    return true;
+  }
+
+  /// "(i, j, k)" rendering for logs and test failures.
+  std::string ToString() const {
+    std::string out = "(";
+    for (int m = 0; m < size_; ++m) {
+      if (m > 0) out += ", ";
+      out += std::to_string(dims_[m]);
+    }
+    out += ")";
+    return out;
+  }
+
+ private:
+  std::array<int32_t, kMaxTensorModes> dims_;
+  int size_;
+};
+
+/// FNV-1a over the active modes; good enough dispersion for open-addressed
+/// and bucketed hash maps alike.
+struct ModeIndexHash {
+  size_t operator()(const ModeIndex& index) const {
+    uint64_t h = 1469598103934665603ULL;
+    for (int m = 0; m < index.size(); ++m) {
+      h ^= static_cast<uint64_t>(static_cast<uint32_t>(index[m]));
+      h *= 1099511628211ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace sns
+
+#endif  // SLICENSTITCH_TENSOR_MODE_INDEX_H_

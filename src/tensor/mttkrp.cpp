@@ -1,0 +1,55 @@
+#include "tensor/mttkrp.h"
+
+#include <algorithm>
+
+namespace sns {
+
+void HadamardRowProduct(const std::vector<Matrix>& factors,
+                        const ModeIndex& index, int skip_mode, double* out) {
+  const int64_t rank = factors[0].cols();
+  std::fill(out, out + rank, 1.0);
+  for (size_t m = 0; m < factors.size(); ++m) {
+    if (static_cast<int>(m) == skip_mode) continue;
+    const double* row = factors[m].Row(index[static_cast<int>(m)]);
+    for (int64_t r = 0; r < rank; ++r) out[r] *= row[r];
+  }
+}
+
+Matrix Mttkrp(const SparseTensor& x, const std::vector<Matrix>& factors,
+              int mode) {
+  const int64_t rank = factors[0].cols();
+  Matrix out(x.dim(mode), rank);
+  std::vector<double> had(static_cast<size_t>(rank));
+  x.ForEachNonzero([&](const ModeIndex& index, double value) {
+    HadamardRowProduct(factors, index, mode, had.data());
+    double* out_row = out.Row(index[mode]);
+    for (int64_t r = 0; r < rank; ++r) out_row[r] += value * had[r];
+  });
+  return out;
+}
+
+void MttkrpRow(const SparseTensor& x, const std::vector<Matrix>& factors,
+               int mode, int64_t row, double* out) {
+  const int64_t rank = factors[0].cols();
+  std::fill(out, out + rank, 0.0);
+  std::vector<double> had(static_cast<size_t>(rank));
+  for (const ModeIndex& index : x.SliceNonzeros(mode, row)) {
+    const double value = x.Get(index);
+    HadamardRowProduct(factors, index, mode, had.data());
+    for (int64_t r = 0; r < rank; ++r) out[r] += value * had[r];
+  }
+}
+
+Matrix HadamardOfGramsExcept(const std::vector<Matrix>& grams, int skip_mode) {
+  SNS_CHECK(!grams.empty());
+  const int64_t rank = grams[0].rows();
+  Matrix h(rank, rank);
+  h.Fill(1.0);
+  for (size_t m = 0; m < grams.size(); ++m) {
+    if (static_cast<int>(m) == skip_mode) continue;
+    h = Hadamard(h, grams[m]);
+  }
+  return h;
+}
+
+}  // namespace sns

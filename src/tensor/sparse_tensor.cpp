@@ -1,0 +1,122 @@
+#include "tensor/sparse_tensor.h"
+
+#include <cmath>
+
+namespace sns {
+
+SparseTensor::SparseTensor(std::vector<int64_t> dims) : dims_(std::move(dims)) {
+  SNS_CHECK(!dims_.empty());
+  SNS_CHECK(static_cast<int>(dims_.size()) <= kMaxTensorModes);
+  buckets_.resize(dims_.size());
+  for (size_t m = 0; m < dims_.size(); ++m) {
+    SNS_CHECK(dims_[m] > 0);
+    buckets_[m].resize(static_cast<size_t>(dims_[m]));
+  }
+}
+
+double SparseTensor::Get(const ModeIndex& index) const {
+  SNS_DCHECK(IndexInBounds(index));
+  auto it = entries_.find(index);
+  return it == entries_.end() ? 0.0 : it->second.value;
+}
+
+double SparseTensor::Add(const ModeIndex& index, double delta) {
+  SNS_DCHECK(IndexInBounds(index));
+  auto [it, inserted] = entries_.try_emplace(index);
+  Entry& entry = it->second;
+  if (inserted) {
+    entry.value = delta;
+    InsertIntoBuckets(index, entry);
+  } else {
+    entry.value += delta;
+  }
+  const double value = entry.value;
+  if (std::fabs(value) < kZeroEpsilon) {
+    RemoveFromBuckets(index, entry);
+    entries_.erase(it);
+    return 0.0;
+  }
+  return value;
+}
+
+void SparseTensor::Set(const ModeIndex& index, double value) {
+  SNS_DCHECK(IndexInBounds(index));
+  auto it = entries_.find(index);
+  if (std::fabs(value) < kZeroEpsilon) {
+    if (it != entries_.end()) {
+      RemoveFromBuckets(index, it->second);
+      entries_.erase(it);
+    }
+    return;
+  }
+  if (it != entries_.end()) {
+    it->second.value = value;
+    return;
+  }
+  auto [new_it, inserted] = entries_.try_emplace(index);
+  (void)inserted;
+  new_it->second.value = value;
+  InsertIntoBuckets(index, new_it->second);
+}
+
+void SparseTensor::Clear() {
+  entries_.clear();
+  for (auto& mode_buckets : buckets_) {
+    for (auto& bucket : mode_buckets) bucket.clear();
+  }
+}
+
+void SparseTensor::ForEachNonzero(
+    const std::function<void(const ModeIndex&, double)>& fn) const {
+  for (const auto& [index, entry] : entries_) fn(index, entry.value);
+}
+
+double SparseTensor::FrobeniusNormSquared() const {
+  double sum = 0.0;
+  for (const auto& [index, entry] : entries_) sum += entry.value * entry.value;
+  return sum;
+}
+
+double SparseTensor::MaxAbsValue() const {
+  double best = 0.0;
+  for (const auto& [index, entry] : entries_) {
+    best = std::max(best, std::fabs(entry.value));
+  }
+  return best;
+}
+
+bool SparseTensor::IndexInBounds(const ModeIndex& index) const {
+  if (index.size() != num_modes()) return false;
+  for (int m = 0; m < index.size(); ++m) {
+    if (index[m] < 0 || index[m] >= dims_[m]) return false;
+  }
+  return true;
+}
+
+void SparseTensor::InsertIntoBuckets(const ModeIndex& index, Entry& entry) {
+  for (int m = 0; m < index.size(); ++m) {
+    auto& bucket = buckets_[m][static_cast<size_t>(index[m])];
+    entry.bucket_pos[m] = static_cast<uint32_t>(bucket.size());
+    bucket.push_back(index);
+  }
+}
+
+void SparseTensor::RemoveFromBuckets(const ModeIndex& index,
+                                     const Entry& entry) {
+  for (int m = 0; m < index.size(); ++m) {
+    auto& bucket = buckets_[m][static_cast<size_t>(index[m])];
+    const uint32_t pos = entry.bucket_pos[m];
+    SNS_DCHECK(pos < bucket.size() && bucket[pos] == index);
+    const uint32_t last = static_cast<uint32_t>(bucket.size()) - 1;
+    if (pos != last) {
+      // Swap-erase: relocate the last coordinate and fix its stored position.
+      bucket[pos] = bucket[last];
+      auto moved = entries_.find(bucket[pos]);
+      SNS_DCHECK(moved != entries_.end());
+      moved->second.bucket_pos[m] = pos;
+    }
+    bucket.pop_back();
+  }
+}
+
+}  // namespace sns

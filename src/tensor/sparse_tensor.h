@@ -1,0 +1,98 @@
+// Sparse COO tensor with per-(mode, index) slice buckets.
+//
+// This is the storage backing the continuous tensor window. Besides O(1)
+// amortized point updates it maintains, for every mode m and index i, the
+// list of non-zero coordinates whose m-th mode index is i. That gives the
+// SliceNStitch updaters exactly the three operations they need in O(1)/O(k):
+//   - deg(m, i)          — |X_(m)(i, :)|, Theorem 4's degree,
+//   - slice iteration    — the sum over Ω^(m)_i in Eqs. 12 & 21,
+//   - uniform sampling   — the θ-sample of SNS-RND / SNS+RND (Alg. 4 line 12).
+// Buckets use swap-erase so removal is O(1); each entry remembers its
+// position in all of its M buckets.
+
+#ifndef SLICENSTITCH_TENSOR_SPARSE_TENSOR_H_
+#define SLICENSTITCH_TENSOR_SPARSE_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/mode_index.h"
+
+namespace sns {
+
+/// Sparse tensor over a fixed dense shape. Cells not present are zero.
+/// Entries whose magnitude drops below kZeroEpsilon after an update are
+/// removed, so the continuous window's add-then-subtract event pairs do not
+/// leak near-zero residue.
+class SparseTensor {
+ public:
+  static constexpr double kZeroEpsilon = 1e-12;
+
+  /// An empty tensor of the given shape (one extent per mode).
+  explicit SparseTensor(std::vector<int64_t> dims);
+
+  int num_modes() const { return static_cast<int>(dims_.size()); }
+  const std::vector<int64_t>& dims() const { return dims_; }
+  int64_t dim(int mode) const { return dims_[mode]; }
+
+  /// Number of non-zero cells.
+  int64_t nnz() const { return static_cast<int64_t>(entries_.size()); }
+
+  /// Value at a cell (0.0 when absent).
+  double Get(const ModeIndex& index) const;
+
+  /// Adds `delta` to a cell, creating or erasing the entry as needed.
+  /// Returns the new value of the cell.
+  double Add(const ModeIndex& index, double delta);
+
+  /// Sets a cell to an exact value (erases it when |value| < kZeroEpsilon).
+  void Set(const ModeIndex& index, double value);
+
+  /// Removes every entry.
+  void Clear();
+
+  /// deg(m, i): number of non-zeros whose m-th mode index is i.
+  int64_t Degree(int mode, int64_t index) const {
+    return static_cast<int64_t>(buckets_[mode][index].size());
+  }
+
+  /// Coordinates of all non-zeros with the m-th mode index fixed to i.
+  /// The reference is invalidated by any mutation of the tensor.
+  const std::vector<ModeIndex>& SliceNonzeros(int mode, int64_t index) const {
+    return buckets_[mode][index];
+  }
+
+  /// Invokes fn(coordinate, value) for every non-zero (unspecified order).
+  void ForEachNonzero(
+      const std::function<void(const ModeIndex&, double)>& fn) const;
+
+  /// Σ x² over non-zeros.
+  double FrobeniusNormSquared() const;
+
+  /// Largest |x| over non-zeros (0 when empty).
+  double MaxAbsValue() const;
+
+  /// True if `index` has num_modes() coordinates all within the shape.
+  bool IndexInBounds(const ModeIndex& index) const;
+
+ private:
+  struct Entry {
+    double value;
+    // Position of this coordinate inside buckets_[m][coord[m]] per mode.
+    std::array<uint32_t, kMaxTensorModes> bucket_pos;
+  };
+
+  void InsertIntoBuckets(const ModeIndex& index, Entry& entry);
+  void RemoveFromBuckets(const ModeIndex& index, const Entry& entry);
+
+  std::vector<int64_t> dims_;
+  std::unordered_map<ModeIndex, Entry, ModeIndexHash> entries_;
+  // buckets_[m][i] lists the coordinates of non-zeros with m-th index i.
+  std::vector<std::vector<std::vector<ModeIndex>>> buckets_;
+};
+
+}  // namespace sns
+
+#endif  // SLICENSTITCH_TENSOR_SPARSE_TENSOR_H_

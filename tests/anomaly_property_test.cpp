@@ -1,0 +1,93 @@
+// Randomized property tests for the anomaly-detection metrics: labeling,
+// precision@k, and detection delay must agree with brute-force definitions
+// on arbitrary scenarios.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "apps/anomaly_detection.h"
+#include "common/random.h"
+
+namespace sns {
+namespace {
+
+struct Scenario {
+  std::vector<InjectedAnomaly> injected;
+  std::vector<Detection> detections;
+};
+
+Scenario RandomScenario(uint64_t seed) {
+  Rng rng(seed);
+  Scenario scenario;
+  const int num_injected = static_cast<int>(rng.UniformInt(1, 6));
+  for (int i = 0; i < num_injected; ++i) {
+    Tuple tuple{{static_cast<int32_t>(rng.UniformInt(0, 3)),
+                 static_cast<int32_t>(rng.UniformInt(0, 3))},
+                10.0, rng.UniformInt(100, 500)};
+    scenario.injected.push_back({tuple, tuple.time});
+  }
+  const int num_detections = static_cast<int>(rng.UniformInt(0, 40));
+  for (int i = 0; i < num_detections; ++i) {
+    scenario.detections.push_back(
+        {rng.UniformInt(50, 600),
+         {static_cast<int32_t>(rng.UniformInt(0, 3)),
+          static_cast<int32_t>(rng.UniformInt(0, 3))},
+         rng.UniformDouble(0.0, 20.0),
+         false});
+  }
+  return scenario;
+}
+
+class AnomalyPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AnomalyPropertyTest, LabelingMatchesBruteForce) {
+  Scenario scenario = RandomScenario(GetParam());
+  const int64_t slack = 50;
+  LabelDetections(scenario.injected, slack, &scenario.detections);
+  for (const Detection& detection : scenario.detections) {
+    bool expected = false;
+    for (const InjectedAnomaly& anomaly : scenario.injected) {
+      if (anomaly.tuple.index == detection.index &&
+          detection.event_time >= anomaly.injection_time &&
+          detection.event_time <= anomaly.injection_time + slack) {
+        expected = true;
+      }
+    }
+    EXPECT_EQ(detection.is_injected, expected);
+  }
+}
+
+TEST_P(AnomalyPropertyTest, PrecisionMatchesBruteForceTopK) {
+  Scenario scenario = RandomScenario(GetParam() + 1000);
+  LabelDetections(scenario.injected, 50, &scenario.detections);
+  const int k = 5;
+  // Brute force: sort by z descending, count hits in the first k.
+  std::vector<Detection> sorted = scenario.detections;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Detection& a, const Detection& b) {
+              return a.z_score > b.z_score;
+            });
+  int hits = 0;
+  for (size_t i = 0; i < sorted.size() && i < static_cast<size_t>(k); ++i) {
+    hits += sorted[i].is_injected ? 1 : 0;
+  }
+  EXPECT_DOUBLE_EQ(PrecisionAtTopK(scenario.detections, k),
+                   static_cast<double>(hits) / k);
+}
+
+TEST_P(AnomalyPropertyTest, DelayIsBoundedByPenaltyAndNonNegative) {
+  Scenario scenario = RandomScenario(GetParam() + 2000);
+  LabelDetections(scenario.injected, 50, &scenario.detections);
+  const double penalty = 777.0;
+  const double delay =
+      MeanDetectionDelay(scenario.injected, scenario.detections, 10, penalty);
+  EXPECT_GE(delay, 0.0);
+  EXPECT_LE(delay, penalty);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnomalyPropertyTest,
+                         ::testing::Range<uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace sns

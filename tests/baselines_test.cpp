@@ -1,0 +1,248 @@
+// Tests for the periodic baselines (ALS / OnlineSCP / CP-stream / NeCPD)
+// and the PeriodicRunner driver.
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "baselines/cp_stream.h"
+#include "baselines/necpd.h"
+#include "baselines/online_scp.h"
+#include "baselines/periodic_als.h"
+#include "baselines/periodic_runner.h"
+#include "baselines/unit_ops.h"
+#include "common/random.h"
+#include "data/synthetic.h"
+#include "tensor/mttkrp.h"
+
+namespace sns {
+namespace {
+
+constexpr int kWindowSize = 4;
+constexpr int64_t kPeriod = 50;
+constexpr int64_t kRank = 3;
+
+DataStream TestStream(int64_t num_events, uint64_t seed) {
+  SyntheticStreamConfig config;
+  config.mode_dims = {9, 7};
+  config.num_events = num_events;
+  config.time_span = (1 + 5) * kWindowSize * kPeriod;
+  config.latent_rank = 3;
+  config.noise_fraction = 0.1;
+  config.diurnal_period = 200;
+  config.seed = seed;
+  auto stream = GenerateSyntheticStream(config);
+  SNS_CHECK(stream.ok());
+  return std::move(stream).value();
+}
+
+AlsOptions InitOptions() {
+  AlsOptions options;
+  options.max_iterations = 30;
+  return options;
+}
+
+std::unique_ptr<PeriodicAlgorithm> MakeAlgorithm(const std::string& which) {
+  if (which == "als") {
+    return std::make_unique<PeriodicAls>(kRank, InitOptions(), /*seed=*/5);
+  }
+  if (which == "onlinescp") {
+    return std::make_unique<OnlineScp>(kRank, InitOptions());
+  }
+  if (which == "cpstream") {
+    return std::make_unique<CpStream>(kRank, InitOptions());
+  }
+  if (which == "necpd1") {
+    return std::make_unique<NeCpd>(kRank, InitOptions(), /*epochs=*/1);
+  }
+  return std::make_unique<NeCpd>(kRank, InitOptions(), /*epochs=*/10);
+}
+
+// Shared pipeline: warm up one window span, init, process 5 window spans.
+PeriodicRunner RunBaseline(const std::string& which, const DataStream& stream) {
+  PeriodicRunner runner(stream.mode_dims(), kWindowSize, kPeriod,
+                        MakeAlgorithm(which));
+  const int64_t warmup_end = kWindowSize * kPeriod;
+  size_t i = 0;
+  const auto& tuples = stream.tuples();
+  for (; i < tuples.size() && tuples[i].time <= warmup_end; ++i) {
+    runner.Warmup(tuples[i]);
+  }
+  Rng rng(77);
+  runner.Initialize(rng, warmup_end);
+  for (; i < tuples.size(); ++i) runner.Process(tuples[i]);
+  runner.FinishUpTo(stream.end_time());
+  return runner;
+}
+
+TEST(UnitOpsTest, SplitWindowIntoUnitsRoundTrips) {
+  Rng rng(1);
+  SparseTensor window({4, 3, 5});
+  for (int i = 0; i < 30; ++i) {
+    window.Set({static_cast<int32_t>(rng.UniformInt(0, 3)),
+                static_cast<int32_t>(rng.UniformInt(0, 2)),
+                static_cast<int32_t>(rng.UniformInt(0, 4))},
+               rng.UniformDouble(0.5, 2.0));
+  }
+  auto units = SplitWindowIntoUnits(window);
+  ASSERT_EQ(units.size(), 5u);
+  int64_t total_nnz = 0;
+  for (size_t w = 0; w < units.size(); ++w) {
+    total_nnz += units[w].nnz();
+    units[w].ForEachNonzero([&](const ModeIndex& index, double value) {
+      EXPECT_DOUBLE_EQ(
+          window.Get(index.WithAppended(static_cast<int32_t>(w))), value);
+    });
+  }
+  EXPECT_EQ(total_nnz, window.nnz());
+}
+
+TEST(UnitOpsTest, UnitTimeRowRhsMatchesMttkrpRow) {
+  // Placing the unit at time index w of an otherwise-empty window, the unit
+  // RHS must equal the mode-(M-1) row MTTKRP of that window at row w.
+  Rng rng(2);
+  const std::vector<int64_t> dims = {5, 4};
+  SparseTensor unit(dims);
+  for (int i = 0; i < 12; ++i) {
+    unit.Set({static_cast<int32_t>(rng.UniformInt(0, 4)),
+              static_cast<int32_t>(rng.UniformInt(0, 3))},
+             rng.UniformDouble(0.5, 2.0));
+  }
+  KruskalModel model = KruskalModel::Random({5, 4, 3}, 2, rng);
+  SparseTensor window({5, 4, 3});
+  unit.ForEachNonzero([&](const ModeIndex& index, double value) {
+    window.Set(index.WithAppended(1), value);
+  });
+  std::vector<double> rhs = UnitTimeRowRhs(unit, model.factors());
+  std::vector<double> expected(2);
+  MttkrpRow(window, model.factors(), 2, 1, expected.data());
+  EXPECT_NEAR(rhs[0], expected[0], 1e-10);
+  EXPECT_NEAR(rhs[1], expected[1], 1e-10);
+}
+
+TEST(UnitOpsTest, AccumulateUnitMttkrpMatchesFullMttkrp) {
+  Rng rng(3);
+  const std::vector<int64_t> dims = {5, 4};
+  SparseTensor unit(dims);
+  for (int i = 0; i < 15; ++i) {
+    unit.Set({static_cast<int32_t>(rng.UniformInt(0, 4)),
+              static_cast<int32_t>(rng.UniformInt(0, 3))},
+             rng.UniformDouble(0.5, 2.0));
+  }
+  KruskalModel model = KruskalModel::Random({5, 4, 3}, 2, rng);
+  // Window with the unit at time index 2.
+  SparseTensor window({5, 4, 3});
+  unit.ForEachNonzero([&](const ModeIndex& index, double value) {
+    window.Set(index.WithAppended(2), value);
+  });
+  for (int mode = 0; mode < 2; ++mode) {
+    Matrix p(dims[static_cast<size_t>(mode)], 2);
+    AccumulateUnitMttkrp(unit, model.factors(), model.factor(2).Row(2), mode,
+                         1.0, p);
+    Matrix expected = Mttkrp(window, model.factors(), mode);
+    EXPECT_LT(MaxAbsDiff(p, expected), 1e-10) << "mode " << mode;
+  }
+}
+
+TEST(PeriodicAlgorithmTest, ShiftTimeFactorRows) {
+  Matrix time_factor(3, 2);
+  for (int64_t i = 0; i < 3; ++i) {
+    time_factor(i, 0) = static_cast<double>(i);
+    time_factor(i, 1) = static_cast<double>(10 + i);
+  }
+  ShiftTimeFactorRows(time_factor);
+  EXPECT_DOUBLE_EQ(time_factor(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(time_factor(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(time_factor(2, 0), 2.0);  // Warm start copy.
+  EXPECT_DOUBLE_EQ(time_factor(0, 1), 11.0);
+}
+
+class BaselineBehaviourTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BaselineBehaviourTest, ProducesFinitePositiveFitnessPerBoundary) {
+  DataStream stream = TestStream(2500, 31);
+  PeriodicRunner runner = RunBaseline(GetParam(), stream);
+  ASSERT_GT(runner.observations().size(), 5u);
+  for (const auto& obs : runner.observations()) {
+    ASSERT_TRUE(std::isfinite(obs.fitness)) << GetParam();
+    ASSERT_GE(obs.update_micros, 0.0);
+  }
+  // The second half of the run should track reasonably. The least-squares
+  // baselines stay above a loose floor; SGD-based NeCPD is far weaker (as in
+  // the paper, where it is the least accurate baseline — Fig. 5b) and must
+  // merely stay positive on average rather than collapse or diverge.
+  double mean_late_fitness = 0.0;
+  int counted = 0;
+  const auto& all = runner.observations();
+  for (size_t i = all.size() / 2; i < all.size(); ++i) {
+    mean_late_fitness += all[i].fitness;
+    ++counted;
+  }
+  mean_late_fitness /= counted;
+  const bool is_sgd_baseline = GetParam().rfind("necpd", 0) == 0;
+  // NeCPD(1) hovers around zero fitness on sparse windows (one SGD epoch
+  // cannot keep up) — the bound only rejects divergence.
+  EXPECT_GT(mean_late_fitness, is_sgd_baseline ? -0.1 : 0.15) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Baselines, BaselineBehaviourTest,
+                         ::testing::Values("als", "onlinescp", "cpstream",
+                                           "necpd1", "necpd10"),
+                         [](const auto& info) { return info.param; });
+
+TEST(BaselineOrderingTest, AlsIsMostAccurateBaseline) {
+  DataStream stream = TestStream(2500, 33);
+  PeriodicRunner als = RunBaseline("als", stream);
+  PeriodicRunner scp = RunBaseline("onlinescp", stream);
+  auto mean_fitness = [](const PeriodicRunner& runner) {
+    double sum = 0.0;
+    for (const auto& obs : runner.observations()) sum += obs.fitness;
+    return sum / static_cast<double>(runner.observations().size());
+  };
+  // Batch ALS re-solves per boundary and should not lose to the incremental
+  // approximation by a wide margin (allow small noise).
+  EXPECT_GT(mean_fitness(als) + 0.05, mean_fitness(scp));
+}
+
+TEST(PeriodicRunnerTest, BoundariesAdvanceWithGaps) {
+  // Tuples that skip several periods still produce one observation per
+  // boundary (with empty units).
+  DataStream stream({3, 3});
+  SNS_CHECK(stream.Append({{0, 0}, 1.0, 10}).ok());
+  SNS_CHECK(stream.Append({{1, 1}, 1.0, 30}).ok());
+  SNS_CHECK(stream.Append({{2, 2}, 1.0, 460}).ok());
+
+  PeriodicRunner runner({3, 3}, kWindowSize, /*period=*/50,
+                        std::make_unique<PeriodicAls>(2, InitOptions(), 1));
+  runner.Warmup(stream.tuples()[0]);
+  runner.Warmup(stream.tuples()[1]);
+  Rng rng(5);
+  runner.Initialize(rng, /*boundary_time=*/50);
+  runner.Process(stream.tuples()[2]);  // Crosses boundaries 100..450.
+  runner.FinishUpTo(500);
+  // Boundaries 100, 150, ..., 500 → 9 observations.
+  EXPECT_EQ(runner.observations().size(), 9u);
+  EXPECT_EQ(runner.observations().front().boundary_time, 100);
+  EXPECT_EQ(runner.observations().back().boundary_time, 500);
+}
+
+TEST(NeCpdTest, EpochCountsBothTrackOnDenseStream) {
+  DataStream stream = TestStream(3000, 35);
+  PeriodicRunner one = RunBaseline("necpd1", stream);
+  PeriodicRunner ten = RunBaseline("necpd10", stream);
+  auto mean_fitness = [](const PeriodicRunner& runner) {
+    double sum = 0.0;
+    for (const auto& obs : runner.observations()) sum += obs.fitness;
+    return sum / static_cast<double>(runner.observations().size());
+  };
+  // With LMS normalization + weight decay both epoch counts are stable on a
+  // dense stream; extra epochs trade a little fit for extra regularization,
+  // so we assert a band rather than an ordering.
+  EXPECT_GT(mean_fitness(one), 0.3);
+  EXPECT_GT(mean_fitness(ten), 0.3);
+  EXPECT_LT(std::fabs(mean_fitness(ten) - mean_fitness(one)), 0.2);
+}
+
+}  // namespace
+}  // namespace sns

@@ -1,0 +1,395 @@
+// Correctness tests for the five SliceNStitch updaters (Algorithms 2-5).
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/als.h"
+#include "core/cpd_state.h"
+#include "core/continuous_cpd.h"
+#include "core/gram_solve.h"
+#include "core/sns_mat.h"
+#include "core/sns_rnd.h"
+#include "core/sns_rnd_plus.h"
+#include "core/sns_vec.h"
+#include "core/sns_vec_plus.h"
+#include "tensor/mttkrp.h"
+
+namespace sns {
+namespace {
+
+// Window tensor equal to the dense values of `model` (so X̃ = X exactly).
+SparseTensor DenseWindowFromModel(const KruskalModel& model) {
+  std::vector<int64_t> dims;
+  for (int m = 0; m < model.num_modes(); ++m) {
+    dims.push_back(model.factor(m).rows());
+  }
+  SparseTensor x(dims);
+  ModeIndex index;
+  for (size_t m = 0; m < dims.size(); ++m) index.PushBack(0);
+  while (true) {
+    x.Set(index, model.Evaluate(index));
+    int m = static_cast<int>(dims.size()) - 1;
+    while (m >= 0) {
+      if (++index[m] < dims[static_cast<size_t>(m)]) break;
+      index[m] = 0;
+      --m;
+    }
+    if (m < 0) break;
+  }
+  return x;
+}
+
+// Applies an arrival delta of value v at (i0, i1, W-1) to `window` and
+// returns the WindowDelta describing it.
+WindowDelta MakeArrival(SparseTensor& window, int32_t i0, int32_t i1,
+                        double v, int w_size) {
+  WindowDelta delta;
+  delta.kind = EventKind::kArrival;
+  delta.w = 0;
+  delta.time = 0;
+  delta.tuple = Tuple{{i0, i1}, v, 0};
+  const ModeIndex cell = ModeIndex{i0, i1}.WithAppended(w_size - 1);
+  window.Add(cell, v);
+  delta.cells.push_back({cell, v});
+  return delta;
+}
+
+// Applies a slide delta (w-th update) for tuple (i0, i1, v) to `window`.
+WindowDelta MakeSlide(SparseTensor& window, int32_t i0, int32_t i1, double v,
+                      int w, int w_size) {
+  WindowDelta delta;
+  delta.kind = EventKind::kSlide;
+  delta.w = w;
+  delta.time = 0;
+  delta.tuple = Tuple{{i0, i1}, v, 0};
+  const ModeIndex from = ModeIndex{i0, i1}.WithAppended(w_size - w);
+  const ModeIndex to = ModeIndex{i0, i1}.WithAppended(w_size - w - 1);
+  window.Add(from, -v);
+  window.Add(to, v);
+  delta.cells.push_back({from, -v});
+  delta.cells.push_back({to, v});
+  return delta;
+}
+
+double GramDrift(const CpdState& state) {
+  double drift = 0.0;
+  for (int m = 0; m < state.num_modes(); ++m) {
+    Matrix expected =
+        MultiplyTransposeA(state.model.factor(m), state.model.factor(m));
+    drift = std::max(
+        drift, MaxAbsDiff(state.grams[static_cast<size_t>(m)], expected));
+  }
+  return drift;
+}
+
+TEST(SnsMatTest, EventEqualsOneNormalizedAlsSweep) {
+  Rng rng(21);
+  const std::vector<int64_t> dims = {4, 3, 5};
+  KruskalModel start = KruskalModel::Random(dims, 2, rng);
+  SparseTensor window = DenseWindowFromModel(KruskalModel::Random(dims, 2, rng));
+
+  CpdState state_updater(start);
+  CpdState state_reference(start);
+
+  WindowDelta delta = MakeArrival(window, 1, 2, 3.0, 5);
+  // Reference sees the same post-delta window.
+  SnsMatUpdater updater;
+  updater.OnEvent(window, delta, state_updater);
+  AlsSweep(window, state_reference, /*normalize_columns=*/true);
+
+  for (int m = 0; m < 3; ++m) {
+    EXPECT_LT(MaxAbsDiff(state_updater.model.factor(m),
+                         state_reference.model.factor(m)),
+              1e-12);
+  }
+  for (int64_t r = 0; r < 2; ++r) {
+    EXPECT_DOUBLE_EQ(state_updater.model.lambda()[static_cast<size_t>(r)],
+                     state_reference.model.lambda()[static_cast<size_t>(r)]);
+  }
+}
+
+TEST(SnsMatTest, SkipsZeroValuedEvents) {
+  Rng rng(22);
+  const std::vector<int64_t> dims = {3, 3, 3};
+  CpdState state(KruskalModel::Random(dims, 2, rng));
+  KruskalModel before = state.model;
+  SparseTensor window(dims);
+  WindowDelta empty_delta;  // No cells.
+  SnsMatUpdater updater;
+  updater.OnEvent(window, empty_delta, state);
+  for (int m = 0; m < 3; ++m) {
+    EXPECT_LT(MaxAbsDiff(state.model.factor(m), before.factor(m)), 1e-15);
+  }
+}
+
+// Under a perfect model (X̃ = X, H nonsingular), Eq. 9's incremental time-
+// mode update must coincide with the exact row least squares (Eq. 6/12).
+TEST(SnsVecTest, TimeModeShortcutMatchesExactSolveUnderPerfectModel) {
+  Rng rng(23);
+  const int w_size = 4;
+  const std::vector<int64_t> dims = {3, 4, w_size};
+  KruskalModel model = KruskalModel::Random(dims, 2, rng);
+  SparseTensor window = DenseWindowFromModel(model);
+  CpdState state(model);
+
+  WindowDelta delta = MakeArrival(window, 2, 1, 5.0, w_size);
+
+  // Expected: exact solve of the affected time row with the pre-event
+  // factors (the time mode is updated first, so these are current).
+  std::vector<double> b(2), expected(2);
+  MttkrpRow(window, state.model.factors(), 2, w_size - 1, b.data());
+  Matrix h = HadamardOfGramsExcept(state.grams, 2);
+  SolveRowAgainstGram(h, b.data(), expected.data());
+
+  SnsVecUpdater updater;
+  updater.OnEvent(window, delta, state);
+
+  const double* actual = state.model.factor(2).Row(w_size - 1);
+  EXPECT_NEAR(actual[0], expected[0], 1e-8);
+  EXPECT_NEAR(actual[1], expected[1], 1e-8);
+}
+
+// After an SNS-VEC event the final non-time row satisfies its normal
+// equations exactly: A(m)(i,:) H = (X+ΔX)_(m)(i,:) K with everything at its
+// final value (mode 1 is updated last in a 3-mode tensor).
+TEST(SnsVecTest, LastNonTimeRowSatisfiesNormalEquations) {
+  Rng rng(24);
+  const int w_size = 3;
+  const std::vector<int64_t> dims = {4, 5, w_size};
+  KruskalModel model = KruskalModel::Random(dims, 2, rng);
+  SparseTensor window = DenseWindowFromModel(model);
+  CpdState state(model);
+
+  WindowDelta delta = MakeSlide(window, 3, 2, 2.0, 1, w_size);
+  SnsVecUpdater updater;
+  updater.OnEvent(window, delta, state);
+
+  std::vector<double> rhs(2);
+  MttkrpRow(window, state.model.factors(), 1, 2, rhs.data());
+  Matrix h = HadamardOfGramsExcept(state.grams, 1);
+  const double* row = state.model.factor(1).Row(2);
+  for (int64_t k = 0; k < 2; ++k) {
+    double lhs = row[0] * h(0, k) + row[1] * h(1, k);
+    EXPECT_NEAR(lhs, rhs[static_cast<size_t>(k)], 1e-8);
+  }
+}
+
+TEST(SnsVecTest, OnlyAffectedRowsChange) {
+  Rng rng(25);
+  const int w_size = 4;
+  const std::vector<int64_t> dims = {5, 6, w_size};
+  KruskalModel model = KruskalModel::Random(dims, 3, rng);
+  SparseTensor window = DenseWindowFromModel(model);
+  CpdState state(model);
+  KruskalModel before = state.model;
+
+  WindowDelta delta = MakeArrival(window, 2, 4, 1.5, w_size);
+  SnsVecUpdater updater;
+  updater.OnEvent(window, delta, state);
+
+  for (int64_t i = 0; i < 5; ++i) {
+    if (i == 2) continue;
+    for (int64_t r = 0; r < 3; ++r) {
+      EXPECT_EQ(state.model.factor(0)(i, r), before.factor(0)(i, r));
+    }
+  }
+  for (int64_t i = 0; i < 6; ++i) {
+    if (i == 4) continue;
+    for (int64_t r = 0; r < 3; ++r) {
+      EXPECT_EQ(state.model.factor(1)(i, r), before.factor(1)(i, r));
+    }
+  }
+  for (int64_t t = 0; t < w_size - 1; ++t) {  // Only row W-1 changes.
+    for (int64_t r = 0; r < 3; ++r) {
+      EXPECT_EQ(state.model.factor(2)(t, r), before.factor(2)(t, r));
+    }
+  }
+}
+
+TEST(SnsVecTest, GramsStayConsistentAcrossEvents) {
+  Rng rng(26);
+  const int w_size = 3;
+  const std::vector<int64_t> dims = {4, 4, w_size};
+  KruskalModel model = KruskalModel::Random(dims, 2, rng);
+  SparseTensor window = DenseWindowFromModel(model);
+  CpdState state(model);
+  SnsVecUpdater updater;
+
+  for (int step = 0; step < 50; ++step) {
+    WindowDelta delta =
+        MakeArrival(window, static_cast<int32_t>(rng.UniformInt(0, 3)),
+                    static_cast<int32_t>(rng.UniformInt(0, 3)),
+                    rng.UniformDouble(0.5, 2.0), w_size);
+    updater.OnEvent(window, delta, state);
+  }
+  EXPECT_LT(GramDrift(state), 1e-6);
+}
+
+TEST(SnsRndTest, ExactPathWhenDegreeBelowThreshold) {
+  // With θ larger than any slice degree, SNS-RND uses Eq. 12 for every mode
+  // — the update must then equal SNS-VEC's on non-time rows.
+  Rng rng(27);
+  const int w_size = 3;
+  const std::vector<int64_t> dims = {4, 5, w_size};
+  KruskalModel model = KruskalModel::Random(dims, 2, rng);
+  SparseTensor window_rnd = DenseWindowFromModel(model);
+  SparseTensor window_vec = DenseWindowFromModel(model);
+  CpdState state_rnd(model);
+  CpdState state_vec(model);
+
+  SnsRndUpdater rnd(/*sample_threshold=*/10000, /*seed=*/1);
+  SnsVecUpdater vec;
+  WindowDelta delta_rnd = MakeArrival(window_rnd, 1, 3, 2.0, w_size);
+  WindowDelta delta_vec = MakeArrival(window_vec, 1, 3, 2.0, w_size);
+  rnd.OnEvent(window_rnd, delta_rnd, state_rnd);
+  vec.OnEvent(window_vec, delta_vec, state_vec);
+
+  // Time rows may differ (Eq. 12 vs Eq. 9) but under the perfect model they
+  // agree too; non-time rows must match given identical time rows.
+  for (int m = 0; m < 3; ++m) {
+    EXPECT_LT(
+        MaxAbsDiff(state_rnd.model.factor(m), state_vec.model.factor(m)),
+        1e-7)
+        << "mode " << m;
+  }
+}
+
+TEST(SnsRndTest, SampledPathKeepsGramsAndPrevGramsConsistent) {
+  Rng rng(28);
+  const int w_size = 3;
+  const std::vector<int64_t> dims = {4, 4, w_size};
+  KruskalModel model = KruskalModel::Random(dims, 2, rng);
+  SparseTensor window = DenseWindowFromModel(model);
+  CpdState state(model);
+  SnsRndUpdater updater(/*sample_threshold=*/3, /*seed=*/2);  // Forces sampling.
+
+  for (int step = 0; step < 40; ++step) {
+    WindowDelta delta =
+        MakeArrival(window, static_cast<int32_t>(rng.UniformInt(0, 3)),
+                    static_cast<int32_t>(rng.UniformInt(0, 3)),
+                    rng.UniformDouble(0.5, 1.5), w_size);
+    updater.OnEvent(window, delta, state);
+    ASSERT_LT(GramDrift(state), 1e-5) << "step " << step;
+  }
+}
+
+TEST(CoordinateDescentTest, ClipsToBound) {
+  Matrix hq = Matrix::Identity(3);
+  double row[3] = {0.0, 0.0, 0.0};
+  double numerator[3] = {100.0, -50.0, 0.5};
+  CoordinateDescentRow(row, 3, hq, numerator, -1.0, 1.0);
+  EXPECT_DOUBLE_EQ(row[0], 1.0);
+  EXPECT_DOUBLE_EQ(row[1], -1.0);
+  EXPECT_DOUBLE_EQ(row[2], 0.5);
+}
+
+TEST(CoordinateDescentTest, SkipsDeadComponents) {
+  Matrix hq(2, 2);  // All zero: both components dead.
+  double row[2] = {0.25, -0.75};
+  double numerator[2] = {10.0, 10.0};
+  CoordinateDescentRow(row, 2, hq, numerator, -5.0, 5.0);
+  EXPECT_DOUBLE_EQ(row[0], 0.25);
+  EXPECT_DOUBLE_EQ(row[1], -0.75);
+}
+
+// Coordinate descent with the Eq. 21 numerator solves the row least-squares
+// problem exactly when run to convergence — one pass already matches the
+// closed-form solve when HQ is diagonal; for general HQ, iterating must
+// monotonically decrease ‖b − row·K'‖ measured through the normal equations.
+TEST(CoordinateDescentTest, ReducesRowObjective) {
+  Rng rng(29);
+  Matrix k = Matrix::RandomNormal(12, 3, rng);   // Khatri-Rao stand-in.
+  Matrix hq = MultiplyTransposeA(k, k);          // Gram of K.
+  std::vector<double> target(12);
+  for (auto& t : target) t = rng.Normal();
+  // numerator_k = Σ_J x_J K(J,k) (Eq. 21 data term).
+  std::vector<double> numerator(3, 0.0);
+  for (int64_t j = 0; j < 12; ++j) {
+    for (int64_t r = 0; r < 3; ++r) {
+      numerator[static_cast<size_t>(r)] +=
+          target[static_cast<size_t>(j)] * k(j, r);
+    }
+  }
+  auto objective = [&](const double* row) {
+    double obj = 0.0;
+    for (int64_t j = 0; j < 12; ++j) {
+      double approx = 0.0;
+      for (int64_t r = 0; r < 3; ++r) approx += row[r] * k(j, r);
+      const double diff = target[static_cast<size_t>(j)] - approx;
+      obj += diff * diff;
+    }
+    return obj;
+  };
+
+  double row[3] = {rng.Normal(), rng.Normal(), rng.Normal()};
+  double previous = objective(row);
+  for (int pass = 0; pass < 100; ++pass) {
+    CoordinateDescentRow(row, 3, hq, numerator.data(), -1e6, 1e6);
+    const double current = objective(row);
+    EXPECT_LE(current, previous + 1e-9) << "pass " << pass;
+    previous = current;
+  }
+  // Converges (linearly) to the closed-form least-squares solution.
+  double expected[3];
+  SolveRowAgainstGram(hq, numerator.data(), expected);
+  EXPECT_NEAR(objective(row), objective(expected),
+              1e-6 * (1.0 + objective(expected)));
+}
+
+TEST(SnsVecPlusTest, EntriesBoundedByEta) {
+  Rng rng(30);
+  const int w_size = 3;
+  const std::vector<int64_t> dims = {4, 4, w_size};
+  KruskalModel model = KruskalModel::Random(dims, 2, rng);
+  SparseTensor window = DenseWindowFromModel(model);
+  CpdState state(model);
+  const double eta = 0.6;
+  SnsVecPlusUpdater updater(eta);
+
+  for (int step = 0; step < 60; ++step) {
+    WindowDelta delta =
+        MakeArrival(window, static_cast<int32_t>(rng.UniformInt(0, 3)),
+                    static_cast<int32_t>(rng.UniformInt(0, 3)),
+                    rng.UniformDouble(2.0, 8.0), w_size);
+    updater.OnEvent(window, delta, state);
+  }
+  // Initial entries were in [0,1); every updated entry is clipped to ±η, so
+  // nothing may exceed max(1, η).
+  for (int m = 0; m < 3; ++m) {
+    EXPECT_LE(state.model.factor(m).MaxAbs(), std::max(1.0, eta) + 1e-12);
+  }
+  EXPECT_LT(GramDrift(state), 1e-6);
+}
+
+TEST(SnsRndPlusTest, GramsAndBoundsHoldUnderSampling) {
+  Rng rng(31);
+  const int w_size = 3;
+  const std::vector<int64_t> dims = {5, 5, w_size};
+  KruskalModel model = KruskalModel::Random(dims, 3, rng);
+  SparseTensor window = DenseWindowFromModel(model);
+  CpdState state(model);
+  SnsRndPlusUpdater updater(/*sample_threshold=*/4, /*clip_bound=*/50.0,
+                            /*seed=*/3);
+
+  for (int step = 0; step < 60; ++step) {
+    WindowDelta delta =
+        step % 3 == 0
+            ? MakeSlide(window, static_cast<int32_t>(rng.UniformInt(0, 4)),
+                        static_cast<int32_t>(rng.UniformInt(0, 4)),
+                        rng.UniformDouble(0.5, 2.0), 1 + step % 2, w_size)
+            : MakeArrival(window, static_cast<int32_t>(rng.UniformInt(0, 4)),
+                          static_cast<int32_t>(rng.UniformInt(0, 4)),
+                          rng.UniformDouble(0.5, 2.0), w_size);
+    updater.OnEvent(window, delta, state);
+    ASSERT_LT(GramDrift(state), 1e-5) << "step " << step;
+    for (int m = 0; m < 3; ++m) {
+      ASSERT_LE(state.model.factor(m).MaxAbs(), 50.0 + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sns

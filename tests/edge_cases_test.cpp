@@ -1,0 +1,237 @@
+// Edge-case and boundary-condition tests across modules: order-2 tensors
+// (single non-time mode), W=1 windows, rank-1 models, empty streams,
+// degenerate Grams, and extreme values.
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/als.h"
+#include "core/continuous_cpd.h"
+#include "data/synthetic.h"
+#include "stream/continuous_window.h"
+
+namespace sns {
+namespace {
+
+// --- Order-2 streams: one categorical mode + time = matrix factorization.
+
+DataStream TwoModeStream(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  DataStream stream({12});
+  int64_t now = 1;
+  for (int64_t i = 0; i < n; ++i) {
+    SNS_CHECK(
+        stream
+            .Append({{static_cast<int32_t>(rng.Categorical(
+                        {8, 5, 3, 2, 1, 1, 1, 1, 1, 1, 1, 1}))},
+                     1.0, now})
+            .ok());
+    now += rng.UniformInt(1, 3);
+  }
+  return stream;
+}
+
+class TwoModeVariantTest : public ::testing::TestWithParam<SnsVariant> {};
+
+TEST_P(TwoModeVariantTest, RunsOnSingleCategoricalMode) {
+  DataStream stream = TwoModeStream(1200, 3);
+  ContinuousCpdOptions options;
+  options.rank = 2;
+  options.window_size = 4;
+  options.period = 40;
+  options.variant = GetParam();
+  options.sample_threshold = 8;
+  options.clip_bound = 50.0;
+  options.seed = 4;
+  auto engine = ContinuousCpd::Create(stream.mode_dims(), options);
+  ASSERT_TRUE(engine.ok());
+  ContinuousCpd cpd = std::move(engine).value();
+  const int64_t warmup_end = options.window_size * options.period;
+  size_t i = 0;
+  for (; i < stream.tuples().size() &&
+         stream.tuples()[i].time <= warmup_end;
+       ++i) {
+    cpd.IngestOnly(stream.tuples()[i]);
+  }
+  cpd.InitializeWithAls();
+  for (; i < stream.tuples().size(); ++i) {
+    cpd.ProcessTuple(stream.tuples()[i]);
+  }
+  ASSERT_TRUE(std::isfinite(cpd.Fitness())) << VariantName(GetParam());
+  EXPECT_EQ(cpd.model().num_modes(), 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, TwoModeVariantTest,
+    ::testing::Values(SnsVariant::kMat, SnsVariant::kVec, SnsVariant::kRnd,
+                      SnsVariant::kVecPlus, SnsVariant::kRndPlus),
+    [](const auto& info) {
+      std::string out;
+      for (char c : VariantName(info.param)) {
+        if (c == '+') {
+          out += "Plus";
+        } else if (std::isalnum(static_cast<unsigned char>(c))) {
+          out += c;
+        }
+      }
+      return out;
+    });
+
+// --- W = 1: every tuple arrives into the only slice and expires directly.
+
+TEST(WindowEdgeTest, SingleSliceWindowArrivesAndExpires) {
+  ContinuousTensorWindow window({3, 3}, /*window_size=*/1, /*period=*/10);
+  WindowDelta arrival = window.Ingest({{1, 1}, 2.0, 100});
+  EXPECT_EQ(arrival.cells[0].index, (ModeIndex{1, 1, 0}));
+  EXPECT_EQ(window.NextScheduledTime(), 110);
+  WindowDelta expiry = window.PopScheduled();
+  EXPECT_EQ(expiry.kind, EventKind::kExpiry);
+  EXPECT_EQ(window.tensor().nnz(), 0);
+}
+
+TEST(WindowEdgeTest, NegativeValuedTuplesCancel) {
+  ContinuousTensorWindow window({2, 2}, 3, 10);
+  window.Ingest({{0, 0}, 5.0, 10});
+  window.Ingest({{0, 0}, -5.0, 10});
+  EXPECT_EQ(window.tensor().nnz(), 0);
+  // Both tuples still slide independently; the window stays consistent.
+  window.AdvanceTo(1000);
+  EXPECT_EQ(window.tensor().nnz(), 0);
+  EXPECT_FALSE(window.HasScheduled());
+}
+
+TEST(WindowEdgeTest, LargeTimestampsDoNotOverflow) {
+  const int64_t base = std::numeric_limits<int64_t>::max() / 4;
+  ContinuousTensorWindow window({2, 2}, 3, 1000);
+  window.Ingest({{0, 1}, 1.0, base});
+  window.AdvanceTo(base + 2500);
+  EXPECT_EQ(window.tensor().Get({0, 1, 0}), 1.0);
+}
+
+// --- Rank 1 and tiny models.
+
+TEST(RankEdgeTest, RankOneAlsRecoversRankOneTensor) {
+  Rng rng(7);
+  SparseTensor x({4, 3, 2});
+  // Rank-1 ground truth: x = u ∘ v ∘ w with positive entries.
+  std::vector<double> u = {1, 2, 3, 4}, v = {0.5, 1.0, 1.5}, w = {2.0, 0.5};
+  for (int32_t i = 0; i < 4; ++i) {
+    for (int32_t j = 0; j < 3; ++j) {
+      for (int32_t k = 0; k < 2; ++k) {
+        x.Set({i, j, k}, u[static_cast<size_t>(i)] * v[static_cast<size_t>(j)] *
+                             w[static_cast<size_t>(k)]);
+      }
+    }
+  }
+  AlsOptions options;
+  options.max_iterations = 100;
+  KruskalModel model = AlsDecompose(x, 1, options, rng);
+  EXPECT_GT(model.Fitness(x), 0.9999);
+}
+
+TEST(RankEdgeTest, RankExceedingDataStillFinite) {
+  Rng rng(8);
+  SparseTensor x({3, 3, 3});
+  x.Set({0, 0, 0}, 1.0);
+  x.Set({1, 1, 1}, 2.0);
+  AlsOptions options;
+  KruskalModel model = AlsDecompose(x, 8, options, rng);  // R >> nnz.
+  EXPECT_TRUE(std::isfinite(model.Fitness(x)));
+  EXPECT_GT(model.Fitness(x), 0.9);  // Interpolates the two points.
+}
+
+// --- Degenerate engine usage.
+
+TEST(EngineEdgeTest, InitializeOnEmptyWindowIsSafe) {
+  ContinuousCpdOptions options;
+  options.rank = 2;
+  options.window_size = 2;
+  options.period = 10;
+  options.variant = SnsVariant::kVecPlus;
+  auto engine = ContinuousCpd::Create({4, 4}, options);
+  ASSERT_TRUE(engine.ok());
+  ContinuousCpd cpd = std::move(engine).value();
+  cpd.InitializeWithAls();  // Empty window: zero factors, no crash.
+  cpd.ProcessTuple({{1, 1}, 1.0, 5});
+  cpd.ProcessTuple({{2, 2}, 1.0, 7});
+  EXPECT_TRUE(std::isfinite(cpd.Fitness()));
+}
+
+TEST(EngineEdgeTest, ZeroValuedTuplesAreNoOps) {
+  ContinuousCpdOptions options;
+  options.rank = 2;
+  options.window_size = 2;
+  options.period = 10;
+  options.variant = SnsVariant::kRndPlus;
+  auto engine = ContinuousCpd::Create({4, 4}, options);
+  ASSERT_TRUE(engine.ok());
+  ContinuousCpd cpd = std::move(engine).value();
+  cpd.IngestOnly({{0, 0}, 1.0, 1});
+  cpd.InitializeWithAls();
+  const int64_t before = cpd.events_processed();
+  cpd.ProcessTuple({{1, 1}, 0.0, 2});
+  // The event is counted but must not corrupt state (empty delta).
+  EXPECT_GE(cpd.events_processed(), before);
+  EXPECT_TRUE(std::isfinite(cpd.Fitness()));
+}
+
+TEST(EngineEdgeTest, MoveSemantics) {
+  ContinuousCpdOptions options;
+  options.rank = 2;
+  options.window_size = 2;
+  options.period = 10;
+  auto engine = ContinuousCpd::Create({3, 3}, options);
+  ASSERT_TRUE(engine.ok());
+  ContinuousCpd a = std::move(engine).value();
+  a.IngestOnly({{1, 1}, 1.0, 3});
+  ContinuousCpd b = std::move(a);  // Move must preserve window contents.
+  EXPECT_EQ(b.window().Get({1, 1, 1}), 1.0);
+}
+
+// --- Synthetic generator extremes.
+
+TEST(GeneratorEdgeTest, ZeroEventsProducesEmptyStream) {
+  SyntheticStreamConfig config;
+  config.mode_dims = {3, 3};
+  config.num_events = 0;
+  config.time_span = 100;
+  auto stream = GenerateSyntheticStream(config);
+  ASSERT_TRUE(stream.ok());
+  EXPECT_TRUE(stream.value().empty());
+}
+
+TEST(GeneratorEdgeTest, SingleIndexModesWork) {
+  SyntheticStreamConfig config;
+  config.mode_dims = {1, 5};
+  config.num_events = 50;
+  config.time_span = 100;
+  auto stream = GenerateSyntheticStream(config);
+  ASSERT_TRUE(stream.ok());
+  for (const Tuple& tuple : stream.value().tuples()) {
+    EXPECT_EQ(tuple.index[0], 0);
+  }
+}
+
+TEST(GeneratorEdgeTest, FullNoiseFractionIsUniform) {
+  SyntheticStreamConfig config;
+  config.mode_dims = {4, 4};
+  config.num_events = 8000;
+  config.time_span = 10000;
+  config.noise_fraction = 1.0;
+  config.seed = 11;
+  auto stream = GenerateSyntheticStream(config);
+  ASSERT_TRUE(stream.ok());
+  std::vector<int> counts(4, 0);
+  for (const Tuple& tuple : stream.value().tuples()) {
+    counts[static_cast<size_t>(tuple.index[0])]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / 8000.0, 0.25, 0.03);
+  }
+}
+
+}  // namespace
+}  // namespace sns

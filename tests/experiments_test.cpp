@@ -1,0 +1,151 @@
+// Tests for the experiment harness (src/experiments/) that the benchmark
+// binaries are built on.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "experiments/harness.h"
+#include "experiments/report.h"
+
+namespace sns {
+namespace {
+
+// A miniature dataset spec so harness runs take milliseconds.
+DatasetSpec MiniSpec() {
+  DatasetSpec spec;
+  spec.name = "mini";
+  spec.paper_name = "Mini";
+  spec.engine.rank = 3;
+  spec.engine.window_size = 4;
+  spec.engine.period = 50;
+  spec.engine.sample_threshold = 15;
+  spec.engine.clip_bound = 100.0;
+  spec.engine.init.max_iterations = 20;
+  spec.engine.seed = 5;
+  spec.stream.mode_dims = {8, 6};
+  spec.stream.num_events = 2000;
+  spec.stream.time_span = (1 + kLiveWindows) * 4 * 50;
+  spec.stream.latent_rank = 3;
+  spec.stream.diurnal_period = 300;
+  spec.stream.seed = 55;
+  return spec;
+}
+
+TEST(HarnessTest, RunContinuousProducesBoundaryAlignedCurve) {
+  DatasetSpec spec = MiniSpec();
+  auto stream = GenerateSyntheticStream(spec.stream);
+  ASSERT_TRUE(stream.ok());
+  RunResult result =
+      RunContinuous(spec, stream.value(), SnsVariant::kVecPlus);
+
+  EXPECT_EQ(result.method, "SNS+VEC");
+  EXPECT_GT(result.updates, 0);
+  EXPECT_GT(result.mean_update_micros, 0.0);
+  EXPECT_EQ(result.num_parameters, 3 * (8 + 6 + 4));
+  ASSERT_FALSE(result.fitness_curve.empty());
+  // Boundaries are consecutive period multiples after the warm-up.
+  const int64_t warmup_end = spec.WarmupEndTime();
+  for (size_t i = 0; i < result.fitness_curve.size(); ++i) {
+    EXPECT_EQ(result.fitness_curve[i].time,
+              warmup_end + static_cast<int64_t>(i + 1) * spec.engine.period);
+    EXPECT_TRUE(std::isfinite(result.fitness_curve[i].fitness));
+  }
+  // Live phase spans kLiveWindows window spans → 5*W boundaries.
+  EXPECT_EQ(result.fitness_curve.size(),
+            static_cast<size_t>(kLiveWindows * spec.engine.window_size));
+}
+
+TEST(HarnessTest, RunPeriodicMatchesBoundaryCount) {
+  DatasetSpec spec = MiniSpec();
+  auto stream = GenerateSyntheticStream(spec.stream);
+  ASSERT_TRUE(stream.ok());
+  RunResult result =
+      RunPeriodic(spec, stream.value(), MakeBaseline("OnlineSCP", spec));
+  EXPECT_EQ(result.method, "OnlineSCP");
+  EXPECT_EQ(result.fitness_curve.size(),
+            static_cast<size_t>(kLiveWindows * spec.engine.window_size));
+  EXPECT_GT(result.mean_update_micros, 0.0);
+}
+
+TEST(HarnessTest, MakeBaselineKnowsAllNames) {
+  DatasetSpec spec = MiniSpec();
+  for (const char* name :
+       {"ALS", "OnlineSCP", "CP-stream", "NeCPD(1)", "NeCPD(10)"}) {
+    auto algorithm = MakeBaseline(name, spec);
+    ASSERT_NE(algorithm, nullptr);
+    EXPECT_EQ(algorithm->name(), name);
+  }
+}
+
+TEST(HarnessTest, OverrideOptionsApplies) {
+  DatasetSpec spec = MiniSpec();
+  auto stream = GenerateSyntheticStream(spec.stream);
+  ASSERT_TRUE(stream.ok());
+  // Degenerate θ must still run (and typically fit worse).
+  RunResult result = RunContinuous(
+      spec, stream.value(), SnsVariant::kRndPlus,
+      [](ContinuousCpdOptions& options) { options.sample_threshold = 1; });
+  EXPECT_FALSE(result.fitness_curve.empty());
+}
+
+TEST(HarnessTest, RelativeToDividesMatchingBoundaries) {
+  std::vector<FitnessSample> curve = {{10, 0.4}, {20, 0.6}, {30, 0.9}};
+  std::vector<FitnessSample> reference = {{10, 0.8}, {20, 0.0}, {30, 0.9}};
+  auto relative = RelativeTo(curve, reference);
+  // t=20 dropped (non-positive reference).
+  ASSERT_EQ(relative.size(), 2u);
+  EXPECT_DOUBLE_EQ(relative[0].fitness, 0.5);
+  EXPECT_DOUBLE_EQ(relative[1].fitness, 1.0);
+  EXPECT_DOUBLE_EQ(MeanOf(relative), 0.75);
+  EXPECT_EQ(MeanOf({}), 0.0);
+}
+
+TEST(HarnessTest, MeanFitnessFractions) {
+  RunResult result;
+  result.fitness_curve = {{1, 0.0}, {2, 0.0}, {3, 1.0}, {4, 1.0}};
+  EXPECT_DOUBLE_EQ(result.MeanFitness(), 0.5);
+  EXPECT_DOUBLE_EQ(result.MeanFitness(0.5), 1.0);
+  RunResult empty;
+  EXPECT_EQ(empty.MeanFitness(), 0.0);
+}
+
+TEST(HarnessTest, MergeTimeRowsSumsGroups) {
+  Rng rng(9);
+  KruskalModel model = KruskalModel::Random({3, 4, 6}, 2, rng);
+  KruskalModel merged = MergeTimeRows(model, 3);
+  const Matrix& fine = model.factor(2);
+  const Matrix& coarse = merged.factor(2);
+  ASSERT_EQ(coarse.rows(), 2);
+  for (int64_t r = 0; r < 2; ++r) {
+    EXPECT_NEAR(coarse(0, r), fine(0, r) + fine(1, r) + fine(2, r), 1e-12);
+    EXPECT_NEAR(coarse(1, r), fine(3, r) + fine(4, r) + fine(5, r), 1e-12);
+  }
+  // Non-time factors untouched.
+  EXPECT_LT(MaxAbsDiff(merged.factor(0), model.factor(0)), 1e-15);
+}
+
+TEST(HarnessTest, MergeTimeRowsHandlesRaggedTail) {
+  Rng rng(10);
+  KruskalModel model = KruskalModel::Random({2, 2, 5}, 2, rng);
+  KruskalModel merged = MergeTimeRows(model, 2);
+  EXPECT_EQ(merged.factor(2).rows(), 3);  // ceil(5/2).
+}
+
+TEST(ReportTest, TableFormatsNumbers) {
+  EXPECT_EQ(TableReporter::Num(1.23456, 2), "1.23");
+  EXPECT_EQ(TableReporter::Num(-1.5, 0), "-2");
+  EXPECT_EQ(TableReporter::Sci(0.00012345, 2), "1.23e-04");
+}
+
+TEST(ReportTest, TablePrintsWithoutCrashing) {
+  TableReporter table({"a", "bb"});
+  table.AddRow({"1", "2"});
+  table.AddRow({"333", "4"});
+  table.Print();  // Smoke: alignment math must not assert.
+  PrintDatasetLine(MiniSpec(), 100);
+}
+
+}  // namespace
+}  // namespace sns

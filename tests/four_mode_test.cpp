@@ -1,0 +1,119 @@
+// 4-mode (Ride-Austin-shaped) integration tests: every updater and baseline
+// must handle tensors beyond order 3 — the paper's fourth dataset is
+// (source, destination, color, time).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/periodic_runner.h"
+#include "common/random.h"
+#include "core/als.h"
+#include "core/continuous_cpd.h"
+#include "data/synthetic.h"
+#include "experiments/harness.h"
+
+namespace sns {
+namespace {
+
+DatasetSpec FourModeSpec() {
+  DatasetSpec spec;
+  spec.name = "mini-austin";
+  spec.paper_name = "Mini Austin";
+  spec.engine.rank = 3;
+  spec.engine.window_size = 3;
+  spec.engine.period = 60;
+  spec.engine.sample_threshold = 10;
+  spec.engine.clip_bound = 100.0;
+  spec.engine.init.max_iterations = 20;
+  spec.engine.seed = 3;
+  spec.stream.mode_dims = {7, 6, 4};
+  spec.stream.num_events = 2500;
+  spec.stream.time_span = (1 + kLiveWindows) * 3 * 60;
+  spec.stream.latent_rank = 3;
+  spec.stream.diurnal_period = 360;
+  spec.stream.seed = 33;
+  return spec;
+}
+
+class FourModeVariantTest : public ::testing::TestWithParam<SnsVariant> {};
+
+TEST_P(FourModeVariantTest, TracksFourModeStream) {
+  DatasetSpec spec = FourModeSpec();
+  auto stream = GenerateSyntheticStream(spec.stream);
+  ASSERT_TRUE(stream.ok());
+  RunResult result = RunContinuous(spec, stream.value(), GetParam());
+  ASSERT_FALSE(result.fitness_curve.empty());
+  for (const FitnessSample& sample : result.fitness_curve) {
+    ASSERT_TRUE(std::isfinite(sample.fitness)) << VariantName(GetParam());
+  }
+  // The stable variants must hold positive fitness in the late phase.
+  if (GetParam() == SnsVariant::kMat || GetParam() == SnsVariant::kVecPlus ||
+      GetParam() == SnsVariant::kRndPlus) {
+    EXPECT_GT(result.MeanFitness(0.3), 0.0) << VariantName(GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, FourModeVariantTest,
+    ::testing::Values(SnsVariant::kMat, SnsVariant::kVec, SnsVariant::kRnd,
+                      SnsVariant::kVecPlus, SnsVariant::kRndPlus),
+    [](const auto& info) {
+      std::string out;
+      for (char c : VariantName(info.param)) {
+        if (c == '+') {
+          out += "Plus";
+        } else if (std::isalnum(static_cast<unsigned char>(c))) {
+          out += c;
+        }
+      }
+      return out;
+    });
+
+TEST(FourModeBaselineTest, BaselinesRunOnFourModes) {
+  DatasetSpec spec = FourModeSpec();
+  auto stream = GenerateSyntheticStream(spec.stream);
+  ASSERT_TRUE(stream.ok());
+  for (const char* name : {"ALS", "OnlineSCP", "CP-stream", "NeCPD(1)"}) {
+    RunResult result =
+        RunPeriodic(spec, stream.value(), MakeBaseline(name, spec));
+    ASSERT_FALSE(result.fitness_curve.empty()) << name;
+    for (const FitnessSample& sample : result.fitness_curve) {
+      ASSERT_TRUE(std::isfinite(sample.fitness)) << name;
+    }
+  }
+}
+
+TEST(FourModeGramTest, GramsConsistentAfterFourModeRun) {
+  DatasetSpec spec = FourModeSpec();
+  auto stream_or = GenerateSyntheticStream(spec.stream);
+  ASSERT_TRUE(stream_or.ok());
+  const DataStream& stream = stream_or.value();
+
+  ContinuousCpdOptions options = spec.engine;
+  options.variant = SnsVariant::kRndPlus;
+  auto engine = ContinuousCpd::Create(stream.mode_dims(), options);
+  ASSERT_TRUE(engine.ok());
+  ContinuousCpd cpd = std::move(engine).value();
+
+  const int64_t warmup_end = spec.WarmupEndTime();
+  size_t i = 0;
+  for (; i < stream.tuples().size() &&
+         stream.tuples()[i].time <= warmup_end;
+       ++i) {
+    cpd.IngestOnly(stream.tuples()[i]);
+  }
+  cpd.InitializeWithAls();
+  for (; i < stream.tuples().size(); ++i) cpd.ProcessTuple(stream.tuples()[i]);
+
+  for (int m = 0; m < cpd.model().num_modes(); ++m) {
+    Matrix expected =
+        MultiplyTransposeA(cpd.model().factor(m), cpd.model().factor(m));
+    EXPECT_LT(MaxAbsDiff(cpd.state().grams[static_cast<size_t>(m)], expected),
+              1e-6)
+        << "mode " << m;
+  }
+}
+
+}  // namespace
+}  // namespace sns

@@ -1,0 +1,56 @@
+// Compile-and-run check of the umbrella header: the snippet from README.md
+// must work against "slicenstitch.h" alone.
+
+#include "slicenstitch.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace sns {
+namespace {
+
+TEST(PublicApiTest, ReadmeFlowCompilesAndRuns) {
+  ContinuousCpdOptions options;
+  options.rank = 4;
+  options.window_size = 3;
+  options.period = 30;
+  options.variant = SnsVariant::kRndPlus;
+  options.sample_threshold = 10;
+  options.clip_bound = 1000.0;
+
+  auto engine = ContinuousCpd::Create({6, 5}, options);
+  ASSERT_TRUE(engine.ok());
+  ContinuousCpd cpd = std::move(engine).value();
+
+  SyntheticStreamConfig stream_config;
+  stream_config.mode_dims = {6, 5};
+  stream_config.num_events = 500;
+  stream_config.time_span = 6 * 3 * 30;
+  stream_config.diurnal_period = 90;
+  auto stream = GenerateSyntheticStream(stream_config);
+  ASSERT_TRUE(stream.ok());
+
+  const int64_t warmup_end = options.window_size * options.period;
+  size_t i = 0;
+  const auto& tuples = stream.value().tuples();
+  for (; i < tuples.size() && tuples[i].time <= warmup_end; ++i) {
+    cpd.IngestOnly(tuples[i]);
+  }
+  cpd.InitializeWithAls();
+  for (; i < tuples.size(); ++i) cpd.ProcessTuple(tuples[i]);
+
+  EXPECT_TRUE(std::isfinite(cpd.Fitness()));
+  EXPECT_GT(cpd.events_processed(), 0);
+  EXPECT_EQ(cpd.model().num_modes(), 3);
+
+  // Dataset presets and the anomaly toolkit are reachable too.
+  EXPECT_EQ(AllDatasetPresets().size(), 4u);
+  RunningZScore stats;
+  stats.Update(1.0);
+  stats.Update(2.0);
+  EXPECT_TRUE(std::isfinite(stats.Score(3.0)));
+}
+
+}  // namespace
+}  // namespace sns

@@ -1,0 +1,103 @@
+// Tests for the slice-grid sampler used by SNS-RND / SNS+RND.
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/slice_sampler.h"
+
+namespace sns {
+namespace {
+
+WindowDelta DeltaWithCells(std::vector<ModeIndex> cells) {
+  WindowDelta delta;
+  for (ModeIndex& cell : cells) delta.cells.push_back({cell, 1.0});
+  return delta;
+}
+
+TEST(SliceSamplerTest, CellsAreDistinctInBoundsAndOnSlice) {
+  SparseTensor window({6, 7, 5});
+  Rng rng(1);
+  WindowDelta delta;
+  for (int trial = 0; trial < 20; ++trial) {
+    auto cells = SampleSliceCells(window, /*mode=*/1, /*row=*/3,
+                                  /*count=*/10, delta, rng);
+    EXPECT_EQ(cells.size(), 10u);
+    std::set<std::string> seen;
+    for (const ModeIndex& cell : cells) {
+      EXPECT_EQ(cell.size(), 3);
+      EXPECT_EQ(cell[1], 3);
+      EXPECT_GE(cell[0], 0);
+      EXPECT_LT(cell[0], 6);
+      EXPECT_GE(cell[2], 0);
+      EXPECT_LT(cell[2], 5);
+      EXPECT_TRUE(seen.insert(cell.ToString()).second) << cell.ToString();
+    }
+  }
+}
+
+TEST(SliceSamplerTest, ExcludesDeltaCells) {
+  SparseTensor window({2, 3, 2});
+  Rng rng(2);
+  // Slice mode 0, row 1 has 3*2 = 6 cells; exclude two of them.
+  WindowDelta delta =
+      DeltaWithCells({ModeIndex{1, 0, 0}, ModeIndex{1, 2, 1}});
+  auto cells = SampleSliceCells(window, 0, 1, /*count=*/100, delta, rng);
+  EXPECT_EQ(cells.size(), 4u);  // Enumeration path: all minus the 2 deltas.
+  for (const ModeIndex& cell : cells) {
+    EXPECT_FALSE(cell == (ModeIndex{1, 0, 0}));
+    EXPECT_FALSE(cell == (ModeIndex{1, 2, 1}));
+  }
+}
+
+TEST(SliceSamplerTest, TinySliceEnumeratesEverything) {
+  SparseTensor window({4, 3});
+  Rng rng(3);
+  WindowDelta delta;
+  auto cells = SampleSliceCells(window, 1, 2, /*count=*/50, delta, rng);
+  ASSERT_EQ(cells.size(), 4u);
+  std::set<int32_t> first_indices;
+  for (const ModeIndex& cell : cells) {
+    EXPECT_EQ(cell[1], 2);
+    first_indices.insert(cell[0]);
+  }
+  EXPECT_EQ(first_indices.size(), 4u);
+}
+
+TEST(SliceSamplerTest, ApproximatelyUniformOverGrid) {
+  SparseTensor window({10, 50});
+  Rng rng(4);
+  WindowDelta delta;
+  std::map<int32_t, int> counts;
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    for (const ModeIndex& cell :
+         SampleSliceCells(window, 0, 5, /*count=*/5, delta, rng)) {
+      counts[cell[1]]++;
+    }
+  }
+  // 4000 * 5 samples over 50 cells → mean 400 per cell.
+  for (const auto& [index, count] : counts) {
+    EXPECT_GT(count, 280) << index;
+    EXPECT_LT(count, 520) << index;
+  }
+}
+
+TEST(SliceSamplerTest, SamplesIncludeZeroCells) {
+  // Window with a single non-zero: nearly all sampled cells must be zeros.
+  SparseTensor window({30, 30, 4});
+  window.Set({0, 0, 0}, 5.0);
+  Rng rng(5);
+  WindowDelta delta;
+  auto cells = SampleSliceCells(window, 2, 0, /*count=*/40, delta, rng);
+  EXPECT_EQ(cells.size(), 40u);
+  int zero_cells = 0;
+  for (const ModeIndex& cell : cells) {
+    if (window.Get(cell) == 0.0) ++zero_cells;
+  }
+  EXPECT_GE(zero_cells, 39);
+}
+
+}  // namespace
+}  // namespace sns

@@ -1,0 +1,328 @@
+// Unit + property tests for the sparse tensor substrate: ModeIndex,
+// SparseTensor bucket bookkeeping, KruskalModel fitness, MTTKRP kernels.
+
+#include <cmath>
+#include <set>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "tensor/kruskal.h"
+#include "tensor/mode_index.h"
+#include "tensor/mttkrp.h"
+#include "tensor/sparse_tensor.h"
+
+namespace sns {
+namespace {
+
+TEST(ModeIndexTest, ConstructionAndAccess) {
+  ModeIndex idx = {3, 1, 4};
+  EXPECT_EQ(idx.size(), 3);
+  EXPECT_EQ(idx[0], 3);
+  EXPECT_EQ(idx[2], 4);
+  EXPECT_EQ(idx.ToString(), "(3, 1, 4)");
+}
+
+TEST(ModeIndexTest, WithAppended) {
+  ModeIndex idx = {5, 6};
+  ModeIndex ext = idx.WithAppended(9);
+  EXPECT_EQ(idx.size(), 2);
+  EXPECT_EQ(ext.size(), 3);
+  EXPECT_EQ(ext[2], 9);
+}
+
+TEST(ModeIndexTest, EqualityAndHash) {
+  ModeIndex a = {1, 2, 3};
+  ModeIndex b = {1, 2, 3};
+  ModeIndex c = {1, 2, 4};
+  ModeIndex d = {1, 2};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == d);
+  ModeIndexHash hash;
+  EXPECT_EQ(hash(a), hash(b));
+  EXPECT_NE(hash(a), hash(c));  // Overwhelmingly likely for FNV-1a.
+}
+
+TEST(SparseTensorTest, GetSetAdd) {
+  SparseTensor x({4, 5, 3});
+  EXPECT_EQ(x.nnz(), 0);
+  EXPECT_EQ(x.Get({1, 2, 0}), 0.0);
+  x.Set({1, 2, 0}, 3.5);
+  EXPECT_EQ(x.Get({1, 2, 0}), 3.5);
+  EXPECT_EQ(x.nnz(), 1);
+  x.Add({1, 2, 0}, -1.5);
+  EXPECT_EQ(x.Get({1, 2, 0}), 2.0);
+  x.Add({3, 4, 2}, 1.0);
+  EXPECT_EQ(x.nnz(), 2);
+}
+
+TEST(SparseTensorTest, AddToZeroErasesEntry) {
+  SparseTensor x({2, 2});
+  x.Add({0, 1}, 2.0);
+  x.Add({0, 1}, -2.0);
+  EXPECT_EQ(x.nnz(), 0);
+  EXPECT_EQ(x.Degree(0, 0), 0);
+  EXPECT_EQ(x.Degree(1, 1), 0);
+}
+
+TEST(SparseTensorTest, SetZeroErasesEntry) {
+  SparseTensor x({2, 2});
+  x.Set({1, 1}, 5.0);
+  x.Set({1, 1}, 0.0);
+  EXPECT_EQ(x.nnz(), 0);
+}
+
+TEST(SparseTensorTest, DegreeAndSliceTracking) {
+  SparseTensor x({3, 4, 2});
+  x.Set({0, 1, 0}, 1.0);
+  x.Set({0, 2, 1}, 2.0);
+  x.Set({1, 1, 0}, 3.0);
+  EXPECT_EQ(x.Degree(0, 0), 2);
+  EXPECT_EQ(x.Degree(0, 1), 1);
+  EXPECT_EQ(x.Degree(1, 1), 2);
+  EXPECT_EQ(x.Degree(2, 0), 2);
+  EXPECT_EQ(x.Degree(2, 1), 1);
+
+  const auto& slice = x.SliceNonzeros(1, 1);
+  ASSERT_EQ(slice.size(), 2u);
+  std::set<std::string> coords;
+  for (const auto& c : slice) coords.insert(c.ToString());
+  EXPECT_TRUE(coords.contains("(0, 1, 0)"));
+  EXPECT_TRUE(coords.contains("(1, 1, 0)"));
+}
+
+TEST(SparseTensorTest, FrobeniusAndMaxAbs) {
+  SparseTensor x({2, 2});
+  x.Set({0, 0}, 3.0);
+  x.Set({1, 1}, -4.0);
+  EXPECT_DOUBLE_EQ(x.FrobeniusNormSquared(), 25.0);
+  EXPECT_DOUBLE_EQ(x.MaxAbsValue(), 4.0);
+}
+
+TEST(SparseTensorTest, IndexInBounds) {
+  SparseTensor x({2, 3});
+  EXPECT_TRUE(x.IndexInBounds({1, 2}));
+  EXPECT_FALSE(x.IndexInBounds({2, 0}));
+  EXPECT_FALSE(x.IndexInBounds({0, -1}));
+  EXPECT_FALSE(x.IndexInBounds({0, 0, 0}));
+}
+
+TEST(SparseTensorTest, ClearResetsEverything) {
+  SparseTensor x({3, 3});
+  x.Set({0, 0}, 1.0);
+  x.Set({1, 2}, 2.0);
+  x.Clear();
+  EXPECT_EQ(x.nnz(), 0);
+  EXPECT_EQ(x.Degree(0, 0), 0);
+  EXPECT_EQ(x.Degree(1, 2), 0);
+}
+
+// Property: after a random mutation sequence, bucket bookkeeping agrees with
+// a reference map in every mode.
+TEST(SparseTensorTest, RandomMutationsKeepBucketsConsistent) {
+  Rng rng(42);
+  const std::vector<int64_t> dims = {5, 7, 4};
+  SparseTensor x(dims);
+  std::unordered_map<std::string, std::pair<ModeIndex, double>> reference;
+
+  for (int step = 0; step < 5000; ++step) {
+    ModeIndex idx = {static_cast<int32_t>(rng.UniformInt(0, 4)),
+                     static_cast<int32_t>(rng.UniformInt(0, 6)),
+                     static_cast<int32_t>(rng.UniformInt(0, 3))};
+    const double delta = rng.UniformInt(-2, 2);
+    x.Add(idx, delta);
+    auto& slot = reference[idx.ToString()];
+    slot.first = idx;
+    slot.second += delta;
+    if (std::fabs(slot.second) < SparseTensor::kZeroEpsilon) {
+      reference.erase(idx.ToString());
+    }
+  }
+
+  EXPECT_EQ(x.nnz(), static_cast<int64_t>(reference.size()));
+  for (const auto& [key, value] : reference) {
+    EXPECT_DOUBLE_EQ(x.Get(value.first), value.second) << key;
+  }
+  // Degrees per mode match reference counts.
+  for (int m = 0; m < 3; ++m) {
+    for (int64_t i = 0; i < dims[static_cast<size_t>(m)]; ++i) {
+      int64_t expected = 0;
+      for (const auto& [key, value] : reference) {
+        if (value.first[m] == i) ++expected;
+      }
+      EXPECT_EQ(x.Degree(m, i), expected) << "mode " << m << " index " << i;
+      EXPECT_EQ(static_cast<int64_t>(x.SliceNonzeros(m, i).size()), expected);
+    }
+  }
+}
+
+KruskalModel SmallModel() {
+  // 2x2x2 rank-2 model with hand-checkable entries.
+  Matrix a(2, 2), b(2, 2), c(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 3; a(1, 1) = 4;
+  b(0, 0) = 5; b(0, 1) = 6; b(1, 0) = 7; b(1, 1) = 8;
+  c(0, 0) = 9; c(0, 1) = 10; c(1, 0) = 11; c(1, 1) = 12;
+  return KruskalModel({a, b, c});
+}
+
+TEST(KruskalModelTest, EvaluateMatchesHandComputation) {
+  KruskalModel model = SmallModel();
+  // x(0,1,1) = 1*7*11 + 2*8*12 = 77 + 192 = 269.
+  EXPECT_DOUBLE_EQ(model.Evaluate({0, 1, 1}), 269.0);
+}
+
+TEST(KruskalModelTest, LambdaScalesEvaluation) {
+  KruskalModel model = SmallModel();
+  model.lambda() = {2.0, 0.5};
+  EXPECT_DOUBLE_EQ(model.Evaluate({0, 1, 1}), 2.0 * 77 + 0.5 * 192);
+}
+
+TEST(KruskalModelTest, NumParameters) {
+  KruskalModel model = SmallModel();
+  EXPECT_EQ(model.NumParameters(), 3 * 2 * 2);
+}
+
+// ‖X̃‖² via the Gram identity must equal the dense brute-force sum.
+TEST(KruskalModelTest, NormSquaredMatchesBruteForce) {
+  Rng rng(7);
+  KruskalModel model = KruskalModel::Random({4, 3, 5}, 3, rng);
+  model.lambda() = {1.5, 0.5, 2.0};
+  double brute = 0.0;
+  for (int32_t i = 0; i < 4; ++i) {
+    for (int32_t j = 0; j < 3; ++j) {
+      for (int32_t k = 0; k < 5; ++k) {
+        const double v = model.Evaluate({i, j, k});
+        brute += v * v;
+      }
+    }
+  }
+  EXPECT_NEAR(model.NormSquared(), brute, 1e-9 * (1.0 + brute));
+}
+
+TEST(KruskalModelTest, FitnessMatchesBruteForceResidual) {
+  Rng rng(8);
+  KruskalModel model = KruskalModel::Random({3, 4, 2}, 2, rng);
+  SparseTensor x({3, 4, 2});
+  for (int step = 0; step < 10; ++step) {
+    x.Set({static_cast<int32_t>(rng.UniformInt(0, 2)),
+           static_cast<int32_t>(rng.UniformInt(0, 3)),
+           static_cast<int32_t>(rng.UniformInt(0, 1))},
+          rng.UniformDouble(0.5, 2.0));
+  }
+  double residual = 0.0;
+  for (int32_t i = 0; i < 3; ++i) {
+    for (int32_t j = 0; j < 4; ++j) {
+      for (int32_t k = 0; k < 2; ++k) {
+        const double diff = model.Evaluate({i, j, k}) - x.Get({i, j, k});
+        residual += diff * diff;
+      }
+    }
+  }
+  const double expected =
+      1.0 - std::sqrt(residual / x.FrobeniusNormSquared());
+  EXPECT_NEAR(model.Fitness(x), expected, 1e-9);
+}
+
+TEST(KruskalModelTest, PerfectModelHasFitnessOne) {
+  // Build X exactly equal to the model's dense form restricted to a few
+  // cells? Fitness needs all cells; instead make X dense over a tiny shape.
+  Rng rng(9);
+  KruskalModel model = KruskalModel::Random({2, 2, 2}, 2, rng);
+  SparseTensor x({2, 2, 2});
+  for (int32_t i = 0; i < 2; ++i) {
+    for (int32_t j = 0; j < 2; ++j) {
+      for (int32_t k = 0; k < 2; ++k) {
+        x.Set({i, j, k}, model.Evaluate({i, j, k}));
+      }
+    }
+  }
+  EXPECT_NEAR(model.Fitness(x), 1.0, 1e-7);
+}
+
+TEST(KruskalModelTest, FitnessOfZeroTensorIsZero) {
+  Rng rng(10);
+  KruskalModel model = KruskalModel::Random({2, 2}, 1, rng);
+  SparseTensor x({2, 2});
+  EXPECT_EQ(model.Fitness(x), 0.0);
+}
+
+TEST(MttkrpTest, HadamardRowProductSkipsMode) {
+  KruskalModel model = SmallModel();
+  double out[2];
+  HadamardRowProduct(model.factors(), {0, 1, 1}, /*skip_mode=*/1, out);
+  EXPECT_DOUBLE_EQ(out[0], 1.0 * 11.0);
+  EXPECT_DOUBLE_EQ(out[1], 2.0 * 12.0);
+  HadamardRowProduct(model.factors(), {0, 1, 1}, /*skip_mode=*/-1, out);
+  EXPECT_DOUBLE_EQ(out[0], 1.0 * 7.0 * 11.0);
+}
+
+// MTTKRP against the dense definition X_(n) (⊙_{m≠n} A(m)) computed via the
+// explicit Khatri-Rao matrix.
+TEST(MttkrpTest, MatchesDenseDefinition) {
+  Rng rng(11);
+  const std::vector<int64_t> dims = {3, 4, 5};
+  const int64_t rank = 2;
+  KruskalModel model = KruskalModel::Random(dims, rank, rng);
+  SparseTensor x(dims);
+  for (int step = 0; step < 20; ++step) {
+    x.Set({static_cast<int32_t>(rng.UniformInt(0, 2)),
+           static_cast<int32_t>(rng.UniformInt(0, 3)),
+           static_cast<int32_t>(rng.UniformInt(0, 4))},
+          rng.Normal());
+  }
+  // Dense check for mode 0: X_(0) is 3×20 with column index j*5+k (row-major
+  // over the remaining modes, first remaining mode slowest); the matching
+  // Khatri-Rao is A(1) ⊙ A(2).
+  Matrix kr = KhatriRao(model.factor(1), model.factor(2));
+  Matrix x0(3, 20);
+  x.ForEachNonzero([&](const ModeIndex& index, double value) {
+    x0(index[0], index[1] * 5 + index[2]) = value;
+  });
+  Matrix expected = Multiply(x0, kr);
+  Matrix actual = Mttkrp(x, model.factors(), 0);
+  EXPECT_LT(MaxAbsDiff(expected, actual), 1e-10);
+}
+
+TEST(MttkrpTest, RowRestrictedMatchesFullRow) {
+  Rng rng(12);
+  const std::vector<int64_t> dims = {4, 3, 6};
+  KruskalModel model = KruskalModel::Random(dims, 3, rng);
+  SparseTensor x(dims);
+  for (int step = 0; step < 30; ++step) {
+    x.Set({static_cast<int32_t>(rng.UniformInt(0, 3)),
+           static_cast<int32_t>(rng.UniformInt(0, 2)),
+           static_cast<int32_t>(rng.UniformInt(0, 5))},
+          rng.Normal());
+  }
+  for (int mode = 0; mode < 3; ++mode) {
+    Matrix full = Mttkrp(x, model.factors(), mode);
+    std::vector<double> row(3);
+    for (int64_t i = 0; i < dims[static_cast<size_t>(mode)]; ++i) {
+      MttkrpRow(x, model.factors(), mode, i, row.data());
+      for (int64_t r = 0; r < 3; ++r) {
+        EXPECT_NEAR(row[static_cast<size_t>(r)], full(i, r), 1e-10)
+            << "mode " << mode << " row " << i;
+      }
+    }
+  }
+}
+
+TEST(MttkrpTest, HadamardOfGramsExcept) {
+  Rng rng(13);
+  KruskalModel model = KruskalModel::Random({3, 4, 5}, 2, rng);
+  std::vector<Matrix> grams;
+  for (int m = 0; m < 3; ++m) {
+    grams.push_back(
+        MultiplyTransposeA(model.factor(m), model.factor(m)));
+  }
+  Matrix h1 = HadamardOfGramsExcept(grams, 1);
+  Matrix expected = Hadamard(grams[0], grams[2]);
+  EXPECT_LT(MaxAbsDiff(h1, expected), 1e-12);
+  Matrix all = HadamardOfGramsExcept(grams, -1);
+  EXPECT_LT(MaxAbsDiff(all, Hadamard(expected, grams[1])), 1e-12);
+}
+
+}  // namespace
+}  // namespace sns
