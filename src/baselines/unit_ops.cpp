@@ -60,7 +60,10 @@ std::vector<SparseTensor> SplitWindowIntoUnits(const SparseTensor& window) {
                                  window.dims().end() - 1);
   std::vector<SparseTensor> units;
   units.reserve(static_cast<size_t>(w_size));
-  for (int64_t w = 0; w < w_size; ++w) units.emplace_back(unit_dims);
+  const int64_t nnz_hint = window.nnz() / w_size + 1;
+  for (int64_t w = 0; w < w_size; ++w) {
+    units.emplace_back(unit_dims, nnz_hint);
+  }
   window.ForEachNonzero([&](const ModeIndex& index, double value) {
     ModeIndex unit_index;
     for (int m = 0; m < time_mode; ++m) unit_index.PushBack(index[m]);

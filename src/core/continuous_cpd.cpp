@@ -55,7 +55,8 @@ StatusOr<ContinuousCpd> ContinuousCpd::Create(
 ContinuousCpd::ContinuousCpd(std::vector<int64_t> mode_dims,
                              const ContinuousCpdOptions& options)
     : options_(options),
-      window_(mode_dims, options.window_size, options.period),
+      window_(mode_dims, options.window_size, options.period,
+              options.expected_nnz),
       rng_(options.seed) {
   state_ = CpdState(KruskalModel::Random(
       WithTimeMode(std::move(mode_dims), options.window_size), options.rank,

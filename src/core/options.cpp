@@ -30,6 +30,9 @@ Status ContinuousCpdOptions::Validate() const {
   if (clip_bound <= 0.0) {
     return Status::InvalidArgument("clip_bound must be positive");
   }
+  if (expected_nnz < 0) {
+    return Status::InvalidArgument("expected_nnz must be >= 0");
+  }
   if (nonnegative_factors && variant != SnsVariant::kVecPlus &&
       variant != SnsVariant::kRndPlus) {
     return Status::InvalidArgument(

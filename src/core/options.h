@@ -52,6 +52,12 @@ struct ContinuousCpdOptions {
   /// giving NMF-style interpretable factors for count data. Only valid with
   /// kVecPlus / kRndPlus.
   bool nonnegative_factors = false;
+  /// Hint: expected number of simultaneous window non-zeros. Pre-sizes the
+  /// window tensor's entry pool and hash index so warm-up ingestion avoids
+  /// rehash/realloc storms. 0 = unset: the engine does no pre-sizing and
+  /// callers that know the stream (e.g. the experiment harness) may fill in
+  /// a derived hint. Never a correctness knob.
+  int64_t expected_nnz = 0;
   /// ALS settings used by InitializeWithAls().
   AlsOptions init;
   /// Seed for factor initialization and θ-sampling.

@@ -1,7 +1,5 @@
 #include "core/slice_sampler.h"
 
-#include <unordered_set>
-
 namespace sns {
 namespace {
 
@@ -12,11 +10,21 @@ bool IsDeltaCell(const WindowDelta& delta, const ModeIndex& index) {
   return false;
 }
 
+bool AlreadySampled(const std::vector<SampledCell>& cells,
+                    const ModeIndex& index) {
+  // θ is a small constant (Table III uses 20), so a linear scan beats a
+  // hash set here.
+  for (const SampledCell& cell : cells) {
+    if (cell.index == index) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
-std::vector<ModeIndex> SampleSliceCells(const SparseTensor& window, int mode,
-                                        int64_t row, int64_t count,
-                                        const WindowDelta& delta, Rng& rng) {
+std::vector<SampledCell> SampleSliceCells(const SparseTensor& window, int mode,
+                                          int64_t row, int64_t count,
+                                          const WindowDelta& delta, Rng& rng) {
   const int modes = window.num_modes();
   // Size of the slice grid (product of the other modes' extents).
   double grid_size = 1.0;
@@ -24,14 +32,16 @@ std::vector<ModeIndex> SampleSliceCells(const SparseTensor& window, int mode,
     if (n != mode) grid_size *= static_cast<double>(window.dim(n));
   }
 
-  std::vector<ModeIndex> cells;
+  std::vector<SampledCell> cells;
   if (grid_size <= static_cast<double>(count) + delta.cells.size()) {
     // Tiny slice: enumerate every cell (odometer over the other modes).
     ModeIndex index;
     for (int n = 0; n < modes; ++n) index.PushBack(0);
     index[mode] = static_cast<int32_t>(row);
     while (true) {
-      if (!IsDeltaCell(delta, index)) cells.push_back(index);
+      if (!IsDeltaCell(delta, index)) {
+        cells.push_back({index, window.Get(index)});
+      }
       int n = modes - 1;
       while (n >= 0) {
         if (n == mode) {
@@ -49,7 +59,6 @@ std::vector<ModeIndex> SampleSliceCells(const SparseTensor& window, int mode,
 
   // Rejection sampling without replacement; duplicates are rare because the
   // grid dwarfs `count`.
-  std::unordered_set<ModeIndex, ModeIndexHash> seen;
   cells.reserve(static_cast<size_t>(count));
   int attempts = 0;
   const int max_attempts = static_cast<int>(count) * 20 + 64;
@@ -62,8 +71,8 @@ std::vector<ModeIndex> SampleSliceCells(const SparseTensor& window, int mode,
                                      0, window.dim(n) - 1)));
     }
     if (IsDeltaCell(delta, index)) continue;
-    if (!seen.insert(index).second) continue;
-    cells.push_back(index);
+    if (AlreadySampled(cells, index)) continue;
+    cells.push_back({index, window.Get(index)});
   }
   return cells;
 }

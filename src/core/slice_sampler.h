@@ -6,6 +6,9 @@
 // x̄_J = x_J − x̃_J "for any index J of X", and sampled zero cells (where
 // x̄_J = −x̃_J) are what pulls spurious model mass back down. Cells changed
 // by the current event are excluded per footnote 2.
+//
+// Sampled cells carry their window value, fetched exactly once here, so the
+// consumers (sns_rnd, sns_rnd_plus) never re-hash the window per cell.
 
 #ifndef SLICENSTITCH_CORE_SLICE_SAMPLER_H_
 #define SLICENSTITCH_CORE_SLICE_SAMPLER_H_
@@ -18,13 +21,21 @@
 
 namespace sns {
 
+/// One sampled slice cell: its window coordinate and current window value
+/// (0.0 for the — typical — zero cells).
+struct SampledCell {
+  ModeIndex index;
+  double value = 0.0;
+};
+
 /// Returns up to `count` distinct cells sampled uniformly without
 /// replacement from the slice grid {J : J[mode] = row} of `window`'s shape,
 /// never returning a cell of `delta`. If the slice grid (minus delta cells)
-/// has at most `count` cells, all of them are returned.
-std::vector<ModeIndex> SampleSliceCells(const SparseTensor& window, int mode,
-                                        int64_t row, int64_t count,
-                                        const WindowDelta& delta, Rng& rng);
+/// has at most `count` cells, all of them are returned. Each cell carries
+/// its window value.
+std::vector<SampledCell> SampleSliceCells(const SparseTensor& window, int mode,
+                                          int64_t row, int64_t count,
+                                          const WindowDelta& delta, Rng& rng);
 
 }  // namespace sns
 

@@ -35,11 +35,11 @@ void SnsRndUpdater::UpdateRow(int mode, int64_t row,
     // from the slice grid (zero cells included — they pull spurious model
     // mass down), with x̃ evaluated under the pre-event factors.
     std::vector<double> had(static_cast<size_t>(rank));
-    for (const ModeIndex& index : SampleSliceCells(
+    for (const SampledCell& cell : SampleSliceCells(
              window, mode, row, sample_threshold_, delta, rng_)) {
       const double residual =
-          window.Get(index) - EvaluatePrevModel(index, state);
-      HadamardRowProduct(state.model.factors(), index, mode, had.data());
+          cell.value - EvaluatePrevModel(cell.index, state);
+      HadamardRowProduct(state.model.factors(), cell.index, mode, had.data());
       for (int64_t r = 0; r < rank; ++r) {
         rhs[static_cast<size_t>(r)] += residual * had[static_cast<size_t>(r)];
       }

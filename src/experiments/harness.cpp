@@ -29,6 +29,11 @@ RunResult RunContinuous(
   ContinuousCpdOptions options = spec.engine;
   options.variant = variant;
   if (override_options) override_options(options);
+  if (options.expected_nnz == 0) {
+    // Pre-size the window for the warm-up span (an upper bound on the
+    // simultaneous non-zeros it produces).
+    options.expected_nnz = stream.CountTuplesThrough(spec.WarmupEndTime());
+  }
 
   auto engine = ContinuousCpd::Create(stream.mode_dims(), options);
   SNS_CHECK(engine.ok());

@@ -14,8 +14,9 @@ std::vector<int64_t> WindowDims(std::vector<int64_t> mode_dims,
 }  // namespace
 
 ContinuousTensorWindow::ContinuousTensorWindow(std::vector<int64_t> mode_dims,
-                                               int window_size, int64_t period)
-    : window_(WindowDims(std::move(mode_dims), window_size)),
+                                               int window_size, int64_t period,
+                                               int64_t expected_nnz)
+    : window_(WindowDims(std::move(mode_dims), window_size), expected_nnz),
       window_size_(window_size),
       period_(period) {
   SNS_CHECK(window_size_ >= 1);
@@ -108,14 +109,6 @@ WindowDelta ContinuousTensorWindow::ApplyScheduled(const Scheduled& event) {
     delta.kind = EventKind::kExpiry;
   }
   return delta;
-}
-
-void ContinuousTensorWindow::AdvanceTo(
-    int64_t time, const std::function<void(const WindowDelta&)>& on_event) {
-  while (!schedule_.empty() && schedule_.top().due <= time) {
-    WindowDelta delta = PopScheduled();
-    if (on_event) on_event(delta);
-  }
 }
 
 }  // namespace sns

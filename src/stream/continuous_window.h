@@ -12,7 +12,6 @@
 #define SLICENSTITCH_STREAM_CONTINUOUS_WINDOW_H_
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <vector>
 
@@ -33,9 +32,11 @@ namespace sns {
 class ContinuousTensorWindow {
  public:
   /// mode_dims: sizes of the M−1 non-time modes. window_size: W ≥ 1 time
-  /// indices. period: T ≥ 1 time units per tensor unit.
+  /// indices. period: T ≥ 1 time units per tensor unit. expected_nnz
+  /// (optional) pre-sizes the window tensor for that many simultaneous
+  /// non-zeros, avoiding rehash/realloc storms during warm-up ingestion.
   ContinuousTensorWindow(std::vector<int64_t> mode_dims, int window_size,
-                         int64_t period);
+                         int64_t period, int64_t expected_nnz = 0);
 
   /// The live window tensor X = D(t, W); last mode is time.
   const SparseTensor& tensor() const { return window_; }
@@ -66,9 +67,19 @@ class ContinuousTensorWindow {
   WindowDelta PopScheduled();
 
   /// Applies every scheduled event due at or before `time`, invoking
-  /// `on_event` (if non-null) after each application.
-  void AdvanceTo(int64_t time,
-                 const std::function<void(const WindowDelta&)>& on_event = {});
+  /// `on_event(delta)` after each application. Statically dispatched so the
+  /// per-event path carries no std::function indirection.
+  template <typename Fn>
+  void AdvanceTo(int64_t time, Fn&& on_event) {
+    while (!schedule_.empty() && schedule_.top().due <= time) {
+      on_event(PopScheduled());
+    }
+  }
+
+  /// Applies every scheduled event due at or before `time`.
+  void AdvanceTo(int64_t time) {
+    while (!schedule_.empty() && schedule_.top().due <= time) PopScheduled();
+  }
 
   /// Number of tuples currently inside the window span (active tuples).
   int64_t ActiveTupleCount() const {

@@ -4,6 +4,7 @@
 #ifndef SLICENSTITCH_STREAM_DATA_STREAM_H_
 #define SLICENSTITCH_STREAM_DATA_STREAM_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -52,6 +53,17 @@ class DataStream {
   }
 
   void Reserve(int64_t n) { tuples_.reserve(static_cast<size_t>(n)); }
+
+  /// Number of tuples with time ≤ `time` (binary search; tuples are
+  /// chronological). Used to pre-size tensor windows before replaying a
+  /// stream prefix — e.g. ContinuousCpdOptions::expected_nnz for the
+  /// warm-up span.
+  int64_t CountTuplesThrough(int64_t time) const {
+    auto it = std::upper_bound(
+        tuples_.begin(), tuples_.end(), time,
+        [](int64_t t, const Tuple& tuple) { return t < tuple.time; });
+    return static_cast<int64_t>(it - tuples_.begin());
+  }
 
  private:
   std::vector<int64_t> mode_dims_;

@@ -33,7 +33,11 @@ void PeriodicTensorWindow::CloseOnePeriod() {
 SparseTensor PeriodicTensorWindow::WindowTensor() const {
   std::vector<int64_t> dims = mode_dims_;
   dims.push_back(window_size_);
-  SparseTensor window(dims);
+  int64_t total_nnz = 0;
+  for (const UnitMap& unit : units_) {
+    total_nnz += static_cast<int64_t>(unit.size());
+  }
+  SparseTensor window(dims, total_nnz);
   // Newest unit at index W−1; units_ is oldest-first.
   const int count = static_cast<int>(units_.size());
   for (int u = 0; u < count; ++u) {
@@ -47,7 +51,9 @@ SparseTensor PeriodicTensorWindow::WindowTensor() const {
 }
 
 SparseTensor PeriodicTensorWindow::NewestUnit() const {
-  SparseTensor unit(mode_dims_);
+  SparseTensor unit(
+      mode_dims_,
+      units_.empty() ? 0 : static_cast<int64_t>(units_.back().size()));
   if (!units_.empty()) {
     for (const auto& [index, value] : units_.back()) unit.Add(index, value);
   }

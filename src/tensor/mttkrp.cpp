@@ -33,10 +33,9 @@ void MttkrpRow(const SparseTensor& x, const std::vector<Matrix>& factors,
   const int64_t rank = factors[0].cols();
   std::fill(out, out + rank, 0.0);
   std::vector<double> had(static_cast<size_t>(rank));
-  for (const ModeIndex& index : x.SliceNonzeros(mode, row)) {
-    const double value = x.Get(index);
-    HadamardRowProduct(factors, index, mode, had.data());
-    for (int64_t r = 0; r < rank; ++r) out[r] += value * had[r];
+  for (const SparseTensor::SliceEntry entry : x.Slice(mode, row)) {
+    HadamardRowProduct(factors, entry.coords, mode, had.data());
+    for (int64_t r = 0; r < rank; ++r) out[r] += entry.value * had[r];
   }
 }
 

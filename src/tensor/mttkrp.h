@@ -26,7 +26,9 @@ Matrix Mttkrp(const SparseTensor& x, const std::vector<Matrix>& factors,
 /// Row-restricted MTTKRP: the 1×R row X_(mode)(row, :) (⊙_{m≠mode} A(m)),
 /// i.e. Σ over non-zeros with mode-th index = row of x_J · Π_{m≠mode}
 /// A(m)(j_m, :). Cost O(deg(mode,row)·M·R) — the dominant term of
-/// Theorem 4. `out` must hold R values.
+/// Theorem 4. Iterates the slice through SparseTensor::Slice, which carries
+/// values, so no per-entry hash lookup happens here (regression-guarded by
+/// storage_test). `out` must hold R values.
 void MttkrpRow(const SparseTensor& x, const std::vector<Matrix>& factors,
                int mode, int64_t row, double* out);
 

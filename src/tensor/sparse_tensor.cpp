@@ -4,7 +4,8 @@
 
 namespace sns {
 
-SparseTensor::SparseTensor(std::vector<int64_t> dims) : dims_(std::move(dims)) {
+SparseTensor::SparseTensor(std::vector<int64_t> dims, int64_t expected_nnz)
+    : dims_(std::move(dims)) {
   SNS_CHECK(!dims_.empty());
   SNS_CHECK(static_cast<int>(dims_.size()) <= kMaxTensorModes);
   buckets_.resize(dims_.size());
@@ -12,28 +13,35 @@ SparseTensor::SparseTensor(std::vector<int64_t> dims) : dims_(std::move(dims)) {
     SNS_CHECK(dims_[m] > 0);
     buckets_[m].resize(static_cast<size_t>(dims_[m]));
   }
+  Reserve(expected_nnz);
+}
+
+void SparseTensor::Reserve(int64_t expected_nnz) {
+  if (expected_nnz > 0) pool_.Reserve(static_cast<size_t>(expected_nnz));
 }
 
 double SparseTensor::Get(const ModeIndex& index) const {
   SNS_DCHECK(IndexInBounds(index));
-  auto it = entries_.find(index);
-  return it == entries_.end() ? 0.0 : it->second.value;
+  const uint32_t id = pool_.Find(index);
+  return id == EntryPool::kInvalidId ? 0.0 : pool_.value(id);
 }
 
 double SparseTensor::Add(const ModeIndex& index, double delta) {
   SNS_DCHECK(IndexInBounds(index));
-  auto [it, inserted] = entries_.try_emplace(index);
-  Entry& entry = it->second;
+  const auto [id, inserted] = pool_.FindOrInsert(index, delta);
   if (inserted) {
-    entry.value = delta;
-    InsertIntoBuckets(index, entry);
-  } else {
-    entry.value += delta;
+    if (std::fabs(delta) < kZeroEpsilon) {
+      // Net-zero insert: the entry is the pool tail and owns no bucket
+      // slots yet, so EraseSwap alone undoes it.
+      pool_.EraseSwap(id);
+      return 0.0;
+    }
+    InsertIntoBuckets(id);
+    return delta;
   }
-  const double value = entry.value;
+  const double value = (pool_.value(id) += delta);
   if (std::fabs(value) < kZeroEpsilon) {
-    RemoveFromBuckets(index, entry);
-    entries_.erase(it);
+    EraseEntry(id);
     return 0.0;
   }
   return value;
@@ -41,46 +49,41 @@ double SparseTensor::Add(const ModeIndex& index, double delta) {
 
 void SparseTensor::Set(const ModeIndex& index, double value) {
   SNS_DCHECK(IndexInBounds(index));
-  auto it = entries_.find(index);
   if (std::fabs(value) < kZeroEpsilon) {
-    if (it != entries_.end()) {
-      RemoveFromBuckets(index, it->second);
-      entries_.erase(it);
-    }
+    const uint32_t id = pool_.Find(index);
+    if (id != EntryPool::kInvalidId) EraseEntry(id);
     return;
   }
-  if (it != entries_.end()) {
-    it->second.value = value;
-    return;
+  const auto [id, inserted] = pool_.FindOrInsert(index, value);
+  if (inserted) {
+    InsertIntoBuckets(id);
+  } else {
+    pool_.value(id) = value;
   }
-  auto [new_it, inserted] = entries_.try_emplace(index);
-  (void)inserted;
-  new_it->second.value = value;
-  InsertIntoBuckets(index, new_it->second);
 }
 
 void SparseTensor::Clear() {
-  entries_.clear();
+  pool_.Clear();
   for (auto& mode_buckets : buckets_) {
     for (auto& bucket : mode_buckets) bucket.clear();
   }
 }
 
-void SparseTensor::ForEachNonzero(
-    const std::function<void(const ModeIndex&, double)>& fn) const {
-  for (const auto& [index, entry] : entries_) fn(index, entry.value);
-}
-
 double SparseTensor::FrobeniusNormSquared() const {
   double sum = 0.0;
-  for (const auto& [index, entry] : entries_) sum += entry.value * entry.value;
+  const uint32_t n = pool_.size();
+  for (uint32_t id = 0; id < n; ++id) {
+    const double v = pool_.value(id);
+    sum += v * v;
+  }
   return sum;
 }
 
 double SparseTensor::MaxAbsValue() const {
   double best = 0.0;
-  for (const auto& [index, entry] : entries_) {
-    best = std::max(best, std::fabs(entry.value));
+  const uint32_t n = pool_.size();
+  for (uint32_t id = 0; id < n; ++id) {
+    best = std::max(best, std::fabs(pool_.value(id)));
   }
   return best;
 }
@@ -93,29 +96,46 @@ bool SparseTensor::IndexInBounds(const ModeIndex& index) const {
   return true;
 }
 
-void SparseTensor::InsertIntoBuckets(const ModeIndex& index, Entry& entry) {
+void SparseTensor::InsertIntoBuckets(uint32_t id) {
+  const ModeIndex& index = pool_.coords(id);
+  auto& pos = pool_.bucket_pos(id);
   for (int m = 0; m < index.size(); ++m) {
     auto& bucket = buckets_[m][static_cast<size_t>(index[m])];
-    entry.bucket_pos[m] = static_cast<uint32_t>(bucket.size());
-    bucket.push_back(index);
+    pos[m] = static_cast<uint32_t>(bucket.size());
+    bucket.push_back(id);
   }
 }
 
-void SparseTensor::RemoveFromBuckets(const ModeIndex& index,
-                                     const Entry& entry) {
+void SparseTensor::RemoveFromBuckets(uint32_t id) {
+  const ModeIndex& index = pool_.coords(id);
+  const auto& pos = pool_.bucket_pos(id);
   for (int m = 0; m < index.size(); ++m) {
     auto& bucket = buckets_[m][static_cast<size_t>(index[m])];
-    const uint32_t pos = entry.bucket_pos[m];
-    SNS_DCHECK(pos < bucket.size() && bucket[pos] == index);
+    const uint32_t p = pos[m];
+    SNS_DCHECK(p < bucket.size() && bucket[p] == id);
     const uint32_t last = static_cast<uint32_t>(bucket.size()) - 1;
-    if (pos != last) {
-      // Swap-erase: relocate the last coordinate and fix its stored position.
-      bucket[pos] = bucket[last];
-      auto moved = entries_.find(bucket[pos]);
-      SNS_DCHECK(moved != entries_.end());
-      moved->second.bucket_pos[m] = pos;
+    if (p != last) {
+      // Swap-erase: relocate the tail id and fix its stored position.
+      bucket[p] = bucket[last];
+      pool_.bucket_pos(bucket[p])[m] = p;
     }
     bucket.pop_back();
+  }
+}
+
+void SparseTensor::EraseEntry(uint32_t id) {
+  RemoveFromBuckets(id);
+  const uint32_t moved = pool_.EraseSwap(id);
+  if (moved != EntryPool::kInvalidId) {
+    // The entry formerly at `moved` now lives at `id`; repoint the bucket
+    // slots that still hold its old pool id.
+    const ModeIndex& index = pool_.coords(id);
+    const auto& pos = pool_.bucket_pos(id);
+    for (int m = 0; m < index.size(); ++m) {
+      auto& bucket = buckets_[m][static_cast<size_t>(index[m])];
+      SNS_DCHECK(pos[m] < bucket.size() && bucket[pos[m]] == moved);
+      bucket[pos[m]] = id;
+    }
   }
 }
 

@@ -1,23 +1,32 @@
-// Sparse COO tensor with per-(mode, index) slice buckets.
+// Sparse COO tensor over a flat entry pool with per-(mode, index) buckets.
 //
-// This is the storage backing the continuous tensor window. Besides O(1)
-// amortized point updates it maintains, for every mode m and index i, the
-// list of non-zero coordinates whose m-th mode index is i. That gives the
-// SliceNStitch updaters exactly the three operations they need in O(1)/O(k):
-//   - deg(m, i)          — |X_(m)(i, :)|, Theorem 4's degree,
-//   - slice iteration    — the sum over Ω^(m)_i in Eqs. 12 & 21,
-//   - uniform sampling   — the θ-sample of SNS-RND / SNS+RND (Alg. 4 line 12).
-// Buckets use swap-erase so removal is O(1); each entry remembers its
-// position in all of its M buckets.
+// Storage layout (see tensor/entry_pool.h): non-zeros live in one contiguous
+// SoA pool addressed by dense uint32_t ids; an open-addressed hash index
+// maps coordinate → id; and for every mode m and index i, buckets_[m][i]
+// lists the *pool ids* (not coordinate copies) of the non-zeros whose m-th
+// mode index is i. Each pool entry carries its position inside all of its M
+// buckets, so bucket removal is swap-erase O(1) and pool erasure is
+// swap-with-last O(M). That gives the SliceNStitch updaters exactly the
+// operations they need at the cost bounds of Theorems 1-4:
+//   - deg(m, i)          — |X_(m)(i, :)|, Theorem 4's degree, O(1),
+//   - slice iteration    — the sum over Ω^(m)_i in Eqs. 12 & 21, hash-free
+//                          and value-carrying via Slice(),
+//   - point updates      — O(M) amortized via the pool index,
+//   - uniform sampling   — the θ-sample of SNS-RND / SNS+RND (Alg. 4).
+//
+// Iteration invalidation rules: Slice() views and entry references are
+// invalidated by ANY mutation (Add/Set/Clear/Reserve) — erasure swaps
+// arbitrary entries into freed ids and growth reallocates the pool arrays.
+// ForEachNonzero visits entries in unspecified order and must not mutate
+// the tensor from inside the callback.
 
 #ifndef SLICENSTITCH_TENSOR_SPARSE_TENSOR_H_
 #define SLICENSTITCH_TENSOR_SPARSE_TENSOR_H_
 
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
 #include <vector>
 
+#include "tensor/entry_pool.h"
 #include "tensor/mode_index.h"
 
 namespace sns {
@@ -31,14 +40,19 @@ class SparseTensor {
   static constexpr double kZeroEpsilon = 1e-12;
 
   /// An empty tensor of the given shape (one extent per mode).
-  explicit SparseTensor(std::vector<int64_t> dims);
+  /// `expected_nnz` (optional) pre-sizes the pool and hash index so bulk
+  /// ingestion avoids rehash/realloc storms.
+  explicit SparseTensor(std::vector<int64_t> dims, int64_t expected_nnz = 0);
+
+  /// Pre-sizes storage for `expected_nnz` entries (never shrinks).
+  void Reserve(int64_t expected_nnz);
 
   int num_modes() const { return static_cast<int>(dims_.size()); }
   const std::vector<int64_t>& dims() const { return dims_; }
   int64_t dim(int mode) const { return dims_[mode]; }
 
   /// Number of non-zero cells.
-  int64_t nnz() const { return static_cast<int64_t>(entries_.size()); }
+  int64_t nnz() const { return static_cast<int64_t>(pool_.size()); }
 
   /// Value at a cell (0.0 when absent).
   double Get(const ModeIndex& index) const;
@@ -58,15 +72,65 @@ class SparseTensor {
     return static_cast<int64_t>(buckets_[mode][index].size());
   }
 
-  /// Coordinates of all non-zeros with the m-th mode index fixed to i.
-  /// The reference is invalidated by any mutation of the tensor.
-  const std::vector<ModeIndex>& SliceNonzeros(int mode, int64_t index) const {
-    return buckets_[mode][index];
+  /// One (coordinate, value) pair of a slice or pool walk.
+  struct SliceEntry {
+    const ModeIndex& coords;
+    double value;
+  };
+
+  /// Forward iterator over a bucket of pool ids, dereferencing straight into
+  /// the pool — no coordinate copies, no hash lookups.
+  class SliceIterator {
+   public:
+    SliceIterator(const EntryPool* pool, const uint32_t* id)
+        : pool_(pool), id_(id) {}
+    SliceEntry operator*() const {
+      return {pool_->coords(*id_), pool_->value(*id_)};
+    }
+    SliceIterator& operator++() {
+      ++id_;
+      return *this;
+    }
+    friend bool operator==(const SliceIterator& a, const SliceIterator& b) {
+      return a.id_ == b.id_;
+    }
+    friend bool operator!=(const SliceIterator& a, const SliceIterator& b) {
+      return a.id_ != b.id_;
+    }
+
+   private:
+    const EntryPool* pool_;
+    const uint32_t* id_;
+  };
+
+  /// Value-carrying view of the non-zeros with the m-th mode index fixed to
+  /// i (unspecified order). Invalidated by any mutation of the tensor.
+  class SliceView {
+   public:
+    SliceView(const EntryPool* pool, const std::vector<uint32_t>* ids)
+        : pool_(pool), ids_(ids) {}
+    size_t size() const { return ids_->size(); }
+    bool empty() const { return ids_->empty(); }
+    SliceIterator begin() const { return {pool_, ids_->data()}; }
+    SliceIterator end() const { return {pool_, ids_->data() + ids_->size()}; }
+
+   private:
+    const EntryPool* pool_;
+    const std::vector<uint32_t>* ids_;
+  };
+
+  /// The slice Ω^(mode)_index as a (coords, value) range.
+  SliceView Slice(int mode, int64_t index) const {
+    return SliceView(&pool_, &buckets_[mode][index]);
   }
 
   /// Invokes fn(coordinate, value) for every non-zero (unspecified order).
-  void ForEachNonzero(
-      const std::function<void(const ModeIndex&, double)>& fn) const;
+  /// A linear walk over the pool arrays; fn must not mutate the tensor.
+  template <typename Fn>
+  void ForEachNonzero(Fn&& fn) const {
+    const uint32_t n = pool_.size();
+    for (uint32_t id = 0; id < n; ++id) fn(pool_.coords(id), pool_.value(id));
+  }
 
   /// Σ x² over non-zeros.
   double FrobeniusNormSquared() const;
@@ -77,20 +141,19 @@ class SparseTensor {
   /// True if `index` has num_modes() coordinates all within the shape.
   bool IndexInBounds(const ModeIndex& index) const;
 
- private:
-  struct Entry {
-    double value;
-    // Position of this coordinate inside buckets_[m][coord[m]] per mode.
-    std::array<uint32_t, kMaxTensorModes> bucket_pos;
-  };
+  /// Probe sequences performed against the coordinate hash index so far.
+  /// Regression instrumentation: slice iteration must leave this unchanged.
+  uint64_t hash_lookup_count() const { return pool_.hash_lookup_count(); }
 
-  void InsertIntoBuckets(const ModeIndex& index, Entry& entry);
-  void RemoveFromBuckets(const ModeIndex& index, const Entry& entry);
+ private:
+  void InsertIntoBuckets(uint32_t id);
+  void RemoveFromBuckets(uint32_t id);
+  void EraseEntry(uint32_t id);
 
   std::vector<int64_t> dims_;
-  std::unordered_map<ModeIndex, Entry, ModeIndexHash> entries_;
-  // buckets_[m][i] lists the coordinates of non-zeros with m-th index i.
-  std::vector<std::vector<std::vector<ModeIndex>>> buckets_;
+  EntryPool pool_;
+  // buckets_[m][i] lists pool ids of non-zeros with m-th index i.
+  std::vector<std::vector<std::vector<uint32_t>>> buckets_;
 };
 
 }  // namespace sns

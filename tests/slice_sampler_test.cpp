@@ -25,14 +25,15 @@ TEST(SliceSamplerTest, CellsAreDistinctInBoundsAndOnSlice) {
                                   /*count=*/10, delta, rng);
     EXPECT_EQ(cells.size(), 10u);
     std::set<std::string> seen;
-    for (const ModeIndex& cell : cells) {
-      EXPECT_EQ(cell.size(), 3);
-      EXPECT_EQ(cell[1], 3);
-      EXPECT_GE(cell[0], 0);
-      EXPECT_LT(cell[0], 6);
-      EXPECT_GE(cell[2], 0);
-      EXPECT_LT(cell[2], 5);
-      EXPECT_TRUE(seen.insert(cell.ToString()).second) << cell.ToString();
+    for (const SampledCell& cell : cells) {
+      EXPECT_EQ(cell.index.size(), 3);
+      EXPECT_EQ(cell.index[1], 3);
+      EXPECT_GE(cell.index[0], 0);
+      EXPECT_LT(cell.index[0], 6);
+      EXPECT_GE(cell.index[2], 0);
+      EXPECT_LT(cell.index[2], 5);
+      EXPECT_TRUE(seen.insert(cell.index.ToString()).second)
+          << cell.index.ToString();
     }
   }
 }
@@ -45,9 +46,9 @@ TEST(SliceSamplerTest, ExcludesDeltaCells) {
       DeltaWithCells({ModeIndex{1, 0, 0}, ModeIndex{1, 2, 1}});
   auto cells = SampleSliceCells(window, 0, 1, /*count=*/100, delta, rng);
   EXPECT_EQ(cells.size(), 4u);  // Enumeration path: all minus the 2 deltas.
-  for (const ModeIndex& cell : cells) {
-    EXPECT_FALSE(cell == (ModeIndex{1, 0, 0}));
-    EXPECT_FALSE(cell == (ModeIndex{1, 2, 1}));
+  for (const SampledCell& cell : cells) {
+    EXPECT_FALSE(cell.index == (ModeIndex{1, 0, 0}));
+    EXPECT_FALSE(cell.index == (ModeIndex{1, 2, 1}));
   }
 }
 
@@ -58,9 +59,9 @@ TEST(SliceSamplerTest, TinySliceEnumeratesEverything) {
   auto cells = SampleSliceCells(window, 1, 2, /*count=*/50, delta, rng);
   ASSERT_EQ(cells.size(), 4u);
   std::set<int32_t> first_indices;
-  for (const ModeIndex& cell : cells) {
-    EXPECT_EQ(cell[1], 2);
-    first_indices.insert(cell[0]);
+  for (const SampledCell& cell : cells) {
+    EXPECT_EQ(cell.index[1], 2);
+    first_indices.insert(cell.index[0]);
   }
   EXPECT_EQ(first_indices.size(), 4u);
 }
@@ -72,9 +73,9 @@ TEST(SliceSamplerTest, ApproximatelyUniformOverGrid) {
   std::map<int32_t, int> counts;
   const int trials = 4000;
   for (int t = 0; t < trials; ++t) {
-    for (const ModeIndex& cell :
+    for (const SampledCell& cell :
          SampleSliceCells(window, 0, 5, /*count=*/5, delta, rng)) {
-      counts[cell[1]]++;
+      counts[cell.index[1]]++;
     }
   }
   // 4000 * 5 samples over 50 cells → mean 400 per cell.
@@ -93,8 +94,10 @@ TEST(SliceSamplerTest, SamplesIncludeZeroCells) {
   auto cells = SampleSliceCells(window, 2, 0, /*count=*/40, delta, rng);
   EXPECT_EQ(cells.size(), 40u);
   int zero_cells = 0;
-  for (const ModeIndex& cell : cells) {
-    if (window.Get(cell) == 0.0) ++zero_cells;
+  for (const SampledCell& cell : cells) {
+    // Sampled cells carry the window value so consumers never re-hash.
+    EXPECT_DOUBLE_EQ(cell.value, window.Get(cell.index));
+    if (cell.value == 0.0) ++zero_cells;
   }
   EXPECT_GE(zero_cells, 39);
 }

@@ -85,12 +85,17 @@ TEST(SparseTensorTest, DegreeAndSliceTracking) {
   EXPECT_EQ(x.Degree(2, 0), 2);
   EXPECT_EQ(x.Degree(2, 1), 1);
 
-  const auto& slice = x.SliceNonzeros(1, 1);
+  const auto slice = x.Slice(1, 1);
   ASSERT_EQ(slice.size(), 2u);
   std::set<std::string> coords;
-  for (const auto& c : slice) coords.insert(c.ToString());
+  double value_sum = 0.0;
+  for (const auto entry : slice) {
+    coords.insert(entry.coords.ToString());
+    value_sum += entry.value;
+  }
   EXPECT_TRUE(coords.contains("(0, 1, 0)"));
   EXPECT_TRUE(coords.contains("(1, 1, 0)"));
+  EXPECT_DOUBLE_EQ(value_sum, 4.0);  // Slice iteration carries values.
 }
 
 TEST(SparseTensorTest, FrobeniusAndMaxAbs) {
@@ -153,7 +158,7 @@ TEST(SparseTensorTest, RandomMutationsKeepBucketsConsistent) {
         if (value.first[m] == i) ++expected;
       }
       EXPECT_EQ(x.Degree(m, i), expected) << "mode " << m << " index " << i;
-      EXPECT_EQ(static_cast<int64_t>(x.SliceNonzeros(m, i).size()), expected);
+      EXPECT_EQ(static_cast<int64_t>(x.Slice(m, i).size()), expected);
     }
   }
 }
