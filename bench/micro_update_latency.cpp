@@ -19,9 +19,17 @@
 #include <unordered_map>
 #include <vector>
 
+#include <memory>
+
 #include "common/random.h"
+#include "core/als.h"
 #include "core/continuous_cpd.h"
 #include "core/gram_solve.h"
+#include "core/sns_mat.h"
+#include "core/sns_rnd.h"
+#include "core/sns_rnd_plus.h"
+#include "core/sns_vec.h"
+#include "core/sns_vec_plus.h"
 #include "data/datasets.h"
 #include "linalg/pseudo_inverse.h"
 #include "stream/continuous_window.h"
@@ -94,6 +102,121 @@ void BM_ProcessTupleMat(benchmark::State& state) {
   state.SetLabel("SNS-MAT");
 }
 BENCHMARK(BM_ProcessTupleMat)->Iterations(30)->Unit(benchmark::kMicrosecond);
+
+// ---------------------------------------------------------------------------
+// Update algebra in isolation: a bounded synthetic window plus hand-built
+// arrival/removal deltas, measuring EventUpdater::OnEvent alone — no
+// scheduler, stopwatch, or ingestion bookkeeping. This is the quantity the
+// zero-allocation workspace + Gram-product-cache refactor targets.
+
+constexpr int64_t kAlgebraRank = 20;
+constexpr int64_t kAlgebraActiveCells = 4000;
+const std::vector<int64_t> kAlgebraDims = {265, 265, 10};  // W = 10.
+
+struct UpdaterFixture {
+  explicit UpdaterFixture(SnsVariant variant)
+      : window(kAlgebraDims, kAlgebraActiveCells), rng(17) {
+    // Steady-state window: kAlgebraActiveCells live cells in the newest
+    // slice (the arrival steady state).
+    for (int64_t i = 0; i < kAlgebraActiveCells; ++i) {
+      const ModeIndex cell = NextCell();
+      window.Add(cell, 1.0);
+      active.push_back(cell);
+    }
+    Rng init_rng(23);
+    state = CpdState(
+        KruskalModel::Random(kAlgebraDims, kAlgebraRank, init_rng));
+    // A few ALS sweeps stand in for InitializeWithAls: without a warm start
+    // the unclipped variants drift into the pseudoinverse fallback.
+    const bool is_mat = variant == SnsVariant::kMat;
+    for (int i = 0; i < 3; ++i) {
+      AlsSweep(window, state, /*normalize_columns=*/is_mat);
+    }
+    switch (variant) {
+      case SnsVariant::kMat:
+        updater = std::make_unique<SnsMatUpdater>();
+        break;
+      case SnsVariant::kVec:
+        updater = std::make_unique<SnsVecUpdater>();
+        break;
+      case SnsVariant::kRnd:
+        updater = std::make_unique<SnsRndUpdater>(20, 19);
+        break;
+      case SnsVariant::kVecPlus:
+        updater = std::make_unique<SnsVecPlusUpdater>(1000.0);
+        break;
+      case SnsVariant::kRndPlus:
+        updater = std::make_unique<SnsRndPlusUpdater>(20, 1000.0, 19);
+        break;
+    }
+  }
+
+  ModeIndex NextCell() {
+    ModeIndex index;
+    index.PushBack(static_cast<int32_t>(rng.UniformInt(0, 264)));
+    index.PushBack(static_cast<int32_t>(rng.UniformInt(0, 264)));
+    index.PushBack(9);  // Newest slice W−1.
+    return index;
+  }
+
+  // One arrival event; once the window is at capacity, also one removal
+  // event for the oldest live cell so nnz stays bounded.
+  void NextEvent() {
+    const ModeIndex cell = NextCell();
+    window.Add(cell, 1.0);
+    active.push_back(cell);
+    FireArrival(cell, 1.0);
+    if (static_cast<int64_t>(active.size()) > kAlgebraActiveCells) {
+      const ModeIndex old = active.front();
+      active.pop_front();
+      window.Add(old, -1.0);
+      FireArrival(old, -1.0);
+    }
+  }
+
+  void FireArrival(const ModeIndex& cell, double value) {
+    delta.kind = EventKind::kArrival;
+    delta.w = 0;
+    delta.tuple.index = ModeIndex{cell[0], cell[1]};
+    delta.tuple.value = value;
+    delta.cells.clear();
+    delta.cells.push_back({cell, value});
+    updater->OnEvent(window, delta, state);
+  }
+
+  SparseTensor window;
+  Rng rng;
+  CpdState state;
+  std::unique_ptr<EventUpdater> updater;
+  std::deque<ModeIndex> active;
+  WindowDelta delta;  // Reused so delta construction is not measured.
+};
+
+void BM_UpdateEventAlgebra(benchmark::State& state) {
+  UpdaterFixture fixture(static_cast<SnsVariant>(state.range(0)));
+  for (auto _ : state) {
+    fixture.NextEvent();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(VariantName(static_cast<SnsVariant>(state.range(0))));
+}
+BENCHMARK(BM_UpdateEventAlgebra)
+    ->Arg(static_cast<int>(SnsVariant::kVec))
+    ->Arg(static_cast<int>(SnsVariant::kRnd))
+    ->Arg(static_cast<int>(SnsVariant::kVecPlus))
+    ->Arg(static_cast<int>(SnsVariant::kRndPlus))
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_UpdateEventAlgebraMat(benchmark::State& state) {
+  UpdaterFixture fixture(SnsVariant::kMat);
+  for (auto _ : state) {
+    fixture.NextEvent();
+  }
+  state.SetLabel("SNS-MAT");
+}
+BENCHMARK(BM_UpdateEventAlgebraMat)
+    ->Iterations(30)
+    ->Unit(benchmark::kMicrosecond);
 
 // Algorithm 1 alone: window bookkeeping without factor updates.
 void BM_WindowOnly(benchmark::State& state) {

@@ -2,47 +2,79 @@
 
 #include <cmath>
 
-#include "core/gram_solve.h"
 #include "tensor/mttkrp.h"
 
 namespace sns {
 
-void AlsSweep(const SparseTensor& x, CpdState& state, bool normalize_columns) {
+void AlsWorkspace::Prepare(const CpdState& state) {
   const int modes = state.num_modes();
   const int64_t rank = state.rank();
+  if (static_cast<int>(mttkrp.size()) != modes) mttkrp.resize(modes);
   for (int m = 0; m < modes; ++m) {
-    Matrix mttkrp = Mttkrp(x, state.model.factors(), m);     // U of Alg. 2.
-    Matrix h = HadamardOfGramsExcept(state.grams, m);        // H of Alg. 2.
-    Matrix updated = SolveRowsAgainstGram(h, mttkrp);        // U H†.
+    const int64_t rows = state.model.factor(m).rows();
+    Matrix& out = mttkrp[static_cast<size_t>(m)];
+    if (out.rows() != rows || out.cols() != rank) out = Matrix(rows, rank);
+  }
+  if (h.rows() != rank) h = Matrix(rank, rank);
+  if (static_cast<int64_t>(had.size()) != rank) {
+    had.assign(static_cast<size_t>(rank), 0.0);
+  }
+}
+
+void AlsSweep(const SparseTensor& x, CpdState& state, bool normalize_columns,
+              AlsWorkspace& ws) {
+  const int modes = state.num_modes();
+  const int64_t rank = state.rank();
+  ws.Prepare(state);
+  ws.grams.BeginEvent(state.grams);
+  for (int m = 0; m < modes; ++m) {
+    Matrix& mttkrp = ws.mttkrp[static_cast<size_t>(m)];
+    MttkrpInto(x, state.model.factors(), m, mttkrp, ws.had.data());
+    ws.grams.ProductExcept(m, ws.h);  // H of Alg. 2.
+    ws.solver.Factorize(ws.h);
+
+    // A(m) ← U H† row by row, written in place: the MTTKRP of mode m never
+    // reads A(m), and later modes want the updated factor.
+    Matrix& factor = state.model.factor(m);
+    for (int64_t i = 0; i < factor.rows(); ++i) {
+      ws.solver.Solve(mttkrp.Row(i), factor.Row(i));
+    }
 
     if (normalize_columns) {
       // λ_r = ‖column r‖₂; Ā gets unit columns (Alg. 2 lines 5-6). Zero
       // columns keep λ_r = 0 and stay zero.
       for (int64_t r = 0; r < rank; ++r) {
         double norm_sq = 0.0;
-        for (int64_t i = 0; i < updated.rows(); ++i) {
-          norm_sq += updated(i, r) * updated(i, r);
+        for (int64_t i = 0; i < factor.rows(); ++i) {
+          norm_sq += factor(i, r) * factor(i, r);
         }
         const double norm = std::sqrt(norm_sq);
         state.model.lambda()[static_cast<size_t>(r)] = norm;
         if (norm > 0.0) {
           const double inv = 1.0 / norm;
-          for (int64_t i = 0; i < updated.rows(); ++i) updated(i, r) *= inv;
+          for (int64_t i = 0; i < factor.rows(); ++i) factor(i, r) *= inv;
         }
       }
     }
-    state.model.factor(m) = std::move(updated);
-    state.grams[m] =
-        MultiplyTransposeA(state.model.factor(m), state.model.factor(m));
+    MultiplyTransposeAInto(factor, factor,
+                           state.grams[static_cast<size_t>(m)]);
+    ws.grams.NotifyModeChanged(m);
   }
+}
+
+void AlsSweep(const SparseTensor& x, CpdState& state,
+              bool normalize_columns) {
+  AlsWorkspace ws;
+  AlsSweep(x, state, normalize_columns, ws);
 }
 
 KruskalModel AlsDecompose(const SparseTensor& x, int64_t rank,
                           const AlsOptions& options, Rng& rng) {
   CpdState state(KruskalModel::Random(x.dims(), rank, rng));
+  AlsWorkspace ws;
   double previous_fitness = state.model.Fitness(x);
   for (int iter = 0; iter < options.max_iterations; ++iter) {
-    AlsSweep(x, state, options.normalize_columns);
+    AlsSweep(x, state, options.normalize_columns, ws);
     const double fitness = state.model.Fitness(x);
     if (fitness - previous_fitness < options.fitness_tolerance &&
         iter > 0) {

@@ -8,16 +8,41 @@
 #ifndef SLICENSTITCH_CORE_ALS_H_
 #define SLICENSTITCH_CORE_ALS_H_
 
+#include <vector>
+
 #include "common/random.h"
 #include "core/cpd_state.h"
+#include "core/gram_product_cache.h"
+#include "core/gram_solve.h"
 #include "core/options.h"
 #include "tensor/sparse_tensor.h"
 
 namespace sns {
 
+/// Preallocated scratch space of one ALS sweep, reused across sweeps (and
+/// across events by SNS-MAT, whose per-event sweep performs zero heap
+/// allocations once the workspace is warm — guarded by
+/// tests/hot_path_test.cpp).
+struct AlsWorkspace {
+  /// (Re)sizes the buffers for `state`'s shape; allocation-free no-op when
+  /// the shape is unchanged.
+  void Prepare(const CpdState& state);
+
+  std::vector<Matrix> mttkrp;  // Per-mode MTTKRP output (factor-shaped).
+  Matrix h;                    // Hadamard-of-Grams of the current mode.
+  std::vector<double> had;     // Per-entry Hadamard row scratch.
+  GramSolver solver;
+  GramProductCache grams;
+};
+
 /// One full alternating sweep over every mode of `x` (Alg. 2 lines 1-7):
 /// A(m) ← X_(m)(⊙_{n≠m} A(n)) H†, optionally followed by column
-/// normalization into λ. Grams are refreshed per mode.
+/// normalization into λ. Grams are refreshed per mode. All scratch comes
+/// from `ws` — the hot-path form SNS-MAT calls once per event.
+void AlsSweep(const SparseTensor& x, CpdState& state, bool normalize_columns,
+              AlsWorkspace& ws);
+
+/// Convenience overload with a throwaway workspace.
 void AlsSweep(const SparseTensor& x, CpdState& state, bool normalize_columns);
 
 /// Batch CP decomposition of `x` with random Uniform[0,1) initialization:

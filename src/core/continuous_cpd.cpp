@@ -27,7 +27,10 @@ std::unique_ptr<EventUpdater> MakeUpdater(const ContinuousCpdOptions& options) {
           options.sample_threshold, options.clip_bound, options.seed + 1,
           options.nonnegative_factors);
   }
-  return nullptr;
+  // Unhandled SnsVariant (e.g. an enum value cast from a bad integer): fail
+  // loudly here instead of returning nullptr and crashing at first use.
+  SNS_CHECK(false && "MakeUpdater: unhandled SnsVariant");
+  return nullptr;  // Unreachable.
 }
 
 std::vector<int64_t> WithTimeMode(std::vector<int64_t> mode_dims, int w) {

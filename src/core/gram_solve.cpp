@@ -1,5 +1,6 @@
 #include "core/gram_solve.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "linalg/cholesky.h"
@@ -13,8 +14,7 @@ namespace {
 // pseudoinverse path is used instead.
 constexpr double kPivotRatioFloor = 1e-7;
 
-bool CholeskyIsWellConditioned(const Cholesky& chol) {
-  const Matrix& lower = chol.lower();
+bool LowerIsWellConditioned(const Matrix& lower) {
   double min_pivot = lower(0, 0), max_pivot = lower(0, 0);
   for (int64_t i = 1; i < lower.rows(); ++i) {
     min_pivot = std::min(min_pivot, lower(i, i));
@@ -25,36 +25,38 @@ bool CholeskyIsWellConditioned(const Cholesky& chol) {
 
 }  // namespace
 
-void SolveRowAgainstGram(const Matrix& h, const double* b, double* x) {
+void GramSolver::Factorize(const Matrix& h) {
   const int64_t n = h.rows();
-  auto chol = Cholesky::Factorize(h);
-  if (chol.ok() && CholeskyIsWellConditioned(chol.value())) {
-    // H symmetric: b H† == (H⁻¹ b')' for nonsingular H.
-    std::vector<double> rhs(b, b + n);
-    std::vector<double> sol = chol.value().Solve(rhs);
-    for (int64_t i = 0; i < n; ++i) x[i] = sol[static_cast<size_t>(i)];
+  if (lower_.rows() != n) lower_ = Matrix(n, n);
+  use_pinv_ =
+      !(CholeskyFactorizeInto(h, lower_) && LowerIsWellConditioned(lower_));
+  if (use_pinv_) pinv_ = PseudoInverseSymmetric(h);
+}
+
+void GramSolver::Solve(const double* b, double* x) const {
+  if (use_pinv_) {
+    RowTimesMatrix(b, pinv_, x);
     return;
   }
-  Matrix pinv = PseudoInverseSymmetric(h);
-  RowTimesMatrix(b, pinv, x);
+  // H symmetric: b H† == (H⁻¹ b')' for nonsingular H.
+  const int64_t n = lower_.rows();
+  std::copy(b, b + n, x);
+  CholeskySolveInPlace(lower_, x);
+}
+
+void SolveRowAgainstGram(const Matrix& h, const double* b, double* x) {
+  GramSolver solver;
+  solver.Factorize(h);
+  solver.Solve(b, x);
 }
 
 Matrix SolveRowsAgainstGram(const Matrix& h, const Matrix& b) {
   SNS_CHECK(b.cols() == h.rows());
+  GramSolver solver;
+  solver.Factorize(h);
   Matrix x(b.rows(), b.cols());
-  auto chol = Cholesky::Factorize(h);
-  if (chol.ok() && CholeskyIsWellConditioned(chol.value())) {
-    std::vector<double> rhs(static_cast<size_t>(b.cols()));
-    for (int64_t i = 0; i < b.rows(); ++i) {
-      const double* b_row = b.Row(i);
-      std::copy(b_row, b_row + b.cols(), rhs.begin());
-      std::vector<double> sol = chol.value().Solve(rhs);
-      std::copy(sol.begin(), sol.end(), x.Row(i));
-    }
-    return x;
-  }
-  Matrix pinv = PseudoInverseSymmetric(h);
-  return Multiply(b, pinv);
+  for (int64_t i = 0; i < b.rows(); ++i) solver.Solve(b.Row(i), x.Row(i));
+  return x;
 }
 
 }  // namespace sns

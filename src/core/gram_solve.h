@@ -12,8 +12,30 @@
 
 namespace sns {
 
+/// Reusable Gram solver: factorize H once, then solve any number of rows
+/// against it. The Cholesky fast path performs zero heap allocations once
+/// the internal buffer matches H's order, which makes this the solver of
+/// the per-event update hot path (owned by UpdateWorkspace / AlsWorkspace).
+/// Singular / ill-conditioned H falls back to the (allocating, rare)
+/// symmetric-eigen pseudoinverse — the paper's H†.
+class GramSolver {
+ public:
+  /// Factorizes symmetric PSD `h` (order n), replacing any previous
+  /// factorization.
+  void Factorize(const Matrix& h);
+
+  /// x = b H† for the last Factorize'd H. `b` and `x` hold n values and
+  /// must not alias.
+  void Solve(const double* b, double* x) const;
+
+ private:
+  Matrix lower_;
+  Matrix pinv_;
+  bool use_pinv_ = false;
+};
+
 /// Computes x = b H† for symmetric PSD H (order n). `b` and `x` hold n
-/// values and must not alias.
+/// values and must not alias. One-shot convenience over GramSolver.
 void SolveRowAgainstGram(const Matrix& h, const double* b, double* x);
 
 /// Computes X = B H† for a full matrix of right-hand rows (B is m×n, H is

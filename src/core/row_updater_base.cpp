@@ -13,40 +13,75 @@ void RowUpdaterBase::OnEvent(const SparseTensor& window,
   const int w_size = static_cast<int>(state.model.factor(time_mode).rows());
   const int w = delta.w;
 
+  auto update_row = [&](int mode, int64_t row) {
+    gram_cache_.ProductExcept(mode, ws_.h);
+    UpdateRow(mode, row, window, delta, state, ws_);
+    gram_cache_.NotifyModeChanged(mode);
+  };
+
   // Time-mode rows first (Alg. 3 lines 3-6; 0-based indices). For a slide
   // both the slice the value left (W−w) and the one it entered (W−w−1) are
   // refreshed; arrivals touch only W−1, expiries only 0.
-  if (w > 0) UpdateRow(time_mode, w_size - w, window, delta, state);
-  if (w < w_size) UpdateRow(time_mode, w_size - w - 1, window, delta, state);
+  if (w > 0) update_row(time_mode, w_size - w);
+  if (w < w_size) update_row(time_mode, w_size - w - 1);
 
   // Then the i_m-th row of every non-time factor (Alg. 3 lines 7-8).
   for (int m = 0; m < time_mode; ++m) {
-    UpdateRow(m, delta.tuple.index[m], window, delta, state);
+    update_row(m, delta.tuple.index[m]);
   }
 }
 
 void RowUpdaterBase::BeginEvent(const WindowDelta& delta,
                                 const CpdState& state) {
-  if (NeedsPrevGrams()) prev_grams_ = state.grams;  // Alg. 3 line 1.
-
-  snapshots_.clear();
-  const int time_mode = state.num_modes() - 1;
-  auto snapshot = [&](int mode, int64_t row) {
-    const Matrix& factor = state.model.factor(mode);
-    const double* data = factor.Row(row);
-    snapshots_.push_back(
-        {mode, row, std::vector<double>(data, data + factor.cols())});
-  };
-  for (const DeltaCell& cell : delta.cells) {
-    snapshot(time_mode, cell.index[time_mode]);
+  time_mode_ = state.num_modes() - 1;
+  snap_rank_ = state.rank();
+  ws_.Prepare(state.num_modes(), snap_rank_, sample_capacity_);
+  gram_cache_.BeginEvent(state.grams);
+  // No-ops (and allocation-free) once sized for this shape.
+  snapshot_values_.resize(static_cast<size_t>((kMaxTensorModes + 2) *
+                                              snap_rank_));
+  if (NeedsPrevGrams()) {
+    delta_values_.resize(static_cast<size_t>(2 * (kMaxTensorModes + 2) *
+                                             snap_rank_));
   }
-  for (int m = 0; m < time_mode; ++m) snapshot(m, delta.tuple.index[m]);
+  num_gram_deltas_ = 0;
+
+  auto copy_row = [&](int mode, int64_t row, int segment) {
+    const double* data = state.model.factor(mode).Row(row);
+    std::copy(data, data + snap_rank_,
+              snapshot_values_.data() + segment * snap_rank_);
+  };
+  // Time-mode rows, deduplicated: a delta may reference the same time slice
+  // more than once, and PrevRow must see exactly one snapshot per row.
+  num_time_snaps_ = 0;
+  for (const DeltaCell& cell : delta.cells) {
+    const int64_t row = cell.index[time_mode_];
+    bool seen = false;
+    for (int t = 0; t < num_time_snaps_; ++t) {
+      if (time_snap_row_[static_cast<size_t>(t)] == row) seen = true;
+    }
+    if (seen || num_time_snaps_ >= 2) continue;
+    time_snap_row_[static_cast<size_t>(num_time_snaps_)] = row;
+    copy_row(time_mode_, row, kMaxTensorModes + num_time_snaps_);
+    ++num_time_snaps_;
+  }
+  // One snapshot per non-time mode, indexed by mode.
+  for (int m = 0; m < time_mode_; ++m) {
+    mode_snap_row_[static_cast<size_t>(m)] = delta.tuple.index[m];
+    copy_row(m, delta.tuple.index[m], m);
+  }
 }
 
 const double* RowUpdaterBase::PrevRow(int mode, int64_t row,
                                       const CpdState& state) const {
-  for (const RowSnapshot& snap : snapshots_) {
-    if (snap.mode == mode && snap.row == row) return snap.values.data();
+  if (mode == time_mode_) {
+    for (int t = 0; t < num_time_snaps_; ++t) {
+      if (time_snap_row_[static_cast<size_t>(t)] == row) {
+        return snapshot_values_.data() + (kMaxTensorModes + t) * snap_rank_;
+      }
+    }
+  } else if (mode_snap_row_[static_cast<size_t>(mode)] == row) {
+    return snapshot_values_.data() + mode * snap_rank_;
   }
   return state.model.factor(mode).Row(row);
 }
@@ -66,16 +101,49 @@ double RowUpdaterBase::EvaluatePrevModel(const ModeIndex& index,
   return sum;
 }
 
-void RowUpdaterBase::CommitRow(int mode, int64_t row,
-                               const std::vector<double>& old_row,
+void RowUpdaterBase::CommitRow(int mode, int64_t row, const double* old_row,
                                CpdState& state) {
   const double* new_row = state.model.factor(mode).Row(row);
-  ApplyGramRowUpdate(state.grams[static_cast<size_t>(mode)], old_row.data(),
+  ApplyGramRowUpdate(state.grams[static_cast<size_t>(mode)], old_row,
                      new_row);
   if (NeedsPrevGrams()) {
-    // old_row is also the event-start (prev) row: rows update once per event.
-    ApplyPrevGramRowUpdate(prev_grams_[static_cast<size_t>(mode)],
-                           old_row.data(), new_row);
+    // Record the rank-1 correction U(mode) = Q(mode) + (p−a)'a. old_row is
+    // also the event-start (prev) row p: rows update once per event.
+    SNS_CHECK(num_gram_deltas_ < static_cast<int>(delta_mode_.size()));
+    double* diff = delta_values_.data() + 2 * num_gram_deltas_ * snap_rank_;
+    double* saved_new = diff + snap_rank_;
+    for (int64_t r = 0; r < snap_rank_; ++r) {
+      diff[r] = old_row[r] - new_row[r];
+      saved_new[r] = new_row[r];
+    }
+    delta_mode_[static_cast<size_t>(num_gram_deltas_)] = mode;
+    ++num_gram_deltas_;
+  }
+}
+
+void RowUpdaterBase::HadamardOfPrevGramsExcept(const CpdState& state,
+                                               int skip_mode,
+                                               UpdateWorkspace& ws) const {
+  ws.h_prev.Fill(1.0);
+  for (int n = 0; n < state.num_modes(); ++n) {
+    if (n == skip_mode) continue;
+    const Matrix& gram = state.grams[static_cast<size_t>(n)];
+    bool has_delta = false;
+    for (int k = 0; k < num_gram_deltas_; ++k) {
+      if (delta_mode_[static_cast<size_t>(k)] == n) has_delta = true;
+    }
+    if (!has_delta) {
+      // No row of mode n committed yet this event: U(n) = Q(n).
+      HadamardAccumulate(ws.h_prev, gram);
+      continue;
+    }
+    ws.u_scratch.CopyFrom(gram);
+    for (int k = 0; k < num_gram_deltas_; ++k) {
+      if (delta_mode_[static_cast<size_t>(k)] != n) continue;
+      const double* diff = delta_values_.data() + 2 * k * snap_rank_;
+      AddOuterProduct(ws.u_scratch, diff, diff + snap_rank_);
+    }
+    HadamardAccumulate(ws.h_prev, ws.u_scratch);
   }
 }
 

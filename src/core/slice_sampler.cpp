@@ -25,6 +25,14 @@ bool AlreadySampled(const std::vector<SampledCell>& cells,
 std::vector<SampledCell> SampleSliceCells(const SparseTensor& window, int mode,
                                           int64_t row, int64_t count,
                                           const WindowDelta& delta, Rng& rng) {
+  std::vector<SampledCell> cells;
+  SampleSliceCellsInto(window, mode, row, count, delta, rng, cells);
+  return cells;
+}
+
+void SampleSliceCellsInto(const SparseTensor& window, int mode, int64_t row,
+                          int64_t count, const WindowDelta& delta, Rng& rng,
+                          std::vector<SampledCell>& out) {
   const int modes = window.num_modes();
   // Size of the slice grid (product of the other modes' extents).
   double grid_size = 1.0;
@@ -32,7 +40,8 @@ std::vector<SampledCell> SampleSliceCells(const SparseTensor& window, int mode,
     if (n != mode) grid_size *= static_cast<double>(window.dim(n));
   }
 
-  std::vector<SampledCell> cells;
+  std::vector<SampledCell>& cells = out;
+  cells.clear();
   if (grid_size <= static_cast<double>(count) + delta.cells.size()) {
     // Tiny slice: enumerate every cell (odometer over the other modes).
     ModeIndex index;
@@ -54,7 +63,7 @@ std::vector<SampledCell> SampleSliceCells(const SparseTensor& window, int mode,
       }
       if (n < 0) break;
     }
-    return cells;
+    return;
   }
 
   // Rejection sampling without replacement; duplicates are rare because the
@@ -74,7 +83,6 @@ std::vector<SampledCell> SampleSliceCells(const SparseTensor& window, int mode,
     if (AlreadySampled(cells, index)) continue;
     cells.push_back({index, window.Get(index)});
   }
-  return cells;
 }
 
 }  // namespace sns

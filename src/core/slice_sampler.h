@@ -28,11 +28,19 @@ struct SampledCell {
   double value = 0.0;
 };
 
-/// Returns up to `count` distinct cells sampled uniformly without
-/// replacement from the slice grid {J : J[mode] = row} of `window`'s shape,
-/// never returning a cell of `delta`. If the slice grid (minus delta cells)
-/// has at most `count` cells, all of them are returned. Each cell carries
-/// its window value.
+/// Samples up to `count` distinct cells uniformly without replacement from
+/// the slice grid {J : J[mode] = row} of `window`'s shape into `out`
+/// (cleared first, capacity preserved), never returning a cell of `delta`.
+/// If the slice grid (minus delta cells) has at most `count` cells, all of
+/// them are returned — so at most count + delta.cells.size() cells are ever
+/// produced. Each cell carries its window value. With `out` pre-reserved
+/// (see UpdateWorkspace) this performs no heap allocation — the hot-path
+/// form used by the RND updaters.
+void SampleSliceCellsInto(const SparseTensor& window, int mode, int64_t row,
+                          int64_t count, const WindowDelta& delta, Rng& rng,
+                          std::vector<SampledCell>& out);
+
+/// Allocating convenience wrapper over SampleSliceCellsInto.
 std::vector<SampledCell> SampleSliceCells(const SparseTensor& window, int mode,
                                           int64_t row, int64_t count,
                                           const WindowDelta& delta, Rng& rng);

@@ -1,7 +1,5 @@
 #include "core/sns_mat.h"
 
-#include "core/als.h"
-
 namespace sns {
 
 void SnsMatUpdater::OnEvent(const SparseTensor& window,
@@ -9,7 +7,7 @@ void SnsMatUpdater::OnEvent(const SparseTensor& window,
   if (delta.cells.empty()) return;  // Zero-valued tuple: window unchanged.
   // The maintained factors are a strong warm start, so a single ALS sweep
   // with column normalization (Alg. 2) suffices per event.
-  AlsSweep(window, state, /*normalize_columns=*/true);
+  AlsSweep(window, state, /*normalize_columns=*/true, ws_);
 }
 
 }  // namespace sns

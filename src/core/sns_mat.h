@@ -5,6 +5,7 @@
 #ifndef SLICENSTITCH_CORE_SNS_MAT_H_
 #define SLICENSTITCH_CORE_SNS_MAT_H_
 
+#include "core/als.h"
 #include "core/updater.h"
 
 namespace sns {
@@ -15,6 +16,10 @@ class SnsMatUpdater : public EventUpdater {
 
   void OnEvent(const SparseTensor& window, const WindowDelta& delta,
                CpdState& state) override;
+
+ private:
+  // Reused sweep scratch: per-event sweeps allocate nothing once warm.
+  AlsWorkspace ws_;
 };
 
 }  // namespace sns

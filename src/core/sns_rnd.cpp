@@ -1,8 +1,7 @@
 #include "core/sns_rnd.h"
 
-#include <vector>
+#include <algorithm>
 
-#include "core/gram_solve.h"
 #include "core/slice_sampler.h"
 #include "tensor/mttkrp.h"
 
@@ -10,59 +9,63 @@ namespace sns {
 
 void SnsRndUpdater::UpdateRow(int mode, int64_t row,
                               const SparseTensor& window,
-                              const WindowDelta& delta, CpdState& state) {
+                              const WindowDelta& delta, CpdState& state,
+                              UpdateWorkspace& ws) {
   const int64_t rank = state.rank();
   Matrix& factor = state.model.factor(mode);
-  std::vector<double> old_row(factor.Row(row), factor.Row(row) + rank);
+  std::copy(factor.Row(row), factor.Row(row) + rank, ws.old_row.begin());
 
-  const Matrix h = HadamardOfGramsExcept(state.grams, mode);
-  std::vector<double> rhs(static_cast<size_t>(rank), 0.0);
-  std::vector<double> solution(static_cast<size_t>(rank));
   const int64_t degree = window.Degree(mode, row);
 
   if (degree <= sample_threshold_) {
     // Exact path (Alg. 4 lines 9-10): Eq. 12, identical to SNS-VEC's
     // non-time rule, applied to every mode including time.
-    MttkrpRow(window, state.model.factors(), mode, row, rhs.data());
+    MttkrpRow(window, state.model.factors(), mode, row, ws.rhs.data(),
+              ws.had.data());
   } else {
     // Sampled path (Alg. 4 lines 11-14): Eq. 16.
-    // First term: A(m)(row,:) H_prev with H_prev = ∗_{n≠m} U(n). The row is
-    // still at its event-start value B(m)(row,:) here.
-    const Matrix h_prev = HadamardOfGramsExcept(prev_grams(), mode);
-    RowTimesMatrix(old_row.data(), h_prev, rhs.data());
+    // First term: A(m)(row,:) H_prev with H_prev = ∗_{n≠m} U(n), each U(n)
+    // reconstructed from Q(n) and this event's committed-row deltas. The
+    // row is still at its event-start value B(m)(row,:) here.
+    HadamardOfPrevGramsExcept(state, mode, ws);
+    RowTimesMatrix(ws.old_row.data(), ws.h_prev, ws.rhs.data());
 
     // Residual corrections x̄_J = x_J − x̃_J at θ cells sampled uniformly
     // from the slice grid (zero cells included — they pull spurious model
     // mass down), with x̃ evaluated under the pre-event factors.
-    std::vector<double> had(static_cast<size_t>(rank));
-    for (const SampledCell& cell : SampleSliceCells(
-             window, mode, row, sample_threshold_, delta, rng_)) {
+    SampleSliceCellsInto(window, mode, row, sample_threshold_, delta, rng_,
+                         ws.samples);
+    for (const SampledCell& cell : ws.samples) {
       const double residual =
           cell.value - EvaluatePrevModel(cell.index, state);
-      HadamardRowProduct(state.model.factors(), cell.index, mode, had.data());
+      HadamardRowProduct(state.model.factors(), cell.index, mode,
+                         ws.had.data());
       for (int64_t r = 0; r < rank; ++r) {
-        rhs[static_cast<size_t>(r)] += residual * had[static_cast<size_t>(r)];
+        ws.rhs[static_cast<size_t>(r)] +=
+            residual * ws.had[static_cast<size_t>(r)];
       }
     }
 
     // ΔX term of Eq. 16.
     for (const DeltaCell& cell : delta.cells) {
       if (cell.index[mode] != row) continue;
-      HadamardRowProduct(state.model.factors(), cell.index, mode, had.data());
+      HadamardRowProduct(state.model.factors(), cell.index, mode,
+                         ws.had.data());
       for (int64_t r = 0; r < rank; ++r) {
-        rhs[static_cast<size_t>(r)] +=
-            cell.delta * had[static_cast<size_t>(r)];
+        ws.rhs[static_cast<size_t>(r)] +=
+            cell.delta * ws.had[static_cast<size_t>(r)];
       }
     }
   }
 
-  SolveRowAgainstGram(h, rhs.data(), solution.data());
+  ws.solver.Factorize(ws.h);  // H(m) = ∗_{n≠m} Q(n), preloaded by the base.
+  ws.solver.Solve(ws.rhs.data(), ws.solution.data());
   double* target = factor.Row(row);
   for (int64_t r = 0; r < rank; ++r) {
-    target[r] = solution[static_cast<size_t>(r)];
+    target[r] = ws.solution[static_cast<size_t>(r)];
   }
 
-  CommitRow(mode, row, old_row, state);  // Eq. 13 + Eq. 17.
+  CommitRow(mode, row, ws.old_row.data(), state);  // Eq. 13 + Eq. 17.
 }
 
 }  // namespace sns

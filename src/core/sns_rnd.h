@@ -17,9 +17,13 @@ namespace sns {
 
 class SnsRndUpdater : public RowUpdaterBase {
  public:
-  /// sample_threshold is the paper's θ ≥ 1.
+  /// sample_threshold is the paper's θ ≥ 1. The workspace sample buffer is
+  /// pre-reserved for θ plus the ≤2 delta cells a tiny-slice enumeration
+  /// may add, keeping the sampled path allocation-free.
   SnsRndUpdater(int64_t sample_threshold, uint64_t seed)
-      : sample_threshold_(sample_threshold), rng_(seed) {
+      : RowUpdaterBase(sample_threshold + 4),
+        sample_threshold_(sample_threshold),
+        rng_(seed) {
     SNS_CHECK(sample_threshold_ >= 1);
   }
 
@@ -29,7 +33,8 @@ class SnsRndUpdater : public RowUpdaterBase {
   bool NeedsPrevGrams() const override { return true; }
 
   void UpdateRow(int mode, int64_t row, const SparseTensor& window,
-                 const WindowDelta& delta, CpdState& state) override;
+                 const WindowDelta& delta, CpdState& state,
+                 UpdateWorkspace& ws) override;
 
  private:
   int64_t sample_threshold_;

@@ -1,6 +1,6 @@
 #include "core/sns_rnd_plus.h"
 
-#include <vector>
+#include <algorithm>
 
 #include "core/slice_sampler.h"
 #include "core/sns_vec_plus.h"
@@ -10,52 +10,56 @@ namespace sns {
 
 void SnsRndPlusUpdater::UpdateRow(int mode, int64_t row,
                                   const SparseTensor& window,
-                                  const WindowDelta& delta, CpdState& state) {
+                                  const WindowDelta& delta, CpdState& state,
+                                  UpdateWorkspace& ws) {
   const int64_t rank = state.rank();
   Matrix& factor = state.model.factor(mode);
-  std::vector<double> old_row(factor.Row(row), factor.Row(row) + rank);
+  std::copy(factor.Row(row), factor.Row(row) + rank, ws.old_row.begin());
 
-  const Matrix hq = HadamardOfGramsExcept(state.grams, mode);
-  std::vector<double> numerator(static_cast<size_t>(rank), 0.0);
+  // ws.h = HQ(m) = ∗_{n≠m} Q(n), preloaded by the base.
   const int64_t degree = window.Degree(mode, row);
 
   if (degree <= sample_threshold_) {
     // Exact coordinate rule (Alg. 5 line 13 → Eq. 21) for every mode.
-    MttkrpRow(window, state.model.factors(), mode, row, numerator.data());
+    MttkrpRow(window, state.model.factors(), mode, row, ws.rhs.data(),
+              ws.had.data());
   } else {
     // Sampled coordinate rule (Alg. 5 lines 9-11, 14 → Eq. 23):
     // e_k + Σ (x̄_J + Δx_J)·Π_{n≠m} a(n)_{j_n k} with
-    // e_k = Σ_r b_{i r} (∗_{n≠m} U(n))(r, k).
-    const Matrix hu = HadamardOfGramsExcept(prev_grams(), mode);
-    RowTimesMatrix(old_row.data(), hu, numerator.data());
+    // e_k = Σ_r b_{i r} (∗_{n≠m} U(n))(r, k), U(n) reconstructed from Q(n)
+    // and this event's committed-row deltas.
+    HadamardOfPrevGramsExcept(state, mode, ws);
+    RowTimesMatrix(ws.old_row.data(), ws.h_prev, ws.rhs.data());
 
     // θ cells sampled uniformly from the slice grid, zero cells included
     // (their x̄ = −x̃ pulls spurious mass down); delta cells excluded per
     // footnote 2.
-    std::vector<double> had(static_cast<size_t>(rank));
-    for (const SampledCell& cell : SampleSliceCells(
-             window, mode, row, sample_threshold_, delta, rng_)) {
+    SampleSliceCellsInto(window, mode, row, sample_threshold_, delta, rng_,
+                         ws.samples);
+    for (const SampledCell& cell : ws.samples) {
       const double residual =
           cell.value - EvaluatePrevModel(cell.index, state);
-      HadamardRowProduct(state.model.factors(), cell.index, mode, had.data());
+      HadamardRowProduct(state.model.factors(), cell.index, mode,
+                         ws.had.data());
       for (int64_t r = 0; r < rank; ++r) {
-        numerator[static_cast<size_t>(r)] +=
-            residual * had[static_cast<size_t>(r)];
+        ws.rhs[static_cast<size_t>(r)] +=
+            residual * ws.had[static_cast<size_t>(r)];
       }
     }
     for (const DeltaCell& cell : delta.cells) {
       if (cell.index[mode] != row) continue;
-      HadamardRowProduct(state.model.factors(), cell.index, mode, had.data());
+      HadamardRowProduct(state.model.factors(), cell.index, mode,
+                         ws.had.data());
       for (int64_t r = 0; r < rank; ++r) {
-        numerator[static_cast<size_t>(r)] +=
-            cell.delta * had[static_cast<size_t>(r)];
+        ws.rhs[static_cast<size_t>(r)] +=
+            cell.delta * ws.had[static_cast<size_t>(r)];
       }
     }
   }
 
-  CoordinateDescentRow(factor.Row(row), rank, hq, numerator.data(), clip_min_,
+  CoordinateDescentRow(factor.Row(row), rank, ws.h, ws.rhs.data(), clip_min_,
                        clip_max_);
-  CommitRow(mode, row, old_row, state);  // Eqs. 24-26.
+  CommitRow(mode, row, ws.old_row.data(), state);  // Eqs. 24-26.
 }
 
 }  // namespace sns

@@ -19,7 +19,8 @@ class SnsRndPlusUpdater : public RowUpdaterBase {
   /// entries are clipped to [0, η] (projected coordinate descent).
   SnsRndPlusUpdater(int64_t sample_threshold, double clip_bound, uint64_t seed,
                     bool nonnegative = false)
-      : sample_threshold_(sample_threshold),
+      : RowUpdaterBase(sample_threshold + 4),
+        sample_threshold_(sample_threshold),
         clip_min_(nonnegative ? 0.0 : -clip_bound),
         clip_max_(clip_bound),
         rng_(seed) {
@@ -33,7 +34,8 @@ class SnsRndPlusUpdater : public RowUpdaterBase {
   bool NeedsPrevGrams() const override { return true; }
 
   void UpdateRow(int mode, int64_t row, const SparseTensor& window,
-                 const WindowDelta& delta, CpdState& state) override;
+                 const WindowDelta& delta, CpdState& state,
+                 UpdateWorkspace& ws) override;
 
  private:
   int64_t sample_threshold_;

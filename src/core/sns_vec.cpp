@@ -1,55 +1,54 @@
 #include "core/sns_vec.h"
 
-#include <vector>
+#include <algorithm>
 
-#include "core/gram_solve.h"
 #include "tensor/mttkrp.h"
 
 namespace sns {
 
 void SnsVecUpdater::UpdateRow(int mode, int64_t row,
                               const SparseTensor& window,
-                              const WindowDelta& delta, CpdState& state) {
+                              const WindowDelta& delta, CpdState& state,
+                              UpdateWorkspace& ws) {
   const int64_t rank = state.rank();
   const int time_mode = state.num_modes() - 1;
   Matrix& factor = state.model.factor(mode);
-  std::vector<double> old_row(factor.Row(row), factor.Row(row) + rank);
+  std::copy(factor.Row(row), factor.Row(row) + rank, ws.old_row.begin());
 
-  const Matrix h = HadamardOfGramsExcept(state.grams, mode);
-  std::vector<double> solution(static_cast<size_t>(rank));
+  ws.solver.Factorize(ws.h);  // H(m) = ∗_{n≠m} Q(n), preloaded by the base.
 
   if (mode == time_mode) {
     // Eq. 9: A(M)(row,:) += ΔX_(M)(row,:) K(M) H(M)†. The matricized delta
     // row has at most one non-zero — the delta cell living in this slice —
     // and its K(M) row is the Hadamard of the non-time factor rows.
-    std::vector<double> g(static_cast<size_t>(rank), 0.0);
-    std::vector<double> had(static_cast<size_t>(rank));
+    std::fill(ws.rhs.begin(), ws.rhs.end(), 0.0);
     for (const DeltaCell& cell : delta.cells) {
       if (cell.index[time_mode] != row) continue;
       HadamardRowProduct(state.model.factors(), cell.index, time_mode,
-                         had.data());
+                         ws.had.data());
       for (int64_t r = 0; r < rank; ++r) {
-        g[static_cast<size_t>(r)] += cell.delta * had[static_cast<size_t>(r)];
+        ws.rhs[static_cast<size_t>(r)] +=
+            cell.delta * ws.had[static_cast<size_t>(r)];
       }
     }
-    SolveRowAgainstGram(h, g.data(), solution.data());
+    ws.solver.Solve(ws.rhs.data(), ws.solution.data());
     double* target = factor.Row(row);
     for (int64_t r = 0; r < rank; ++r) {
-      target[r] += solution[static_cast<size_t>(r)];
+      target[r] += ws.solution[static_cast<size_t>(r)];
     }
   } else {
     // Eq. 12: A(m)(row,:) ← (X + ΔX)_(m)(row,:) K(m) H(m)†. The window
     // already contains the delta, so the row MTTKRP is the full right side.
-    std::vector<double> b(static_cast<size_t>(rank));
-    MttkrpRow(window, state.model.factors(), mode, row, b.data());
-    SolveRowAgainstGram(h, b.data(), solution.data());
+    MttkrpRow(window, state.model.factors(), mode, row, ws.rhs.data(),
+              ws.had.data());
+    ws.solver.Solve(ws.rhs.data(), ws.solution.data());
     double* target = factor.Row(row);
     for (int64_t r = 0; r < rank; ++r) {
-      target[r] = solution[static_cast<size_t>(r)];
+      target[r] = ws.solution[static_cast<size_t>(r)];
     }
   }
 
-  CommitRow(mode, row, old_row, state);  // Eq. 13.
+  CommitRow(mode, row, ws.old_row.data(), state);  // Eq. 13.
 }
 
 }  // namespace sns

@@ -19,7 +19,8 @@ class SnsVecUpdater : public RowUpdaterBase {
   bool NeedsPrevGrams() const override { return false; }
 
   void UpdateRow(int mode, int64_t row, const SparseTensor& window,
-                 const WindowDelta& delta, CpdState& state) override;
+                 const WindowDelta& delta, CpdState& state,
+                 UpdateWorkspace& ws) override;
 };
 
 }  // namespace sns

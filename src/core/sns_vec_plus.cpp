@@ -1,7 +1,7 @@
 #include "core/sns_vec_plus.h"
 
+#include <algorithm>
 #include <cmath>
-#include <vector>
 
 #include "tensor/mttkrp.h"
 
@@ -14,8 +14,11 @@ void CoordinateDescentRow(double* row, int64_t rank, const Matrix& hq,
     const double c_k = hq(k, k);
     if (!(c_k > 1e-300)) continue;  // Dead component: leave the entry.
     // d_k = Σ_{r≠k} row[r]·HQ(r,k) against the live (partially updated) row.
+    // HQ is a Hadamard product of symmetric Grams, so HQ(r,k) = HQ(k,r)
+    // bitwise — read row k instead of column k for contiguous access.
+    const double* hq_row = hq.Row(k);
     double d_k = 0.0;
-    for (int64_t r = 0; r < rank; ++r) d_k += row[r] * hq(r, k);
+    for (int64_t r = 0; r < rank; ++r) d_k += row[r] * hq_row[r];
     d_k -= row[k] * c_k;
     double value = (numerator[k] - d_k) / c_k;
     // Clipping (Alg. 5 line 5): projection onto [clip_min, clip_max] never
@@ -31,40 +34,39 @@ void CoordinateDescentRow(double* row, int64_t rank, const Matrix& hq,
 
 void SnsVecPlusUpdater::UpdateRow(int mode, int64_t row,
                                   const SparseTensor& window,
-                                  const WindowDelta& delta, CpdState& state) {
+                                  const WindowDelta& delta, CpdState& state,
+                                  UpdateWorkspace& ws) {
   const int64_t rank = state.rank();
   const int time_mode = state.num_modes() - 1;
   Matrix& factor = state.model.factor(mode);
-  std::vector<double> old_row(factor.Row(row), factor.Row(row) + rank);
+  std::copy(factor.Row(row), factor.Row(row) + rank, ws.old_row.begin());
 
-  const Matrix hq = HadamardOfGramsExcept(state.grams, mode);
-  std::vector<double> numerator(static_cast<size_t>(rank), 0.0);
-
+  // ws.h = HQ(m) = ∗_{n≠m} Q(n), preloaded by the base.
   if (mode == time_mode) {
     // Eq. 22: e_k + Σ_J Δx_J Π_{n≠M} a(n)_{j_n k}. Time rows are updated
     // first within an event, so U(n) = Q(n) for all n ≠ M and
     // e_k = Σ_r b_{i r} (∗_{n≠M} Q(n))(r, k) = (B row) · HQ(:,k).
-    RowTimesMatrix(old_row.data(), hq, numerator.data());
-    std::vector<double> had(static_cast<size_t>(rank));
+    RowTimesMatrix(ws.old_row.data(), ws.h, ws.rhs.data());
     for (const DeltaCell& cell : delta.cells) {
       if (cell.index[time_mode] != row) continue;
       HadamardRowProduct(state.model.factors(), cell.index, time_mode,
-                         had.data());
+                         ws.had.data());
       for (int64_t r = 0; r < rank; ++r) {
-        numerator[static_cast<size_t>(r)] +=
-            cell.delta * had[static_cast<size_t>(r)];
+        ws.rhs[static_cast<size_t>(r)] +=
+            cell.delta * ws.had[static_cast<size_t>(r)];
       }
     }
   } else {
     // Eq. 21: Σ_{J∈Ω} (x_J + Δx_J) Π_{n≠m} a(n)_{j_n k} — the row MTTKRP
     // over the live window. It only involves other modes' rows, so it stays
     // constant across the coordinate loop.
-    MttkrpRow(window, state.model.factors(), mode, row, numerator.data());
+    MttkrpRow(window, state.model.factors(), mode, row, ws.rhs.data(),
+              ws.had.data());
   }
 
-  CoordinateDescentRow(factor.Row(row), rank, hq, numerator.data(), clip_min_,
+  CoordinateDescentRow(factor.Row(row), rank, ws.h, ws.rhs.data(), clip_min_,
                        clip_max_);
-  CommitRow(mode, row, old_row, state);  // Eqs. 24-25.
+  CommitRow(mode, row, ws.old_row.data(), state);  // Eqs. 24-25.
 }
 
 }  // namespace sns

@@ -29,7 +29,8 @@ class SnsVecPlusUpdater : public RowUpdaterBase {
   bool NeedsPrevGrams() const override { return false; }
 
   void UpdateRow(int mode, int64_t row, const SparseTensor& window,
-                 const WindowDelta& delta, CpdState& state) override;
+                 const WindowDelta& delta, CpdState& state,
+                 UpdateWorkspace& ws) override;
 
  private:
   double clip_min_;

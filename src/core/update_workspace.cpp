@@ -1,0 +1,26 @@
+#include "core/update_workspace.h"
+
+namespace sns {
+
+void UpdateWorkspace::Prepare(int num_modes, int64_t rank,
+                              int64_t sample_capacity) {
+  if (num_modes == num_modes_ && rank == rank_ &&
+      sample_capacity == sample_capacity_) {
+    return;
+  }
+  num_modes_ = num_modes;
+  rank_ = rank;
+  sample_capacity_ = sample_capacity;
+
+  h = Matrix(rank, rank);
+  h_prev = Matrix(rank, rank);
+  u_scratch = Matrix(rank, rank);
+  old_row.assign(static_cast<size_t>(rank), 0.0);
+  rhs.assign(static_cast<size_t>(rank), 0.0);
+  solution.assign(static_cast<size_t>(rank), 0.0);
+  had.assign(static_cast<size_t>(rank), 0.0);
+  samples.clear();
+  samples.reserve(static_cast<size_t>(sample_capacity));
+}
+
+}  // namespace sns

@@ -1,0 +1,54 @@
+// Preallocated per-event scratch space of the row-update hot path.
+//
+// Every buffer a row updater touches during one event lives here, sized
+// once (or when the model shape changes) by Prepare and reused event after
+// event, so steady-state event processing performs zero heap allocations
+// (guarded by the counting-allocator test in tests/hot_path_test.cpp).
+// Owned by RowUpdaterBase and threaded through every UpdateRow
+// implementation; SNS-MAT's ALS sweep uses the sibling AlsWorkspace
+// (core/als.h).
+
+#ifndef SLICENSTITCH_CORE_UPDATE_WORKSPACE_H_
+#define SLICENSTITCH_CORE_UPDATE_WORKSPACE_H_
+
+#include <vector>
+
+#include "core/gram_solve.h"
+#include "core/slice_sampler.h"
+#include "linalg/matrix.h"
+
+namespace sns {
+
+struct UpdateWorkspace {
+  /// (Re)sizes every buffer for the given shape. No-op — and in particular
+  /// allocation-free — when the shape is unchanged. sample_capacity bounds
+  /// the number of cells SampleSliceCellsInto may produce per row (0 for
+  /// variants that never sample).
+  void Prepare(int num_modes, int64_t rank, int64_t sample_capacity);
+
+  /// ∗_{n≠m} Q(n) for the row currently being updated — preloaded by
+  /// RowUpdaterBase::OnEvent (via GramProductCache) before each UpdateRow.
+  Matrix h;
+  /// ∗_{n≠m} U(n) of the sampled paths, written by
+  /// RowUpdaterBase::HadamardOfPrevGramsExcept.
+  Matrix h_prev;
+  /// One reconstructed prev-Gram U(n) = Q(n) + Σ (p−a)'a.
+  Matrix u_scratch;
+  /// Cholesky-backed row solver (allocation-free fast path).
+  GramSolver solver;
+
+  std::vector<double> old_row;   // Event-start value of the row in flight.
+  std::vector<double> rhs;       // Right-hand side / numerator accumulator.
+  std::vector<double> solution;  // Solve output before the factor write.
+  std::vector<double> had;       // Per-entry Hadamard row product.
+  std::vector<SampledCell> samples;  // θ-sample output (RND variants).
+
+ private:
+  int num_modes_ = 0;
+  int64_t rank_ = 0;
+  int64_t sample_capacity_ = 0;
+};
+
+}  // namespace sns
+
+#endif  // SLICENSTITCH_CORE_UPDATE_WORKSPACE_H_

@@ -4,46 +4,56 @@
 
 namespace sns {
 
-StatusOr<Cholesky> Cholesky::Factorize(const Matrix& a) {
+bool CholeskyFactorizeInto(const Matrix& a, Matrix& lower) {
   SNS_CHECK(a.rows() == a.cols());
+  SNS_CHECK(lower.rows() == a.rows() && lower.cols() == a.rows());
   const int64_t n = a.rows();
-  Matrix lower(n, n);
   for (int64_t i = 0; i < n; ++i) {
     for (int64_t j = 0; j <= i; ++j) {
       double sum = a(i, j);
       for (int64_t k = 0; k < j; ++k) sum -= lower(i, k) * lower(j, k);
       if (i == j) {
-        if (sum <= 0.0 || !std::isfinite(sum)) {
-          return Status::FailedPrecondition(
-              "matrix is not positive definite");
-        }
+        if (sum <= 0.0 || !std::isfinite(sum)) return false;
         lower(i, i) = std::sqrt(sum);
       } else {
         lower(i, j) = sum / lower(j, j);
       }
     }
   }
+  return true;
+}
+
+void CholeskySolveInPlace(const Matrix& lower, double* x) {
+  const int64_t n = lower.rows();
+  // Forward substitution L y = b.
+  for (int64_t i = 0; i < n; ++i) {
+    double sum = x[i];
+    const double* row = lower.Row(i);
+    for (int64_t k = 0; k < i; ++k) sum -= row[k] * x[k];
+    x[i] = sum / row[i];
+  }
+  // Back substitution L' x = y.
+  for (int64_t i = n - 1; i >= 0; --i) {
+    double sum = x[i];
+    for (int64_t k = i + 1; k < n; ++k) sum -= lower(k, i) * x[k];
+    x[i] = sum / lower(i, i);
+  }
+}
+
+StatusOr<Cholesky> Cholesky::Factorize(const Matrix& a) {
+  SNS_CHECK(a.rows() == a.cols());
+  Matrix lower(a.rows(), a.rows());
+  if (!CholeskyFactorizeInto(a, lower)) {
+    return Status::FailedPrecondition("matrix is not positive definite");
+  }
   return Cholesky(std::move(lower));
 }
 
 std::vector<double> Cholesky::Solve(const std::vector<double>& b) const {
-  const int64_t n = lower_.rows();
-  SNS_CHECK(static_cast<int64_t>(b.size()) == n);
-  std::vector<double> y(b);
-  // Forward substitution L y = b.
-  for (int64_t i = 0; i < n; ++i) {
-    double sum = y[i];
-    const double* row = lower_.Row(i);
-    for (int64_t k = 0; k < i; ++k) sum -= row[k] * y[k];
-    y[i] = sum / row[i];
-  }
-  // Back substitution L' x = y.
-  for (int64_t i = n - 1; i >= 0; --i) {
-    double sum = y[i];
-    for (int64_t k = i + 1; k < n; ++k) sum -= lower_(k, i) * y[k];
-    y[i] = sum / lower_(i, i);
-  }
-  return y;
+  SNS_CHECK(static_cast<int64_t>(b.size()) == lower_.rows());
+  std::vector<double> x(b);
+  CholeskySolveInPlace(lower_, x.data());
+  return x;
 }
 
 Matrix Cholesky::Solve(const Matrix& b) const {

@@ -11,6 +11,18 @@
 
 namespace sns {
 
+/// Allocation-free factorization into a caller-owned n×n `lower` (only the
+/// lower triangle including the diagonal is written and later read; entries
+/// above the diagonal are left untouched, so a reused buffer may carry stale
+/// values there). Returns false when a non-positive or non-finite pivot is
+/// found — `lower` is then partially written and must not be solved against.
+bool CholeskyFactorizeInto(const Matrix& a, Matrix& lower);
+
+/// In-place solve A x = b against a factorization produced by
+/// CholeskyFactorizeInto (or Cholesky::lower()): `x` holds b on entry and
+/// the solution on exit (n = lower order values).
+void CholeskySolveInPlace(const Matrix& lower, double* x);
+
 /// Cholesky factorization of a symmetric positive-definite matrix.
 class Cholesky {
  public:

@@ -84,8 +84,15 @@ Matrix Multiply(const Matrix& a, const Matrix& b) {
 }
 
 Matrix MultiplyTransposeA(const Matrix& a, const Matrix& b) {
-  SNS_CHECK(a.rows() == b.rows());
   Matrix c(a.cols(), b.cols());
+  MultiplyTransposeAInto(a, b, c);
+  return c;
+}
+
+void MultiplyTransposeAInto(const Matrix& a, const Matrix& b, Matrix& out) {
+  SNS_CHECK(a.rows() == b.rows());
+  SNS_CHECK(out.rows() == a.cols() && out.cols() == b.cols());
+  out.SetZero();
   const int64_t n = a.rows(), p = a.cols(), m = b.cols();
   for (int64_t k = 0; k < n; ++k) {
     const double* a_row = a.Row(k);
@@ -93,23 +100,47 @@ Matrix MultiplyTransposeA(const Matrix& a, const Matrix& b) {
     for (int64_t i = 0; i < p; ++i) {
       const double a_ki = a_row[i];
       if (a_ki == 0.0) continue;
-      double* c_row = c.Row(i);
-      for (int64_t j = 0; j < m; ++j) c_row[j] += a_ki * b_row[j];
+      double* out_row = out.Row(i);
+      for (int64_t j = 0; j < m; ++j) out_row[j] += a_ki * b_row[j];
     }
   }
-  return c;
 }
 
 Matrix Hadamard(const Matrix& a, const Matrix& b) {
-  SNS_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
   Matrix c(a.rows(), a.cols());
+  HadamardInto(a, b, c);
+  return c;
+}
+
+void HadamardInto(const Matrix& a, const Matrix& b, Matrix& out) {
+  SNS_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  SNS_CHECK(out.rows() == a.rows() && out.cols() == a.cols());
   for (int64_t i = 0; i < a.rows(); ++i) {
     const double* a_row = a.Row(i);
     const double* b_row = b.Row(i);
-    double* c_row = c.Row(i);
-    for (int64_t j = 0; j < a.cols(); ++j) c_row[j] = a_row[j] * b_row[j];
+    double* out_row = out.Row(i);
+    for (int64_t j = 0; j < a.cols(); ++j) out_row[j] = a_row[j] * b_row[j];
   }
-  return c;
+}
+
+void HadamardAccumulate(Matrix& dst, const Matrix& src) {
+  SNS_CHECK(dst.rows() == src.rows() && dst.cols() == src.cols());
+  for (int64_t i = 0; i < dst.rows(); ++i) {
+    double* dst_row = dst.Row(i);
+    const double* src_row = src.Row(i);
+    for (int64_t j = 0; j < dst.cols(); ++j) dst_row[j] *= src_row[j];
+  }
+}
+
+void AddOuterProduct(Matrix& dst, const double* u, const double* v) {
+  const int64_t n = dst.rows();
+  SNS_DCHECK(dst.cols() == n);
+  for (int64_t i = 0; i < n; ++i) {
+    const double u_i = u[i];
+    if (u_i == 0.0) continue;
+    double* dst_row = dst.Row(i);
+    for (int64_t j = 0; j < n; ++j) dst_row[j] += u_i * v[j];
+  }
 }
 
 Matrix KhatriRao(const Matrix& a, const Matrix& b) {

@@ -6,6 +6,7 @@
 #ifndef SLICENSTITCH_LINALG_MATRIX_H_
 #define SLICENSTITCH_LINALG_MATRIX_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -65,6 +66,14 @@ class Matrix {
   void SetZero() { std::fill(data_.begin(), data_.end(), 0.0); }
   void Fill(double value) { std::fill(data_.begin(), data_.end(), value); }
 
+  /// Copies `other`'s contents into this matrix without reallocating.
+  /// Shapes must match — the allocation-free alternative to operator= on
+  /// preallocated hot-path buffers.
+  void CopyFrom(const Matrix& other) {
+    SNS_DCHECK(rows_ == other.rows_ && cols_ == other.cols_);
+    std::copy(other.data_.begin(), other.data_.end(), data_.begin());
+  }
+
   /// sqrt of the sum of squared entries.
   double FrobeniusNorm() const;
 
@@ -90,6 +99,23 @@ Matrix MultiplyTransposeA(const Matrix& a, const Matrix& b);
 
 /// Elementwise (Hadamard) product; shapes must match.
 Matrix Hadamard(const Matrix& a, const Matrix& b);
+
+/// out = a ∗ b elementwise into a preallocated `out`; all shapes must match.
+/// `out` may alias `a` or `b`. The allocation-free form of Hadamard.
+void HadamardInto(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// dst ∗= src elementwise in place; shapes must match. Used to fold one more
+/// Gram matrix into a running Hadamard-of-Grams product.
+void HadamardAccumulate(Matrix& dst, const Matrix& src);
+
+/// dst += u' v for two length-n row vectors (n = dst order):
+/// dst(i, j) += u[i]·v[j]. The rank-1 building block of the per-event Gram
+/// delta reconstruction (Eq. 17 / Eq. 26 rewritten as U = Q + (p−a)'a).
+void AddOuterProduct(Matrix& dst, const double* u, const double* v);
+
+/// out = a' * b without allocating; `out` must be a.cols() × b.cols().
+/// The allocation-free form of MultiplyTransposeA (Gram recomputation).
+void MultiplyTransposeAInto(const Matrix& a, const Matrix& b, Matrix& out);
 
 /// Column-wise Khatri-Rao product: (IK)×R from I×R and K×R, with row
 /// (i*K + k) = A(i,:) ∗ B(k,:). Matches the ⊙ operator of the paper. Used by

@@ -20,21 +20,74 @@ Matrix Mttkrp(const SparseTensor& x, const std::vector<Matrix>& factors,
   const int64_t rank = factors[0].cols();
   Matrix out(x.dim(mode), rank);
   std::vector<double> had(static_cast<size_t>(rank));
+  MttkrpInto(x, factors, mode, out, had.data());
+  return out;
+}
+
+namespace {
+
+// The two modes of a 3-mode tensor other than `mode`, in ascending order —
+// the common case gets a fused single-pass kernel below. The fused product
+// v·(r_a[r]·r_b[r]) groups exactly like the generic Hadamard accumulation
+// (1·r_a is exact), so both paths are bitwise identical.
+inline void OtherTwoModes(int mode, int* a, int* b) {
+  *a = mode == 0 ? 1 : 0;
+  *b = mode == 2 ? 1 : 2;
+}
+
+}  // namespace
+
+void MttkrpInto(const SparseTensor& x, const std::vector<Matrix>& factors,
+                int mode, Matrix& out, double* had) {
+  const int64_t rank = factors[0].cols();
+  SNS_CHECK(out.rows() == x.dim(mode) && out.cols() == rank);
+  out.SetZero();
+  if (factors.size() == 3) {
+    int a, b;
+    OtherTwoModes(mode, &a, &b);
+    const Matrix& fa = factors[static_cast<size_t>(a)];
+    const Matrix& fb = factors[static_cast<size_t>(b)];
+    x.ForEachNonzero([&](const ModeIndex& index, double value) {
+      const double* ra = fa.Row(index[a]);
+      const double* rb = fb.Row(index[b]);
+      double* out_row = out.Row(index[mode]);
+      for (int64_t r = 0; r < rank; ++r) out_row[r] += value * (ra[r] * rb[r]);
+    });
+    return;
+  }
   x.ForEachNonzero([&](const ModeIndex& index, double value) {
-    HadamardRowProduct(factors, index, mode, had.data());
+    HadamardRowProduct(factors, index, mode, had);
     double* out_row = out.Row(index[mode]);
     for (int64_t r = 0; r < rank; ++r) out_row[r] += value * had[r];
   });
-  return out;
 }
 
 void MttkrpRow(const SparseTensor& x, const std::vector<Matrix>& factors,
                int mode, int64_t row, double* out) {
   const int64_t rank = factors[0].cols();
-  std::fill(out, out + rank, 0.0);
   std::vector<double> had(static_cast<size_t>(rank));
+  MttkrpRow(x, factors, mode, row, out, had.data());
+}
+
+void MttkrpRow(const SparseTensor& x, const std::vector<Matrix>& factors,
+               int mode, int64_t row, double* out, double* had) {
+  const int64_t rank = factors[0].cols();
+  std::fill(out, out + rank, 0.0);
+  if (factors.size() == 3) {
+    int a, b;
+    OtherTwoModes(mode, &a, &b);
+    const Matrix& fa = factors[static_cast<size_t>(a)];
+    const Matrix& fb = factors[static_cast<size_t>(b)];
+    for (const SparseTensor::SliceEntry entry : x.Slice(mode, row)) {
+      const double* ra = fa.Row(entry.coords[a]);
+      const double* rb = fb.Row(entry.coords[b]);
+      const double v = entry.value;
+      for (int64_t r = 0; r < rank; ++r) out[r] += v * (ra[r] * rb[r]);
+    }
+    return;
+  }
   for (const SparseTensor::SliceEntry entry : x.Slice(mode, row)) {
-    HadamardRowProduct(factors, entry.coords, mode, had.data());
+    HadamardRowProduct(factors, entry.coords, mode, had);
     for (int64_t r = 0; r < rank; ++r) out[r] += entry.value * had[r];
   }
 }

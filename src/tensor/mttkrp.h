@@ -32,6 +32,18 @@ Matrix Mttkrp(const SparseTensor& x, const std::vector<Matrix>& factors,
 void MttkrpRow(const SparseTensor& x, const std::vector<Matrix>& factors,
                int mode, int64_t row, double* out);
 
+/// Scratch-buffer form of MttkrpRow: `had` must hold R values and is used
+/// as the per-entry Hadamard workspace. Performs no heap allocation — the
+/// form called on the per-event update hot path.
+void MttkrpRow(const SparseTensor& x, const std::vector<Matrix>& factors,
+               int mode, int64_t row, double* out, double* had);
+
+/// Allocation-free full MTTKRP into a preallocated dim(mode)×R `out`
+/// (zeroed here); `had` must hold R values. The hot-path form used by the
+/// SNS-MAT per-event ALS sweep.
+void MttkrpInto(const SparseTensor& x, const std::vector<Matrix>& factors,
+                int mode, Matrix& out, double* had);
+
 /// Hadamard of all Gram matrices except `skip_mode` (skip_mode = -1 keeps
 /// all): H(m) = ∗_{n≠m} A(n)'A(n) of Eqs. 4/12. `grams[m]` must be R×R.
 Matrix HadamardOfGramsExcept(const std::vector<Matrix>& grams, int skip_mode);

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "common/random.h"
+#include "core/gram_solve.h"
 #include "linalg/cholesky.h"
 #include "linalg/matrix.h"
 #include "linalg/pseudo_inverse.h"
@@ -260,6 +261,91 @@ TEST_P(PinvVsCholeskyTest, AgreesWithCholeskySolve) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, PinvVsCholeskyTest,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 20, 32));
+
+// --- In-place hot-path kernels ---------------------------------------------
+
+TEST(InPlaceKernelsTest, HadamardIntoMatchesHadamard) {
+  Rng rng(41);
+  Matrix a = Matrix::RandomNormal(4, 3, rng);
+  Matrix b = Matrix::RandomNormal(4, 3, rng);
+  Matrix expected = Hadamard(a, b);
+  Matrix out(4, 3);
+  HadamardInto(a, b, out);
+  EXPECT_EQ(MaxAbsDiff(out, expected), 0.0);
+  // Aliasing out with an input is allowed.
+  HadamardInto(a, b, a);
+  EXPECT_EQ(MaxAbsDiff(a, expected), 0.0);
+}
+
+TEST(InPlaceKernelsTest, HadamardAccumulateMatchesHadamard) {
+  Rng rng(42);
+  Matrix a = Matrix::RandomNormal(3, 3, rng);
+  Matrix b = Matrix::RandomNormal(3, 3, rng);
+  Matrix expected = Hadamard(a, b);
+  HadamardAccumulate(a, b);
+  EXPECT_EQ(MaxAbsDiff(a, expected), 0.0);
+}
+
+TEST(InPlaceKernelsTest, AddOuterProduct) {
+  Matrix m(2, 2);
+  m(0, 0) = 1.0;
+  m(1, 1) = 2.0;
+  const double u[2] = {2.0, -1.0};
+  const double v[2] = {3.0, 4.0};
+  AddOuterProduct(m, u, v);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0 + 6.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 8.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), -3.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 2.0 - 4.0);
+}
+
+TEST(InPlaceKernelsTest, MultiplyTransposeAIntoMatchesAllocatingForm) {
+  Rng rng(43);
+  Matrix a = Matrix::RandomNormal(6, 4, rng);
+  Matrix b = Matrix::RandomNormal(6, 3, rng);
+  Matrix expected = MultiplyTransposeA(a, b);
+  Matrix out(4, 3);
+  out.Fill(99.0);  // Must be fully overwritten.
+  MultiplyTransposeAInto(a, b, out);
+  EXPECT_EQ(MaxAbsDiff(out, expected), 0.0);
+}
+
+TEST(InPlaceKernelsTest, CholeskyFactorizeIntoAndSolveInPlace) {
+  Rng rng(44);
+  Matrix h = RandomSpd(5, rng, 1.0);
+  auto chol = Cholesky::Factorize(h);
+  ASSERT_TRUE(chol.ok());
+  Matrix lower(5, 5);
+  lower.Fill(7.0);  // Stale garbage that must not leak into the solve.
+  ASSERT_TRUE(CholeskyFactorizeInto(h, lower));
+  std::vector<double> b(5);
+  for (int i = 0; i < 5; ++i) b[i] = rng.Normal();
+  std::vector<double> expected = chol.value().Solve(b);
+  std::vector<double> x(b);
+  CholeskySolveInPlace(lower, x.data());
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(x[i], expected[i]);
+}
+
+TEST(InPlaceKernelsTest, CholeskyFactorizeIntoRejectsIndefinite) {
+  Matrix a = Matrix::Identity(3);
+  a(2, 2) = -1.0;
+  Matrix lower(3, 3);
+  EXPECT_FALSE(CholeskyFactorizeInto(a, lower));
+}
+
+TEST(InPlaceKernelsTest, GramSolverReuseMatchesOneShotSolve) {
+  Rng rng(45);
+  Matrix h = RandomSpd(4, rng, 1.0);
+  GramSolver solver;
+  solver.Factorize(h);
+  for (int trial = 0; trial < 3; ++trial) {
+    std::vector<double> b(4), expected(4), x(4);
+    for (int i = 0; i < 4; ++i) b[i] = rng.Normal();
+    SolveRowAgainstGram(h, b.data(), expected.data());
+    solver.Solve(b.data(), x.data());
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(x[i], expected[i]);
+  }
+}
 
 }  // namespace
 }  // namespace sns
