@@ -1,23 +1,31 @@
 #include "baselines/unit_ops.h"
 
+#include <algorithm>
+
+#include "linalg/rank_dispatch.h"
+#include "linalg/simd.h"
+
 namespace sns {
 
 std::vector<double> UnitTimeRowRhs(const SparseTensor& unit,
                                    const std::vector<Matrix>& factors) {
   const int modes = unit.num_modes();  // M−1 non-time modes.
   const int64_t rank = factors[0].cols();
-  std::vector<double> rhs(static_cast<size_t>(rank), 0.0);
-  std::vector<double> had(static_cast<size_t>(rank));
-  unit.ForEachNonzero([&](const ModeIndex& index, double value) {
-    std::fill(had.begin(), had.end(), 1.0);
-    for (int m = 0; m < modes; ++m) {
-      const double* row = factors[static_cast<size_t>(m)].Row(index[m]);
-      for (int64_t r = 0; r < rank; ++r) had[static_cast<size_t>(r)] *= row[r];
-    }
-    for (int64_t r = 0; r < rank; ++r) {
-      rhs[static_cast<size_t>(r)] += value * had[static_cast<size_t>(r)];
-    }
+  const int64_t padded = factors[0].stride();
+  std::vector<double> rhs(static_cast<size_t>(padded), 0.0);
+  AlignedVector had(rank);
+  DispatchPaddedRank(padded, [&](auto tag) {
+    constexpr int64_t P = decltype(tag)::value;
+    unit.ForEachNonzero([&](const ModeIndex& index, double value) {
+      std::fill(had.begin(), had.end(), 1.0);  // Padding lanes stay 0.
+      for (int m = 0; m < modes; ++m) {
+        VecMulAccum<P>(had.data(),
+                       factors[static_cast<size_t>(m)].Row(index[m]), padded);
+      }
+      VecAxpy<P>(value, had.data(), rhs.data(), padded);
+    });
   });
+  rhs.resize(static_cast<size_t>(rank));
   return rhs;
 }
 
@@ -27,20 +35,25 @@ void AccumulateUnitMttkrp(const SparseTensor& unit,
                           Matrix& p) {
   const int modes = unit.num_modes();
   const int64_t rank = p.cols();
-  std::vector<double> had(static_cast<size_t>(rank));
-  unit.ForEachNonzero([&](const ModeIndex& index, double value) {
-    for (int64_t r = 0; r < rank; ++r) {
-      had[static_cast<size_t>(r)] = time_row[r];
-    }
-    for (int m = 0; m < modes; ++m) {
-      if (m == mode) continue;
-      const double* row = factors[static_cast<size_t>(m)].Row(index[m]);
-      for (int64_t r = 0; r < rank; ++r) had[static_cast<size_t>(r)] *= row[r];
-    }
-    double* p_row = p.Row(index[mode]);
-    for (int64_t r = 0; r < rank; ++r) {
-      p_row[r] += sign * value * had[static_cast<size_t>(r)];
-    }
+  const int64_t padded = p.stride();
+  // One allocation for both scratch rows: the staged padded copy of
+  // time_row (which only carries `rank` values in caller buffers) and the
+  // per-entry Hadamard accumulator.
+  AlignedVector scratch(2 * padded);
+  double* time_padded = scratch.data();
+  double* had = scratch.data() + padded;
+  std::copy(time_row, time_row + rank, time_padded);
+  DispatchPaddedRank(padded, [&](auto tag) {
+    constexpr int64_t P = decltype(tag)::value;
+    unit.ForEachNonzero([&](const ModeIndex& index, double value) {
+      VecCopy<P>(time_padded, had, padded);
+      for (int m = 0; m < modes; ++m) {
+        if (m == mode) continue;
+        VecMulAccum<P>(had, factors[static_cast<size_t>(m)].Row(index[m]),
+                       padded);
+      }
+      VecAxpy<P>(sign * value, had, p.Row(index[mode]), padded);
+    });
   });
 }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "linalg/rank_dispatch.h"
 #include "tensor/mttkrp.h"
 
 namespace sns {
@@ -16,8 +17,10 @@ void AlsWorkspace::Prepare(const CpdState& state) {
     if (out.rows() != rows || out.cols() != rank) out = Matrix(rows, rank);
   }
   if (h.rows() != rank) h = Matrix(rank, rank);
-  if (static_cast<int64_t>(had.size()) != rank) {
-    had.assign(static_cast<size_t>(rank), 0.0);
+  if (had.size() != rank) {
+    had.Assign(rank, 0.0);
+    col_norm_sq.Assign(rank, 0.0);
+    col_scale.Assign(rank, 0.0);
   }
 }
 
@@ -42,19 +45,29 @@ void AlsSweep(const SparseTensor& x, CpdState& state, bool normalize_columns,
 
     if (normalize_columns) {
       // λ_r = ‖column r‖₂; Ā gets unit columns (Alg. 2 lines 5-6). Zero
-      // columns keep λ_r = 0 and stay zero.
-      for (int64_t r = 0; r < rank; ++r) {
-        double norm_sq = 0.0;
+      // columns keep λ_r = 0 and stay zero (scaling by 0 below). Both
+      // passes run row-major over the padded stride — per component the
+      // accumulation order over i is unchanged, so this is bitwise
+      // identical to the column-walk formulation.
+      DispatchPaddedRank(factor.stride(), [&](auto tag) {
+        constexpr int64_t P = decltype(tag)::value;
+        const int64_t padded = factor.stride();
+        double* norm_sq = ws.col_norm_sq.data();
+        double* scale = ws.col_scale.data();
+        VecFill<P>(norm_sq, 0.0, padded);
         for (int64_t i = 0; i < factor.rows(); ++i) {
-          norm_sq += factor(i, r) * factor(i, r);
+          const double* row = factor.Row(i);
+          VecFma3<P>(1.0, row, row, norm_sq, padded);
         }
-        const double norm = std::sqrt(norm_sq);
-        state.model.lambda()[static_cast<size_t>(r)] = norm;
-        if (norm > 0.0) {
-          const double inv = 1.0 / norm;
-          for (int64_t i = 0; i < factor.rows(); ++i) factor(i, r) *= inv;
+        for (int64_t r = 0; r < rank; ++r) {
+          const double norm = std::sqrt(norm_sq[r]);
+          state.model.lambda()[static_cast<size_t>(r)] = norm;
+          scale[r] = norm > 0.0 ? 1.0 / norm : 0.0;
         }
-      }
+        for (int64_t i = 0; i < factor.rows(); ++i) {
+          VecMulAccum<P>(factor.Row(i), scale, padded);
+        }
+      });
     }
     MultiplyTransposeAInto(factor, factor,
                            state.grams[static_cast<size_t>(m)]);

@@ -15,6 +15,7 @@
 #include "core/gram_product_cache.h"
 #include "core/gram_solve.h"
 #include "core/options.h"
+#include "linalg/simd.h"
 #include "tensor/sparse_tensor.h"
 
 namespace sns {
@@ -22,7 +23,8 @@ namespace sns {
 /// Preallocated scratch space of one ALS sweep, reused across sweeps (and
 /// across events by SNS-MAT, whose per-event sweep performs zero heap
 /// allocations once the workspace is warm — guarded by
-/// tests/hot_path_test.cpp).
+/// tests/hot_path_test.cpp). Rank-length scratch is aligned and padded
+/// (linalg/simd.h) so the padded rank-dispatch kernels apply.
 struct AlsWorkspace {
   /// (Re)sizes the buffers for `state`'s shape; allocation-free no-op when
   /// the shape is unchanged.
@@ -30,7 +32,9 @@ struct AlsWorkspace {
 
   std::vector<Matrix> mttkrp;  // Per-mode MTTKRP output (factor-shaped).
   Matrix h;                    // Hadamard-of-Grams of the current mode.
-  std::vector<double> had;     // Per-entry Hadamard row scratch.
+  AlignedVector had;           // Per-entry Hadamard row scratch.
+  AlignedVector col_norm_sq;   // Per-component ‖column‖² accumulator.
+  AlignedVector col_scale;     // Per-component 1/‖column‖ (0 for dead cols).
   GramSolver solver;
   GramProductCache grams;
 };

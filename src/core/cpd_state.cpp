@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "linalg/rank_dispatch.h"
+
 namespace sns {
 
 void CpdState::RecomputeGrams() {
@@ -35,27 +37,27 @@ void CpdState::AbsorbLambda() {
 void ApplyGramRowUpdate(Matrix& gram, const double* old_row,
                         const double* new_row) {
   const int64_t r = gram.rows();
-  for (int64_t i = 0; i < r; ++i) {
-    double* gram_row = gram.Row(i);
-    const double new_i = new_row[i];
-    const double old_i = old_row[i];
-    for (int64_t j = 0; j < r; ++j) {
-      gram_row[j] += new_i * new_row[j] - old_i * old_row[j];
+  DispatchPaddedRank(gram.stride(), [&](auto tag) {
+    constexpr int64_t P = decltype(tag)::value;
+    for (int64_t i = 0; i < r; ++i) {
+      VecGramRowDelta<P>(new_row[i], new_row, old_row[i], old_row,
+                         gram.Row(i), gram.stride());
     }
-  }
+  });
 }
 
 void ApplyPrevGramRowUpdate(Matrix& prev_gram, const double* prev_row,
                             const double* new_row) {
   const int64_t r = prev_gram.rows();
-  for (int64_t i = 0; i < r; ++i) {
-    double* gram_row = prev_gram.Row(i);
-    const double prev_i = prev_row[i];
-    if (prev_i == 0.0) continue;
-    for (int64_t j = 0; j < r; ++j) {
-      gram_row[j] += prev_i * (new_row[j] - prev_row[j]);
+  DispatchPaddedRank(prev_gram.stride(), [&](auto tag) {
+    constexpr int64_t P = decltype(tag)::value;
+    for (int64_t i = 0; i < r; ++i) {
+      const double prev_i = prev_row[i];
+      if (prev_i == 0.0) continue;
+      VecScaledDiffAccum<P>(prev_i, new_row, prev_row, prev_gram.Row(i),
+                            prev_gram.stride());
     }
-  }
+  });
 }
 
 }  // namespace sns

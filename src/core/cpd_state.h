@@ -35,13 +35,16 @@ struct CpdState {
 };
 
 /// Eq. 13 (and Eqs. 24–25 taken together): Q ← Q − p'p + a'a after the row
-/// of one factor changed from `old_row` to `new_row` (length = Q order).
+/// of one factor changed from `old_row` to `new_row`. Padded-buffer
+/// contract: both rows must reference gram.stride() doubles with zero
+/// padding lanes (Matrix rows and AlignedVector buffers qualify).
 void ApplyGramRowUpdate(Matrix& gram, const double* old_row,
                         const double* new_row);
 
 /// Eq. 17 / Eq. 26: U ← U − p'p + p'a for U = A'_prev A when the row changed
 /// from `prev_row` (its value at event start) to `new_row`. Valid because
-/// each row changes at most once per event.
+/// each row changes at most once per event. Same padded-buffer contract as
+/// ApplyGramRowUpdate.
 void ApplyPrevGramRowUpdate(Matrix& prev_gram, const double* prev_row,
                             const double* new_row);
 

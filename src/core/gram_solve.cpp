@@ -14,11 +14,11 @@ namespace {
 // pseudoinverse path is used instead.
 constexpr double kPivotRatioFloor = 1e-7;
 
-bool LowerIsWellConditioned(const Matrix& lower) {
-  double min_pivot = lower(0, 0), max_pivot = lower(0, 0);
-  for (int64_t i = 1; i < lower.rows(); ++i) {
-    min_pivot = std::min(min_pivot, lower(i, i));
-    max_pivot = std::max(max_pivot, lower(i, i));
+bool FactorIsWellConditioned(const Matrix& factor) {
+  double min_pivot = factor(0, 0), max_pivot = factor(0, 0);
+  for (int64_t i = 1; i < factor.rows(); ++i) {
+    min_pivot = std::min(min_pivot, factor(i, i));
+    max_pivot = std::max(max_pivot, factor(i, i));
   }
   return max_pivot > 0.0 && min_pivot / max_pivot > kPivotRatioFloor;
 }
@@ -27,9 +27,11 @@ bool LowerIsWellConditioned(const Matrix& lower) {
 
 void GramSolver::Factorize(const Matrix& h) {
   const int64_t n = h.rows();
-  if (lower_.rows() != n) lower_ = Matrix(n, n);
-  use_pinv_ =
-      !(CholeskyFactorizeInto(h, lower_) && LowerIsWellConditioned(lower_));
+  if (upper_.rows() != n) upper_ = Matrix(n, n);
+  // Row-suffix (U'U) factorization: every inner loop contiguous — see
+  // CholeskyFactorizeUpperInto.
+  use_pinv_ = !(CholeskyFactorizeUpperInto(h, upper_) &&
+                FactorIsWellConditioned(upper_));
   if (use_pinv_) pinv_ = PseudoInverseSymmetric(h);
 }
 
@@ -39,9 +41,9 @@ void GramSolver::Solve(const double* b, double* x) const {
     return;
   }
   // H symmetric: b H† == (H⁻¹ b')' for nonsingular H.
-  const int64_t n = lower_.rows();
+  const int64_t n = upper_.rows();
   std::copy(b, b + n, x);
-  CholeskySolveInPlace(lower_, x);
+  CholeskySolveUpperInPlace(upper_, x);
 }
 
 void SolveRowAgainstGram(const Matrix& h, const double* b, double* x) {

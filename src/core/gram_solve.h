@@ -29,7 +29,7 @@ class GramSolver {
   void Solve(const double* b, double* x) const;
 
  private:
-  Matrix lower_;
+  Matrix upper_;  // A = U'U factor (row-suffix kernels; linalg/cholesky.h).
   Matrix pinv_;
   bool use_pinv_ = false;
 };

@@ -35,24 +35,28 @@ void RowUpdaterBase::BeginEvent(const WindowDelta& delta,
                                 const CpdState& state) {
   time_mode_ = state.num_modes() - 1;
   snap_rank_ = state.rank();
+  snap_stride_ = PaddedRank(snap_rank_);
   ws_.Prepare(state.num_modes(), snap_rank_, sample_capacity_);
   gram_cache_.BeginEvent(state.grams);
   // No-ops (and allocation-free) once sized for this shape.
-  snapshot_values_.resize(static_cast<size_t>((kMaxTensorModes + 2) *
-                                              snap_rank_));
+  snapshot_values_.Resize((kMaxTensorModes + 2) * snap_stride_);
   if (NeedsPrevGrams()) {
-    delta_values_.resize(static_cast<size_t>(2 * (kMaxTensorModes + 2) *
-                                             snap_rank_));
+    delta_values_.Resize(2 * (kMaxTensorModes + 2) * snap_stride_);
   }
   num_gram_deltas_ = 0;
 
   auto copy_row = [&](int mode, int64_t row, int segment) {
+    // Full padded stride: the factor row's zero padding lanes come along,
+    // keeping each snapshot segment a valid padded row.
     const double* data = state.model.factor(mode).Row(row);
-    std::copy(data, data + snap_rank_,
-              snapshot_values_.data() + segment * snap_rank_);
+    ws_.kernels->copy(data, snapshot_values_.data() + segment * snap_stride_,
+                      snap_stride_);
   };
   // Time-mode rows, deduplicated: a delta may reference the same time slice
-  // more than once, and PrevRow must see exactly one snapshot per row.
+  // more than once, and PrevRow must see exactly one snapshot per row. The
+  // inline storage assumes at most TWO distinct time rows per delta (the
+  // two slices a slide touches) — a delta spanning more would silently
+  // lose its third snapshot, so fail loudly instead.
   num_time_snaps_ = 0;
   for (const DeltaCell& cell : delta.cells) {
     const int64_t row = cell.index[time_mode_];
@@ -60,7 +64,9 @@ void RowUpdaterBase::BeginEvent(const WindowDelta& delta,
     for (int t = 0; t < num_time_snaps_; ++t) {
       if (time_snap_row_[static_cast<size_t>(t)] == row) seen = true;
     }
-    if (seen || num_time_snaps_ >= 2) continue;
+    if (seen) continue;
+    SNS_DCHECK(num_time_snaps_ < 2);
+    if (num_time_snaps_ >= 2) continue;
     time_snap_row_[static_cast<size_t>(num_time_snaps_)] = row;
     copy_row(time_mode_, row, kMaxTensorModes + num_time_snaps_);
     ++num_time_snaps_;
@@ -77,11 +83,11 @@ const double* RowUpdaterBase::PrevRow(int mode, int64_t row,
   if (mode == time_mode_) {
     for (int t = 0; t < num_time_snaps_; ++t) {
       if (time_snap_row_[static_cast<size_t>(t)] == row) {
-        return snapshot_values_.data() + (kMaxTensorModes + t) * snap_rank_;
+        return snapshot_values_.data() + (kMaxTensorModes + t) * snap_stride_;
       }
     }
   } else if (mode_snap_row_[static_cast<size_t>(mode)] == row) {
-    return snapshot_values_.data() + mode * snap_rank_;
+    return snapshot_values_.data() + mode * snap_stride_;
   }
   return state.model.factor(mode).Row(row);
 }
@@ -108,11 +114,12 @@ void RowUpdaterBase::CommitRow(int mode, int64_t row, const double* old_row,
                      new_row);
   if (NeedsPrevGrams()) {
     // Record the rank-1 correction U(mode) = Q(mode) + (p−a)'a. old_row is
-    // also the event-start (prev) row p: rows update once per event.
+    // also the event-start (prev) row p: rows update once per event. Both
+    // segments span the full padded stride (padding: 0 − 0 = 0).
     SNS_CHECK(num_gram_deltas_ < static_cast<int>(delta_mode_.size()));
-    double* diff = delta_values_.data() + 2 * num_gram_deltas_ * snap_rank_;
-    double* saved_new = diff + snap_rank_;
-    for (int64_t r = 0; r < snap_rank_; ++r) {
+    double* diff = delta_values_.data() + 2 * num_gram_deltas_ * snap_stride_;
+    double* saved_new = diff + snap_stride_;
+    for (int64_t r = 0; r < snap_stride_; ++r) {
       diff[r] = old_row[r] - new_row[r];
       saved_new[r] = new_row[r];
     }
@@ -140,8 +147,8 @@ void RowUpdaterBase::HadamardOfPrevGramsExcept(const CpdState& state,
     ws.u_scratch.CopyFrom(gram);
     for (int k = 0; k < num_gram_deltas_; ++k) {
       if (delta_mode_[static_cast<size_t>(k)] != n) continue;
-      const double* diff = delta_values_.data() + 2 * k * snap_rank_;
-      AddOuterProduct(ws.u_scratch, diff, diff + snap_rank_);
+      const double* diff = delta_values_.data() + 2 * k * snap_stride_;
+      AddOuterProduct(ws.u_scratch, diff, diff + snap_stride_);
     }
     HadamardAccumulate(ws.h_prev, ws.u_scratch);
   }

@@ -90,22 +90,26 @@ class RowUpdaterBase : public EventUpdater {
   int64_t sample_capacity_;
   int time_mode_ = 0;
   int64_t snap_rank_ = 0;
+  // Segment stride of the snapshot/delta arenas: PaddedRank(rank), so each
+  // segment is a valid padded row (zero padding copied straight from the
+  // factor rows) that the padded Gram kernels may read in full.
+  int64_t snap_stride_ = 0;
 
   // Deduplicated row snapshots with inline storage: one slot per non-time
   // mode (every non-time mode snapshots exactly its i_m-th row) plus at
   // most two time-mode slots (the two slices a slide touches). Values live
-  // in the flat snapshot_values_ buffer: non-time mode m at segment m, time
+  // in the flat snapshot_values_ arena: non-time mode m at segment m, time
   // slot t at segment kMaxTensorModes + t.
   std::array<int64_t, kMaxTensorModes> mode_snap_row_;
   std::array<int64_t, 2> time_snap_row_;
   int num_time_snaps_ = 0;
-  std::vector<double> snapshot_values_;
+  AlignedVector snapshot_values_;
 
   // Per-event Gram delta records replacing the prev-Gram deep copy: each
   // committed row stores (p − a) and a back to back in delta_values_.
   std::array<int, kMaxTensorModes + 2> delta_mode_;
   int num_gram_deltas_ = 0;
-  std::vector<double> delta_values_;
+  AlignedVector delta_values_;
 };
 
 }  // namespace sns

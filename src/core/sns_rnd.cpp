@@ -1,7 +1,5 @@
 #include "core/sns_rnd.h"
 
-#include <algorithm>
-
 #include "core/slice_sampler.h"
 #include "tensor/mttkrp.h"
 
@@ -11,9 +9,10 @@ void SnsRndUpdater::UpdateRow(int mode, int64_t row,
                               const SparseTensor& window,
                               const WindowDelta& delta, CpdState& state,
                               UpdateWorkspace& ws) {
-  const int64_t rank = state.rank();
   Matrix& factor = state.model.factor(mode);
-  std::copy(factor.Row(row), factor.Row(row) + rank, ws.old_row.begin());
+  const RankKernelTable& kr = *ws.kernels;
+  const int64_t padded = ws.padded_rank;
+  kr.copy(factor.Row(row), ws.old_row.data(), padded);
 
   const int64_t degree = window.Degree(mode, row);
 
@@ -28,7 +27,7 @@ void SnsRndUpdater::UpdateRow(int mode, int64_t row,
     // reconstructed from Q(n) and this event's committed-row deltas. The
     // row is still at its event-start value B(m)(row,:) here.
     HadamardOfPrevGramsExcept(state, mode, ws);
-    RowTimesMatrix(ws.old_row.data(), ws.h_prev, ws.rhs.data());
+    RowTimesMatrixPadded(ws.old_row.data(), ws.h_prev, ws.rhs.data());
 
     // Residual corrections x̄_J = x_J − x̃_J at θ cells sampled uniformly
     // from the slice grid (zero cells included — they pull spurious model
@@ -40,10 +39,7 @@ void SnsRndUpdater::UpdateRow(int mode, int64_t row,
           cell.value - EvaluatePrevModel(cell.index, state);
       HadamardRowProduct(state.model.factors(), cell.index, mode,
                          ws.had.data());
-      for (int64_t r = 0; r < rank; ++r) {
-        ws.rhs[static_cast<size_t>(r)] +=
-            residual * ws.had[static_cast<size_t>(r)];
-      }
+      kr.axpy(residual, ws.had.data(), ws.rhs.data(), padded);
     }
 
     // ΔX term of Eq. 16.
@@ -51,19 +47,13 @@ void SnsRndUpdater::UpdateRow(int mode, int64_t row,
       if (cell.index[mode] != row) continue;
       HadamardRowProduct(state.model.factors(), cell.index, mode,
                          ws.had.data());
-      for (int64_t r = 0; r < rank; ++r) {
-        ws.rhs[static_cast<size_t>(r)] +=
-            cell.delta * ws.had[static_cast<size_t>(r)];
-      }
+      kr.axpy(cell.delta, ws.had.data(), ws.rhs.data(), padded);
     }
   }
 
   ws.solver.Factorize(ws.h);  // H(m) = ∗_{n≠m} Q(n), preloaded by the base.
   ws.solver.Solve(ws.rhs.data(), ws.solution.data());
-  double* target = factor.Row(row);
-  for (int64_t r = 0; r < rank; ++r) {
-    target[r] = ws.solution[static_cast<size_t>(r)];
-  }
+  kr.copy(ws.solution.data(), factor.Row(row), padded);
 
   CommitRow(mode, row, ws.old_row.data(), state);  // Eq. 13 + Eq. 17.
 }

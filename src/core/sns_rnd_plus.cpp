@@ -1,7 +1,5 @@
 #include "core/sns_rnd_plus.h"
 
-#include <algorithm>
-
 #include "core/slice_sampler.h"
 #include "core/sns_vec_plus.h"
 #include "tensor/mttkrp.h"
@@ -14,7 +12,9 @@ void SnsRndPlusUpdater::UpdateRow(int mode, int64_t row,
                                   UpdateWorkspace& ws) {
   const int64_t rank = state.rank();
   Matrix& factor = state.model.factor(mode);
-  std::copy(factor.Row(row), factor.Row(row) + rank, ws.old_row.begin());
+  const RankKernelTable& kr = *ws.kernels;
+  const int64_t padded = ws.padded_rank;
+  kr.copy(factor.Row(row), ws.old_row.data(), padded);
 
   // ws.h = HQ(m) = ∗_{n≠m} Q(n), preloaded by the base.
   const int64_t degree = window.Degree(mode, row);
@@ -29,7 +29,7 @@ void SnsRndPlusUpdater::UpdateRow(int mode, int64_t row,
     // e_k = Σ_r b_{i r} (∗_{n≠m} U(n))(r, k), U(n) reconstructed from Q(n)
     // and this event's committed-row deltas.
     HadamardOfPrevGramsExcept(state, mode, ws);
-    RowTimesMatrix(ws.old_row.data(), ws.h_prev, ws.rhs.data());
+    RowTimesMatrixPadded(ws.old_row.data(), ws.h_prev, ws.rhs.data());
 
     // θ cells sampled uniformly from the slice grid, zero cells included
     // (their x̄ = −x̃ pulls spurious mass down); delta cells excluded per
@@ -41,19 +41,13 @@ void SnsRndPlusUpdater::UpdateRow(int mode, int64_t row,
           cell.value - EvaluatePrevModel(cell.index, state);
       HadamardRowProduct(state.model.factors(), cell.index, mode,
                          ws.had.data());
-      for (int64_t r = 0; r < rank; ++r) {
-        ws.rhs[static_cast<size_t>(r)] +=
-            residual * ws.had[static_cast<size_t>(r)];
-      }
+      kr.axpy(residual, ws.had.data(), ws.rhs.data(), padded);
     }
     for (const DeltaCell& cell : delta.cells) {
       if (cell.index[mode] != row) continue;
       HadamardRowProduct(state.model.factors(), cell.index, mode,
                          ws.had.data());
-      for (int64_t r = 0; r < rank; ++r) {
-        ws.rhs[static_cast<size_t>(r)] +=
-            cell.delta * ws.had[static_cast<size_t>(r)];
-      }
+      kr.axpy(cell.delta, ws.had.data(), ws.rhs.data(), padded);
     }
   }
 

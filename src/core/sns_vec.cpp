@@ -1,7 +1,5 @@
 #include "core/sns_vec.h"
 
-#include <algorithm>
-
 #include "tensor/mttkrp.h"
 
 namespace sns {
@@ -10,10 +8,11 @@ void SnsVecUpdater::UpdateRow(int mode, int64_t row,
                               const SparseTensor& window,
                               const WindowDelta& delta, CpdState& state,
                               UpdateWorkspace& ws) {
-  const int64_t rank = state.rank();
   const int time_mode = state.num_modes() - 1;
   Matrix& factor = state.model.factor(mode);
-  std::copy(factor.Row(row), factor.Row(row) + rank, ws.old_row.begin());
+  const RankKernelTable& kr = *ws.kernels;
+  const int64_t padded = ws.padded_rank;
+  kr.copy(factor.Row(row), ws.old_row.data(), padded);
 
   ws.solver.Factorize(ws.h);  // H(m) = ∗_{n≠m} Q(n), preloaded by the base.
 
@@ -21,31 +20,22 @@ void SnsVecUpdater::UpdateRow(int mode, int64_t row,
     // Eq. 9: A(M)(row,:) += ΔX_(M)(row,:) K(M) H(M)†. The matricized delta
     // row has at most one non-zero — the delta cell living in this slice —
     // and its K(M) row is the Hadamard of the non-time factor rows.
-    std::fill(ws.rhs.begin(), ws.rhs.end(), 0.0);
+    kr.fill(ws.rhs.data(), 0.0, padded);
     for (const DeltaCell& cell : delta.cells) {
       if (cell.index[time_mode] != row) continue;
       HadamardRowProduct(state.model.factors(), cell.index, time_mode,
                          ws.had.data());
-      for (int64_t r = 0; r < rank; ++r) {
-        ws.rhs[static_cast<size_t>(r)] +=
-            cell.delta * ws.had[static_cast<size_t>(r)];
-      }
+      kr.axpy(cell.delta, ws.had.data(), ws.rhs.data(), padded);
     }
     ws.solver.Solve(ws.rhs.data(), ws.solution.data());
-    double* target = factor.Row(row);
-    for (int64_t r = 0; r < rank; ++r) {
-      target[r] += ws.solution[static_cast<size_t>(r)];
-    }
+    kr.axpy(1.0, ws.solution.data(), factor.Row(row), padded);
   } else {
     // Eq. 12: A(m)(row,:) ← (X + ΔX)_(m)(row,:) K(m) H(m)†. The window
     // already contains the delta, so the row MTTKRP is the full right side.
     MttkrpRow(window, state.model.factors(), mode, row, ws.rhs.data(),
               ws.had.data());
     ws.solver.Solve(ws.rhs.data(), ws.solution.data());
-    double* target = factor.Row(row);
-    for (int64_t r = 0; r < rank; ++r) {
-      target[r] = ws.solution[static_cast<size_t>(r)];
-    }
+    kr.copy(ws.solution.data(), factor.Row(row), padded);
   }
 
   CommitRow(mode, row, ws.old_row.data(), state);  // Eq. 13.

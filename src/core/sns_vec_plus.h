@@ -45,6 +45,10 @@ class SnsVecPlusUpdater : public RowUpdaterBase {
 /// Eq. 23). One-dimensional projection onto [clip_min, clip_max] never
 /// increases the convex per-entry objective. Entries with c_k ≈ 0 (dead
 /// component) are left unchanged.
+///
+/// Padded-buffer contract: `row` must reference hq.stride() doubles with
+/// zero padding lanes (factor rows qualify) — the d_k dot runs tail-free to
+/// the padded bound. `numerator` only needs `rank` values.
 void CoordinateDescentRow(double* row, int64_t rank, const Matrix& hq,
                           const double* numerator, double clip_min,
                           double clip_max);

@@ -12,13 +12,16 @@ void UpdateWorkspace::Prepare(int num_modes, int64_t rank,
   rank_ = rank;
   sample_capacity_ = sample_capacity;
 
+  padded_rank = PaddedRank(rank);
+  kernels = &GetRankKernelTable(padded_rank);
+
   h = Matrix(rank, rank);
   h_prev = Matrix(rank, rank);
   u_scratch = Matrix(rank, rank);
-  old_row.assign(static_cast<size_t>(rank), 0.0);
-  rhs.assign(static_cast<size_t>(rank), 0.0);
-  solution.assign(static_cast<size_t>(rank), 0.0);
-  had.assign(static_cast<size_t>(rank), 0.0);
+  old_row.Assign(rank, 0.0);
+  rhs.Assign(rank, 0.0);
+  solution.Assign(rank, 0.0);
+  had.Assign(rank, 0.0);
   samples.clear();
   samples.reserve(static_cast<size_t>(sample_capacity));
 }

@@ -7,6 +7,12 @@
 // Owned by RowUpdaterBase and threaded through every UpdateRow
 // implementation; SNS-MAT's ALS sweep uses the sibling AlsWorkspace
 // (core/als.h).
+//
+// All rank-length scratch is 64-byte-aligned and padded to PaddedRank(R)
+// with zero padding lanes (linalg/simd.h), so the padded rank-dispatch
+// kernels may read and write the full stride. Prepare also resolves the
+// RankKernelTable for the model's padded rank exactly once — the
+// compile-time-specialized kernel set every updater calls per row.
 
 #ifndef SLICENSTITCH_CORE_UPDATE_WORKSPACE_H_
 #define SLICENSTITCH_CORE_UPDATE_WORKSPACE_H_
@@ -16,15 +22,24 @@
 #include "core/gram_solve.h"
 #include "core/slice_sampler.h"
 #include "linalg/matrix.h"
+#include "linalg/rank_dispatch.h"
+#include "linalg/simd.h"
 
 namespace sns {
 
 struct UpdateWorkspace {
-  /// (Re)sizes every buffer for the given shape. No-op — and in particular
-  /// allocation-free — when the shape is unchanged. sample_capacity bounds
-  /// the number of cells SampleSliceCellsInto may produce per row (0 for
-  /// variants that never sample).
+  /// (Re)sizes every buffer for the given shape and resolves the rank
+  /// kernel table. No-op — and in particular allocation-free — when the
+  /// shape is unchanged. sample_capacity bounds the number of cells
+  /// SampleSliceCellsInto may produce per row (0 for variants that never
+  /// sample).
   void Prepare(int num_modes, int64_t rank, int64_t sample_capacity);
+
+  /// Compile-time-rank kernel set for padded_rank, resolved once by
+  /// Prepare (i.e. at engine construction). Null before the first Prepare.
+  const RankKernelTable* kernels = nullptr;
+  /// PaddedRank(rank): the trip count of every padded kernel call.
+  int64_t padded_rank = 0;
 
   /// ∗_{n≠m} Q(n) for the row currently being updated — preloaded by
   /// RowUpdaterBase::OnEvent (via GramProductCache) before each UpdateRow.
@@ -37,10 +52,10 @@ struct UpdateWorkspace {
   /// Cholesky-backed row solver (allocation-free fast path).
   GramSolver solver;
 
-  std::vector<double> old_row;   // Event-start value of the row in flight.
-  std::vector<double> rhs;       // Right-hand side / numerator accumulator.
-  std::vector<double> solution;  // Solve output before the factor write.
-  std::vector<double> had;       // Per-entry Hadamard row product.
+  AlignedVector old_row;   // Event-start value of the row in flight.
+  AlignedVector rhs;       // Right-hand side / numerator accumulator.
+  AlignedVector solution;  // Solve output before the factor write.
+  AlignedVector had;       // Per-entry Hadamard row product.
   std::vector<SampledCell> samples;  // θ-sample output (RND variants).
 
  private:

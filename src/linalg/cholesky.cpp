@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "linalg/rank_dispatch.h"
+
 namespace sns {
 
 bool CholeskyFactorizeInto(const Matrix& a, Matrix& lower) {
@@ -9,9 +11,10 @@ bool CholeskyFactorizeInto(const Matrix& a, Matrix& lower) {
   SNS_CHECK(lower.rows() == a.rows() && lower.cols() == a.rows());
   const int64_t n = a.rows();
   for (int64_t i = 0; i < n; ++i) {
+    const double* row_i = lower.Row(i);
     for (int64_t j = 0; j <= i; ++j) {
-      double sum = a(i, j);
-      for (int64_t k = 0; k < j; ++k) sum -= lower(i, k) * lower(j, k);
+      // Row-prefix dot (runtime length j; contiguous row access).
+      const double sum = a(i, j) - VecDot<0>(row_i, lower.Row(j), j);
       if (i == j) {
         if (sum <= 0.0 || !std::isfinite(sum)) return false;
         lower(i, i) = std::sqrt(sum);
@@ -23,20 +26,71 @@ bool CholeskyFactorizeInto(const Matrix& a, Matrix& lower) {
   return true;
 }
 
-void CholeskySolveInPlace(const Matrix& lower, double* x) {
+void CholeskySolveInPlace(const Matrix& lower, double* SNS_RESTRICT x) {
   const int64_t n = lower.rows();
-  // Forward substitution L y = b.
+  // Forward substitution L y = b: x[i] ← (x[i] − L(i,0..i)·x) / L(i,i).
+  // Row-prefix dot over the contiguous row, vectorizable without strided
+  // column access.
   for (int64_t i = 0; i < n; ++i) {
-    double sum = x[i];
-    const double* row = lower.Row(i);
-    for (int64_t k = 0; k < i; ++k) sum -= row[k] * x[k];
-    x[i] = sum / row[i];
+    const double* SNS_RESTRICT row = lower.Row(i);
+    x[i] = (x[i] - VecDot<0>(row, x, i)) / row[i];
   }
-  // Back substitution L' x = y.
+  // Back substitution L' x = y, written column-of-L' = row-of-L oriented:
+  // once x[i] is final, subtract its contribution L(i, 0..i)·x[i] from the
+  // pending prefix — an axpy over the contiguous row instead of a strided
+  // column walk.
   for (int64_t i = n - 1; i >= 0; --i) {
-    double sum = x[i];
-    for (int64_t k = i + 1; k < n; ++k) sum -= lower(k, i) * x[k];
-    x[i] = sum / lower(i, i);
+    const double* SNS_RESTRICT row = lower.Row(i);
+    const double x_i = x[i] / row[i];
+    x[i] = x_i;
+    VecAxpy<0>(-x_i, row, x, i);
+  }
+}
+
+bool CholeskyFactorizeUpperInto(const Matrix& a, Matrix& upper) {
+  SNS_CHECK(a.rows() == a.cols());
+  SNS_CHECK(upper.rows() == a.rows() && upper.cols() == a.rows());
+  const int64_t n = a.rows();
+  // Stage the upper triangle of (symmetric) a row by row.
+  for (int64_t i = 0; i < n; ++i) {
+    const double* SNS_RESTRICT a_row = a.Row(i);
+    double* SNS_RESTRICT u_row = upper.Row(i);
+    for (int64_t j = i; j < n; ++j) u_row[j] = a_row[j];
+  }
+  for (int64_t k = 0; k < n; ++k) {
+    double* SNS_RESTRICT row_k = upper.Row(k);
+    const double pivot = row_k[k];
+    if (pivot <= 0.0 || !std::isfinite(pivot)) return false;
+    const double diag = std::sqrt(pivot);
+    row_k[k] = diag;
+    const double inv = 1.0 / diag;
+    for (int64_t j = k + 1; j < n; ++j) row_k[j] *= inv;
+    // Trailing update: U(i, i..n) −= u_ki · U(k, i..n) — contiguous
+    // independent-element suffix axpys.
+    for (int64_t i = k + 1; i < n; ++i) {
+      const double u_ki = row_k[i];
+      if (u_ki == 0.0) continue;
+      double* SNS_RESTRICT row_i = upper.Row(i);
+      for (int64_t j = i; j < n; ++j) row_i[j] -= u_ki * row_k[j];
+    }
+  }
+  return true;
+}
+
+void CholeskySolveUpperInPlace(const Matrix& upper, double* SNS_RESTRICT x) {
+  const int64_t n = upper.rows();
+  // Forward elimination U' y = b, walking rows of U: once y[k] is final,
+  // subtract its contribution U(k, k+1..n)·y[k] from the pending suffix.
+  for (int64_t k = 0; k < n; ++k) {
+    const double* SNS_RESTRICT row = upper.Row(k);
+    const double y_k = x[k] / row[k];
+    x[k] = y_k;
+    for (int64_t j = k + 1; j < n; ++j) x[j] -= row[j] * y_k;
+  }
+  // Back substitution U x = y: contiguous row-suffix dots.
+  for (int64_t i = n - 1; i >= 0; --i) {
+    const double* SNS_RESTRICT row = upper.Row(i);
+    x[i] = (x[i] - VecDot<0>(row + i + 1, x + i + 1, n - i - 1)) / row[i];
   }
 }
 

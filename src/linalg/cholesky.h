@@ -23,6 +23,25 @@ bool CholeskyFactorizeInto(const Matrix& a, Matrix& lower);
 /// the solution on exit (n = lower order values).
 void CholeskySolveInPlace(const Matrix& lower, double* x);
 
+/// Right-looking factorization A = U'U with U upper-triangular in row-major
+/// storage — the hot-path form used by GramSolver. Storing the transposed
+/// factor makes every inner loop a CONTIGUOUS row-suffix operation: the
+/// trailing update subtracts u_ki · U(k, i..n) from U(i, i..n) (an
+/// independent-element axpy the autovectorizer handles at full width),
+/// where the classic lower/left-looking form walks strided columns or
+/// latency-bound sequential dots. Only the upper triangle including the
+/// diagonal is written and later read; entries below the diagonal may
+/// carry stale values in a reused buffer. Returns false on a non-positive
+/// or non-finite pivot. Rounds differently than CholeskyFactorizeInto
+/// (incremental vs deferred subtraction), so the two factorization paths
+/// agree to solver tolerance, not bitwise.
+bool CholeskyFactorizeUpperInto(const Matrix& a, Matrix& upper);
+
+/// In-place solve A x = b against CholeskyFactorizeUpperInto's factor:
+/// U' y = b by forward elimination over row suffixes of U, then U x = y by
+/// back substitution with contiguous row-suffix dots.
+void CholeskySolveUpperInPlace(const Matrix& upper, double* x);
+
 /// Cholesky factorization of a symmetric positive-definite matrix.
 class Cholesky {
  public:

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "common/random.h"
+#include "linalg/rank_dispatch.h"
 
 namespace sns {
 
@@ -33,14 +34,19 @@ Matrix Matrix::RandomNormal(int64_t rows, int64_t cols, Rng& rng) {
 }
 
 double Matrix::FrobeniusNorm() const {
+  // Runs over the padded buffer: the zero padding lanes add exactly 0.0.
+  const double* data = data_.data();
+  const int64_t total = rows_ * stride_;
   double sum = 0.0;
-  for (double v : data_) sum += v * v;
+  for (int64_t i = 0; i < total; ++i) sum += data[i] * data[i];
   return std::sqrt(sum);
 }
 
 double Matrix::MaxAbs() const {
+  const double* data = data_.data();
+  const int64_t total = rows_ * stride_;
   double best = 0.0;
-  for (double v : data_) best = std::max(best, std::fabs(v));
+  for (int64_t i = 0; i < total; ++i) best = std::max(best, std::fabs(data[i]));
   return best;
 }
 
@@ -51,6 +57,16 @@ Matrix Matrix::Transposed() const {
     for (int64_t j = 0; j < cols_; ++j) out(j, i) = row[j];
   }
   return out;
+}
+
+bool Matrix::PaddingIsZero() const {
+  for (int64_t i = 0; i < rows_; ++i) {
+    const double* row = Row(i);
+    for (int64_t j = cols_; j < stride_; ++j) {
+      if (row[j] != 0.0) return false;
+    }
+  }
+  return true;
 }
 
 std::string Matrix::ToString(int precision) const {
@@ -69,17 +85,19 @@ std::string Matrix::ToString(int precision) const {
 Matrix Multiply(const Matrix& a, const Matrix& b) {
   SNS_CHECK(a.cols() == b.rows());
   Matrix c(a.rows(), b.cols());
-  const int64_t n = a.rows(), k_dim = a.cols(), m = b.cols();
-  for (int64_t i = 0; i < n; ++i) {
-    const double* a_row = a.Row(i);
-    double* c_row = c.Row(i);
-    for (int64_t k = 0; k < k_dim; ++k) {
-      const double a_ik = a_row[k];
-      if (a_ik == 0.0) continue;
-      const double* b_row = b.Row(k);
-      for (int64_t j = 0; j < m; ++j) c_row[j] += a_ik * b_row[j];
+  const int64_t n = a.rows(), k_dim = a.cols();
+  DispatchPaddedRank(b.stride(), [&](auto tag) {
+    constexpr int64_t P = decltype(tag)::value;
+    for (int64_t i = 0; i < n; ++i) {
+      const double* a_row = a.Row(i);
+      double* c_row = c.Row(i);
+      for (int64_t k = 0; k < k_dim; ++k) {
+        const double a_ik = a_row[k];
+        if (a_ik == 0.0) continue;
+        VecAxpy<P>(a_ik, b.Row(k), c_row, b.stride());
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -93,17 +111,19 @@ void MultiplyTransposeAInto(const Matrix& a, const Matrix& b, Matrix& out) {
   SNS_CHECK(a.rows() == b.rows());
   SNS_CHECK(out.rows() == a.cols() && out.cols() == b.cols());
   out.SetZero();
-  const int64_t n = a.rows(), p = a.cols(), m = b.cols();
-  for (int64_t k = 0; k < n; ++k) {
-    const double* a_row = a.Row(k);
-    const double* b_row = b.Row(k);
-    for (int64_t i = 0; i < p; ++i) {
-      const double a_ki = a_row[i];
-      if (a_ki == 0.0) continue;
-      double* out_row = out.Row(i);
-      for (int64_t j = 0; j < m; ++j) out_row[j] += a_ki * b_row[j];
+  const int64_t n = a.rows(), p = a.cols();
+  DispatchPaddedRank(b.stride(), [&](auto tag) {
+    constexpr int64_t P = decltype(tag)::value;
+    for (int64_t k = 0; k < n; ++k) {
+      const double* a_row = a.Row(k);
+      const double* b_row = b.Row(k);
+      for (int64_t i = 0; i < p; ++i) {
+        const double a_ki = a_row[i];
+        if (a_ki == 0.0) continue;
+        VecAxpy<P>(a_ki, b_row, out.Row(i), b.stride());
+      }
     }
-  }
+  });
 }
 
 Matrix Hadamard(const Matrix& a, const Matrix& b) {
@@ -115,46 +135,49 @@ Matrix Hadamard(const Matrix& a, const Matrix& b) {
 void HadamardInto(const Matrix& a, const Matrix& b, Matrix& out) {
   SNS_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
   SNS_CHECK(out.rows() == a.rows() && out.cols() == a.cols());
-  for (int64_t i = 0; i < a.rows(); ++i) {
-    const double* a_row = a.Row(i);
-    const double* b_row = b.Row(i);
-    double* out_row = out.Row(i);
-    for (int64_t j = 0; j < a.cols(); ++j) out_row[j] = a_row[j] * b_row[j];
-  }
+  DispatchPaddedRank(a.stride(), [&](auto tag) {
+    constexpr int64_t P = decltype(tag)::value;
+    for (int64_t i = 0; i < a.rows(); ++i) {
+      VecMul<P>(a.Row(i), b.Row(i), out.Row(i), a.stride());
+    }
+  });
 }
 
 void HadamardAccumulate(Matrix& dst, const Matrix& src) {
   SNS_CHECK(dst.rows() == src.rows() && dst.cols() == src.cols());
-  for (int64_t i = 0; i < dst.rows(); ++i) {
-    double* dst_row = dst.Row(i);
-    const double* src_row = src.Row(i);
-    for (int64_t j = 0; j < dst.cols(); ++j) dst_row[j] *= src_row[j];
-  }
+  DispatchPaddedRank(dst.stride(), [&](auto tag) {
+    constexpr int64_t P = decltype(tag)::value;
+    for (int64_t i = 0; i < dst.rows(); ++i) {
+      VecMulAccum<P>(dst.Row(i), src.Row(i), dst.stride());
+    }
+  });
 }
 
 void AddOuterProduct(Matrix& dst, const double* u, const double* v) {
   const int64_t n = dst.rows();
   SNS_DCHECK(dst.cols() == n);
-  for (int64_t i = 0; i < n; ++i) {
-    const double u_i = u[i];
-    if (u_i == 0.0) continue;
-    double* dst_row = dst.Row(i);
-    for (int64_t j = 0; j < n; ++j) dst_row[j] += u_i * v[j];
-  }
+  DispatchPaddedRank(dst.stride(), [&](auto tag) {
+    constexpr int64_t P = decltype(tag)::value;
+    for (int64_t i = 0; i < n; ++i) {
+      const double u_i = u[i];
+      if (u_i == 0.0) continue;
+      VecAxpy<P>(u_i, v, dst.Row(i), dst.stride());
+    }
+  });
 }
 
 Matrix KhatriRao(const Matrix& a, const Matrix& b) {
   SNS_CHECK(a.cols() == b.cols());
-  const int64_t r = a.cols();
-  Matrix c(a.rows() * b.rows(), r);
-  for (int64_t i = 0; i < a.rows(); ++i) {
-    const double* a_row = a.Row(i);
-    for (int64_t k = 0; k < b.rows(); ++k) {
-      const double* b_row = b.Row(k);
-      double* c_row = c.Row(i * b.rows() + k);
-      for (int64_t j = 0; j < r; ++j) c_row[j] = a_row[j] * b_row[j];
+  Matrix c(a.rows() * b.rows(), a.cols());
+  DispatchPaddedRank(a.stride(), [&](auto tag) {
+    constexpr int64_t P = decltype(tag)::value;
+    for (int64_t i = 0; i < a.rows(); ++i) {
+      const double* a_row = a.Row(i);
+      for (int64_t k = 0; k < b.rows(); ++k) {
+        VecMul<P>(a_row, b.Row(k), c.Row(i * b.rows() + k), a.stride());
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -165,7 +188,7 @@ Matrix Add(const Matrix& a, const Matrix& b) {
     const double* a_row = a.Row(i);
     const double* b_row = b.Row(i);
     double* c_row = c.Row(i);
-    for (int64_t j = 0; j < a.cols(); ++j) c_row[j] = a_row[j] + b_row[j];
+    for (int64_t j = 0; j < a.stride(); ++j) c_row[j] = a_row[j] + b_row[j];
   }
   return c;
 }
@@ -177,12 +200,13 @@ Matrix Subtract(const Matrix& a, const Matrix& b) {
     const double* a_row = a.Row(i);
     const double* b_row = b.Row(i);
     double* c_row = c.Row(i);
-    for (int64_t j = 0; j < a.cols(); ++j) c_row[j] = a_row[j] - b_row[j];
+    for (int64_t j = 0; j < a.stride(); ++j) c_row[j] = a_row[j] - b_row[j];
   }
   return c;
 }
 
 Matrix Scale(const Matrix& a, double factor) {
+  // Logical lanes only: factor · (−0.0) would flip the padding sign bit.
   Matrix c(a.rows(), a.cols());
   for (int64_t i = 0; i < a.rows(); ++i) {
     const double* a_row = a.Row(i);
@@ -192,21 +216,34 @@ Matrix Scale(const Matrix& a, double factor) {
   return c;
 }
 
-void RowTimesMatrix(const double* row, const Matrix& m, double* out) {
+void RowTimesMatrix(const double* SNS_RESTRICT row, const Matrix& m,
+                    double* SNS_RESTRICT out) {
   const int64_t rows = m.rows(), cols = m.cols();
   std::fill(out, out + cols, 0.0);
   for (int64_t i = 0; i < rows; ++i) {
     const double r_i = row[i];
     if (r_i == 0.0) continue;
-    const double* m_row = m.Row(i);
+    const double* SNS_RESTRICT m_row = m.Row(i);
     for (int64_t j = 0; j < cols; ++j) out[j] += r_i * m_row[j];
   }
 }
 
+void RowTimesMatrixPadded(const double* SNS_RESTRICT row, const Matrix& m,
+                          double* SNS_RESTRICT out) {
+  const int64_t rows = m.rows();
+  DispatchPaddedRank(m.stride(), [&](auto tag) {
+    constexpr int64_t P = decltype(tag)::value;
+    VecFill<P>(out, 0.0, m.stride());
+    for (int64_t i = 0; i < rows; ++i) {
+      const double r_i = row[i];
+      if (r_i == 0.0) continue;
+      VecAxpy<P>(r_i, m.Row(i), out, m.stride());
+    }
+  });
+}
+
 double Dot(const double* a, const double* b, int64_t n) {
-  double sum = 0.0;
-  for (int64_t i = 0; i < n; ++i) sum += a[i] * b[i];
-  return sum;
+  return VecDot<0>(a, b, n);
 }
 
 double MaxAbsDiff(const Matrix& a, const Matrix& b) {

@@ -1,0 +1,21 @@
+#include "linalg/rank_dispatch.h"
+
+namespace sns {
+namespace {
+
+template <int64_t P>
+constexpr RankKernelTable kTable = {P,           &VecFill<P>,     &VecCopy<P>,
+                                    &VecAxpy<P>, &VecMulAccum<P>, &VecDot<P>};
+
+}  // namespace
+
+const RankKernelTable& GetRankKernelTable(int64_t padded_rank) {
+  // Reuses DispatchPaddedRank so the specialization set lives in exactly
+  // one place (the RankTag switch in rank_dispatch.h).
+  return DispatchPaddedRank(
+      padded_rank, [](auto tag) -> const RankKernelTable& {
+        return kTable<decltype(tag)::value>;
+      });
+}
+
+}  // namespace sns

@@ -2,28 +2,10 @@
 
 #include <algorithm>
 
+#include "linalg/rank_dispatch.h"
+#include "linalg/simd.h"
+
 namespace sns {
-
-void HadamardRowProduct(const std::vector<Matrix>& factors,
-                        const ModeIndex& index, int skip_mode, double* out) {
-  const int64_t rank = factors[0].cols();
-  std::fill(out, out + rank, 1.0);
-  for (size_t m = 0; m < factors.size(); ++m) {
-    if (static_cast<int>(m) == skip_mode) continue;
-    const double* row = factors[m].Row(index[static_cast<int>(m)]);
-    for (int64_t r = 0; r < rank; ++r) out[r] *= row[r];
-  }
-}
-
-Matrix Mttkrp(const SparseTensor& x, const std::vector<Matrix>& factors,
-              int mode) {
-  const int64_t rank = factors[0].cols();
-  Matrix out(x.dim(mode), rank);
-  std::vector<double> had(static_cast<size_t>(rank));
-  MttkrpInto(x, factors, mode, out, had.data());
-  return out;
-}
-
 namespace {
 
 // The two modes of a 3-mode tensor other than `mode`, in ascending order —
@@ -35,12 +17,46 @@ inline void OtherTwoModes(int mode, int* a, int* b) {
   *b = mode == 2 ? 1 : 2;
 }
 
-}  // namespace
+// Rank-dispatched body of HadamardRowProduct. The padded lanes end at 0.0:
+// they start at 0.0, and every accumulated factor row has zero padding.
+template <int64_t P>
+void HadamardRowProductImpl(const std::vector<Matrix>& factors,
+                            const ModeIndex& index, int skip_mode,
+                            double* out, int64_t rank, int64_t padded) {
+  std::fill(out, out + rank, 1.0);
+  std::fill(out + rank, out + padded, 0.0);
+  for (size_t m = 0; m < factors.size(); ++m) {
+    if (static_cast<int>(m) == skip_mode) continue;
+    VecMulAccum<P>(out, factors[m].Row(index[static_cast<int>(m)]), padded);
+  }
+}
 
-void MttkrpInto(const SparseTensor& x, const std::vector<Matrix>& factors,
-                int mode, Matrix& out, double* had) {
-  const int64_t rank = factors[0].cols();
-  SNS_CHECK(out.rows() == x.dim(mode) && out.cols() == rank);
+template <int64_t P>
+void MttkrpRowImpl(const SparseTensor& x, const std::vector<Matrix>& factors,
+                   int mode, int64_t row, double* out, double* had,
+                   int64_t rank, int64_t padded) {
+  VecFill<P>(out, 0.0, padded);
+  if (factors.size() == 3) {
+    int a, b;
+    OtherTwoModes(mode, &a, &b);
+    const Matrix& fa = factors[static_cast<size_t>(a)];
+    const Matrix& fb = factors[static_cast<size_t>(b)];
+    for (const SparseTensor::SliceEntry entry : x.Slice(mode, row)) {
+      VecFma3<P>(entry.value, fa.Row(entry.coords[a]),
+                 fb.Row(entry.coords[b]), out, padded);
+    }
+    return;
+  }
+  for (const SparseTensor::SliceEntry entry : x.Slice(mode, row)) {
+    HadamardRowProductImpl<P>(factors, entry.coords, mode, had, rank, padded);
+    VecAxpy<P>(entry.value, had, out, padded);
+  }
+}
+
+template <int64_t P>
+void MttkrpIntoImpl(const SparseTensor& x, const std::vector<Matrix>& factors,
+                    int mode, Matrix& out, double* had, int64_t rank,
+                    int64_t padded) {
   out.SetZero();
   if (factors.size() == 3) {
     int a, b;
@@ -48,48 +64,63 @@ void MttkrpInto(const SparseTensor& x, const std::vector<Matrix>& factors,
     const Matrix& fa = factors[static_cast<size_t>(a)];
     const Matrix& fb = factors[static_cast<size_t>(b)];
     x.ForEachNonzero([&](const ModeIndex& index, double value) {
-      const double* ra = fa.Row(index[a]);
-      const double* rb = fb.Row(index[b]);
-      double* out_row = out.Row(index[mode]);
-      for (int64_t r = 0; r < rank; ++r) out_row[r] += value * (ra[r] * rb[r]);
+      VecFma3<P>(value, fa.Row(index[a]), fb.Row(index[b]),
+                 out.Row(index[mode]), padded);
     });
     return;
   }
   x.ForEachNonzero([&](const ModeIndex& index, double value) {
-    HadamardRowProduct(factors, index, mode, had);
-    double* out_row = out.Row(index[mode]);
-    for (int64_t r = 0; r < rank; ++r) out_row[r] += value * had[r];
+    HadamardRowProductImpl<P>(factors, index, mode, had, rank, padded);
+    VecAxpy<P>(value, had, out.Row(index[mode]), padded);
+  });
+}
+
+}  // namespace
+
+void HadamardRowProduct(const std::vector<Matrix>& factors,
+                        const ModeIndex& index, int skip_mode, double* out) {
+  const int64_t rank = factors[0].cols();
+  const int64_t padded = factors[0].stride();
+  DispatchPaddedRank(padded, [&](auto tag) {
+    HadamardRowProductImpl<decltype(tag)::value>(factors, index, skip_mode,
+                                                 out, rank, padded);
+  });
+}
+
+Matrix Mttkrp(const SparseTensor& x, const std::vector<Matrix>& factors,
+              int mode) {
+  const int64_t rank = factors[0].cols();
+  Matrix out(x.dim(mode), rank);
+  AlignedVector had(rank);
+  MttkrpInto(x, factors, mode, out, had.data());
+  return out;
+}
+
+void MttkrpInto(const SparseTensor& x, const std::vector<Matrix>& factors,
+                int mode, Matrix& out, double* had) {
+  const int64_t rank = factors[0].cols();
+  const int64_t padded = factors[0].stride();
+  SNS_CHECK(out.rows() == x.dim(mode) && out.cols() == rank);
+  DispatchPaddedRank(padded, [&](auto tag) {
+    MttkrpIntoImpl<decltype(tag)::value>(x, factors, mode, out, had, rank,
+                                         padded);
   });
 }
 
 void MttkrpRow(const SparseTensor& x, const std::vector<Matrix>& factors,
                int mode, int64_t row, double* out) {
-  const int64_t rank = factors[0].cols();
-  std::vector<double> had(static_cast<size_t>(rank));
+  AlignedVector had(factors[0].cols());
   MttkrpRow(x, factors, mode, row, out, had.data());
 }
 
 void MttkrpRow(const SparseTensor& x, const std::vector<Matrix>& factors,
                int mode, int64_t row, double* out, double* had) {
   const int64_t rank = factors[0].cols();
-  std::fill(out, out + rank, 0.0);
-  if (factors.size() == 3) {
-    int a, b;
-    OtherTwoModes(mode, &a, &b);
-    const Matrix& fa = factors[static_cast<size_t>(a)];
-    const Matrix& fb = factors[static_cast<size_t>(b)];
-    for (const SparseTensor::SliceEntry entry : x.Slice(mode, row)) {
-      const double* ra = fa.Row(entry.coords[a]);
-      const double* rb = fb.Row(entry.coords[b]);
-      const double v = entry.value;
-      for (int64_t r = 0; r < rank; ++r) out[r] += v * (ra[r] * rb[r]);
-    }
-    return;
-  }
-  for (const SparseTensor::SliceEntry entry : x.Slice(mode, row)) {
-    HadamardRowProduct(factors, entry.coords, mode, had);
-    for (int64_t r = 0; r < rank; ++r) out[r] += entry.value * had[r];
-  }
+  const int64_t padded = factors[0].stride();
+  DispatchPaddedRank(padded, [&](auto tag) {
+    MttkrpRowImpl<decltype(tag)::value>(x, factors, mode, row, out, had, rank,
+                                        padded);
+  });
 }
 
 Matrix HadamardOfGramsExcept(const std::vector<Matrix>& grams, int skip_mode) {

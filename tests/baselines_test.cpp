@@ -115,7 +115,7 @@ TEST(UnitOpsTest, UnitTimeRowRhsMatchesMttkrpRow) {
     window.Set(index.WithAppended(1), value);
   });
   std::vector<double> rhs = UnitTimeRowRhs(unit, model.factors());
-  std::vector<double> expected(2);
+  std::vector<double> expected(PaddedRank(2));
   MttkrpRow(window, model.factors(), 2, 1, expected.data());
   EXPECT_NEAR(rhs[0], expected[0], 1e-10);
   EXPECT_NEAR(rhs[1], expected[1], 1e-10);

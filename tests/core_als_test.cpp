@@ -83,8 +83,9 @@ TEST(CpdStateTest, GramRowUpdateMatchesRecompute) {
   Rng rng(3);
   Matrix factor = Matrix::RandomNormal(6, 4, rng);
   Matrix gram = MultiplyTransposeA(factor, factor);
-  // Change row 2.
-  std::vector<double> old_row(factor.Row(2), factor.Row(2) + 4);
+  // Change row 2. The snapshot spans the padded stride (zero padding comes
+  // along from the factor row), per the padded-buffer contract.
+  std::vector<double> old_row(factor.Row(2), factor.Row(2) + factor.stride());
   for (int64_t r = 0; r < 4; ++r) factor(2, r) = rng.Normal();
   ApplyGramRowUpdate(gram, old_row.data(), factor.Row(2));
   EXPECT_LT(MaxAbsDiff(gram, MultiplyTransposeA(factor, factor)), 1e-10);
@@ -97,7 +98,8 @@ TEST(CpdStateTest, PrevGramRowUpdateMatchesDefinition) {
   Matrix u = MultiplyTransposeA(prev_factor, factor);
   // Update two distinct rows (as an event would: once each).
   for (int64_t row : {1L, 3L}) {
-    std::vector<double> prev_row(factor.Row(row), factor.Row(row) + 3);
+    std::vector<double> prev_row(factor.Row(row),
+                                 factor.Row(row) + factor.stride());
     for (int64_t r = 0; r < 3; ++r) factor(row, r) = rng.Normal();
     ApplyPrevGramRowUpdate(u, prev_row.data(), factor.Row(row));
   }

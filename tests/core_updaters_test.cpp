@@ -139,7 +139,7 @@ TEST(SnsVecTest, TimeModeShortcutMatchesExactSolveUnderPerfectModel) {
 
   // Expected: exact solve of the affected time row with the pre-event
   // factors (the time mode is updated first, so these are current).
-  std::vector<double> b(2), expected(2);
+  std::vector<double> b(PaddedRank(2)), expected(2);
   MttkrpRow(window, state.model.factors(), 2, w_size - 1, b.data());
   Matrix h = HadamardOfGramsExcept(state.grams, 2);
   SolveRowAgainstGram(h, b.data(), expected.data());
@@ -167,7 +167,7 @@ TEST(SnsVecTest, LastNonTimeRowSatisfiesNormalEquations) {
   SnsVecUpdater updater;
   updater.OnEvent(window, delta, state);
 
-  std::vector<double> rhs(2);
+  std::vector<double> rhs(PaddedRank(2));
   MttkrpRow(window, state.model.factors(), 1, 2, rhs.data());
   Matrix h = HadamardOfGramsExcept(state.grams, 1);
   const double* row = state.model.factor(1).Row(2);
@@ -278,7 +278,8 @@ TEST(SnsRndTest, SampledPathKeepsGramsAndPrevGramsConsistent) {
 
 TEST(CoordinateDescentTest, ClipsToBound) {
   Matrix hq = Matrix::Identity(3);
-  double row[3] = {0.0, 0.0, 0.0};
+  // Padded contract: `row` spans hq.stride() doubles, padding at 0.0.
+  double row[4] = {0.0, 0.0, 0.0, 0.0};
   double numerator[3] = {100.0, -50.0, 0.5};
   CoordinateDescentRow(row, 3, hq, numerator, -1.0, 1.0);
   EXPECT_DOUBLE_EQ(row[0], 1.0);
@@ -288,7 +289,7 @@ TEST(CoordinateDescentTest, ClipsToBound) {
 
 TEST(CoordinateDescentTest, SkipsDeadComponents) {
   Matrix hq(2, 2);  // All zero: both components dead.
-  double row[2] = {0.25, -0.75};
+  double row[4] = {0.25, -0.75, 0.0, 0.0};
   double numerator[2] = {10.0, 10.0};
   CoordinateDescentRow(row, 2, hq, numerator, -5.0, 5.0);
   EXPECT_DOUBLE_EQ(row[0], 0.25);
@@ -324,7 +325,7 @@ TEST(CoordinateDescentTest, ReducesRowObjective) {
     return obj;
   };
 
-  double row[3] = {rng.Normal(), rng.Normal(), rng.Normal()};
+  double row[4] = {rng.Normal(), rng.Normal(), rng.Normal(), 0.0};
   double previous = objective(row);
   for (int pass = 0; pass < 100; ++pass) {
     CoordinateDescentRow(row, 3, hq, numerator.data(), -1e6, 1e6);

@@ -252,11 +252,14 @@ class NaiveReference {
 
     auto update_row = [&](int mode, int64_t row) {
       const int64_t rank = state.rank();
+      const int64_t padded = PaddedRank(rank);
       Matrix& factor = state.model.factor(mode);
-      std::vector<double> old_row(factor.Row(row), factor.Row(row) + rank);
+      // Padded-buffer contract of the kernels: rank-length scratch spans
+      // the padded stride with zero padding lanes.
+      std::vector<double> old_row(factor.Row(row), factor.Row(row) + padded);
       const Matrix h = HadamardOfGramsExcept(state.grams, mode);
-      std::vector<double> rhs(static_cast<size_t>(rank), 0.0);
-      std::vector<double> had(static_cast<size_t>(rank));
+      std::vector<double> rhs(static_cast<size_t>(padded), 0.0);
+      std::vector<double> had(static_cast<size_t>(padded), 0.0);
 
       auto accumulate_delta_cells = [&]() {
         for (const DeltaCell& cell : delta.cells) {

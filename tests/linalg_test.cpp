@@ -290,8 +290,9 @@ TEST(InPlaceKernelsTest, AddOuterProduct) {
   Matrix m(2, 2);
   m(0, 0) = 1.0;
   m(1, 1) = 2.0;
-  const double u[2] = {2.0, -1.0};
-  const double v[2] = {3.0, 4.0};
+  // Padded contract: u and v span m.stride() doubles, padding at 0.0.
+  const double u[4] = {2.0, -1.0, 0.0, 0.0};
+  const double v[4] = {3.0, 4.0, 0.0, 0.0};
   AddOuterProduct(m, u, v);
   EXPECT_DOUBLE_EQ(m(0, 0), 1.0 + 6.0);
   EXPECT_DOUBLE_EQ(m(0, 1), 8.0);

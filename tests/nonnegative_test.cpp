@@ -29,7 +29,8 @@ TEST(NonnegativeOptionsTest, OnlyCompatibleWithClippedVariants) {
 
 TEST(NonnegativeCoordinateDescentTest, ClampsNegativeSolutionsToZero) {
   Matrix hq = Matrix::Identity(2);
-  double row[2] = {0.5, 0.5};
+  // Padded contract: `row` spans hq.stride() doubles, padding at 0.0.
+  double row[4] = {0.5, 0.5, 0.0, 0.0};
   double numerator[2] = {-3.0, 0.25};
   CoordinateDescentRow(row, 2, hq, numerator, /*clip_min=*/0.0,
                        /*clip_max=*/10.0);

@@ -202,7 +202,7 @@ TEST(EntryPoolStorageTest, MttkrpRowPerformsNoHashLookups) {
   }
 
   const uint64_t lookups_before = x.hash_lookup_count();
-  std::vector<double> row(static_cast<size_t>(rank));
+  std::vector<double> row(static_cast<size_t>(PaddedRank(rank)));
   for (int mode = 0; mode < 3; ++mode) {
     for (int64_t i = 0; i < dims[static_cast<size_t>(mode)]; ++i) {
       MttkrpRow(x, model.factors(), mode, i, row.data());

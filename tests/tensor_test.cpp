@@ -255,7 +255,7 @@ TEST(KruskalModelTest, FitnessOfZeroTensorIsZero) {
 
 TEST(MttkrpTest, HadamardRowProductSkipsMode) {
   KruskalModel model = SmallModel();
-  double out[2];
+  double out[4];  // PaddedRank(2): the kernel writes the padded stride.
   HadamardRowProduct(model.factors(), {0, 1, 1}, /*skip_mode=*/1, out);
   EXPECT_DOUBLE_EQ(out[0], 1.0 * 11.0);
   EXPECT_DOUBLE_EQ(out[1], 2.0 * 12.0);
@@ -303,7 +303,7 @@ TEST(MttkrpTest, RowRestrictedMatchesFullRow) {
   }
   for (int mode = 0; mode < 3; ++mode) {
     Matrix full = Mttkrp(x, model.factors(), mode);
-    std::vector<double> row(3);
+    std::vector<double> row(PaddedRank(3));
     for (int64_t i = 0; i < dims[static_cast<size_t>(mode)]; ++i) {
       MttkrpRow(x, model.factors(), mode, i, row.data());
       for (int64_t r = 0; r < 3; ++r) {
