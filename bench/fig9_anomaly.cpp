@@ -9,10 +9,11 @@
 #include <cmath>
 #include <cstdio>
 #include <memory>
+#include <span>
 
+#include "api/stream_handle.h"
 #include "apps/anomaly_detection.h"
 #include "baselines/periodic_algorithm.h"
-#include "core/continuous_cpd.h"
 #include "data/datasets.h"
 #include "experiments/harness.h"
 #include "experiments/report.h"
@@ -31,41 +32,48 @@ struct DetectorResult {
   int64_t scored = 0;
 };
 
+// Scores every arrival through the facade's typed event view.
+class DetectorSink : public EventSink {
+ public:
+  void OnStreamEvent(const StreamEvent& event) override {
+    if (event.kind() != EventKind::kArrival || event.empty()) return;
+    detections_.push_back({event.time(), event.tuple().index,
+                           stats_.ScoreAndUpdate(event.AbsError()), false});
+  }
+
+  std::vector<Detection>& detections() { return detections_; }
+
+ private:
+  RunningZScore stats_;
+  std::vector<Detection> detections_;
+};
+
 DetectorResult RunContinuousDetector(const DatasetSpec& spec,
                                      const DataStream& stream,
                                      const std::vector<InjectedAnomaly>& truth) {
-  auto engine = ContinuousCpd::Create(stream.mode_dims(), spec.engine);
-  SNS_CHECK(engine.ok());
-  ContinuousCpd cpd = std::move(engine).value();
+  auto created =
+      StreamHandle::Create("taxi", stream.mode_dims(), spec.engine);
+  SNS_CHECK(created.ok());
+  StreamHandle taxi = std::move(created).value();
 
-  std::vector<Detection> detections;
-  RunningZScore stats;
-  cpd.SetEventObserver([&](const WindowDelta& delta, const KruskalModel& model,
-                           const SparseTensor& window) {
-    if (delta.kind != EventKind::kArrival || delta.cells.empty()) return;
-    const ModeIndex& cell = delta.cells[0].index;
-    const double error = std::fabs(window.Get(cell) - model.Evaluate(cell));
-    detections.push_back(
-        {delta.time, delta.tuple.index, stats.ScoreAndUpdate(error), false});
-  });
+  DetectorSink sink;
+  SNS_CHECK(taxi.AddSink(&sink).ok());
 
   const int64_t warmup_end = spec.WarmupEndTime();
-  size_t i = 0;
-  const auto& tuples = stream.tuples();
-  for (; i < tuples.size() && tuples[i].time <= warmup_end; ++i) {
-    cpd.IngestOnly(tuples[i]);
-  }
-  cpd.InitializeWithAls();
-  for (; i < tuples.size(); ++i) cpd.ProcessTuple(tuples[i]);
+  const std::span<const Tuple> tuples(stream.tuples());
+  const size_t i = static_cast<size_t>(stream.CountTuplesThrough(warmup_end));
+  SNS_CHECK(taxi.Warmup(tuples.subspan(0, i)).ok());
+  SNS_CHECK(taxi.Initialize().ok());
+  SNS_CHECK(taxi.Ingest(tuples.subspan(i)).ok());
 
-  LabelDetections(truth, /*time_slack=*/0, &detections);
+  LabelDetections(truth, /*time_slack=*/0, &sink.detections());
   DetectorResult result;
-  result.method = std::string(cpd.updater_name());
-  result.precision_at_k = PrecisionAtTopK(detections, kInjected);
+  result.method = std::string(taxi.variant_name());
+  result.precision_at_k = PrecisionAtTopK(sink.detections(), kInjected);
   // Detection is instantaneous in stream time; the real gap is the per-event
   // computation latency.
-  result.mean_gap_seconds = cpd.MeanUpdateMicros() * 1e-6;
-  result.scored = static_cast<int64_t>(detections.size());
+  result.mean_gap_seconds = taxi.Stats().mean_update_micros * 1e-6;
+  result.scored = static_cast<int64_t>(sink.detections().size());
   return result;
 }
 

@@ -17,12 +17,13 @@
 #include <cstring>
 #include <deque>
 #include <functional>
+#include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
-#include <memory>
-
+#include "api/stream_handle.h"
 #include "common/random.h"
 #include "core/als.h"
 #include "core/continuous_cpd.h"
@@ -56,7 +57,7 @@ struct EngineFixture {
     auto created = ContinuousCpd::Create(stream.value().mode_dims(),
                                          spec.engine);
     SNS_CHECK(created.ok());
-    engine = std::make_unique<ContinuousCpd>(std::move(created).value());
+    engine = std::move(created).value();
     const int64_t warmup_end = spec.WarmupEndTime();
     for (const Tuple& tuple : stream.value().tuples()) {
       if (tuple.time > warmup_end) break;
@@ -114,6 +115,75 @@ void BM_ProcessTupleMat(benchmark::State& state) {
   state.SetLabel("SNS-MAT");
 }
 BENCHMARK(BM_ProcessTupleMat)->Iterations(100)->Unit(benchmark::kMicrosecond);
+
+// ---------------------------------------------------------------------------
+// Batched ingestion through the service facade (StreamHandle::Ingest over a
+// span) vs the per-tuple path, on the same prepared engine state as
+// BM_ProcessTuple. One iteration ingests one batch; per-tuple cost is
+// real_time / batch_size (items_processed counts tuples, so the reported
+// items/s is directly comparable across batch sizes and with
+// BM_ProcessTuple). Iteration counts are scaled so every batch size covers
+// the same ~10k-tuple workload as the committed per-tuple runs.
+
+struct FacadeFixture {
+  explicit FacadeFixture(SnsVariant variant)
+      : spec(NewYorkTaxiPreset(0.4)), rng(7) {
+    spec.engine.variant = variant;
+    auto stream = GenerateSyntheticStream(spec.stream);
+    SNS_CHECK(stream.ok());
+    spec.engine.expected_nnz =
+        stream.value().CountTuplesThrough(spec.WarmupEndTime());
+    auto created = StreamHandle::Create("bench", stream.value().mode_dims(),
+                                        spec.engine);
+    SNS_CHECK(created.ok());
+    handle = std::make_unique<StreamHandle>(std::move(created).value());
+    const int64_t warmup_end = spec.WarmupEndTime();
+    const std::span<const Tuple> tuples(stream.value().tuples());
+    const size_t warm =
+        static_cast<size_t>(stream.value().CountTuplesThrough(warmup_end));
+    SNS_CHECK(handle->Warmup(tuples.subspan(0, warm)).ok());
+    SNS_CHECK(handle->Initialize().ok());
+    now = warmup_end;
+  }
+
+  Tuple NextTuple() {
+    now += 1 + static_cast<int64_t>(rng.NextUint64(3));
+    Tuple tuple;
+    for (int64_t dim : spec.stream.mode_dims) {
+      tuple.index.PushBack(static_cast<int32_t>(rng.UniformInt(0, dim - 1)));
+    }
+    tuple.value = 1.0;
+    tuple.time = now;
+    return tuple;
+  }
+
+  DatasetSpec spec;
+  Rng rng;
+  std::unique_ptr<StreamHandle> handle;
+  int64_t now = 0;
+};
+
+void BM_BatchIngest(benchmark::State& state) {
+  const int64_t batch_size = state.range(0);
+  FacadeFixture fixture(SnsVariant::kRndPlus);
+  std::vector<Tuple> batch(static_cast<size_t>(batch_size));
+  for (auto _ : state) {
+    for (Tuple& tuple : batch) tuple = fixture.NextTuple();
+    const Status status =
+        fixture.handle->Ingest(std::span<const Tuple>(batch));
+    SNS_CHECK(status.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * batch_size);
+  state.SetLabel("SNS+RND batch=" + std::to_string(batch_size));
+}
+// ~10k tuples per run regardless of batch size, matching BM_ProcessTuple's
+// fixed workload (see the comment there on why iteration counts are pinned).
+BENCHMARK(BM_BatchIngest)->Arg(1)->Iterations(10000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_BatchIngest)->Arg(16)->Iterations(625)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_BatchIngest)->Arg(256)->Iterations(40)
+    ->Unit(benchmark::kMicrosecond);
 
 // ---------------------------------------------------------------------------
 // Update algebra in isolation: a bounded synthetic window plus hand-built

@@ -1,16 +1,44 @@
 // Real-time anomaly detection (the paper's §VI-G application): spikes
 // injected into a crime-report-like stream are flagged the instant they
 // arrive, by z-scoring each event's reconstruction error against the
-// continuously maintained CP model.
+// continuously maintained CP model. Implemented as an EventSink attached to
+// the stream — the facade's multi-subscriber replacement for the old
+// single-observer hook; the sink reads observed/predicted values through
+// the typed StreamEvent instead of touching the window tensor directly.
 //
-// Build & run:  ./build/examples/anomaly_detection
+// Build & run:  ./build/example_anomaly_detection
 
-#include <cmath>
 #include <cstdio>
+#include <span>
+#include <vector>
 
-#include "apps/anomaly_detection.h"
-#include "core/continuous_cpd.h"
-#include "data/datasets.h"
+#include "slicenstitch.h"
+
+namespace {
+
+// Scores every arrival before the factors absorb it.
+class SpikeDetector : public sns::EventSink {
+ public:
+  void OnStreamEvent(const sns::StreamEvent& event) override {
+    if (event.kind() != sns::EventKind::kArrival || event.empty()) return;
+    const double z = stats_.ScoreAndUpdate(event.AbsError());
+    detections_.push_back({event.time(), event.tuple().index, z, false});
+    if (z > 10.0) {
+      std::printf("  !! t=%lld cell=%s value=%.0f z=%.1f\n",
+                  static_cast<long long>(event.time()),
+                  event.tuple().index.ToString().c_str(),
+                  event.tuple().value, z);
+    }
+  }
+
+  std::vector<sns::Detection>& detections() { return detections_; }
+
+ private:
+  sns::RunningZScore stats_;
+  std::vector<sns::Detection> detections_;
+};
+
+}  // namespace
 
 int main() {
   // Chicago-Crime-like stream: (community, crime type) at hour resolution.
@@ -27,44 +55,28 @@ int main() {
   std::printf("injected %zu spikes into %lld events\n", truth.size(),
               static_cast<long long>(stream.size()));
 
-  auto engine = sns::ContinuousCpd::Create(stream.mode_dims(), spec.engine);
-  if (!engine.ok()) return 1;
-  sns::ContinuousCpd cpd = std::move(engine).value();
+  sns::SnsService service;
+  auto created =
+      service.CreateStream("crime", stream.mode_dims(), spec.engine);
+  if (!created.ok()) return 1;
+  sns::StreamHandle& crime = *created.value();
 
-  // Score every arrival before the factors absorb it.
-  std::vector<sns::Detection> detections;
-  sns::RunningZScore stats;
-  cpd.SetEventObserver([&](const sns::WindowDelta& delta,
-                           const sns::KruskalModel& model,
-                           const sns::SparseTensor& window) {
-    if (delta.kind != sns::EventKind::kArrival || delta.cells.empty()) return;
-    const sns::ModeIndex& cell = delta.cells[0].index;
-    const double error = std::fabs(window.Get(cell) - model.Evaluate(cell));
-    const double z = stats.ScoreAndUpdate(error);
-    detections.push_back({delta.time, delta.tuple.index, z, false});
-    if (z > 10.0) {
-      std::printf("  !! t=%lld cell=%s value=%.0f z=%.1f\n",
-                  static_cast<long long>(delta.time),
-                  delta.tuple.index.ToString().c_str(), delta.tuple.value, z);
-    }
-  });
+  SpikeDetector detector;
+  if (!crime.AddSink(&detector).ok()) return 1;
 
   const int64_t warmup_end = spec.WarmupEndTime();
-  size_t i = 0;
-  for (; i < stream.tuples().size() &&
-         stream.tuples()[i].time <= warmup_end;
-       ++i) {
-    cpd.IngestOnly(stream.tuples()[i]);
+  const std::span<const sns::Tuple> tuples(stream.tuples());
+  const size_t i = static_cast<size_t>(stream.CountTuplesThrough(warmup_end));
+  if (!crime.Warmup(tuples.subspan(0, i)).ok() || !crime.Initialize().ok()) {
+    return 1;
   }
-  cpd.InitializeWithAls();
-  for (; i < stream.tuples().size(); ++i) {
-    cpd.ProcessTuple(stream.tuples()[i]);
-  }
+  if (!crime.Ingest(tuples.subspan(i)).ok()) return 1;
 
-  sns::LabelDetections(truth, /*time_slack=*/0, &detections);
+  sns::LabelDetections(truth, /*time_slack=*/0, &detector.detections());
   std::printf("\nprecision@15 = %.2f (|scored| = %zu events)\n",
-              sns::PrecisionAtTopK(detections, 15), detections.size());
+              sns::PrecisionAtTopK(detector.detections(), 15),
+              detector.detections().size());
   std::printf("detection latency = computation only: %.3f ms/event\n",
-              cpd.MeanUpdateMicros() * 1e-3);
+              crime.Stats().mean_update_micros * 1e-3);
   return 0;
 }

@@ -1,27 +1,28 @@
 // Purchase-history recommendation: a 4-mode stream (user, product, color,
 // quantity) — the paper's Definition 1 example — decomposed continuously.
-// The factor matrices give live user/product embeddings; recommendations
-// are products whose embedding aligns with the user's, weighted by current
-// component activity. Demonstrates a 4-mode tensor and embedding use.
+// FactorRow hands out live user/product embeddings; recommendations are
+// products whose embedding aligns with the user's, weighted by the current
+// component activity. Demonstrates a 4-mode tensor and the facade's
+// embedding queries.
 //
-// Build & run:  ./build/examples/purchase_recommender
+// Build & run:  ./build/example_purchase_recommender
 
 #include <algorithm>
 #include <cstdio>
+#include <span>
+#include <utility>
 #include <vector>
 
-#include "core/continuous_cpd.h"
-#include "data/synthetic.h"
+#include "slicenstitch.h"
 
 namespace {
 
 // Scores product p for user u: Σ_r user_r · product_r · activity_r.
-double Score(const sns::KruskalModel& model, int user, int product,
+double Score(const sns::FactorRowView& user, const sns::FactorRowView& product,
              const std::vector<double>& activity) {
   double score = 0.0;
-  for (int64_t r = 0; r < model.rank(); ++r) {
-    score += model.factor(0)(user, r) * model.factor(1)(product, r) *
-             activity[static_cast<size_t>(r)];
+  for (int64_t r = 0; r < user.rank(); ++r) {
+    score += user[r] * product[r] * activity[static_cast<size_t>(r)];
   }
   return score;
 }
@@ -50,39 +51,46 @@ int main() {
   options.period = 1440;        // ...of daily units.
   options.variant = sns::SnsVariant::kRndPlus;
   options.sample_threshold = 30;
-  auto engine = sns::ContinuousCpd::Create(config.mode_dims, options);
-  if (!engine.ok()) return 1;
-  sns::ContinuousCpd cpd = std::move(engine).value();
+
+  sns::SnsService service;
+  auto created =
+      service.CreateStream("purchases", config.mode_dims, options);
+  if (!created.ok()) return 1;
+  sns::StreamHandle& purchases = *created.value();
 
   const int64_t warmup_end = options.window_size * options.period;
-  size_t i = 0;
-  const auto& tuples = stream.value().tuples();
-  for (; i < tuples.size() && tuples[i].time <= warmup_end; ++i) {
-    cpd.IngestOnly(tuples[i]);
+  const std::span<const sns::Tuple> tuples(stream.value().tuples());
+  const size_t i =
+      static_cast<size_t>(stream.value().CountTuplesThrough(warmup_end));
+  if (!purchases.Warmup(tuples.subspan(0, i)).ok() ||
+      !purchases.Initialize().ok()) {
+    return 1;
   }
-  cpd.InitializeWithAls();
   std::printf("week-one model ready: fitness %.3f on %lld purchases\n",
-              cpd.Fitness(), static_cast<long long>(cpd.window().nnz()));
+              purchases.ExactFitness(),
+              static_cast<long long>(purchases.Stats().window_nnz));
 
-  // Stream the remaining purchases; the model follows taste drift daily.
-  for (; i < tuples.size(); ++i) cpd.ProcessTuple(tuples[i]);
+  // Stream the remaining purchases in one batch; the model follows taste
+  // drift daily.
+  if (!purchases.Ingest(tuples.subspan(i)).ok()) return 1;
+  const sns::StreamStats stats = purchases.Stats();
   std::printf("processed %lld events at %.1f us/update, final fitness %.3f\n",
-              static_cast<long long>(cpd.events_processed()),
-              cpd.MeanUpdateMicros(), cpd.Fitness());
+              static_cast<long long>(stats.events_processed),
+              stats.mean_update_micros, purchases.ExactFitness());
 
-  // Current component activity = newest time-mode row.
-  const sns::KruskalModel& model = cpd.model();
-  const sns::Matrix& time_factor = model.factor(model.num_modes() - 1);
-  std::vector<double> activity(static_cast<size_t>(model.rank()));
-  for (int64_t r = 0; r < model.rank(); ++r) {
-    activity[static_cast<size_t>(r)] = time_factor(time_factor.rows() - 1, r);
-  }
+  // Current component activity weights the embedding match.
+  const std::vector<double> activity =
+      purchases.ComponentActivity().value();
 
   // Top-3 recommendations for a few users.
   for (int user : {0, 17, 123}) {
+    const sns::FactorRowView user_row =
+        purchases.FactorRow(/*mode=*/0, user).value();
     std::vector<std::pair<double, int>> ranking;
     for (int product = 0; product < 120; ++product) {
-      ranking.emplace_back(Score(model, user, product, activity), product);
+      const sns::FactorRowView product_row =
+          purchases.FactorRow(/*mode=*/1, product).value();
+      ranking.emplace_back(Score(user_row, product_row, activity), product);
     }
     std::sort(ranking.rbegin(), ranking.rend());
     std::printf("user %3d -> recommend products: %d (%.2f), %d (%.2f), %d "

@@ -1,17 +1,17 @@
 // Quickstart: continuous CP decomposition of a small synthetic traffic
-// stream in ~40 lines of API use.
+// stream through the service facade in ~40 lines of API use.
 //
-//   1. describe the stream's categorical modes,
-//   2. warm the window up and initialize factors with ALS,
-//   3. process live tuples — factors refresh on every single event,
-//   4. read fitness / factors whenever you like.
+//   1. register a named stream (its categorical modes + engine options),
+//   2. warm the window up with one batch, initialize factors with ALS,
+//   3. ingest live tuples in batches — factors refresh on every event,
+//   4. read the running fitness / stats whenever you like.
 //
-// Build & run:  ./build/examples/quickstart
+// Build & run:  ./build/example_quickstart
 
 #include <cstdio>
+#include <span>
 
-#include "core/continuous_cpd.h"
-#include "data/synthetic.h"
+#include "slicenstitch.h"
 
 int main() {
   // A (source x destination) traffic stream: 50x40 stations, ~20k events
@@ -38,42 +38,55 @@ int main() {
   options.variant = sns::SnsVariant::kRndPlus;
   options.sample_threshold = 20;  // theta
   options.clip_bound = 1000.0;    // eta
-  auto engine = sns::ContinuousCpd::Create({50, 40}, options);
-  if (!engine.ok()) {
-    std::printf("engine creation failed: %s\n",
-                engine.status().ToString().c_str());
+
+  sns::SnsService service;
+  auto created = service.CreateStream("traffic", {50, 40}, options);
+  if (!created.ok()) {
+    std::printf("stream creation failed: %s\n",
+                created.status().ToString().c_str());
     return 1;
   }
-  sns::ContinuousCpd cpd = std::move(engine).value();
+  sns::StreamHandle& traffic = *created.value();
 
-  // Warm-up: fill one window span, then fit initial factors with ALS.
+  // Warm-up: fill one window span in a single batch, then fit initial
+  // factors with ALS.
   const int64_t warmup_end = options.window_size * options.period;
-  size_t i = 0;
-  const auto& tuples = stream.value().tuples();
-  for (; i < tuples.size() && tuples[i].time <= warmup_end; ++i) {
-    cpd.IngestOnly(tuples[i]);
+  const std::span<const sns::Tuple> tuples(stream.value().tuples());
+  size_t i =
+      static_cast<size_t>(stream.value().CountTuplesThrough(warmup_end));
+  if (!traffic.Warmup(tuples.subspan(0, i)).ok() ||
+      !traffic.Initialize().ok()) {
+    return 1;
   }
-  cpd.InitializeWithAls();
   std::printf("initialized on %lld non-zeros, fitness %.3f\n",
-              static_cast<long long>(cpd.window().nnz()), cpd.Fitness());
+              static_cast<long long>(traffic.Stats().window_nnz),
+              traffic.ExactFitness());
 
-  // Live phase: every tuple updates the factor matrices instantly.
-  int64_t next_report = warmup_end + 10 * options.period;
-  for (; i < tuples.size(); ++i) {
-    cpd.ProcessTuple(tuples[i]);
-    if (tuples[i].time >= next_report) {
-      std::printf("t=%6lld  window nnz=%5lld  fitness=%.3f  (%.1f us/update)\n",
-                  static_cast<long long>(tuples[i].time),
-                  static_cast<long long>(cpd.window().nnz()), cpd.Fitness(),
-                  cpd.MeanUpdateMicros());
-      next_report += 10 * options.period;
-    }
+  // Live phase: ingest in report-interval batches; every tuple still
+  // updates the factor matrices instantly. RunningFitness is the O(R²)
+  // estimate — no window rescan per report.
+  const int64_t report_every = 10 * options.period;
+  int64_t next_report = warmup_end + report_every;
+  while (i < tuples.size()) {
+    size_t end = i;
+    while (end < tuples.size() && tuples[end].time <= next_report) ++end;
+    if (!traffic.Ingest(tuples.subspan(i, end - i)).ok()) return 1;
+    i = end;
+    if (i == tuples.size()) break;
+    const sns::StreamStats stats = traffic.Stats();
+    std::printf("t=%6lld  window nnz=%5lld  fitness~%.3f  (%.1f us/update)\n",
+                static_cast<long long>(stats.last_time),
+                static_cast<long long>(stats.window_nnz),
+                traffic.RunningFitness(), stats.mean_update_micros);
+    next_report += report_every;
   }
 
+  const sns::StreamStats stats = traffic.Stats();
   std::printf(
       "done: %lld events processed, mean update latency %.1f us, final "
-      "fitness %.3f\n",
-      static_cast<long long>(cpd.events_processed()), cpd.MeanUpdateMicros(),
-      cpd.Fitness());
+      "fitness %.3f (running estimate %.3f)\n",
+      static_cast<long long>(stats.events_processed),
+      stats.mean_update_micros, traffic.ExactFitness(),
+      traffic.RunningFitness());
   return 0;
 }

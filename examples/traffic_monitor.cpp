@@ -1,36 +1,20 @@
 // Traffic monitoring scenario (the paper's motivating example): a New York
 // Taxi-like stream of (source, destination) trips at second resolution,
-// decomposed continuously with an hourly window. Demonstrates:
-//   - interpreting CP components as recurring traffic patterns (top
-//     source/destination zones per component),
-//   - watching component activity shift over the day via the newest
-//     time-mode row,
+// decomposed continuously with an hourly window. Demonstrates the facade's
+// typed query surface:
+//   - ComponentActivity: which recurring traffic pattern dominates now,
+//   - TopKForComponent: the source/destination zones a pattern is made of,
+//   - TopK: the currently hottest zones across all patterns,
 //   - per-event updating at microsecond latencies.
 //
-// Build & run:  ./build/examples/traffic_monitor
+// Build & run:  ./build/example_traffic_monitor
 
 #include <algorithm>
 #include <cstdio>
+#include <span>
 #include <vector>
 
-#include "core/continuous_cpd.h"
-#include "data/datasets.h"
-
-namespace {
-
-// Top-k row indices of one factor column (largest loadings).
-std::vector<int> TopIndices(const sns::Matrix& factor, int64_t component,
-                            int k) {
-  std::vector<int> order(static_cast<size_t>(factor.rows()));
-  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
-  std::sort(order.begin(), order.end(), [&](int a, int b) {
-    return factor(a, component) > factor(b, component);
-  });
-  order.resize(static_cast<size_t>(k));
-  return order;
-}
-
-}  // namespace
+#include "slicenstitch.h"
 
 int main() {
   // Taxi preset, lightly scaled: 265x265 zones, T = 1 hour, W = 10.
@@ -39,61 +23,83 @@ int main() {
   auto stream = sns::GenerateSyntheticStream(spec.stream);
   if (!stream.ok()) return 1;
 
-  auto engine =
-      sns::ContinuousCpd::Create(spec.stream.mode_dims, spec.engine);
-  if (!engine.ok()) {
-    std::printf("%s\n", engine.status().ToString().c_str());
+  sns::SnsService service;
+  auto created =
+      service.CreateStream("taxi", spec.stream.mode_dims, spec.engine);
+  if (!created.ok()) {
+    std::printf("%s\n", created.status().ToString().c_str());
     return 1;
   }
-  sns::ContinuousCpd cpd = std::move(engine).value();
+  sns::StreamHandle& taxi = *created.value();
 
   const int64_t warmup_end = spec.WarmupEndTime();
-  size_t i = 0;
-  const auto& tuples = stream.value().tuples();
-  for (; i < tuples.size() && tuples[i].time <= warmup_end; ++i) {
-    cpd.IngestOnly(tuples[i]);
+  const std::span<const sns::Tuple> tuples(stream.value().tuples());
+  size_t i =
+      static_cast<size_t>(stream.value().CountTuplesThrough(warmup_end));
+  if (!taxi.Warmup(tuples.subspan(0, i)).ok() || !taxi.Initialize().ok()) {
+    return 1;
   }
-  cpd.InitializeWithAls();
   std::printf("monitoring %lld zones x %lld zones, window = %d hours\n",
               static_cast<long long>(spec.stream.mode_dims[0]),
               static_cast<long long>(spec.stream.mode_dims[1]),
-              spec.engine.window_size);
+              taxi.window_size());
 
-  // Stream the live phase; report hourly.
-  int64_t next_hour = warmup_end + spec.engine.period;
-  for (; i < tuples.size(); ++i) {
-    cpd.ProcessTuple(tuples[i]);
-    if (tuples[i].time < next_hour) continue;
-    next_hour += spec.engine.period;
+  // Stream the live phase in hourly batches; report per hour.
+  int64_t next_hour = warmup_end + taxi.period();
+  while (i < tuples.size()) {
+    size_t end = i;
+    while (end < tuples.size() && tuples[end].time < next_hour) ++end;
+    if (!taxi.Ingest(tuples.subspan(i, end - i)).ok()) return 1;
+    i = end;
+    if (i == tuples.size()) break;
+    next_hour += taxi.period();
 
-    // Component activity now = newest time-mode row.
-    const sns::Matrix& time_factor =
-        cpd.model().factor(cpd.model().num_modes() - 1);
-    const int64_t newest = time_factor.rows() - 1;
+    // Hottest component now = argmax of the current activity vector.
+    const auto activity = taxi.ComponentActivity();
+    if (!activity.ok()) return 1;
     int64_t hot = 0;
-    for (int64_t r = 1; r < time_factor.cols(); ++r) {
-      if (time_factor(newest, r) > time_factor(newest, hot)) hot = r;
+    for (size_t r = 1; r < activity.value().size(); ++r) {
+      if (activity.value()[r] > activity.value()[static_cast<size_t>(hot)]) {
+        hot = static_cast<int64_t>(r);
+      }
     }
-    std::printf("hour %2lld | fitness %.3f | %.1f us/update | hottest "
+    std::printf("hour %2lld | fitness~%.3f | %.1f us/update | hottest "
                 "component #%lld (activity %.2f)\n",
-                static_cast<long long>((tuples[i].time - warmup_end) /
-                                       spec.engine.period),
-                cpd.Fitness(), cpd.MeanUpdateMicros(),
-                static_cast<long long>(hot), time_factor(newest, hot));
+                static_cast<long long>(
+                    (taxi.Stats().last_time - warmup_end) / taxi.period()),
+                taxi.RunningFitness(), taxi.Stats().mean_update_micros,
+                static_cast<long long>(hot),
+                activity.value()[static_cast<size_t>(hot)]);
   }
 
-  // Interpret the two most active components as traffic patterns.
+  // Interpret the two most active components as traffic patterns. (Note:
+  // materialize .value() into a local before iterating — a range-for over
+  // `TopK(...).value()` would iterate a reference into the destroyed
+  // StatusOr temporary.)
   std::printf("\nrecurring patterns (top zones by factor loading):\n");
-  for (int64_t r = 0; r < std::min<int64_t>(2, cpd.model().rank()); ++r) {
+  for (int64_t r = 0; r < std::min<int64_t>(2, taxi.rank()); ++r) {
     std::printf("  component %lld: sources {", static_cast<long long>(r));
-    for (int zone : TopIndices(cpd.model().factor(0), r, 3)) {
-      std::printf(" %d", zone);
+    const std::vector<sns::TopEntry> sources =
+        taxi.TopKForComponent(/*mode=*/0, r, 3).value();
+    for (const sns::TopEntry& zone : sources) {
+      std::printf(" %lld", static_cast<long long>(zone.index));
     }
     std::printf(" } -> destinations {");
-    for (int zone : TopIndices(cpd.model().factor(1), r, 3)) {
-      std::printf(" %d", zone);
+    const std::vector<sns::TopEntry> destinations =
+        taxi.TopKForComponent(/*mode=*/1, r, 3).value();
+    for (const sns::TopEntry& zone : destinations) {
+      std::printf(" %lld", static_cast<long long>(zone.index));
     }
     std::printf(" }\n");
   }
+
+  // The activity-weighted hot list across all patterns.
+  std::printf("hottest source zones now:");
+  const std::vector<sns::TopEntry> hottest = taxi.TopK(/*mode=*/0, 5).value();
+  for (const sns::TopEntry& zone : hottest) {
+    std::printf(" %lld(%.1f)", static_cast<long long>(zone.index),
+                zone.score);
+  }
+  std::printf("\n");
   return 0;
 }

@@ -1,0 +1,98 @@
+#include "api/sns_service.h"
+
+namespace sns {
+
+StatusOr<StreamHandle*> SnsService::CreateStream(
+    std::string name, std::vector<int64_t> mode_dims,
+    const ContinuousCpdOptions& options) {
+  if (streams_.find(name) != streams_.end()) {
+    return Status::FailedPrecondition("stream '" + name +
+                                      "' already exists");
+  }
+  auto handle = StreamHandle::Create(name, std::move(mode_dims), options);
+  if (!handle.ok()) return handle.status();
+  auto owned = std::make_unique<StreamHandle>(std::move(handle).value());
+  StreamHandle* raw = owned.get();
+  streams_.emplace(std::move(name), std::move(owned));
+  return raw;
+}
+
+StreamHandle* SnsService::Find(std::string_view name) {
+  auto it = streams_.find(name);
+  return it == streams_.end() ? nullptr : it->second.get();
+}
+
+const StreamHandle* SnsService::Find(std::string_view name) const {
+  auto it = streams_.find(name);
+  return it == streams_.end() ? nullptr : it->second.get();
+}
+
+Status SnsService::Remove(std::string_view name) {
+  auto it = streams_.find(name);
+  if (it == streams_.end()) {
+    return Status::NotFound("no stream named '" + std::string(name) + "'");
+  }
+  streams_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> SnsService::StreamNames() const {
+  std::vector<std::string> names;
+  names.reserve(streams_.size());
+  for (const auto& [name, handle] : streams_) names.push_back(name);
+  return names;
+}
+
+StatusOr<StreamHandle*> SnsService::Resolve(std::string_view name) {
+  StreamHandle* handle = Find(name);
+  if (handle == nullptr) {
+    return Status::NotFound("no stream named '" + std::string(name) + "'");
+  }
+  return handle;
+}
+
+Status SnsService::Warmup(std::string_view stream,
+                          std::span<const Tuple> tuples) {
+  auto handle = Resolve(stream);
+  if (!handle.ok()) return handle.status();
+  return handle.value()->Warmup(tuples);
+}
+
+Status SnsService::Initialize(std::string_view stream) {
+  auto handle = Resolve(stream);
+  if (!handle.ok()) return handle.status();
+  return handle.value()->Initialize();
+}
+
+Status SnsService::Ingest(std::string_view stream,
+                          std::span<const Tuple> tuples) {
+  auto handle = Resolve(stream);
+  if (!handle.ok()) return handle.status();
+  return handle.value()->Ingest(tuples);
+}
+
+Status SnsService::Ingest(std::string_view stream, const Tuple& tuple) {
+  auto handle = Resolve(stream);
+  if (!handle.ok()) return handle.status();
+  return handle.value()->Ingest(tuple);
+}
+
+Status SnsService::AdvanceTo(std::string_view stream, int64_t time) {
+  auto handle = Resolve(stream);
+  if (!handle.ok()) return handle.status();
+  return handle.value()->AdvanceTo(time);
+}
+
+void SnsService::AdvanceAllTo(int64_t time) {
+  for (auto& [name, handle] : streams_) {
+    const StreamStats stats = handle->Stats();
+    // Streams that never saw input are left untouched — advancing their
+    // clock would forbid warming them up with earlier tuples later. Streams
+    // ahead of the horizon are skipped, so AdvanceTo never fails here.
+    if (!stats.has_ingested || stats.last_time > time) continue;
+    Status status = handle->AdvanceTo(time);
+    SNS_CHECK(status.ok());
+  }
+}
+
+}  // namespace sns

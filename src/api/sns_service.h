@@ -1,0 +1,86 @@
+// SnsService — a pool of independently configured, named decomposition
+// streams behind one ingest/query front door.
+//
+// The paper frames SliceNStitch as the engine of always-on applications; a
+// deployment serves many of them at once (one stream per city, per metric,
+// per tenant...). The service owns one StreamHandle per name — each with its
+// own schema, options, and engine — and routes batched ingestion and
+// queries by stream id. Handles live behind stable allocations: pointers
+// returned by CreateStream/Find stay valid until that stream is removed,
+// regardless of other pool mutations.
+
+#ifndef SLICENSTITCH_API_SNS_SERVICE_H_
+#define SLICENSTITCH_API_SNS_SERVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/stream_handle.h"
+#include "common/status.h"
+#include "core/options.h"
+
+namespace sns {
+
+/// Multi-stream facade. Move-only; streams are owned by the service.
+class SnsService {
+ public:
+  SnsService() = default;
+  SnsService(SnsService&&) = default;
+  SnsService& operator=(SnsService&&) = default;
+
+  // --- Pool management --------------------------------------------------
+
+  /// Registers a new stream under a unique name. Fails (leaving the pool
+  /// unchanged) on duplicate names or invalid schema/options. The returned
+  /// handle pointer is owned by the service and stable until Remove.
+  StatusOr<StreamHandle*> CreateStream(std::string name,
+                                       std::vector<int64_t> mode_dims,
+                                       const ContinuousCpdOptions& options);
+
+  /// The stream registered under `name`, or nullptr.
+  StreamHandle* Find(std::string_view name);
+  const StreamHandle* Find(std::string_view name) const;
+
+  /// Destroys one stream (its handle pointers become invalid).
+  Status Remove(std::string_view name);
+
+  /// Registered stream names, sorted.
+  std::vector<std::string> StreamNames() const;
+
+  int64_t stream_count() const {
+    return static_cast<int64_t>(streams_.size());
+  }
+  bool empty() const { return streams_.empty(); }
+
+  // --- Routed ingestion -------------------------------------------------
+  // Name-addressed forms of the StreamHandle entry points; unknown names
+  // return NotFound, everything else carries the handle's own Status.
+
+  Status Warmup(std::string_view stream, std::span<const Tuple> tuples);
+  Status Initialize(std::string_view stream);
+  Status Ingest(std::string_view stream, std::span<const Tuple> tuples);
+  Status Ingest(std::string_view stream, const Tuple& tuple);
+  Status AdvanceTo(std::string_view stream, int64_t time);
+
+  /// Advances every stream whose clock is behind `time`. Streams already
+  /// past the horizon and streams that never saw input (whose warm-up must
+  /// remain possible with earlier tuples) are left untouched. Used to flush
+  /// all windows to a common horizon, e.g. at shutdown or a checkpoint.
+  void AdvanceAllTo(int64_t time);
+
+ private:
+  StatusOr<StreamHandle*> Resolve(std::string_view name);
+
+  // Sorted names for free; unique_ptr values keep handle addresses stable
+  // across rehash-free map mutations.
+  std::map<std::string, std::unique_ptr<StreamHandle>, std::less<>> streams_;
+};
+
+}  // namespace sns
+
+#endif  // SLICENSTITCH_API_SNS_SERVICE_H_

@@ -1,0 +1,263 @@
+#include "api/stream_handle.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace sns {
+namespace {
+
+/// Ranks all rows of one factor by `score(i)`, best first, keeping k.
+template <typename ScoreFn>
+std::vector<TopEntry> RankTop(int64_t rows, int k, ScoreFn&& score) {
+  std::vector<TopEntry> ranking(static_cast<size_t>(rows));
+  for (int64_t i = 0; i < rows; ++i) {
+    ranking[static_cast<size_t>(i)] = {i, score(i)};
+  }
+  const size_t keep = std::min<size_t>(static_cast<size_t>(k), ranking.size());
+  std::partial_sort(ranking.begin(), ranking.begin() + keep, ranking.end(),
+                    [](const TopEntry& a, const TopEntry& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.index < b.index;  // Deterministic ties.
+                    });
+  ranking.resize(keep);
+  return ranking;
+}
+
+}  // namespace
+
+StatusOr<StreamHandle> StreamHandle::Create(
+    std::string name, std::vector<int64_t> mode_dims,
+    const ContinuousCpdOptions& options) {
+  if (name.empty()) {
+    return Status::InvalidArgument("stream name must not be empty");
+  }
+  auto engine = ContinuousCpd::Create(mode_dims, options);
+  if (!engine.ok()) return engine.status();
+  return StreamHandle(std::move(name), std::move(mode_dims),
+                      std::move(engine).value());
+}
+
+StreamHandle::StreamHandle(std::string name, std::vector<int64_t> mode_dims,
+                           std::unique_ptr<ContinuousCpd> engine)
+    : name_(std::move(name)),
+      mode_dims_(std::move(mode_dims)),
+      engine_(std::move(engine)),
+      fanout_(std::make_unique<SinkFanout>()) {
+  // The closure captures the fan-out's stable address, not `this`: the
+  // handle may move, the engine and fan-out allocations never do.
+  SinkFanout* fan = fanout_.get();
+  engine_->SetEventObserver([fan](const WindowDelta& delta,
+                                  const KruskalModel& model,
+                                  const SparseTensor& window) {
+    if (fan->sinks.empty()) return;
+    const StreamEvent event(&delta, &model, &window);
+    for (EventSink* sink : fan->sinks) sink->OnStreamEvent(event);
+  });
+}
+
+Status StreamHandle::ValidateBatch(std::span<const Tuple> tuples) const {
+  const int arity = static_cast<int>(mode_dims_.size());
+  int64_t prev_time = last_time_;
+  for (size_t n = 0; n < tuples.size(); ++n) {
+    const Tuple& tuple = tuples[n];
+    if (tuple.index.size() != arity) {
+      return Status::InvalidArgument(
+          "tuple " + std::to_string(n) + " arity " +
+          std::to_string(tuple.index.size()) + " != stream arity " +
+          std::to_string(arity));
+    }
+    for (int m = 0; m < arity; ++m) {
+      if (tuple.index[m] < 0 ||
+          tuple.index[m] >= mode_dims_[static_cast<size_t>(m)]) {
+        return Status::OutOfRange("tuple " + std::to_string(n) +
+                                  " index out of range in mode " +
+                                  std::to_string(m));
+      }
+    }
+    if (tuple.time < prev_time) {
+      return Status::FailedPrecondition(
+          "tuple " + std::to_string(n) + " regresses in time (" +
+          std::to_string(tuple.time) + " < " + std::to_string(prev_time) +
+          "); streams are strictly chronological");
+    }
+    prev_time = tuple.time;
+  }
+  return Status::OK();
+}
+
+Status StreamHandle::Warmup(std::span<const Tuple> tuples) {
+  if (initialized_) {
+    return Status::FailedPrecondition(
+        "stream '" + name_ + "' is already live; Warmup only precedes "
+        "Initialize");
+  }
+  SNS_RETURN_IF_ERROR(ValidateBatch(tuples));
+  for (const Tuple& tuple : tuples) {
+    engine_->IngestOnly(tuple);
+    last_time_ = tuple.time;
+  }
+  return Status::OK();
+}
+
+Status StreamHandle::Initialize() {
+  if (initialized_) {
+    return Status::FailedPrecondition("stream '" + name_ +
+                                      "' is already initialized");
+  }
+  engine_->InitializeWithAls();
+  initialized_ = true;
+  return Status::OK();
+}
+
+Status StreamHandle::Ingest(std::span<const Tuple> tuples) {
+  if (!initialized_) {
+    return Status::FailedPrecondition(
+        "stream '" + name_ + "' is not initialized; Warmup + Initialize "
+        "before live ingestion");
+  }
+  SNS_RETURN_IF_ERROR(ValidateBatch(tuples));
+  if (tuples.empty()) return Status::OK();
+  engine_->ProcessBatch(tuples);
+  last_time_ = tuples.back().time;
+  return Status::OK();
+}
+
+Status StreamHandle::Ingest(const Tuple& tuple) {
+  return Ingest(std::span<const Tuple>(&tuple, 1));
+}
+
+Status StreamHandle::AdvanceTo(int64_t time) {
+  if (time < last_time_) {
+    return Status::FailedPrecondition("cannot advance stream '" + name_ +
+                                      "' backwards in time");
+  }
+  engine_->AdvanceTo(time);
+  last_time_ = time;
+  return Status::OK();
+}
+
+StatusOr<double> StreamHandle::Reconstruct(const ModeIndex& window_cell) const {
+  if (window_cell.size() != num_modes()) {
+    return Status::InvalidArgument(
+        "window cell has " + std::to_string(window_cell.size()) +
+        " coordinates; expected " + std::to_string(num_modes()) +
+        " (non-time indices + time slice)");
+  }
+  for (size_t m = 0; m < mode_dims_.size(); ++m) {
+    if (window_cell[static_cast<int>(m)] < 0 ||
+        window_cell[static_cast<int>(m)] >= mode_dims_[m]) {
+      return Status::OutOfRange("cell index out of range in mode " +
+                                std::to_string(m));
+    }
+  }
+  const int time_index = window_cell[num_modes() - 1];
+  if (time_index < 0 || time_index >= window_size()) {
+    return Status::OutOfRange("time slice out of range (window size " +
+                              std::to_string(window_size()) + ")");
+  }
+  return engine_->model().Evaluate(window_cell);
+}
+
+StatusOr<std::vector<double>> StreamHandle::ComponentActivity() const {
+  const KruskalModel& model = engine_->model();
+  const Matrix& time_factor = model.factor(model.num_modes() - 1);
+  const int64_t newest = time_factor.rows() - 1;
+  std::vector<double> activity(static_cast<size_t>(model.rank()));
+  for (int64_t r = 0; r < model.rank(); ++r) {
+    activity[static_cast<size_t>(r)] =
+        model.lambda()[static_cast<size_t>(r)] * time_factor(newest, r);
+  }
+  return activity;
+}
+
+StatusOr<std::vector<TopEntry>> StreamHandle::TopK(int mode, int k) const {
+  if (mode < 0 || mode >= static_cast<int>(mode_dims_.size())) {
+    return Status::InvalidArgument(
+        "TopK addresses non-time modes 0.." +
+        std::to_string(mode_dims_.size() - 1) +
+        " (use ComponentActivity for the time mode)");
+  }
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  auto activity = ComponentActivity();
+  if (!activity.ok()) return activity.status();
+  const Matrix& factor = engine_->model().factor(mode);
+  const std::vector<double>& weights = activity.value();
+  return RankTop(factor.rows(), k, [&](int64_t i) {
+    const double* row = factor.Row(i);
+    double score = 0.0;
+    for (size_t r = 0; r < weights.size(); ++r) {
+      score += row[r] * weights[r];
+    }
+    return score;
+  });
+}
+
+StatusOr<std::vector<TopEntry>> StreamHandle::TopKForComponent(
+    int mode, int64_t component, int k) const {
+  if (mode < 0 || mode >= static_cast<int>(mode_dims_.size())) {
+    return Status::InvalidArgument("TopKForComponent addresses non-time modes");
+  }
+  if (component < 0 || component >= rank()) {
+    return Status::OutOfRange("component out of range (rank " +
+                              std::to_string(rank()) + ")");
+  }
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  const Matrix& factor = engine_->model().factor(mode);
+  return RankTop(factor.rows(), k,
+                 [&](int64_t i) { return factor(i, component); });
+}
+
+Status StreamHandle::ValidateFactorQuery(int mode, int64_t row) const {
+  if (mode < 0 || mode >= num_modes()) {
+    return Status::InvalidArgument("mode out of range (tensor has " +
+                                   std::to_string(num_modes()) + " modes)");
+  }
+  const int64_t rows = engine_->model().factor(mode).rows();
+  if (row < 0 || row >= rows) {
+    return Status::OutOfRange("row " + std::to_string(row) +
+                              " out of range in mode " + std::to_string(mode) +
+                              " (" + std::to_string(rows) + " rows)");
+  }
+  return Status::OK();
+}
+
+StatusOr<FactorRowView> StreamHandle::FactorRow(int mode, int64_t row) const {
+  SNS_RETURN_IF_ERROR(ValidateFactorQuery(mode, row));
+  const Matrix& factor = engine_->model().factor(mode);
+  return FactorRowView(factor.Row(row), factor.cols());
+}
+
+Status StreamHandle::AddSink(EventSink* sink) {
+  if (sink == nullptr) return Status::InvalidArgument("sink must not be null");
+  auto& sinks = fanout_->sinks;
+  if (std::find(sinks.begin(), sinks.end(), sink) != sinks.end()) {
+    return Status::FailedPrecondition("sink is already attached");
+  }
+  sinks.push_back(sink);
+  return Status::OK();
+}
+
+Status StreamHandle::RemoveSink(EventSink* sink) {
+  auto& sinks = fanout_->sinks;
+  auto it = std::find(sinks.begin(), sinks.end(), sink);
+  if (it == sinks.end()) {
+    return Status::NotFound("sink is not attached to stream '" + name_ + "'");
+  }
+  sinks.erase(it);
+  return Status::OK();
+}
+
+StreamStats StreamHandle::Stats() const {
+  StreamStats stats;
+  stats.events_processed = engine_->events_processed();
+  stats.mean_update_micros = engine_->MeanUpdateMicros();
+  stats.update_seconds = engine_->update_seconds();
+  stats.window_nnz = engine_->window().nnz();
+  stats.active_tuples = engine_->window_model().ActiveTupleCount();
+  stats.last_time = last_time_ == INT64_MIN ? 0 : last_time_;
+  stats.has_ingested = last_time_ != INT64_MIN;
+  stats.initialized = initialized_;
+  return stats;
+}
+
+}  // namespace sns

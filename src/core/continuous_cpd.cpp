@@ -1,5 +1,7 @@
 #include "core/continuous_cpd.h"
 
+#include <algorithm>
+
 #include "core/als.h"
 #include "core/sns_mat.h"
 #include "core/sns_rnd.h"
@@ -40,7 +42,7 @@ std::vector<int64_t> WithTimeMode(std::vector<int64_t> mode_dims, int w) {
 
 }  // namespace
 
-StatusOr<ContinuousCpd> ContinuousCpd::Create(
+StatusOr<std::unique_ptr<ContinuousCpd>> ContinuousCpd::Create(
     std::vector<int64_t> mode_dims, const ContinuousCpdOptions& options) {
   SNS_RETURN_IF_ERROR(options.Validate());
   if (mode_dims.empty()) {
@@ -52,7 +54,10 @@ StatusOr<ContinuousCpd> ContinuousCpd::Create(
   for (int64_t dim : mode_dims) {
     if (dim < 1) return Status::InvalidArgument("mode sizes must be >= 1");
   }
-  return ContinuousCpd(std::move(mode_dims), options);
+  // Not make_unique: the constructor is private, and the engine is pinned in
+  // place (no copies/moves), so it is built directly behind the pointer.
+  return std::unique_ptr<ContinuousCpd>(
+      new ContinuousCpd(std::move(mode_dims), options));
 }
 
 ContinuousCpd::ContinuousCpd(std::vector<int64_t> mode_dims,
@@ -95,16 +100,20 @@ void ContinuousCpd::InitializeWithAls() {
     }
     state_.RecomputeGrams();
   }
+  fitness_tracker_.Reset(window_.tensor(), state_,
+                         options_.fitness_resync_interval);
   updates_enabled_ = true;
 }
 
 void ContinuousCpd::HandleEvent(const WindowDelta& delta) {
   if (!updates_enabled_) return;
   if (observer_) observer_(delta, state_.model, window_.tensor());
+  fitness_tracker_.OnWindowDelta(delta, window_.tensor(), state_);
   Stopwatch timer;
   updater_->OnEvent(window_.tensor(), delta, state_);
   update_seconds_ += timer.ElapsedSeconds();
   ++events_processed_;
+  fitness_tracker_.OnFactorsUpdated(state_);
 }
 
 void ContinuousCpd::ProcessTuple(const Tuple& tuple) {
@@ -112,6 +121,28 @@ void ContinuousCpd::ProcessTuple(const Tuple& tuple) {
                     [this](const WindowDelta& delta) { HandleEvent(delta); });
   WindowDelta delta = window_.Ingest(tuple);
   HandleEvent(delta);
+}
+
+void ContinuousCpd::ProcessBatch(std::span<const Tuple> tuples) {
+  // Same event order as per-tuple processing (scheduled events due at or
+  // before each arrival drain first), but the earliest due time is cached
+  // across the batch: a tuple only touches the schedule heap when an event
+  // is actually due. Ingest schedules the tuple's first slide at
+  // t + period, which is folded into the cached bound without re-reading
+  // the heap.
+  int64_t next_due = window_.NextScheduledTime();
+  for (const Tuple& tuple : tuples) {
+    if (next_due <= tuple.time) {
+      window_.AdvanceTo(
+          tuple.time, [this](const WindowDelta& delta) { HandleEvent(delta); });
+      next_due = window_.NextScheduledTime();
+    }
+    WindowDelta delta = window_.Ingest(tuple);
+    if (!delta.cells.empty()) {
+      next_due = std::min(next_due, tuple.time + options_.period);
+    }
+    HandleEvent(delta);
+  }
 }
 
 void ContinuousCpd::AdvanceTo(int64_t time) {

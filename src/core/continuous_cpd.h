@@ -1,23 +1,27 @@
-// ContinuousCpd — the public entry point of the library.
+// ContinuousCpd — the internal continuous-decomposition engine.
 //
 // Owns the continuous tensor window (Algorithm 1), the decomposition state,
 // and one of the five online updaters (§V), and keeps the factor matrices in
-// sync with every window event. Typical usage:
+// sync with every window event. Applications should use the service facade
+// in api/ (SnsService / StreamHandle, re-exported by slicenstitch.h), which
+// wraps one engine per stream behind a typed ingest/query surface. Direct
+// use remains supported for embedding and tests:
 //
 //   ContinuousCpdOptions options;
 //   options.period = 3600;                      // T = 1 hour
 //   options.variant = SnsVariant::kRndPlus;
 //   auto engine = ContinuousCpd::Create({265, 265}, options);
-//   for (tuple : warmup_tuples) engine.value().IngestOnly(tuple);
-//   engine.value().InitializeWithAls();          // factors from the window
-//   for (tuple : live_tuples) engine.value().ProcessTuple(tuple);
-//   double fit = engine.value().Fitness();
+//   for (tuple : warmup_tuples) engine.value()->IngestOnly(tuple);
+//   engine.value()->InitializeWithAls();         // factors from the window
+//   engine.value()->ProcessBatch(live_tuples);
+//   double fit = engine.value()->Fitness();
 
 #ifndef SLICENSTITCH_CORE_CONTINUOUS_CPD_H_
 #define SLICENSTITCH_CORE_CONTINUOUS_CPD_H_
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -25,6 +29,7 @@
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "core/cpd_state.h"
+#include "core/fitness_tracker.h"
 #include "core/options.h"
 #include "core/updater.h"
 #include "stream/continuous_window.h"
@@ -32,17 +37,24 @@
 namespace sns {
 
 /// Continuous CP decomposition of one multi-aspect data stream.
-/// Move-only (owns the updater).
+///
+/// Pinned in place (copies AND moves deleted): the updaters' caches hold
+/// pointers into CpdState between events (GramProductCache binds to
+/// state_.grams), so a moved-from engine would leave the updater aimed at a
+/// dead member. Create hands out a unique_ptr; holders that must themselves
+/// be movable (api/StreamHandle) keep the engine behind that pointer.
 class ContinuousCpd {
  public:
   /// Validates options and builds an engine over the given non-time mode
   /// sizes. Factors start as random Uniform[0,1); call InitializeWithAls()
   /// after warming the window up to match the paper's protocol.
-  static StatusOr<ContinuousCpd> Create(std::vector<int64_t> mode_dims,
-                                        const ContinuousCpdOptions& options);
+  static StatusOr<std::unique_ptr<ContinuousCpd>> Create(
+      std::vector<int64_t> mode_dims, const ContinuousCpdOptions& options);
 
-  ContinuousCpd(ContinuousCpd&&) = default;
-  ContinuousCpd& operator=(ContinuousCpd&&) = default;
+  ContinuousCpd(const ContinuousCpd&) = delete;
+  ContinuousCpd& operator=(const ContinuousCpd&) = delete;
+  ContinuousCpd(ContinuousCpd&&) = delete;
+  ContinuousCpd& operator=(ContinuousCpd&&) = delete;
 
   /// Applies a tuple (and any earlier-due slide events) to the window only —
   /// the factors are untouched. Used for the warm-up phase.
@@ -57,6 +69,12 @@ class ContinuousCpd {
   /// before it (each updating the factors), then the arrival event.
   void ProcessTuple(const Tuple& tuple);
 
+  /// Processes a chronological batch of tuples with event ordering identical
+  /// to calling ProcessTuple per tuple (pinned by tests), but the scheduled
+  /// due time is kept in a register across the batch, so tuples that trigger
+  /// no slide/expiry skip the schedule heap entirely.
+  void ProcessBatch(std::span<const Tuple> tuples);
+
   /// Drains scheduled events due at or before `time` with factor updates.
   void AdvanceTo(int64_t time);
 
@@ -67,8 +85,17 @@ class ContinuousCpd {
   const ContinuousCpdOptions& options() const { return options_; }
   std::string_view updater_name() const { return updater_->name(); }
 
-  /// Fitness of the current factors against the current window.
+  /// Exact fitness of the current factors against the current window —
+  /// a full O(nnz·M·R) rescan.
   double Fitness() const { return state_.model.Fitness(window_.tensor()); }
+
+  /// Incrementally maintained fitness estimate (core/fitness_tracker.h):
+  /// O(M·R²) per query — plus the amortized exact resync, which runs lazily
+  /// here rather than on the ingest path — instead of the full rescan per
+  /// query. 0 before InitializeWithAls.
+  double RunningFitness() const {
+    return fitness_tracker_.RunningFitness(window_.tensor(), state_);
+  }
 
   /// Observer invoked for every window event after the delta has been
   /// applied to the window but before the factor update — the point where
@@ -102,6 +129,7 @@ class ContinuousCpd {
   CpdState state_;
   std::unique_ptr<EventUpdater> updater_;
   EventObserver observer_;
+  RunningFitnessTracker fitness_tracker_;
   Rng rng_;
   bool updates_enabled_ = false;
   int64_t events_processed_ = 0;

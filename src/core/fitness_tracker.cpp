@@ -1,0 +1,87 @@
+#include "core/fitness_tracker.h"
+
+#include <cmath>
+
+namespace sns {
+
+void RunningFitnessTracker::Reset(const SparseTensor& window,
+                                  const CpdState& state,
+                                  int64_t resync_interval) {
+  resync_interval_ = resync_interval;
+  num_cells_ = 0;
+  const int64_t rank = state.rank();
+  if (gram_product_.rows() != rank || gram_product_.cols() != rank) {
+    gram_product_ = Matrix(rank, rank);
+  }
+  ResyncExact(window, state);
+}
+
+void RunningFitnessTracker::OnWindowDelta(const WindowDelta& delta,
+                                          const SparseTensor& window,
+                                          const CpdState& state) {
+  // The correction arrays hold WindowDelta's documented maximum of two
+  // cells; a wider delta would corrupt the estimate silently, so fail loud
+  // in every build (once per event, the check is free next to the O(M·R)
+  // cell work below).
+  SNS_CHECK(delta.cells.size() <= cells_.size());
+  num_cells_ = 0;
+  for (const DeltaCell& cell : delta.cells) {
+    const double x_new = window.Get(cell.index);
+    const double x_old = x_new - cell.delta;
+    norm_x_sq_ += x_new * x_new - x_old * x_old;
+    const double predicted = state.model.Evaluate(cell.index);
+    inner_ += cell.delta * predicted;
+    if (num_cells_ >= static_cast<int>(cells_.size())) continue;
+    const size_t slot = static_cast<size_t>(num_cells_);
+    cells_[slot] = cell.index;
+    new_values_[slot] = x_new;
+    pre_predictions_[slot] = predicted;
+    ++num_cells_;
+  }
+}
+
+void RunningFitnessTracker::OnFactorsUpdated(const CpdState& state) {
+  // Local correction: the update's effect on X̃ at the cells it targeted.
+  for (int c = 0; c < num_cells_; ++c) {
+    const size_t slot = static_cast<size_t>(c);
+    inner_ += new_values_[slot] *
+              (state.model.Evaluate(cells_[slot]) - pre_predictions_[slot]);
+  }
+  num_cells_ = 0;
+  ++events_since_resync_;
+}
+
+double RunningFitnessTracker::RunningFitness(const SparseTensor& window,
+                                             const CpdState& state) const {
+  if (resync_interval_ > 0 && events_since_resync_ >= resync_interval_) {
+    ResyncExact(window, state);
+  }
+  if (norm_x_sq_ <= 0.0) return 0.0;
+  // ‖X̃‖² = λ'(∗_m Q(m))λ over the incrementally maintained Grams.
+  gram_product_.Fill(1.0);
+  for (const Matrix& gram : state.grams) {
+    HadamardAccumulate(gram_product_, gram);
+  }
+  const std::vector<double>& lambda = state.model.lambda();
+  double model_norm_sq = 0.0;
+  for (int64_t r = 0; r < gram_product_.rows(); ++r) {
+    const double* row = gram_product_.Row(r);
+    double partial = 0.0;
+    for (int64_t s = 0; s < gram_product_.cols(); ++s) {
+      partial += row[s] * lambda[static_cast<size_t>(s)];
+    }
+    model_norm_sq += lambda[static_cast<size_t>(r)] * partial;
+  }
+  const double residual_sq =
+      std::max(0.0, model_norm_sq - 2.0 * inner_ + norm_x_sq_);
+  return 1.0 - std::sqrt(residual_sq) / std::sqrt(norm_x_sq_);
+}
+
+void RunningFitnessTracker::ResyncExact(const SparseTensor& window,
+                                        const CpdState& state) const {
+  norm_x_sq_ = window.FrobeniusNormSquared();
+  inner_ = state.model.InnerProduct(window);
+  events_since_resync_ = 0;
+}
+
+}  // namespace sns

@@ -1,0 +1,93 @@
+// Incremental running-fitness estimator.
+//
+// Exact fitness 1 − ‖X̃ − X‖_F / ‖X‖_F costs a full O(nnz·M·R) rescan of the
+// window per query (KruskalModel::Fitness). Always-on serving wants the
+// number per event, so this tracker maintains the three terms of
+// ‖X̃ − X‖² = ‖X̃‖² − 2⟨X̃, X⟩ + ‖X‖² incrementally:
+//   - ‖X‖² exactly: each delta cell changes it by x_new² − x_old², O(1).
+//   - ⟨X̃, X⟩ as an estimate: window deltas contribute δ_J·X̃(J) exactly
+//     (O(M·R) per cell); the factor update's effect is approximated by
+//     re-evaluating X̃ at the event's delta cells only — the cells the update
+//     targeted — leaving the drift of untouched cells to an amortized exact
+//     resync every `resync_interval` events.
+//   - ‖X̃‖² at query time via the Gram identity λ'(∗_m Q(m))λ, O(M·R²),
+//     reusing the Gram matrices the updaters already maintain.
+// Per-event cost is O(|cells|·M·R) ⊂ O(R²); queries cost O(M·R²) plus the
+// amortized resync (which runs lazily at query time, never on the ingest
+// path); no heap allocations after Reset.
+//
+// Accuracy contract: the estimate is EXACT at every resync boundary (and
+// with resync_interval = 1 it degenerates into the exact computation —
+// pinned by tests/fitness_tracker_test.cpp). Between resyncs only the
+// delta-cell share of each factor update is accounted, so the estimate is a
+// responsive trend signal whose drift grows with factor churn; exact
+// accounting of a row update's effect on its whole slice would cost
+// O(deg·M·R) per event, which is precisely the work the θ-sampled variants
+// exist to avoid. Callers needing the exact number call Fitness().
+
+#ifndef SLICENSTITCH_CORE_FITNESS_TRACKER_H_
+#define SLICENSTITCH_CORE_FITNESS_TRACKER_H_
+
+#include <array>
+#include <cstdint>
+
+#include "core/cpd_state.h"
+#include "stream/event.h"
+#include "tensor/sparse_tensor.h"
+
+namespace sns {
+
+/// Maintains a running estimate of the model-vs-window fitness. Owned by
+/// ContinuousCpd; Reset at (re)initialization, fed once per window event.
+class RunningFitnessTracker {
+ public:
+  /// Binds to the current window/model shape, recomputes the exact terms,
+  /// and preallocates the query scratch. resync_interval: events between
+  /// exact recomputations of ⟨X̃, X⟩ and ‖X‖² (0 = never resync).
+  void Reset(const SparseTensor& window, const CpdState& state,
+             int64_t resync_interval);
+
+  /// Accounts one event's window change. Call after the delta has been
+  /// applied to `window` but before the factor update (the model still is
+  /// the pre-event model).
+  void OnWindowDelta(const WindowDelta& delta, const SparseTensor& window,
+                     const CpdState& state);
+
+  /// Accounts the factor update of the same event (must follow the matching
+  /// OnWindowDelta). O(|cells|·M·R) — no rescans ever happen here.
+  void OnFactorsUpdated(const CpdState& state);
+
+  /// Current fitness estimate, clamped to finite arithmetic: 0 when the
+  /// window is empty, otherwise 1 − √(max(0, ‖X̃‖² − 2⟨X̃,X⟩est + ‖X‖²))/‖X‖.
+  /// Runs the amortized exact resync lazily when one is due (≥
+  /// resync_interval events since the last), so callers that never query
+  /// never pay the O(nnz·M·R) rescan on the ingest path.
+  double RunningFitness(const SparseTensor& window,
+                        const CpdState& state) const;
+
+  /// Events accounted since the last exact resync (test hook).
+  int64_t events_since_resync() const { return events_since_resync_; }
+
+ private:
+  void ResyncExact(const SparseTensor& window, const CpdState& state) const;
+
+  // Resyncs are a query-side cache refresh, so the terms are mutable and
+  // RunningFitness stays const for read-only callers.
+  mutable double norm_x_sq_ = 0.0;  // ‖X‖², exact up to fp accumulation.
+  mutable double inner_ = 0.0;      // Estimate of ⟨X̃, X⟩.
+  int64_t resync_interval_ = 0;
+  mutable int64_t events_since_resync_ = 0;
+
+  // Delta cells of the event in flight: 1 for arrival/expiry, 2 for a slide
+  // (WindowDelta's documented maximum).
+  std::array<ModeIndex, 2> cells_;
+  std::array<double, 2> new_values_;
+  std::array<double, 2> pre_predictions_;
+  int num_cells_ = 0;
+
+  mutable Matrix gram_product_;  // R×R query scratch for λ'(∗Q)λ.
+};
+
+}  // namespace sns
+
+#endif  // SLICENSTITCH_CORE_FITNESS_TRACKER_H_

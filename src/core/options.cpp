@@ -33,6 +33,9 @@ Status ContinuousCpdOptions::Validate() const {
   if (expected_nnz < 0) {
     return Status::InvalidArgument("expected_nnz must be >= 0");
   }
+  if (fitness_resync_interval < 0) {
+    return Status::InvalidArgument("fitness_resync_interval must be >= 0");
+  }
   if (nonnegative_factors && variant != SnsVariant::kVecPlus &&
       variant != SnsVariant::kRndPlus) {
     return Status::InvalidArgument(

@@ -58,6 +58,14 @@ struct ContinuousCpdOptions {
   /// callers that know the stream (e.g. the experiment harness) may fill in
   /// a derived hint. Never a correctness knob.
   int64_t expected_nnz = 0;
+  /// Events between exact resyncs of the running-fitness estimator
+  /// (core/fitness_tracker.h): smaller bounds the estimator's drift tighter
+  /// at a higher amortized O(nnz·M·R) rescan cost. Resyncs run lazily
+  /// inside RunningFitness() queries — callers that never query never pay
+  /// them. 0 disables resyncs (the estimate then drifts with factor churn
+  /// until the next ALS initialization). Affects RunningFitness() only,
+  /// never the factors.
+  int64_t fitness_resync_interval = 128;
   /// ALS settings used by InitializeWithAls().
   AlsOptions init;
   /// Seed for factor initialization and θ-sampling.

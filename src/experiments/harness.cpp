@@ -37,39 +37,39 @@ RunResult RunContinuous(
 
   auto engine = ContinuousCpd::Create(stream.mode_dims(), options);
   SNS_CHECK(engine.ok());
-  ContinuousCpd cpd = std::move(engine).value();
+  std::unique_ptr<ContinuousCpd> cpd = std::move(engine).value();
 
   const int64_t warmup_end = spec.WarmupEndTime();
   const auto& tuples = stream.tuples();
   size_t i = 0;
   for (; i < tuples.size() && tuples[i].time <= warmup_end; ++i) {
-    cpd.IngestOnly(tuples[i]);
+    cpd->IngestOnly(tuples[i]);
   }
-  cpd.InitializeWithAls();
+  cpd->InitializeWithAls();
 
   RunResult result;
   result.method = VariantName(variant);
   int64_t next_boundary = warmup_end + options.period;
   for (; i < tuples.size(); ++i) {
     while (tuples[i].time > next_boundary) {
-      cpd.AdvanceTo(next_boundary);
-      result.fitness_curve.push_back({next_boundary, cpd.Fitness()});
+      cpd->AdvanceTo(next_boundary);
+      result.fitness_curve.push_back({next_boundary, cpd->Fitness()});
       next_boundary += options.period;
     }
-    cpd.ProcessTuple(tuples[i]);
+    cpd->ProcessTuple(tuples[i]);
   }
   const int64_t last_boundary =
       (stream.end_time() / options.period) * options.period;
   while (next_boundary <= last_boundary) {
-    cpd.AdvanceTo(next_boundary);
-    result.fitness_curve.push_back({next_boundary, cpd.Fitness()});
+    cpd->AdvanceTo(next_boundary);
+    result.fitness_curve.push_back({next_boundary, cpd->Fitness()});
     next_boundary += options.period;
   }
 
-  result.mean_update_micros = cpd.MeanUpdateMicros();
-  result.total_update_seconds = cpd.update_seconds();
-  result.updates = cpd.events_processed();
-  result.num_parameters = cpd.model().NumParameters();
+  result.mean_update_micros = cpd->MeanUpdateMicros();
+  result.total_update_seconds = cpd->update_seconds();
+  result.updates = cpd->events_processed();
+  result.num_parameters = cpd->model().NumParameters();
   return result;
 }
 

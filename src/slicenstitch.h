@@ -3,23 +3,30 @@
 //   #include "slicenstitch.h"
 //
 // pulls in everything a downstream application typically needs:
-//   - ContinuousCpd / ContinuousCpdOptions — the continuous CPD engine,
-//   - DataStream / Tuple                   — stream construction,
-//   - KruskalModel                         — reading the factor matrices,
+//   - SnsService / StreamHandle — the multi-stream service facade: named
+//     engine pool, batched span ingestion, typed queries (Reconstruct,
+//     TopK, ComponentActivity, FactorRow, RunningFitness), EventSink
+//     fan-out,
+//   - ContinuousCpdOptions / SnsVariant      — engine configuration,
+//   - DataStream / Tuple                     — stream construction,
+//   - KruskalModel                           — reading factor matrices,
 //   - synthetic generators + dataset presets + CSV loading,
 //   - the anomaly-detection toolkit of §VI-G.
 //
-// Finer-grained headers (linalg/, tensor/, baselines/, experiments/) remain
-// available for advanced use — e.g. running the paper's baselines or
-// embedding the batch ALS solver directly.
+// Finer-grained headers (core/continuous_cpd.h for the raw engine, linalg/,
+// tensor/, baselines/, experiments/) remain available for advanced use —
+// e.g. running the paper's baselines or embedding the batch ALS solver
+// directly.
 
 #ifndef SLICENSTITCH_SLICENSTITCH_H_
 #define SLICENSTITCH_SLICENSTITCH_H_
 
+#include "api/sns_service.h"
+#include "api/stream_event.h"
+#include "api/stream_handle.h"
 #include "apps/anomaly_detection.h"
 #include "common/random.h"
 #include "common/status.h"
-#include "core/continuous_cpd.h"
 #include "core/options.h"
 #include "data/datasets.h"
 #include "data/loader.h"

@@ -142,12 +142,13 @@ TEST(AnomalyIntegrationTest, ContinuousDetectorFindsInjectedSpikes) {
   options.seed = 7;
   auto engine = ContinuousCpd::Create(stream.mode_dims(), options);
   ASSERT_TRUE(engine.ok());
-  ContinuousCpd cpd = std::move(engine).value();
+  std::unique_ptr<ContinuousCpd> cpd = std::move(engine).value();
 
   std::vector<Detection> detections;
   RunningZScore stats;
-  cpd.SetEventObserver([&](const WindowDelta& delta, const KruskalModel& model,
-                           const SparseTensor& window) {
+  cpd->SetEventObserver([&](const WindowDelta& delta,
+                            const KruskalModel& model,
+                            const SparseTensor& window) {
     if (delta.kind != EventKind::kArrival || delta.cells.empty()) return;
     const ModeIndex& cell = delta.cells[0].index;
     const double error = std::fabs(window.Get(cell) - model.Evaluate(cell));
@@ -158,10 +159,10 @@ TEST(AnomalyIntegrationTest, ContinuousDetectorFindsInjectedSpikes) {
   size_t i = 0;
   const auto& tuples = stream.tuples();
   for (; i < tuples.size() && tuples[i].time <= warmup_end; ++i) {
-    cpd.IngestOnly(tuples[i]);
+    cpd->IngestOnly(tuples[i]);
   }
-  cpd.InitializeWithAls();
-  for (; i < tuples.size(); ++i) cpd.ProcessTuple(tuples[i]);
+  cpd->InitializeWithAls();
+  for (; i < tuples.size(); ++i) cpd->ProcessTuple(tuples[i]);
 
   LabelDetections(injected, /*time_slack=*/0, &detections);
   const double precision = PrecisionAtTopK(detections, 10);

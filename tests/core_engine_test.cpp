@@ -3,6 +3,7 @@
 // quality of every variant on a synthetic low-rank stream.
 
 #include <cmath>
+#include <memory>
 
 #include <gtest/gtest.h>
 
@@ -64,20 +65,21 @@ ContinuousCpdOptions TestOptions(SnsVariant variant) {
 }
 
 // Warm up over the first window span, ALS-init, process the rest.
-ContinuousCpd RunPipeline(const DataStream& stream, SnsVariant variant) {
+std::unique_ptr<ContinuousCpd> RunPipeline(const DataStream& stream,
+                                           SnsVariant variant) {
   ContinuousCpdOptions options = TestOptions(variant);
   auto engine = ContinuousCpd::Create(stream.mode_dims(), options);
   SNS_CHECK(engine.ok());
-  ContinuousCpd cpd = std::move(engine).value();
+  std::unique_ptr<ContinuousCpd> cpd = std::move(engine).value();
   const int64_t warmup_end =
       stream.start_time() + options.window_size * options.period;
   size_t i = 0;
   const auto& tuples = stream.tuples();
   for (; i < tuples.size() && tuples[i].time <= warmup_end; ++i) {
-    cpd.IngestOnly(tuples[i]);
+    cpd->IngestOnly(tuples[i]);
   }
-  cpd.InitializeWithAls();
-  for (; i < tuples.size(); ++i) cpd.ProcessTuple(tuples[i]);
+  cpd->InitializeWithAls();
+  for (; i < tuples.size(); ++i) cpd->ProcessTuple(tuples[i]);
   return cpd;
 }
 
@@ -108,37 +110,38 @@ TEST(ContinuousCpdTest, WarmupDoesNotTouchFactorsButFillsWindow) {
   ContinuousCpdOptions options = TestOptions(SnsVariant::kVecPlus);
   auto engine = ContinuousCpd::Create(stream.mode_dims(), options);
   ASSERT_TRUE(engine.ok());
-  ContinuousCpd cpd = std::move(engine).value();
-  for (const Tuple& tuple : stream.tuples()) cpd.IngestOnly(tuple);
-  EXPECT_GT(cpd.window().nnz(), 0);
-  EXPECT_EQ(cpd.events_processed(), 0);
+  std::unique_ptr<ContinuousCpd> cpd = std::move(engine).value();
+  for (const Tuple& tuple : stream.tuples()) cpd->IngestOnly(tuple);
+  EXPECT_GT(cpd->window().nnz(), 0);
+  EXPECT_EQ(cpd->events_processed(), 0);
 }
 
 TEST(ContinuousCpdTest, ProcessCountsEventsAndMeasuresTime) {
   DataStream stream = MakeSyntheticStream(300, 8);
-  ContinuousCpd cpd = RunPipeline(stream, SnsVariant::kRndPlus);
-  EXPECT_GT(cpd.events_processed(), 0);
-  EXPECT_GT(cpd.update_seconds(), 0.0);
-  EXPECT_GT(cpd.MeanUpdateMicros(), 0.0);
-  EXPECT_EQ(cpd.updater_name(), "SNS+RND");
+  std::unique_ptr<ContinuousCpd> cpd = RunPipeline(stream, SnsVariant::kRndPlus);
+  EXPECT_GT(cpd->events_processed(), 0);
+  EXPECT_GT(cpd->update_seconds(), 0.0);
+  EXPECT_GT(cpd->MeanUpdateMicros(), 0.0);
+  EXPECT_EQ(cpd->updater_name(), "SNS+RND");
 }
 
 TEST(ContinuousCpdTest, DeterministicForSameSeed) {
   DataStream stream = MakeSyntheticStream(200, 9);
-  ContinuousCpd a = RunPipeline(stream, SnsVariant::kRndPlus);
-  ContinuousCpd b = RunPipeline(stream, SnsVariant::kRndPlus);
-  for (int m = 0; m < a.model().num_modes(); ++m) {
-    EXPECT_LT(MaxAbsDiff(a.model().factor(m), b.model().factor(m)), 1e-15);
+  std::unique_ptr<ContinuousCpd> a = RunPipeline(stream, SnsVariant::kRndPlus);
+  std::unique_ptr<ContinuousCpd> b = RunPipeline(stream, SnsVariant::kRndPlus);
+  for (int m = 0; m < a->model().num_modes(); ++m) {
+    EXPECT_LT(MaxAbsDiff(a->model().factor(m), b->model().factor(m)), 1e-15);
   }
 }
 
 TEST(ContinuousCpdTest, AdvanceToDrainsScheduledEvents) {
   DataStream stream = MakeSyntheticStream(100, 10);
-  ContinuousCpd cpd = RunPipeline(stream, SnsVariant::kVecPlus);
-  const int64_t horizon = stream.end_time() +
-                          cpd.options().window_size * cpd.options().period + 1;
-  cpd.AdvanceTo(horizon);
-  EXPECT_EQ(cpd.window().nnz(), 0);  // Everything expired.
+  std::unique_ptr<ContinuousCpd> cpd = RunPipeline(stream, SnsVariant::kVecPlus);
+  const int64_t horizon =
+      stream.end_time() +
+      cpd->options().window_size * cpd->options().period + 1;
+  cpd->AdvanceTo(horizon);
+  EXPECT_EQ(cpd->window().nnz(), 0);  // Everything expired.
 }
 
 // Every stable variant must track the window with fitness comparable to a
@@ -149,16 +152,16 @@ class StableVariantTrackingTest
 
 TEST_P(StableVariantTrackingTest, TracksWindowFitness) {
   DataStream stream = MakeSyntheticStream(900, 11);
-  ContinuousCpd cpd = RunPipeline(stream, GetParam());
+  std::unique_ptr<ContinuousCpd> cpd = RunPipeline(stream, GetParam());
 
-  const double fitness = cpd.Fitness();
+  const double fitness = cpd->Fitness();
   EXPECT_TRUE(std::isfinite(fitness));
 
   Rng rng(1234);
   AlsOptions als_options;
   als_options.max_iterations = 50;
-  const double als_fitness =
-      AlsReferenceFitness(cpd.window(), cpd.options().rank, als_options, rng);
+  const double als_fitness = AlsReferenceFitness(
+      cpd->window(), cpd->options().rank, als_options, rng);
   ASSERT_GT(als_fitness, 0.0);
   EXPECT_GT(fitness / als_fitness, 0.55)
       << VariantName(GetParam()) << ": fitness " << fitness << " vs ALS "
@@ -179,9 +182,9 @@ class AnyVariantSmokeTest : public ::testing::TestWithParam<SnsVariant> {};
 
 TEST_P(AnyVariantSmokeTest, ProducesFiniteFactors) {
   DataStream stream = MakeSyntheticStream(400, 12);
-  ContinuousCpd cpd = RunPipeline(stream, GetParam());
-  for (int m = 0; m < cpd.model().num_modes(); ++m) {
-    const Matrix& factor = cpd.model().factor(m);
+  std::unique_ptr<ContinuousCpd> cpd = RunPipeline(stream, GetParam());
+  for (int m = 0; m < cpd->model().num_modes(); ++m) {
+    const Matrix& factor = cpd->model().factor(m);
     for (int64_t i = 0; i < factor.rows(); ++i) {
       for (int64_t r = 0; r < factor.cols(); ++r) {
         ASSERT_TRUE(std::isfinite(factor(i, r)))

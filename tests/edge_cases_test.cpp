@@ -4,9 +4,13 @@
 
 #include <cmath>
 #include <limits>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "api/stream_handle.h"
 #include "common/random.h"
 #include "core/als.h"
 #include "core/continuous_cpd.h"
@@ -48,20 +52,20 @@ TEST_P(TwoModeVariantTest, RunsOnSingleCategoricalMode) {
   options.seed = 4;
   auto engine = ContinuousCpd::Create(stream.mode_dims(), options);
   ASSERT_TRUE(engine.ok());
-  ContinuousCpd cpd = std::move(engine).value();
+  std::unique_ptr<ContinuousCpd> cpd = std::move(engine).value();
   const int64_t warmup_end = options.window_size * options.period;
   size_t i = 0;
   for (; i < stream.tuples().size() &&
          stream.tuples()[i].time <= warmup_end;
        ++i) {
-    cpd.IngestOnly(stream.tuples()[i]);
+    cpd->IngestOnly(stream.tuples()[i]);
   }
-  cpd.InitializeWithAls();
+  cpd->InitializeWithAls();
   for (; i < stream.tuples().size(); ++i) {
-    cpd.ProcessTuple(stream.tuples()[i]);
+    cpd->ProcessTuple(stream.tuples()[i]);
   }
-  ASSERT_TRUE(std::isfinite(cpd.Fitness())) << VariantName(GetParam());
-  EXPECT_EQ(cpd.model().num_modes(), 2);
+  ASSERT_TRUE(std::isfinite(cpd->Fitness())) << VariantName(GetParam());
+  EXPECT_EQ(cpd->model().num_modes(), 2);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -153,11 +157,11 @@ TEST(EngineEdgeTest, InitializeOnEmptyWindowIsSafe) {
   options.variant = SnsVariant::kVecPlus;
   auto engine = ContinuousCpd::Create({4, 4}, options);
   ASSERT_TRUE(engine.ok());
-  ContinuousCpd cpd = std::move(engine).value();
-  cpd.InitializeWithAls();  // Empty window: zero factors, no crash.
-  cpd.ProcessTuple({{1, 1}, 1.0, 5});
-  cpd.ProcessTuple({{2, 2}, 1.0, 7});
-  EXPECT_TRUE(std::isfinite(cpd.Fitness()));
+  std::unique_ptr<ContinuousCpd> cpd = std::move(engine).value();
+  cpd->InitializeWithAls();  // Empty window: zero factors, no crash.
+  cpd->ProcessTuple({{1, 1}, 1.0, 5});
+  cpd->ProcessTuple({{2, 2}, 1.0, 7});
+  EXPECT_TRUE(std::isfinite(cpd->Fitness()));
 }
 
 TEST(EngineEdgeTest, ZeroValuedTuplesAreNoOps) {
@@ -168,27 +172,54 @@ TEST(EngineEdgeTest, ZeroValuedTuplesAreNoOps) {
   options.variant = SnsVariant::kRndPlus;
   auto engine = ContinuousCpd::Create({4, 4}, options);
   ASSERT_TRUE(engine.ok());
-  ContinuousCpd cpd = std::move(engine).value();
-  cpd.IngestOnly({{0, 0}, 1.0, 1});
-  cpd.InitializeWithAls();
-  const int64_t before = cpd.events_processed();
-  cpd.ProcessTuple({{1, 1}, 0.0, 2});
+  std::unique_ptr<ContinuousCpd> cpd = std::move(engine).value();
+  cpd->IngestOnly({{0, 0}, 1.0, 1});
+  cpd->InitializeWithAls();
+  const int64_t before = cpd->events_processed();
+  cpd->ProcessTuple({{1, 1}, 0.0, 2});
   // The event is counted but must not corrupt state (empty delta).
-  EXPECT_GE(cpd.events_processed(), before);
-  EXPECT_TRUE(std::isfinite(cpd.Fitness()));
+  EXPECT_GE(cpd->events_processed(), before);
+  EXPECT_TRUE(std::isfinite(cpd->Fitness()));
 }
 
-TEST(EngineEdgeTest, MoveSemantics) {
+// Regression test for the latent move-safety bug: the engine's updater
+// caches hold pointers into CpdState, so ContinuousCpd itself is pinned
+// (moves deleted) and movability lives in StreamHandle's unique_ptr pimpl.
+// Moving a handle mid-stream — engine warm, factors live, schedule loaded —
+// must keep processing on the moved-to handle without disturbing state.
+TEST(EngineEdgeTest, StreamHandleMovesMidStreamAndKeepsProcessing) {
   ContinuousCpdOptions options;
   options.rank = 2;
-  options.window_size = 2;
+  options.window_size = 3;
   options.period = 10;
-  auto engine = ContinuousCpd::Create({3, 3}, options);
-  ASSERT_TRUE(engine.ok());
-  ContinuousCpd a = std::move(engine).value();
-  a.IngestOnly({{1, 1}, 1.0, 3});
-  ContinuousCpd b = std::move(a);  // Move must preserve window contents.
-  EXPECT_EQ(b.window().Get({1, 1, 1}), 1.0);
+  options.variant = SnsVariant::kRndPlus;
+  options.sample_threshold = 5;
+  auto created = StreamHandle::Create("movable", {3, 3}, options);
+  ASSERT_TRUE(created.ok());
+  StreamHandle a = std::move(created).value();
+
+  const std::vector<Tuple> warmup = {
+      {{1, 1}, 1.0, 3}, {{2, 0}, 2.0, 11}, {{0, 2}, 1.0, 25}};
+  ASSERT_TRUE(a.Warmup(warmup).ok());
+  ASSERT_TRUE(a.Initialize().ok());
+  ASSERT_TRUE(a.Ingest(Tuple{{1, 2}, 1.0, 31}).ok());
+
+  // Move mid-stream, with live factors and scheduled slide events.
+  StreamHandle b = std::move(a);
+  EXPECT_EQ(b.Stats().window_nnz, 4);
+  for (int64_t t = 35; t <= 150; t += 5) {
+    ASSERT_TRUE(b.Ingest(Tuple{{static_cast<int32_t>(t % 3),
+                                static_cast<int32_t>((t / 5) % 3)},
+                               1.0, t})
+                    .ok());
+  }
+  // Move again via move-assignment while events are still scheduled.
+  StreamHandle c = std::move(b);
+  ASSERT_TRUE(c.Ingest(Tuple{{0, 0}, 1.0, 200}).ok());
+  ASSERT_TRUE(c.AdvanceTo(500).ok());  // Drain everything out the window.
+  EXPECT_EQ(c.Stats().window_nnz, 0);
+  EXPECT_GT(c.Stats().events_processed, 0);
+  EXPECT_TRUE(std::isfinite(c.ExactFitness()));
 }
 
 // --- Synthetic generator extremes.

@@ -94,23 +94,26 @@ TEST(FourModeGramTest, GramsConsistentAfterFourModeRun) {
   options.variant = SnsVariant::kRndPlus;
   auto engine = ContinuousCpd::Create(stream.mode_dims(), options);
   ASSERT_TRUE(engine.ok());
-  ContinuousCpd cpd = std::move(engine).value();
+  std::unique_ptr<ContinuousCpd> cpd = std::move(engine).value();
 
   const int64_t warmup_end = spec.WarmupEndTime();
   size_t i = 0;
   for (; i < stream.tuples().size() &&
          stream.tuples()[i].time <= warmup_end;
        ++i) {
-    cpd.IngestOnly(stream.tuples()[i]);
+    cpd->IngestOnly(stream.tuples()[i]);
   }
-  cpd.InitializeWithAls();
-  for (; i < stream.tuples().size(); ++i) cpd.ProcessTuple(stream.tuples()[i]);
+  cpd->InitializeWithAls();
+  for (; i < stream.tuples().size(); ++i) {
+    cpd->ProcessTuple(stream.tuples()[i]);
+  }
 
-  for (int m = 0; m < cpd.model().num_modes(); ++m) {
+  for (int m = 0; m < cpd->model().num_modes(); ++m) {
     Matrix expected =
-        MultiplyTransposeA(cpd.model().factor(m), cpd.model().factor(m));
-    EXPECT_LT(MaxAbsDiff(cpd.state().grams[static_cast<size_t>(m)], expected),
-              1e-6)
+        MultiplyTransposeA(cpd->model().factor(m), cpd->model().factor(m));
+    EXPECT_LT(
+        MaxAbsDiff(cpd->state().grams[static_cast<size_t>(m)], expected),
+        1e-6)
         << "mode " << m;
   }
 }

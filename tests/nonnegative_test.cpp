@@ -2,6 +2,7 @@
 // descent; DESIGN.md extension, not in the paper).
 
 #include <cmath>
+#include <memory>
 
 #include <gtest/gtest.h>
 
@@ -51,7 +52,8 @@ DataStream Stream(uint64_t seed) {
   return std::move(stream).value();
 }
 
-ContinuousCpd RunNonnegative(const DataStream& stream, SnsVariant variant) {
+std::unique_ptr<ContinuousCpd> RunNonnegative(const DataStream& stream,
+                                              SnsVariant variant) {
   ContinuousCpdOptions options;
   options.rank = 3;
   options.window_size = 4;
@@ -63,17 +65,17 @@ ContinuousCpd RunNonnegative(const DataStream& stream, SnsVariant variant) {
   options.seed = 13;
   auto engine = ContinuousCpd::Create(stream.mode_dims(), options);
   SNS_CHECK(engine.ok());
-  ContinuousCpd cpd = std::move(engine).value();
+  std::unique_ptr<ContinuousCpd> cpd = std::move(engine).value();
   const int64_t warmup_end = options.window_size * options.period;
   size_t i = 0;
   for (; i < stream.tuples().size() &&
          stream.tuples()[i].time <= warmup_end;
        ++i) {
-    cpd.IngestOnly(stream.tuples()[i]);
+    cpd->IngestOnly(stream.tuples()[i]);
   }
-  cpd.InitializeWithAls();
+  cpd->InitializeWithAls();
   for (; i < stream.tuples().size(); ++i) {
-    cpd.ProcessTuple(stream.tuples()[i]);
+    cpd->ProcessTuple(stream.tuples()[i]);
   }
   return cpd;
 }
@@ -82,9 +84,9 @@ class NonnegativeVariantTest : public ::testing::TestWithParam<SnsVariant> {};
 
 TEST_P(NonnegativeVariantTest, FactorsStayNonnegativeAndUseful) {
   DataStream stream = Stream(21);
-  ContinuousCpd cpd = RunNonnegative(stream, GetParam());
-  for (int m = 0; m < cpd.model().num_modes(); ++m) {
-    const Matrix& factor = cpd.model().factor(m);
+  std::unique_ptr<ContinuousCpd> cpd = RunNonnegative(stream, GetParam());
+  for (int m = 0; m < cpd->model().num_modes(); ++m) {
+    const Matrix& factor = cpd->model().factor(m);
     for (int64_t i = 0; i < factor.rows(); ++i) {
       for (int64_t r = 0; r < factor.cols(); ++r) {
         ASSERT_GE(factor(i, r), 0.0) << "mode " << m;
@@ -94,8 +96,8 @@ TEST_P(NonnegativeVariantTest, FactorsStayNonnegativeAndUseful) {
   }
   // Constrained fitness is lower than unconstrained but must stay sane on
   // count data (which is non-negative to begin with).
-  EXPECT_GT(cpd.Fitness(), 0.05);
-  EXPECT_TRUE(std::isfinite(cpd.Fitness()));
+  EXPECT_GT(cpd->Fitness(), 0.05);
+  EXPECT_TRUE(std::isfinite(cpd->Fitness()));
 }
 
 INSTANTIATE_TEST_SUITE_P(ClippedVariants, NonnegativeVariantTest,
@@ -109,7 +111,8 @@ INSTANTIATE_TEST_SUITE_P(ClippedVariants, NonnegativeVariantTest,
 
 TEST(NonnegativeVsUnconstrainedTest, UnconstrainedFitsAtLeastAsWell) {
   DataStream stream = Stream(22);
-  ContinuousCpd constrained = RunNonnegative(stream, SnsVariant::kVecPlus);
+  std::unique_ptr<ContinuousCpd> constrained =
+      RunNonnegative(stream, SnsVariant::kVecPlus);
 
   ContinuousCpdOptions options;
   options.rank = 3;
@@ -120,19 +123,19 @@ TEST(NonnegativeVsUnconstrainedTest, UnconstrainedFitsAtLeastAsWell) {
   options.seed = 13;
   auto engine = ContinuousCpd::Create(stream.mode_dims(), options);
   ASSERT_TRUE(engine.ok());
-  ContinuousCpd unconstrained = std::move(engine).value();
+  std::unique_ptr<ContinuousCpd> unconstrained = std::move(engine).value();
   const int64_t warmup_end = options.window_size * options.period;
   size_t i = 0;
   for (; i < stream.tuples().size() &&
          stream.tuples()[i].time <= warmup_end;
        ++i) {
-    unconstrained.IngestOnly(stream.tuples()[i]);
+    unconstrained->IngestOnly(stream.tuples()[i]);
   }
-  unconstrained.InitializeWithAls();
+  unconstrained->InitializeWithAls();
   for (; i < stream.tuples().size(); ++i) {
-    unconstrained.ProcessTuple(stream.tuples()[i]);
+    unconstrained->ProcessTuple(stream.tuples()[i]);
   }
-  EXPECT_GE(unconstrained.Fitness() + 0.05, constrained.Fitness());
+  EXPECT_GE(unconstrained->Fitness() + 0.05, constrained->Fitness());
 }
 
 }  // namespace

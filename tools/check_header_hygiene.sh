@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Header-hygiene check: every public header must compile standalone — as the
+# only include of a translation unit — with -Wall -Wextra -Werror, so the
+# facade surface never silently depends on include order or transitive
+# includes leaking from another header.
+#
+# Usage: tools/check_header_hygiene.sh [compiler]   (default: $CXX or g++)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+compiler="${1:-${CXX:-g++}}"
+
+# The public surface: the umbrella header and the api/ facade layer.
+headers=(
+  src/slicenstitch.h
+  src/api/sns_service.h
+  src/api/stream_event.h
+  src/api/stream_handle.h
+)
+
+status=0
+for header in "${headers[@]}"; do
+  if [ ! -f "$header" ]; then
+    echo "MISSING  $header"
+    status=1
+    continue
+  fi
+  if "$compiler" -std=c++20 -fsyntax-only -Wall -Wextra -Werror \
+      -I src -x c++ "$header"; then
+    echo "OK       $header ($compiler)"
+  else
+    echo "FAILED   $header ($compiler)"
+    status=1
+  fi
+done
+exit $status
