@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "api/sns_service.h"
 #include "api/stream_handle.h"
 #include "common/random.h"
 #include "core/als.h"
@@ -183,6 +184,114 @@ BENCHMARK(BM_BatchIngest)->Arg(1)->Iterations(10000)
 BENCHMARK(BM_BatchIngest)->Arg(16)->Iterations(625)
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_BatchIngest)->Arg(256)->Iterations(40)
+    ->Unit(benchmark::kMicrosecond);
+
+// ---------------------------------------------------------------------------
+// Service-level aggregate throughput: K streams fed through the sharded
+// runtime (api/sns_service.h) at S worker shards, S = 0 being the inline
+// synchronous baseline. Each iteration submits one batch per stream via
+// IngestAsync and drains — the batch-synchronous feed pattern — so the
+// reported items/s is the aggregate tuples/sec of the whole service.
+// Per-stream work is identical across shard counts (pinned assignment
+// keeps event order bitwise equal), so the ratio to S = 0 is pure runtime
+// scaling: ~1 on a single-core host, approaching min(S, K, cores) with
+// real parallelism.
+
+constexpr int kThroughputStreams = 8;
+constexpr int64_t kThroughputBatch = 32;
+
+struct ServiceFixture {
+  explicit ServiceFixture(int shards) {
+    ServiceOptions runtime;
+    runtime.shards = shards;
+    runtime.backpressure = BackpressurePolicy::kBlock;
+    runtime.max_queue_depth = 64;
+    service = std::make_unique<SnsService>(runtime);
+    const int64_t warmup_end =
+        static_cast<int64_t>(EngineOptions().window_size) *
+        EngineOptions().period;
+    for (int s = 0; s < kThroughputStreams; ++s) {
+      names.push_back("stream-" + std::to_string(s));
+      SyntheticStreamConfig config;
+      config.mode_dims = {64, 64};
+      config.num_events = 4000;
+      config.time_span = warmup_end;
+      config.diurnal_period = warmup_end;
+      config.seed = 1000 + static_cast<uint64_t>(s);
+      auto stream = GenerateSyntheticStream(config);
+      SNS_CHECK(stream.ok());
+      ContinuousCpdOptions engine = EngineOptions();
+      engine.expected_nnz = static_cast<int64_t>(config.num_events);
+      SNS_CHECK(
+          service->CreateStream(names.back(), config.mode_dims, engine)
+              .ok());
+      SNS_CHECK(service->Warmup(names.back(), stream.value().tuples()).ok());
+      SNS_CHECK(service->Initialize(names.back()).ok());
+      rngs.emplace_back(2000 + static_cast<uint64_t>(s));
+      clocks.push_back(warmup_end);
+    }
+  }
+
+  static ContinuousCpdOptions EngineOptions() {
+    ContinuousCpdOptions engine;
+    engine.rank = 8;
+    engine.window_size = 10;
+    engine.period = 3600;
+    engine.variant = SnsVariant::kRndPlus;
+    return engine;
+  }
+
+  std::vector<Tuple> NextBatch(int s) {
+    std::vector<Tuple> batch(static_cast<size_t>(kThroughputBatch));
+    Rng& rng = rngs[static_cast<size_t>(s)];
+    int64_t& now = clocks[static_cast<size_t>(s)];
+    for (Tuple& tuple : batch) {
+      now += 1 + static_cast<int64_t>(rng.NextUint64(3));
+      tuple.index = ModeIndex{static_cast<int32_t>(rng.UniformInt(0, 63)),
+                              static_cast<int32_t>(rng.UniformInt(0, 63))};
+      tuple.value = 1.0;
+      tuple.time = now;
+    }
+    return batch;
+  }
+
+  std::unique_ptr<SnsService> service;
+  std::vector<std::string> names;
+  std::vector<Rng> rngs;
+  std::vector<int64_t> clocks;
+};
+
+void BM_ServiceThroughput(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  ServiceFixture fixture(shards);
+  for (auto _ : state) {
+    std::vector<Ticket> tickets;
+    tickets.reserve(static_cast<size_t>(kThroughputStreams));
+    for (int s = 0; s < kThroughputStreams; ++s) {
+      tickets.push_back(fixture.service->IngestAsync(
+          fixture.names[static_cast<size_t>(s)], fixture.NextBatch(s)));
+    }
+    fixture.service->Drain();
+    for (const Ticket& ticket : tickets) SNS_CHECK(ticket.Wait().ok());
+  }
+  state.SetItemsProcessed(state.iterations() * kThroughputStreams *
+                          kThroughputBatch);
+  state.SetLabel("K=" + std::to_string(kThroughputStreams) + " streams, " +
+                 (shards == 0 ? std::string("inline")
+                              : "S=" + std::to_string(shards) + " shards"));
+}
+// Fixed iteration count (see BM_ProcessTuple): every configuration covers
+// the identical ~12.8k-tuple workload, so items/s is comparable across
+// shard counts and PRs. Real time, not CPU time — shard work happens off
+// the main thread.
+BENCHMARK(BM_ServiceThroughput)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(50)
+    ->UseRealTime()
     ->Unit(benchmark::kMicrosecond);
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,31 @@
+#include "api/service_options.h"
+
+#include "common/check.h"
+
+namespace sns {
+
+Status ServiceOptions::Validate() const {
+  if (shards < 0) {
+    return Status::InvalidArgument("shards must be >= 0 (0 = inline)");
+  }
+  if (max_queue_depth < 1) {
+    return Status::InvalidArgument("max_queue_depth must be >= 1");
+  }
+  if (backpressure != BackpressurePolicy::kBlock &&
+      backpressure != BackpressurePolicy::kReject) {
+    return Status::InvalidArgument("unknown backpressure policy");
+  }
+  return Status::OK();
+}
+
+const char* BackpressurePolicyName(BackpressurePolicy policy) {
+  switch (policy) {
+    case BackpressurePolicy::kBlock:
+      return "block";
+    case BackpressurePolicy::kReject:
+      return "reject";
+  }
+  SNS_CHECK(false && "invalid BackpressurePolicy value");
+}
+
+}  // namespace sns

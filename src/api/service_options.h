@@ -1,0 +1,55 @@
+// ServiceOptions — configuration of the SnsService runtime: how many worker
+// shards execute stream operations, and what happens when a shard's mailbox
+// is full.
+//
+// The default (shards = 0) is the degenerate inline configuration: every
+// entry point executes synchronously on the caller's thread, exactly as the
+// pre-runtime service did. With shards >= 1 the service spawns that many
+// worker threads; each stream is pinned to one shard at creation and every
+// operation on it runs there, so per-stream order — and therefore factor
+// state — is bitwise identical to the inline path.
+
+#ifndef SLICENSTITCH_API_SERVICE_OPTIONS_H_
+#define SLICENSTITCH_API_SERVICE_OPTIONS_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace sns {
+
+/// What a producer experiences when the owning shard's mailbox is full.
+enum class BackpressurePolicy {
+  /// Block the producer until the shard makes room. Lossless; the natural
+  /// choice when producers can afford to slow down to the shard's pace.
+  kBlock,
+  /// Refuse the operation: the returned Ticket completes immediately with
+  /// StatusCode::kResourceExhausted and nothing is enqueued. Lossy but
+  /// non-blocking; the caller decides whether to retry, shed, or spill.
+  kReject,
+};
+
+/// Runtime configuration of an SnsService.
+struct ServiceOptions {
+  /// Worker shards executing stream operations. 0 = inline synchronous
+  /// execution on the caller's thread (no runtime threads at all).
+  int shards = 0;
+
+  /// Policy when an owning shard's mailbox is at max_queue_depth.
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+
+  /// Per-shard mailbox capacity, counted in tasks (one ingest batch, one
+  /// advance, or one query hop each — never per tuple).
+  int64_t max_queue_depth = 1024;
+
+  /// Validates ranges; returned by SnsService::Create on failure.
+  Status Validate() const;
+};
+
+/// Short display name, e.g. "block", "reject". SNS_CHECK-fails on values
+/// outside the enum.
+const char* BackpressurePolicyName(BackpressurePolicy policy);
+
+}  // namespace sns
+
+#endif  // SLICENSTITCH_API_SERVICE_OPTIONS_H_

@@ -1,98 +1,317 @@
 #include "api/sns_service.h"
 
+#include <cstdio>
+
 namespace sns {
+
+SnsService::SnsService() : registry_(std::make_unique<Registry>()) {}
+
+SnsService::SnsService(const ServiceOptions& options)
+    : options_(options), registry_(std::make_unique<Registry>()) {
+  const Status valid = options_.Validate();
+  if (!valid.ok()) {
+    std::fprintf(stderr, "SnsService: %s\n", valid.ToString().c_str());
+    SNS_CHECK(valid.ok());
+  }
+  if (options_.shards > 0) {
+    executor_ = std::make_unique<ShardedExecutor>(options_.shards,
+                                                  options_.max_queue_depth);
+  }
+}
+
+StatusOr<SnsService> SnsService::Create(const ServiceOptions& options) {
+  SNS_RETURN_IF_ERROR(options.Validate());
+  return SnsService(options);
+}
+
+SnsService::SnsService(SnsService&& other)
+    : options_(other.options_),
+      registry_(std::move(other.registry_)),
+      executor_(std::move(other.executor_)) {
+  // Leave `other` a valid empty inline service, not a null-registry husk.
+  other.options_ = ServiceOptions();
+  other.registry_ = std::make_unique<Registry>();
+}
+
+SnsService& SnsService::operator=(SnsService&& other) {
+  if (this != &other) {
+    // Quiesce and join our own runtime before the registry its tasks point
+    // into is replaced.
+    if (executor_ != nullptr) executor_->Shutdown();
+    executor_ = std::move(other.executor_);
+    registry_ = std::move(other.registry_);
+    options_ = other.options_;
+    other.options_ = ServiceOptions();
+    other.registry_ = std::make_unique<Registry>();
+  }
+  return *this;
+}
+
+SnsService::~SnsService() {
+  // Flush and join the shard threads while every stream handle is still
+  // alive; only then may the registry (and the handles in it) die.
+  if (executor_ != nullptr) executor_->Shutdown();
+}
+
+// --- Pool management ------------------------------------------------------
 
 StatusOr<StreamHandle*> SnsService::CreateStream(
     std::string name, std::vector<int64_t> mode_dims,
     const ContinuousCpdOptions& options) {
-  if (streams_.find(name) != streams_.end()) {
-    return Status::FailedPrecondition("stream '" + name +
-                                      "' already exists");
+  {
+    // Cheap duplicate check before the (expensive) engine build; the
+    // post-build re-check below closes the unlock window.
+    std::lock_guard<std::mutex> lock(registry_->mu);
+    if (registry_->streams.find(name) != registry_->streams.end()) {
+      return Status::FailedPrecondition("stream '" + name +
+                                        "' already exists");
+    }
   }
   auto handle = StreamHandle::Create(name, std::move(mode_dims), options);
   if (!handle.ok()) return handle.status();
-  auto owned = std::make_unique<StreamHandle>(std::move(handle).value());
-  StreamHandle* raw = owned.get();
-  streams_.emplace(std::move(name), std::move(owned));
+  std::lock_guard<std::mutex> lock(registry_->mu);
+  if (registry_->streams.find(name) != registry_->streams.end()) {
+    return Status::FailedPrecondition("stream '" + name +
+                                      "' already exists");
+  }
+  auto entry = std::make_unique<StreamEntry>();
+  entry->handle = std::make_unique<StreamHandle>(std::move(handle).value());
+  if (executor_ != nullptr) entry->shard = executor_->AssignShard();
+  StreamHandle* raw = entry->handle.get();
+  registry_->streams.emplace(std::move(name), std::move(entry));
   return raw;
 }
 
+SnsService::StreamEntry* SnsService::ResolveEntry(
+    std::string_view name) const {
+  std::lock_guard<std::mutex> lock(registry_->mu);
+  auto it = registry_->streams.find(name);
+  return it == registry_->streams.end() ? nullptr : it->second.get();
+}
+
 StreamHandle* SnsService::Find(std::string_view name) {
-  auto it = streams_.find(name);
-  return it == streams_.end() ? nullptr : it->second.get();
+  StreamEntry* entry = ResolveEntry(name);
+  return entry == nullptr ? nullptr : entry->handle.get();
 }
 
 const StreamHandle* SnsService::Find(std::string_view name) const {
-  auto it = streams_.find(name);
-  return it == streams_.end() ? nullptr : it->second.get();
+  StreamEntry* entry = ResolveEntry(name);
+  return entry == nullptr ? nullptr : entry->handle.get();
 }
 
 Status SnsService::Remove(std::string_view name) {
-  auto it = streams_.find(name);
-  if (it == streams_.end()) {
-    return Status::NotFound("no stream named '" + std::string(name) + "'");
+  // Two-phase: read the pinned shard under the lock, drain unlocked, then
+  // re-resolve before erasing — never touching the entry outside the lock,
+  // so a concurrent Remove of the same name safely loses with NotFound.
+  int shard = -1;
+  {
+    std::lock_guard<std::mutex> lock(registry_->mu);
+    auto it = registry_->streams.find(name);
+    if (it == registry_->streams.end()) return NoSuchStream(name);
+    shard = it->second->shard;
   }
-  streams_.erase(it);
+  // Flush the owning shard so no in-flight task still references the
+  // handle we are about to destroy. (Submissions racing with Remove are a
+  // caller error — see the class comment.)
+  if (executor_ != nullptr && shard >= 0) executor_->DrainShard(shard);
+  std::lock_guard<std::mutex> lock(registry_->mu);
+  auto it = registry_->streams.find(name);
+  if (it == registry_->streams.end()) return NoSuchStream(name);
+  registry_->streams.erase(it);
   return Status::OK();
 }
 
 std::vector<std::string> SnsService::StreamNames() const {
+  std::lock_guard<std::mutex> lock(registry_->mu);
   std::vector<std::string> names;
-  names.reserve(streams_.size());
-  for (const auto& [name, handle] : streams_) names.push_back(name);
+  names.reserve(registry_->streams.size());
+  for (const auto& [name, entry] : registry_->streams) {
+    names.push_back(name);
+  }
   return names;
 }
 
-StatusOr<StreamHandle*> SnsService::Resolve(std::string_view name) {
-  StreamHandle* handle = Find(name);
-  if (handle == nullptr) {
-    return Status::NotFound("no stream named '" + std::string(name) + "'");
-  }
-  return handle;
+int64_t SnsService::stream_count() const {
+  std::lock_guard<std::mutex> lock(registry_->mu);
+  return static_cast<int64_t>(registry_->streams.size());
 }
+
+// --- Asynchronous ingestion -----------------------------------------------
+
+Ticket SnsService::IngestAsync(std::string_view stream,
+                               std::span<const Tuple> tuples) {
+  StreamEntry* entry = ResolveEntry(stream);
+  if (entry == nullptr) return Ticket::Completed(NoSuchStream(stream));
+  if (executor_ == nullptr) {
+    // Inline: applied synchronously before returning, so the span needs no
+    // owning copy.
+    return SubmitOp(*entry, [tuples](StreamHandle& handle) {
+      return handle.Ingest(tuples);
+    });
+  }
+  return SubmitOp(
+      *entry,
+      [batch = std::vector<Tuple>(tuples.begin(), tuples.end())](
+          StreamHandle& handle) {
+        return handle.Ingest(std::span<const Tuple>(batch));
+      });
+}
+
+Ticket SnsService::IngestAsync(std::string_view stream,
+                               std::vector<Tuple> tuples) {
+  StreamEntry* entry = ResolveEntry(stream);
+  if (entry == nullptr) return Ticket::Completed(NoSuchStream(stream));
+  return SubmitOp(*entry,
+                  [batch = std::move(tuples)](StreamHandle& handle) {
+                    return handle.Ingest(std::span<const Tuple>(batch));
+                  });
+}
+
+Ticket SnsService::AdvanceToAsync(std::string_view stream, int64_t time) {
+  StreamEntry* entry = ResolveEntry(stream);
+  if (entry == nullptr) return Ticket::Completed(NoSuchStream(stream));
+  return SubmitOp(*entry, [time](StreamHandle& handle) {
+    return handle.AdvanceTo(time);
+  });
+}
+
+// --- Synchronous routed ingestion -----------------------------------------
+// Ticketed ops the caller immediately waits on: the span stays alive for
+// the whole call, so closures capture it by value (a span copy, not the
+// tuples) instead of copying the batch like the async forms must.
 
 Status SnsService::Warmup(std::string_view stream,
                           std::span<const Tuple> tuples) {
-  auto handle = Resolve(stream);
-  if (!handle.ok()) return handle.status();
-  return handle.value()->Warmup(tuples);
+  StreamEntry* entry = ResolveEntry(stream);
+  if (entry == nullptr) return NoSuchStream(stream);
+  return SubmitOp(
+             *entry,
+             [tuples](StreamHandle& handle) { return handle.Warmup(tuples); },
+             /*force_block=*/true)
+      .Wait();
 }
 
 Status SnsService::Initialize(std::string_view stream) {
-  auto handle = Resolve(stream);
-  if (!handle.ok()) return handle.status();
-  return handle.value()->Initialize();
+  StreamEntry* entry = ResolveEntry(stream);
+  if (entry == nullptr) return NoSuchStream(stream);
+  return SubmitOp(
+             *entry,
+             [](StreamHandle& handle) { return handle.Initialize(); },
+             /*force_block=*/true)
+      .Wait();
 }
 
 Status SnsService::Ingest(std::string_view stream,
                           std::span<const Tuple> tuples) {
-  auto handle = Resolve(stream);
-  if (!handle.ok()) return handle.status();
-  return handle.value()->Ingest(tuples);
+  StreamEntry* entry = ResolveEntry(stream);
+  if (entry == nullptr) return NoSuchStream(stream);
+  return SubmitOp(
+             *entry,
+             [tuples](StreamHandle& handle) { return handle.Ingest(tuples); },
+             /*force_block=*/true)
+      .Wait();
 }
 
 Status SnsService::Ingest(std::string_view stream, const Tuple& tuple) {
-  auto handle = Resolve(stream);
-  if (!handle.ok()) return handle.status();
-  return handle.value()->Ingest(tuple);
+  return Ingest(stream, std::span<const Tuple>(&tuple, 1));
 }
 
 Status SnsService::AdvanceTo(std::string_view stream, int64_t time) {
-  auto handle = Resolve(stream);
-  if (!handle.ok()) return handle.status();
-  return handle.value()->AdvanceTo(time);
+  StreamEntry* entry = ResolveEntry(stream);
+  if (entry == nullptr) return NoSuchStream(stream);
+  return SubmitOp(
+             *entry,
+             [time](StreamHandle& handle) { return handle.AdvanceTo(time); },
+             /*force_block=*/true)
+      .Wait();
 }
 
 void SnsService::AdvanceAllTo(int64_t time) {
-  for (auto& [name, handle] : streams_) {
-    const StreamStats stats = handle->Stats();
-    // Streams that never saw input are left untouched — advancing their
-    // clock would forbid warming them up with earlier tuples later. Streams
-    // ahead of the horizon are skipped, so AdvanceTo never fails here.
-    if (!stats.has_ingested || stats.last_time > time) continue;
-    Status status = handle->AdvanceTo(time);
+  std::vector<StreamEntry*> entries;
+  {
+    std::lock_guard<std::mutex> lock(registry_->mu);
+    entries.reserve(registry_->streams.size());
+    for (const auto& [name, entry] : registry_->streams) {
+      entries.push_back(entry.get());
+    }
+  }
+  for (StreamEntry* entry : entries) {
+    const Status status =
+        RunOnShard(*entry, [time](StreamHandle& handle) {
+          const StreamStats stats = handle.Stats();
+          // Streams that never saw input are left untouched — advancing
+          // their clock would forbid warming them up with earlier tuples
+          // later. Streams ahead of the horizon are skipped, so AdvanceTo
+          // never fails here.
+          if (!stats.has_ingested || stats.last_time > time) {
+            return Status::OK();
+          }
+          return handle.AdvanceTo(time);
+        });
     SNS_CHECK(status.ok());
   }
+}
+
+// --- Sequence-consistent queries ------------------------------------------
+
+StatusOr<double> SnsService::Reconstruct(std::string_view stream,
+                                         const ModeIndex& window_cell) {
+  StreamEntry* entry = ResolveEntry(stream);
+  if (entry == nullptr) return NoSuchStream(stream);
+  return RunOnShard(*entry, [&window_cell](StreamHandle& handle) {
+    return handle.Reconstruct(window_cell);
+  });
+}
+
+StatusOr<std::vector<TopEntry>> SnsService::TopK(std::string_view stream,
+                                                 int mode, int k) {
+  StreamEntry* entry = ResolveEntry(stream);
+  if (entry == nullptr) return NoSuchStream(stream);
+  return RunOnShard(*entry, [mode, k](StreamHandle& handle) {
+    return handle.TopK(mode, k);
+  });
+}
+
+StatusOr<std::vector<double>> SnsService::ComponentActivity(
+    std::string_view stream) {
+  StreamEntry* entry = ResolveEntry(stream);
+  if (entry == nullptr) return NoSuchStream(stream);
+  return RunOnShard(*entry, [](StreamHandle& handle) {
+    return handle.ComponentActivity();
+  });
+}
+
+StatusOr<double> SnsService::RunningFitness(std::string_view stream) {
+  StreamEntry* entry = ResolveEntry(stream);
+  if (entry == nullptr) return NoSuchStream(stream);
+  return RunOnShard(*entry, [](StreamHandle& handle) {
+    return handle.RunningFitness();
+  });
+}
+
+StatusOr<StreamStats> SnsService::Stats(std::string_view stream) {
+  StreamEntry* entry = ResolveEntry(stream);
+  if (entry == nullptr) return NoSuchStream(stream);
+  return RunOnShard(*entry,
+                    [](StreamHandle& handle) { return handle.Stats(); });
+}
+
+StatusOr<uint64_t> SnsService::AppliedSequence(
+    std::string_view stream) const {
+  StreamEntry* entry = ResolveEntry(stream);
+  if (entry == nullptr) return NoSuchStream(stream);
+  return entry->applied_seq.load(std::memory_order_acquire);
+}
+
+// --- Runtime lifecycle ----------------------------------------------------
+
+void SnsService::Drain() {
+  if (executor_ != nullptr) executor_->Drain();
+}
+
+void SnsService::Shutdown() {
+  registry_->shutdown.store(true, std::memory_order_release);
+  if (executor_ != nullptr) executor_->Shutdown();
 }
 
 }  // namespace sns

@@ -1,65 +1,157 @@
 // SnsService — a pool of independently configured, named decomposition
-// streams behind one ingest/query front door.
+// streams behind one ingest/query front door, executed by an asynchronous
+// sharded runtime.
 //
 // The paper frames SliceNStitch as the engine of always-on applications; a
 // deployment serves many of them at once (one stream per city, per metric,
-// per tenant...). The service owns one StreamHandle per name — each with its
-// own schema, options, and engine — and routes batched ingestion and
-// queries by stream id. Handles live behind stable allocations: pointers
-// returned by CreateStream/Find stay valid until that stream is removed,
-// regardless of other pool mutations.
+// per tenant...). The service owns one StreamHandle per name — each with
+// its own schema, options, and engine — and routes ingestion and queries by
+// stream id.
+//
+// Execution model (src/runtime/): the service spawns ServiceOptions::shards
+// worker shards, each a thread draining a bounded MPSC mailbox. Every
+// stream is pinned to exactly one shard at creation (round-robin), and
+// every operation on the stream executes on that shard's thread in FIFO
+// order — so per-stream event order, and therefore every factor value, is
+// bitwise identical to synchronous execution, while distinct streams
+// proceed in parallel. shards = 0 (the default) is the degenerate inline
+// configuration: no threads, every call runs synchronously on the caller,
+// exactly the pre-runtime behavior.
+//
+// Entry points:
+//   - IngestAsync / AdvanceToAsync enqueue onto the owning shard and return
+//     a completion Ticket carrying the operation's per-stream sequence
+//     token. A full mailbox either blocks the producer or rejects the
+//     ticket (StatusCode::kResourceExhausted), per BackpressurePolicy.
+//   - The synchronous forms (Warmup, Initialize, Ingest, AdvanceTo) and the
+//     typed queries (Reconstruct, TopK, ComponentActivity, RunningFitness,
+//     Stats, generic Query) execute as request/reply hops on the owning
+//     shard: the call enqueues, waits for the reply, and returns the
+//     result. Because queries ride the same FIFO mailbox as mutations, a
+//     query observes every ingest whose ticket was issued before the query
+//     call — the sequence-consistency guarantee. Hops always block for
+//     room (the caller self-throttles on the reply), so backpressure
+//     policy applies to the ticketed async path only.
+//   - Drain() flushes every mailbox; Shutdown() drains, stops the shards,
+//     and joins their threads. The destructor shuts down before any handle
+//     is destroyed, so no task ever touches a dead stream. After Shutdown,
+//     mutations fail (kFailedPrecondition) and queries execute inline —
+//     the threads are gone, so inline reads are race-free.
+//
+// Thread safety (sharded mode): all entry points may be called from any
+// number of threads concurrently, except that CreateStream / Remove /
+// AdvanceAllTo / Shutdown must not race with submissions to the affected
+// streams, and Find()'s raw StreamHandle* must not be dereferenced while
+// shards are live — route access through the service instead. Handles live
+// behind stable allocations: pointers returned by CreateStream/Find stay
+// valid until that stream is removed, across pool mutations and moves of
+// the service itself.
 
 #ifndef SLICENSTITCH_API_SNS_SERVICE_H_
 #define SLICENSTITCH_API_SNS_SERVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "api/service_options.h"
 #include "api/stream_handle.h"
 #include "common/status.h"
 #include "core/options.h"
+#include "runtime/sharded_executor.h"
+#include "runtime/ticket.h"
 
 namespace sns {
 
-/// Multi-stream facade. Move-only; streams are owned by the service.
+/// Multi-stream service facade over the sharded runtime. Move-only; streams
+/// and shard threads are owned by the service.
 class SnsService {
  public:
-  SnsService() = default;
-  SnsService(SnsService&&) = default;
-  SnsService& operator=(SnsService&&) = default;
+  /// Inline service (shards = 0): no runtime threads, synchronous calls.
+  SnsService();
+
+  /// Service with an explicit runtime configuration. SNS_CHECK-fails on
+  /// invalid options; use Create for a Status-returning path.
+  explicit SnsService(const ServiceOptions& options);
+
+  /// Validating factory form of the options constructor.
+  static StatusOr<SnsService> Create(const ServiceOptions& options);
+
+  /// Moves leave `other` as a valid empty inline service (fresh registry,
+  /// no runtime), so accidental use of a moved-from service degrades to
+  /// "no streams" instead of undefined behavior.
+  SnsService(SnsService&& other);
+  SnsService& operator=(SnsService&& other);
+
+  /// Shuts the runtime down (draining all mailboxes) before destroying any
+  /// stream handle.
+  ~SnsService();
+
+  const ServiceOptions& service_options() const { return options_; }
+  /// Worker shards executing stream operations (0 = inline).
+  int shards() const { return options_.shards; }
 
   // --- Pool management --------------------------------------------------
 
-  /// Registers a new stream under a unique name. Fails (leaving the pool
-  /// unchanged) on duplicate names or invalid schema/options. The returned
-  /// handle pointer is owned by the service and stable until Remove.
+  /// Registers a new stream under a unique name and pins it to a shard.
+  /// Fails (leaving the pool unchanged) on duplicate names or invalid
+  /// schema/options. The returned handle pointer is owned by the service
+  /// and stable until Remove.
   StatusOr<StreamHandle*> CreateStream(std::string name,
                                        std::vector<int64_t> mode_dims,
                                        const ContinuousCpdOptions& options);
 
-  /// The stream registered under `name`, or nullptr.
+  /// The stream registered under `name`, or nullptr. In sharded mode the
+  /// raw handle must not be dereferenced while shards are live (its engine
+  /// runs on the owning shard's thread); route through the service instead.
   StreamHandle* Find(std::string_view name);
   const StreamHandle* Find(std::string_view name) const;
 
-  /// Destroys one stream (its handle pointers become invalid).
+  /// Destroys one stream (its handle pointers become invalid) after
+  /// draining the owning shard. Must not race with submissions to it.
   Status Remove(std::string_view name);
 
   /// Registered stream names, sorted.
   std::vector<std::string> StreamNames() const;
 
-  int64_t stream_count() const {
-    return static_cast<int64_t>(streams_.size());
-  }
-  bool empty() const { return streams_.empty(); }
+  int64_t stream_count() const;
+  bool empty() const { return stream_count() == 0; }
 
-  // --- Routed ingestion -------------------------------------------------
+  // --- Asynchronous ingestion -------------------------------------------
+  // Enqueue onto the owning shard and return immediately. The ticket
+  // completes with the operation's Status once the shard applies it —
+  // including validation errors, which are detected at application time.
+  // Under BackpressurePolicy::kReject a full mailbox completes the ticket
+  // immediately with kResourceExhausted and enqueues nothing; under kBlock
+  // the call waits for room. Unknown streams and a shut-down service also
+  // complete immediately (kNotFound / kFailedPrecondition).
+
+  /// Processes one chronological batch of live tuples (copied into the
+  /// task). Semantics of the applied operation match StreamHandle::Ingest.
+  Ticket IngestAsync(std::string_view stream, std::span<const Tuple> tuples);
+
+  /// Move-in form: avoids copying the batch.
+  Ticket IngestAsync(std::string_view stream, std::vector<Tuple> tuples);
+
+  /// Drains scheduled window events due at or before `time`.
+  Ticket AdvanceToAsync(std::string_view stream, int64_t time);
+
+  // --- Synchronous routed ingestion -------------------------------------
   // Name-addressed forms of the StreamHandle entry points; unknown names
   // return NotFound, everything else carries the handle's own Status.
+  // Equivalent to the async forms followed by Ticket::Wait(): executed on
+  // the owning shard, consuming a sequence token, but always blocking for
+  // mailbox room (the caller self-throttles on completion, so kReject
+  // never applies) and refused with kFailedPrecondition after Shutdown.
 
   Status Warmup(std::string_view stream, std::span<const Tuple> tuples);
   Status Initialize(std::string_view stream);
@@ -70,16 +162,181 @@ class SnsService {
   /// Advances every stream whose clock is behind `time`. Streams already
   /// past the horizon and streams that never saw input (whose warm-up must
   /// remain possible with earlier tuples) are left untouched. Used to flush
-  /// all windows to a common horizon, e.g. at shutdown or a checkpoint.
+  /// all windows to a common horizon, e.g. at shutdown or a checkpoint;
+  /// must not race with concurrent submissions or pool mutations
+  /// (CreateStream / Remove).
   void AdvanceAllTo(int64_t time);
 
- private:
-  StatusOr<StreamHandle*> Resolve(std::string_view name);
+  // --- Sequence-consistent queries --------------------------------------
+  // Executed on the owning shard via a request/reply hop: the caller
+  // blocks for the reply, and the query observes every ingest whose ticket
+  // was issued before the query call (same FIFO mailbox).
 
-  // Sorted names for free; unique_ptr values keep handle addresses stable
-  // across rehash-free map mutations.
-  std::map<std::string, std::unique_ptr<StreamHandle>, std::less<>> streams_;
+  /// Model reconstruction x̃ at one full window coordinate.
+  StatusOr<double> Reconstruct(std::string_view stream,
+                               const ModeIndex& window_cell);
+
+  /// Top-k entities of one non-time mode by activity-weighted loading.
+  StatusOr<std::vector<TopEntry>> TopK(std::string_view stream, int mode,
+                                       int k);
+
+  /// Current per-component activity (λ_r · newest time-factor row).
+  StatusOr<std::vector<double>> ComponentActivity(std::string_view stream);
+
+  /// Incrementally maintained fitness estimate.
+  StatusOr<double> RunningFitness(std::string_view stream);
+
+  /// Point-in-time counters of one stream.
+  StatusOr<StreamStats> Stats(std::string_view stream);
+
+  /// Generic hop: runs `fn(const StreamHandle&)` on the owning shard and
+  /// returns its result. `fn` may capture caller-stack references — the
+  /// caller blocks until the reply. NotFound for unknown streams.
+  template <typename Fn>
+  auto Query(std::string_view stream, Fn&& fn)
+      -> StatusOr<std::invoke_result_t<Fn&, const StreamHandle&>> {
+    StreamEntry* entry = ResolveEntry(stream);
+    if (entry == nullptr) return NoSuchStream(stream);
+    return RunOnShard(*entry, [&fn](StreamHandle& handle) {
+      return fn(static_cast<const StreamHandle&>(handle));
+    });
+  }
+
+  /// Sequence token of the last ticketed operation the stream has applied
+  /// (0 before any). Monotone; once a ticket is done(), AppliedSequence is
+  /// >= its sequence(). Lock-free — no shard hop.
+  StatusOr<uint64_t> AppliedSequence(std::string_view stream) const;
+
+  // --- Runtime lifecycle ------------------------------------------------
+
+  /// Blocks until every accepted task on every shard has executed. With
+  /// producers paused, all issued tickets are done afterwards. No-op
+  /// inline.
+  void Drain();
+
+  /// Drains, stops accepting mutations, and joins every shard thread.
+  /// Idempotent. Afterwards mutations fail with kFailedPrecondition and
+  /// queries execute inline on the caller.
+  void Shutdown();
+
+ private:
+  /// One registered stream: its handle plus runtime bookkeeping. Heap-
+  /// allocated so shard tasks hold stable pointers across pool mutations
+  /// and service moves.
+  struct StreamEntry {
+    std::unique_ptr<StreamHandle> handle;
+    int shard = -1;  // Pinned owning shard; -1 inline.
+    std::mutex submit_mu;    // Serializes ticket issue + enqueue.
+    uint64_t issued_seq = 0;  // Guarded by submit_mu.
+    std::atomic<uint64_t> applied_seq{0};  // Written on the owning shard.
+  };
+
+  /// The stream registry, heap-allocated behind the service so shard tasks
+  /// and returned handle pointers survive service moves. The map keeps
+  /// names sorted for free; unique_ptr values keep entry addresses stable.
+  /// The shutdown flag lives here (not on the service) so it stays
+  /// lock-free-readable yet movable with the pool.
+  struct Registry {
+    mutable std::mutex mu;
+    std::map<std::string, std::unique_ptr<StreamEntry>, std::less<>> streams;
+    std::atomic<bool> shutdown{false};
+  };
+
+  StreamEntry* ResolveEntry(std::string_view name) const;
+  static Status NoSuchStream(std::string_view name) {
+    return Status::NotFound("no stream named '" + std::string(name) + "'");
+  }
+
+  /// Issues a ticket for `op(StreamHandle&) -> Status` and enqueues it on
+  /// the owning shard (or runs it inline). The only entry point that
+  /// consumes sequence tokens. Honors BackpressurePolicy unless
+  /// `force_block` — the synchronous mutation forms, whose callers
+  /// self-throttle by waiting on the ticket anyway.
+  template <typename Op>
+  Ticket SubmitOp(StreamEntry& entry, Op op, bool force_block = false);
+
+  /// Blocking request/reply hop: runs `fn(StreamHandle&) -> R` on the
+  /// owning shard and returns R. Always blocks for mailbox room; falls back
+  /// to inline execution when the runtime is shut down (threads gone) or
+  /// absent.
+  template <typename Fn>
+  auto RunOnShard(StreamEntry& entry, Fn fn)
+      -> std::invoke_result_t<Fn&, StreamHandle&>;
+
+  ServiceOptions options_;
+  std::unique_ptr<Registry> registry_;
+  std::unique_ptr<ShardedExecutor> executor_;  // Null inline.
 };
+
+// --- Template implementations -------------------------------------------
+
+template <typename Op>
+Ticket SnsService::SubmitOp(StreamEntry& entry, Op op, bool force_block) {
+  std::lock_guard<std::mutex> lock(entry.submit_mu);
+  const uint64_t seq = entry.issued_seq + 1;
+  if (executor_ == nullptr) {
+    // Inline: apply on the caller's thread, sequence numbers, shutdown
+    // fencing and all, so the ticketed surface behaves identically at
+    // shards = 0.
+    if (registry_->shutdown.load(std::memory_order_acquire)) {
+      return Ticket::Completed(
+          Status::FailedPrecondition("service is shut down"));
+    }
+    entry.issued_seq = seq;
+    Status status = op(*entry.handle);
+    entry.applied_seq.store(seq, std::memory_order_release);
+    auto record = std::make_shared<internal::TicketRecord>(seq);
+    record->Complete(std::move(status));
+    return Ticket(std::move(record));
+  }
+  auto record = std::make_shared<internal::TicketRecord>(seq);
+  StreamEntry* e = &entry;
+  const Mailbox::PushResult result = executor_->Submit(
+      entry.shard,
+      Task([e, record, op = std::move(op)]() mutable {
+        Status status = op(*e->handle);
+        e->applied_seq.store(record->sequence(), std::memory_order_release);
+        record->Complete(std::move(status));
+      }),
+      force_block || options_.backpressure == BackpressurePolicy::kBlock);
+  switch (result) {
+    case Mailbox::PushResult::kFull:
+      return Ticket::Completed(Status::ResourceExhausted(
+          "shard " + std::to_string(entry.shard) + " mailbox is full (depth " +
+          std::to_string(options_.max_queue_depth) + ")"));
+    case Mailbox::PushResult::kClosed:
+      return Ticket::Completed(
+          Status::FailedPrecondition("service is shut down"));
+    case Mailbox::PushResult::kOk:
+      break;
+  }
+  entry.issued_seq = seq;
+  return Ticket(std::move(record));
+}
+
+template <typename Fn>
+auto SnsService::RunOnShard(StreamEntry& entry, Fn fn)
+    -> std::invoke_result_t<Fn&, StreamHandle&> {
+  using R = std::invoke_result_t<Fn&, StreamHandle&>;
+  static_assert(!std::is_void_v<R>, "shard hops must return a value");
+  if (executor_ == nullptr) return fn(*entry.handle);
+  std::optional<R> slot;
+  auto done = std::make_shared<internal::TicketRecord>();
+  StreamEntry* e = &entry;
+  const Mailbox::PushResult result = executor_->Submit(
+      entry.shard,
+      Task([e, &slot, done, &fn] {
+        slot.emplace(fn(*e->handle));
+        done->Complete(Status::OK());
+      }),
+      /*block=*/true);
+  if (result != Mailbox::PushResult::kOk) {
+    // Shut down: the shard threads are joined, so inline access is safe.
+    return fn(*entry.handle);
+  }
+  done->Wait();
+  return std::move(*slot);
+}
 
 }  // namespace sns
 

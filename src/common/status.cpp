@@ -15,6 +15,8 @@ const char* CodeName(StatusCode code) {
       return "OutOfRange";
     case StatusCode::kFailedPrecondition:
       return "FailedPrecondition";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
     case StatusCode::kInternal:
       return "Internal";
     case StatusCode::kIOError:

@@ -20,6 +20,7 @@ enum class StatusCode {
   kNotFound,
   kOutOfRange,
   kFailedPrecondition,
+  kResourceExhausted,
   kInternal,
   kIOError,
 };
@@ -47,6 +48,9 @@ class Status {
   }
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -15,7 +15,11 @@ std::string VariantName(SnsVariant variant) {
     case SnsVariant::kRndPlus:
       return "SNS+RND";
   }
-  return "SNS-?";
+  // Out-of-range SnsVariant (e.g. an enum value cast from a bad integer):
+  // fail loudly like MakeUpdater instead of silently naming it "SNS-?" and
+  // letting the bad value flow into reports and bench labels.
+  SNS_CHECK(false && "VariantName: unhandled SnsVariant");
+  return "";  // Unreachable.
 }
 
 Status ContinuousCpdOptions::Validate() const {

@@ -1,0 +1,132 @@
+// Mailbox — a bounded multi-producer / single-consumer task queue.
+//
+// One mailbox feeds one worker shard. Producers (service entry points on
+// caller threads) push tasks; the shard's thread pops and runs them in FIFO
+// order, which is what makes per-stream execution order equal to enqueue
+// order — the backbone of the sharded runtime's determinism guarantee.
+//
+// The queue is bounded by a task-count capacity. A full mailbox either
+// blocks the producer (BackpressurePolicy::kBlock) or refuses the push
+// (kReject); the caller picks per push. The mailbox also tracks tasks that
+// were popped but are still executing, so WaitIdle() — the primitive behind
+// SnsService::Drain() — waits for true quiescence, not just an empty queue.
+//
+// Mutex + condition variables rather than a lock-free ring: pushes are
+// per-batch (not per-tuple), so queue traffic is orders of magnitude below
+// the engine's event rate, and blocking backpressure needs a condvar anyway.
+
+#ifndef SLICENSTITCH_RUNTIME_MAILBOX_H_
+#define SLICENSTITCH_RUNTIME_MAILBOX_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "common/check.h"
+#include "runtime/task.h"
+
+namespace sns {
+
+class Mailbox {
+ public:
+  enum class PushResult {
+    kOk,      // Enqueued.
+    kFull,    // Refused: at capacity (non-blocking push only).
+    kClosed,  // Refused: the mailbox is shut down.
+  };
+
+  explicit Mailbox(int64_t capacity) : capacity_(capacity) {
+    SNS_CHECK(capacity >= 1);
+  }
+
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Enqueues a task. With block = true a full mailbox suspends the caller
+  /// until the consumer makes room (kBlock backpressure); with block = false
+  /// it returns kFull immediately (kReject backpressure). Tasks pushed with
+  /// block = true are only ever refused by Close().
+  PushResult Push(Task task, bool block) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (block) {
+        not_full_.wait(lock, [this] {
+          return closed_ || static_cast<int64_t>(queue_.size()) < capacity_;
+        });
+      }
+      if (closed_) return PushResult::kClosed;
+      if (static_cast<int64_t>(queue_.size()) >= capacity_) {
+        return PushResult::kFull;
+      }
+      queue_.push_back(std::move(task));
+      ++unfinished_;
+    }
+    not_empty_.notify_one();
+    return PushResult::kOk;
+  }
+
+  /// Dequeues the next task, blocking while the mailbox is open and empty.
+  /// Returns false once the mailbox is closed *and* drained — the consumer's
+  /// signal to exit. Every task popped true must be matched by TaskDone().
+  bool Pop(Task& out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return false;  // Closed and drained.
+    out = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Consumer acknowledgement that a popped task finished executing; wakes
+  /// WaitIdle() when the mailbox reaches quiescence.
+  void TaskDone() {
+    std::lock_guard<std::mutex> lock(mu_);
+    SNS_CHECK(unfinished_ > 0);
+    if (--unfinished_ == 0) idle_.notify_all();
+  }
+
+  /// Blocks until every pushed task has finished executing (queue empty and
+  /// nothing in flight). Producers pushing concurrently can extend the wait;
+  /// quiescence is only meaningful once they pause.
+  void WaitIdle() const {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_.wait(lock, [this] { return unfinished_ == 0; });
+  }
+
+  /// Shuts the mailbox: subsequent pushes fail with kClosed, blocked
+  /// producers wake and fail, and Pop() drains what was accepted before
+  /// returning false. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  /// Tasks currently queued (excludes the one executing, if any).
+  int64_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int64_t>(queue_.size());
+  }
+
+  int64_t capacity() const { return capacity_; }
+
+ private:
+  const int64_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;   // Producers waiting on capacity.
+  std::condition_variable not_empty_;  // The consumer waiting on work.
+  mutable std::condition_variable idle_;  // Drainers waiting on quiescence.
+  std::deque<Task> queue_;   // Guarded by mu_.
+  int64_t unfinished_ = 0;   // Queued + executing; guarded by mu_.
+  bool closed_ = false;      // Guarded by mu_.
+};
+
+}  // namespace sns
+
+#endif  // SLICENSTITCH_RUNTIME_MAILBOX_H_

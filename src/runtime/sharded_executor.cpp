@@ -1,0 +1,27 @@
+#include "runtime/sharded_executor.h"
+
+namespace sns {
+
+ShardedExecutor::ShardedExecutor(int num_shards, int64_t queue_capacity) {
+  SNS_CHECK(num_shards >= 1);
+  SNS_CHECK(queue_capacity >= 1);
+  shards_.reserve(static_cast<size_t>(num_shards));
+  for (int i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<WorkerShard>(i, queue_capacity));
+  }
+}
+
+ShardedExecutor::~ShardedExecutor() { Shutdown(); }
+
+void ShardedExecutor::Drain() const {
+  for (const auto& shard : shards_) shard->Drain();
+}
+
+void ShardedExecutor::Shutdown() {
+  // Flush accepted work before closing so in-flight tickets complete with
+  // their real status rather than being abandoned.
+  Drain();
+  for (auto& shard : shards_) shard->Shutdown();
+}
+
+}  // namespace sns

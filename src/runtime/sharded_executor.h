@@ -1,0 +1,79 @@
+// ShardedExecutor — a fixed pool of worker shards with pinned stream
+// assignment.
+//
+// The executor owns S WorkerShards. Streams are assigned a shard once, at
+// registration (round-robin for balance), and keep it for life: pinning is
+// what turns shard-local FIFO execution into a per-stream total order, and
+// therefore into factor state bitwise identical to synchronous execution.
+//
+// Lifecycle: Drain() flushes every mailbox (all accepted tasks executed);
+// Shutdown() drains, closes the mailboxes, and joins the threads. The
+// executor is heap-allocated by SnsService so the service stays movable
+// while shard threads hold stable pointers into the runtime.
+
+#ifndef SLICENSTITCH_RUNTIME_SHARDED_EXECUTOR_H_
+#define SLICENSTITCH_RUNTIME_SHARDED_EXECUTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "runtime/mailbox.h"
+#include "runtime/task.h"
+#include "runtime/worker_shard.h"
+
+namespace sns {
+
+class ShardedExecutor {
+ public:
+  /// Spawns `num_shards` worker threads, each behind a mailbox bounded at
+  /// `queue_capacity` tasks.
+  ShardedExecutor(int num_shards, int64_t queue_capacity);
+
+  /// Joins all shard threads (Shutdown() if the owner did not call it).
+  ~ShardedExecutor();
+
+  ShardedExecutor(const ShardedExecutor&) = delete;
+  ShardedExecutor& operator=(const ShardedExecutor&) = delete;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Picks the shard for a newly registered stream: round-robin over the
+  /// pool, so K streams spread evenly across S shards. The assignment is
+  /// permanent for the stream's lifetime.
+  int AssignShard() {
+    const int shard = next_shard_;
+    next_shard_ = (next_shard_ + 1) % num_shards();
+    return shard;
+  }
+
+  /// Enqueues a task onto one shard. Semantics of `block` and the result
+  /// are Mailbox::Push's.
+  Mailbox::PushResult Submit(int shard, Task task, bool block) {
+    SNS_CHECK(shard >= 0 && shard < num_shards());
+    return shards_[static_cast<size_t>(shard)]->Submit(std::move(task),
+                                                       block);
+  }
+
+  /// Blocks until every accepted task on every shard has executed.
+  void Drain() const;
+
+  /// Blocks until every accepted task on one shard has executed.
+  void DrainShard(int shard) const {
+    SNS_CHECK(shard >= 0 && shard < num_shards());
+    shards_[static_cast<size_t>(shard)]->Drain();
+  }
+
+  /// Drains, stops accepting work, and joins every shard thread.
+  /// Idempotent; after Shutdown, Submit returns kClosed.
+  void Shutdown();
+
+ private:
+  std::vector<std::unique_ptr<WorkerShard>> shards_;
+  int next_shard_ = 0;  // Guarded by the service's registry lock.
+};
+
+}  // namespace sns
+
+#endif  // SLICENSTITCH_RUNTIME_SHARDED_EXECUTOR_H_

@@ -1,0 +1,59 @@
+// Task — a move-only, type-erased `void()` callable.
+//
+// The runtime's mailboxes carry closures that own their payload (a tuple
+// batch, a ticket's shared completion state, a query reply slot), so the
+// callable type must support move-only captures — which std::function's
+// copyability requirement forbids (std::move_only_function is C++23). One
+// heap allocation per task; the runtime enqueues one task per batch or
+// query, never per tuple, so this is far off the numeric hot path.
+
+#ifndef SLICENSTITCH_RUNTIME_TASK_H_
+#define SLICENSTITCH_RUNTIME_TASK_H_
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace sns {
+
+/// Move-only owning wrapper of an arbitrary `void()` callable.
+class Task {
+ public:
+  Task() = default;
+
+  template <typename Fn,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<Fn>, Task> &&
+                std::is_invocable_r_v<void, std::decay_t<Fn>&>>>
+  Task(Fn&& fn)  // NOLINT: implicit by design, mirrors std::function.
+      : impl_(std::make_unique<Model<std::decay_t<Fn>>>(
+            std::forward<Fn>(fn))) {}
+
+  Task(Task&&) = default;
+  Task& operator=(Task&&) = default;
+
+  /// True if the task holds a callable.
+  explicit operator bool() const { return impl_ != nullptr; }
+
+  /// Runs the callable. The task must hold one.
+  void operator()() { impl_->Run(); }
+
+ private:
+  struct Concept {
+    virtual ~Concept() = default;
+    virtual void Run() = 0;
+  };
+
+  template <typename Fn>
+  struct Model final : Concept {
+    explicit Model(Fn f) : fn(std::move(f)) {}
+    void Run() override { fn(); }
+    Fn fn;
+  };
+
+  std::unique_ptr<Concept> impl_;
+};
+
+}  // namespace sns
+
+#endif  // SLICENSTITCH_RUNTIME_TASK_H_

@@ -1,0 +1,30 @@
+#include "runtime/worker_shard.h"
+
+#include <utility>
+
+namespace sns {
+
+WorkerShard::WorkerShard(int index, int64_t queue_capacity)
+    : index_(index),
+      mailbox_(queue_capacity),
+      thread_([this] { Run(); }) {}
+
+WorkerShard::~WorkerShard() { Shutdown(); }
+
+void WorkerShard::Shutdown() {
+  mailbox_.Close();
+  if (thread_.joinable()) thread_.join();
+}
+
+void WorkerShard::Run() {
+  Task task;
+  while (mailbox_.Pop(task)) {
+    task();
+    task = Task();  // Release captures before acknowledging completion:
+                    // after TaskDone a drained caller may free what the
+                    // closure captured (e.g. during stream removal).
+    mailbox_.TaskDone();
+  }
+}
+
+}  // namespace sns

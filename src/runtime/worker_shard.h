@@ -1,0 +1,56 @@
+// WorkerShard — one runtime thread draining one mailbox in FIFO order.
+//
+// A shard owns a disjoint subset of a service's streams: every operation on
+// a stream (ingest, advance, query hop) executes on the owning shard's
+// thread, so per-stream state needs no locking and per-stream order equals
+// enqueue order. Shards never touch each other's streams — cross-shard
+// parallelism is free because the engine is single-writer by design.
+
+#ifndef SLICENSTITCH_RUNTIME_WORKER_SHARD_H_
+#define SLICENSTITCH_RUNTIME_WORKER_SHARD_H_
+
+#include <cstdint>
+#include <thread>
+
+#include "runtime/mailbox.h"
+#include "runtime/task.h"
+
+namespace sns {
+
+class WorkerShard {
+ public:
+  /// Spawns the shard thread, which immediately starts draining the mailbox.
+  WorkerShard(int index, int64_t queue_capacity);
+
+  /// Joins the thread (running Shutdown() if the owner did not).
+  ~WorkerShard();
+
+  WorkerShard(const WorkerShard&) = delete;
+  WorkerShard& operator=(const WorkerShard&) = delete;
+
+  /// Enqueues a task for this shard's thread. Semantics of `block` and the
+  /// result are Mailbox::Push's.
+  Mailbox::PushResult Submit(Task task, bool block) {
+    return mailbox_.Push(std::move(task), block);
+  }
+
+  /// Blocks until every accepted task has executed (mailbox quiescent).
+  void Drain() const { mailbox_.WaitIdle(); }
+
+  /// Stops accepting tasks, runs everything already accepted, and joins the
+  /// thread. Idempotent; after Shutdown, Submit returns kClosed.
+  void Shutdown();
+
+  int index() const { return index_; }
+
+ private:
+  void Run();
+
+  const int index_;
+  Mailbox mailbox_;
+  std::thread thread_;
+};
+
+}  // namespace sns
+
+#endif  // SLICENSTITCH_RUNTIME_WORKER_SHARD_H_

@@ -7,6 +7,9 @@
 //     engine pool, batched span ingestion, typed queries (Reconstruct,
 //     TopK, ComponentActivity, FactorRow, RunningFitness), EventSink
 //     fan-out,
+//   - ServiceOptions / BackpressurePolicy / Ticket — the sharded runtime:
+//     worker-shard count, queue-depth limits, and the completion tokens of
+//     IngestAsync / AdvanceToAsync,
 //   - ContinuousCpdOptions / SnsVariant      — engine configuration,
 //   - DataStream / Tuple                     — stream construction,
 //   - KruskalModel                           — reading factor matrices,
@@ -21,9 +24,11 @@
 #ifndef SLICENSTITCH_SLICENSTITCH_H_
 #define SLICENSTITCH_SLICENSTITCH_H_
 
+#include "api/service_options.h"
 #include "api/sns_service.h"
 #include "api/stream_event.h"
 #include "api/stream_handle.h"
+#include "runtime/ticket.h"
 #include "apps/anomaly_detection.h"
 #include "common/random.h"
 #include "common/status.h"

@@ -104,6 +104,37 @@ TEST(SnsServiceTest, HandlePointersStableAcrossPoolMutation) {
   EXPECT_EQ(first->Stats().window_nnz, 1);
 }
 
+TEST(SnsServiceTest, MoveKeepsHandlePointersValid) {
+  // The header documents handle-address stability; pin it across service
+  // moves: the registry lives behind a stable heap allocation, so moving
+  // the service moves ownership, never the handles.
+  SnsService original;
+  StreamHandle* taxi =
+      original.CreateStream("taxi", {6, 5}, SmallOptions()).value();
+  StreamHandle* crime =
+      original.CreateStream("crime", {4, 4}, SmallOptions()).value();
+  ASSERT_TRUE(taxi->Warmup(std::vector<Tuple>{{{1, 1}, 2.0, 3}}).ok());
+
+  SnsService moved(std::move(original));  // Move-construct.
+  EXPECT_EQ(moved.Find("taxi"), taxi);
+  EXPECT_EQ(moved.Find("crime"), crime);
+  EXPECT_EQ(taxi->Stats().window_nnz, 1);  // State came along untouched.
+  // The moved-from service degrades to a valid empty pool.
+  EXPECT_TRUE(original.empty());  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(original.Find("taxi"), nullptr);
+
+  SnsService assigned;
+  ASSERT_TRUE(assigned.CreateStream("old", {4, 4}, SmallOptions()).ok());
+  assigned = std::move(moved);  // Move-assign over an existing pool.
+  EXPECT_EQ(assigned.Find("old"), nullptr);  // The old pool is gone...
+  EXPECT_EQ(assigned.Find("taxi"), taxi);    // ...the moved one intact.
+  EXPECT_EQ(assigned.stream_count(), 2);
+  // The handle stays fully usable through its old pointer.
+  ASSERT_TRUE(taxi->Initialize().ok());
+  ASSERT_TRUE(taxi->Ingest(Tuple{{2, 2}, 1.0, 95}).ok());
+  EXPECT_EQ(taxi->Stats().last_time, 95);
+}
+
 // --- Multi-stream routing -------------------------------------------------
 
 TEST(SnsServiceTest, RoutesIngestionByStreamId) {
@@ -362,6 +393,13 @@ TEST(PublicApiTest, UmbrellaHeaderReachesToolkitAndPresets) {
   // Engine options + variant names remain reachable.
   EXPECT_EQ(VariantName(SnsVariant::kRndPlus), "SNS+RND");
   EXPECT_TRUE(SmallOptions().Validate().ok());
+}
+
+TEST(PublicApiDeathTest, VariantNameFailsLoudlyOnOutOfRangeValues) {
+  // An enum value cast from a bad integer must crash at the name lookup,
+  // not flow onward as "SNS-?" (mirrors MakeUpdater's contract).
+  EXPECT_DEATH(VariantName(static_cast<SnsVariant>(99)),
+               "unhandled SnsVariant");
 }
 
 }  // namespace

@@ -11,12 +11,19 @@ cd "$(dirname "$0")/.."
 
 compiler="${1:-${CXX:-g++}}"
 
-# The public surface: the umbrella header and the api/ facade layer.
+# The public surface: the umbrella header, the api/ facade layer, and the
+# runtime layer it exposes (tickets, mailboxes, shards).
 headers=(
   src/slicenstitch.h
+  src/api/service_options.h
   src/api/sns_service.h
   src/api/stream_event.h
   src/api/stream_handle.h
+  src/runtime/mailbox.h
+  src/runtime/sharded_executor.h
+  src/runtime/task.h
+  src/runtime/ticket.h
+  src/runtime/worker_shard.h
 )
 
 status=0
