@@ -25,6 +25,7 @@
 
 #include "api/sns_service.h"
 #include "api/stream_handle.h"
+#include "common/cpu_features.h"
 #include "common/random.h"
 #include "core/als.h"
 #include "core/continuous_cpd.h"
@@ -37,7 +38,9 @@
 #include "core/sns_vec_plus.h"
 #include "data/datasets.h"
 #include "linalg/cholesky.h"
+#include "linalg/matrix32.h"
 #include "linalg/pseudo_inverse.h"
+#include "linalg/rank_dispatch.h"
 #include "linalg/simd.h"
 #include "stream/continuous_window.h"
 #include "tensor/mttkrp.h"
@@ -631,16 +634,57 @@ BENCHMARK(BM_GramSolvePinvOnly)->Arg(10)->Arg(20)->Arg(40);
 // ---------------------------------------------------------------------------
 // Per-kernel microbenchmarks of the SIMD kernel layer (the rank-R inner
 // loops behind Theorem 4), across ranks hitting different dispatch
-// specializations (8, 20, 32) and the generic fallback (40). Reported
-// per-op, not per-event.
+// specializations (8, 20, 32) and the generic fallback (40), and across
+// kernel tiers (common/cpu_features.h). The RankKernelTable is resolved in
+// the fixture, outside the timed region — exactly like the production path,
+// where UpdateWorkspace::Prepare caches it per engine — so iterations
+// measure the codelet, not the dispatch. Reported per-op, not per-event.
 
 constexpr int64_t kKernelDim = 128;
 
-// One prepared 3-mode factor set + a pool of random cell indices.
+// Second benchmark argument: which kernel tier to pin. Tiers the host or
+// build cannot run are skipped (not silently measured as the generic
+// fallback) so an intrinsic label in the JSON always means intrinsic code.
+bool ResolveBenchTier(benchmark::State& state, KernelTier* tier) {
+  switch (state.range(1)) {
+    case 1:
+      *tier = KernelTier::kAvx2;
+      break;
+    case 2:
+      *tier = KernelTier::kAvx512;
+      break;
+    default:
+      *tier = KernelTier::kGeneric;
+      break;
+  }
+  if (!KernelTierCompiledIn(*tier) || !KernelTierSupported(*tier)) {
+    state.SkipWithError("kernel tier not available on this host/build");
+    return false;
+  }
+  return true;
+}
+
+#define SNS_KERNEL_BENCH_ARGS                            \
+  ArgsProduct({{8, 20, 32, 40}, {0, 1, 2}})              \
+      ->ArgNames({"rank", "tier"})
+
+// One prepared 3-mode factor set + float32 mirrors + a pool of random cell
+// indices. The factors are pre-quantized through float32 so the double and
+// mixed paths read identical values.
 struct KernelFixture {
-  explicit KernelFixture(int64_t rank) : rng(33) {
+  KernelFixture(int64_t rank, KernelTier tier)
+      : rng(33), kr(&GetRankKernelTable(PaddedRank(rank), tier)) {
     for (int m = 0; m < 3; ++m) {
-      factors.push_back(Matrix::RandomUniform(kKernelDim, rank, rng));
+      Matrix f = Matrix::RandomUniform(kKernelDim, rank, rng);
+      for (int64_t i = 0; i < f.rows(); ++i) {
+        for (int64_t j = 0; j < rank; ++j) {
+          f(i, j) = static_cast<double>(static_cast<float>(f(i, j)));
+        }
+      }
+      Matrix32 f32;
+      f32.AssignFromDouble(f);
+      factors.push_back(std::move(f));
+      factors32.push_back(std::move(f32));
     }
     for (int i = 0; i < 256; ++i) {
       ModeIndex cell;
@@ -654,7 +698,9 @@ struct KernelFixture {
   }
 
   Rng rng;
+  const RankKernelTable* kr;
   std::vector<Matrix> factors;
+  std::vector<Matrix32> factors32;
   std::vector<ModeIndex> cells;
   AlignedVector out;
   AlignedVector had;
@@ -662,22 +708,38 @@ struct KernelFixture {
 
 // Hadamard row product: out[r] = Π_{m≠skip} A(m)(i_m, r).
 void BM_KernelHadamardRow(benchmark::State& state) {
-  KernelFixture w(state.range(0));
+  KernelTier tier;
+  if (!ResolveBenchTier(state, &tier)) return;
+  KernelFixture w(state.range(0), tier);
   size_t next = 0;
   for (auto _ : state) {
     HadamardRowProduct(w.factors, w.cells[next], /*skip_mode=*/0,
-                       w.out.data());
+                       w.out.data(), *w.kr);
     benchmark::DoNotOptimize(w.out.data());
     next = (next + 1) % w.cells.size();
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_KernelHadamardRow)->Arg(8)->Arg(20)->Arg(32)->Arg(40);
+BENCHMARK(BM_KernelHadamardRow)->SNS_KERNEL_BENCH_ARGS;
 
-// Row-restricted MTTKRP over a steady-state slice (the fused 3-mode path).
-void BM_KernelMttkrpRow(benchmark::State& state) {
-  const int64_t rank = state.range(0);
-  KernelFixture w(rank);
+// Mixed-precision Hadamard row: float32 factor reads, double accumulation.
+void BM_KernelHadamardRowF32(benchmark::State& state) {
+  KernelTier tier;
+  if (!ResolveBenchTier(state, &tier)) return;
+  KernelFixture w(state.range(0), tier);
+  size_t next = 0;
+  for (auto _ : state) {
+    HadamardRowProduct32(w.factors32, w.cells[next], /*skip_mode=*/0,
+                         w.out.data(), *w.kr);
+    benchmark::DoNotOptimize(w.out.data());
+    next = (next + 1) % w.cells.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KernelHadamardRowF32)->SNS_KERNEL_BENCH_ARGS;
+
+// Shared slice tensor of the row-MTTKRP benches.
+SparseTensor MttkrpBenchTensor() {
   SparseTensor x({kKernelDim, kKernelDim, 10});
   Rng fill(37);
   for (int i = 0; i < 4000; ++i) {
@@ -686,26 +748,52 @@ void BM_KernelMttkrpRow(benchmark::State& state) {
            static_cast<int32_t>(fill.UniformInt(0, 9))},
           1.0);
   }
-  std::vector<Matrix> factors = {
-      Matrix::RandomUniform(kKernelDim, rank, w.rng),
-      Matrix::RandomUniform(kKernelDim, rank, w.rng),
-      Matrix::RandomUniform(10, rank, w.rng)};
+  return x;
+}
+
+// Row-restricted MTTKRP over a steady-state slice (the fused 3-mode path).
+void BM_KernelMttkrpRow(benchmark::State& state) {
+  KernelTier tier;
+  if (!ResolveBenchTier(state, &tier)) return;
+  KernelFixture w(state.range(0), tier);
+  SparseTensor x = MttkrpBenchTensor();
   int64_t row = 0;
   for (auto _ : state) {
-    MttkrpRow(x, factors, /*mode=*/0, row, w.out.data(), w.had.data());
+    MttkrpRow(x, w.factors, /*mode=*/0, row, w.out.data(), w.had.data(),
+              *w.kr);
     benchmark::DoNotOptimize(w.out.data());
     row = (row + 1) % kKernelDim;
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_KernelMttkrpRow)->Arg(8)->Arg(20)->Arg(32)->Arg(40);
+BENCHMARK(BM_KernelMttkrpRow)->SNS_KERNEL_BENCH_ARGS;
+
+// Mixed-precision row MTTKRP (float32 factor reads, double accumulation).
+void BM_KernelMttkrpRowF32(benchmark::State& state) {
+  KernelTier tier;
+  if (!ResolveBenchTier(state, &tier)) return;
+  KernelFixture w(state.range(0), tier);
+  SparseTensor x = MttkrpBenchTensor();
+  int64_t row = 0;
+  for (auto _ : state) {
+    MttkrpRow32(x, w.factors32, /*mode=*/0, row, w.out.data(), w.had.data(),
+                *w.kr);
+    benchmark::DoNotOptimize(w.out.data());
+    row = (row + 1) % kKernelDim;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KernelMttkrpRowF32)->SNS_KERNEL_BENCH_ARGS;
 
 // Gram rank-1 update Q ← Q − p'p + a'a (Eq. 13).
 void BM_KernelGramRankOneUpdate(benchmark::State& state) {
+  KernelTier tier;
+  if (!ResolveBenchTier(state, &tier)) return;
   const int64_t rank = state.range(0);
   Rng rng(41);
   Matrix factor = Matrix::RandomUniform(kKernelDim, rank, rng);
   Matrix gram = MultiplyTransposeA(factor, factor);
+  const RankKernelTable& kr = GetRankKernelTable(gram.stride(), tier);
   AlignedVector old_row(rank), new_row(rank);
   for (int64_t r = 0; r < rank; ++r) {
     old_row[r] = rng.UniformDouble();
@@ -715,26 +803,29 @@ void BM_KernelGramRankOneUpdate(benchmark::State& state) {
   for (auto _ : state) {
     // Alternate directions so the Gram stays bounded across iterations.
     if (flip) {
-      ApplyGramRowUpdate(gram, new_row.data(), old_row.data());
+      ApplyGramRowUpdate(gram, new_row.data(), old_row.data(), kr);
     } else {
-      ApplyGramRowUpdate(gram, old_row.data(), new_row.data());
+      ApplyGramRowUpdate(gram, old_row.data(), new_row.data(), kr);
     }
     flip = !flip;
     benchmark::DoNotOptimize(gram.Row(0));
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_KernelGramRankOneUpdate)->Arg(8)->Arg(20)->Arg(32)->Arg(40);
+BENCHMARK(BM_KernelGramRankOneUpdate)->SNS_KERNEL_BENCH_ARGS;
 
 // Cholesky row solve x = b H⁻¹ against a prefactorized Gram (the per-row
 // GramSolver fast path: copy + forward/back substitution).
 void BM_KernelCholeskySolve(benchmark::State& state) {
+  KernelTier tier;
+  if (!ResolveBenchTier(state, &tier)) return;
   const int64_t rank = state.range(0);
   Rng rng(43);
   Matrix a = Matrix::RandomNormal(4 * rank, rank, rng);
   Matrix h = MultiplyTransposeA(a, a);
   for (int64_t i = 0; i < rank; ++i) h(i, i) += 1.0;
   GramSolver solver;
+  solver.set_kernels(&GetRankKernelTable(0, tier));
   solver.Factorize(h);
   AlignedVector b(rank), x(rank);
   for (int64_t r = 0; r < rank; ++r) b[r] = rng.Normal();
@@ -744,7 +835,7 @@ void BM_KernelCholeskySolve(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_KernelCholeskySolve)->Arg(8)->Arg(20)->Arg(32)->Arg(40);
+BENCHMARK(BM_KernelCholeskySolve)->SNS_KERNEL_BENCH_ARGS;
 
 }  // namespace
 }  // namespace sns
@@ -767,6 +858,12 @@ int main(int argc, char** argv) {
       ++it;
     }
   }
+  // CPU provenance next to the build provenance: which SIMD features the
+  // host reported and which kernel tier auto-dispatch picked, so committed
+  // numbers are attributable to the codelets that actually ran.
+  benchmark::AddCustomContext("sns_cpu", sns::CpuFeaturesSummary());
+  benchmark::AddCustomContext(
+      "sns_kernel_tier", sns::KernelTierName(sns::ResolveKernelTier()));
 #ifdef NDEBUG
   benchmark::AddCustomContext("sns_build", "release");
 #else

@@ -22,6 +22,8 @@ void AlsWorkspace::Prepare(const CpdState& state) {
     col_norm_sq.Assign(rank, 0.0);
     col_scale.Assign(rank, 0.0);
   }
+  solver.set_kernels(&GetRankKernelTable(0, tier));
+  grams.set_kernels(&GetRankKernelTable(PaddedRank(rank), tier));
 }
 
 void AlsSweep(const SparseTensor& x, CpdState& state, bool normalize_columns,
@@ -30,9 +32,10 @@ void AlsSweep(const SparseTensor& x, CpdState& state, bool normalize_columns,
   const int64_t rank = state.rank();
   ws.Prepare(state);
   ws.grams.BeginEvent(state.grams);
+  const RankKernelTable& kr = GetRankKernelTable(PaddedRank(rank), ws.tier);
   for (int m = 0; m < modes; ++m) {
     Matrix& mttkrp = ws.mttkrp[static_cast<size_t>(m)];
-    MttkrpInto(x, state.model.factors(), m, mttkrp, ws.had.data());
+    MttkrpInto(x, state.model.factors(), m, mttkrp, ws.had.data(), kr);
     ws.grams.ProductExcept(m, ws.h);  // H of Alg. 2.
     ws.solver.Factorize(ws.h);
 
@@ -49,28 +52,25 @@ void AlsSweep(const SparseTensor& x, CpdState& state, bool normalize_columns,
       // passes run row-major over the padded stride — per component the
       // accumulation order over i is unchanged, so this is bitwise
       // identical to the column-walk formulation.
-      DispatchPaddedRank(factor.stride(), [&](auto tag) {
-        constexpr int64_t P = decltype(tag)::value;
-        const int64_t padded = factor.stride();
-        double* norm_sq = ws.col_norm_sq.data();
-        double* scale = ws.col_scale.data();
-        VecFill<P>(norm_sq, 0.0, padded);
-        for (int64_t i = 0; i < factor.rows(); ++i) {
-          const double* row = factor.Row(i);
-          VecFma3<P>(1.0, row, row, norm_sq, padded);
-        }
-        for (int64_t r = 0; r < rank; ++r) {
-          const double norm = std::sqrt(norm_sq[r]);
-          state.model.lambda()[static_cast<size_t>(r)] = norm;
-          scale[r] = norm > 0.0 ? 1.0 / norm : 0.0;
-        }
-        for (int64_t i = 0; i < factor.rows(); ++i) {
-          VecMulAccum<P>(factor.Row(i), scale, padded);
-        }
-      });
+      const int64_t padded = factor.stride();
+      double* norm_sq = ws.col_norm_sq.data();
+      double* scale = ws.col_scale.data();
+      kr.fill(norm_sq, 0.0, padded);
+      for (int64_t i = 0; i < factor.rows(); ++i) {
+        const double* row = factor.Row(i);
+        kr.fma3(1.0, row, row, norm_sq, padded);
+      }
+      for (int64_t r = 0; r < rank; ++r) {
+        const double norm = std::sqrt(norm_sq[r]);
+        state.model.lambda()[static_cast<size_t>(r)] = norm;
+        scale[r] = norm > 0.0 ? 1.0 / norm : 0.0;
+      }
+      for (int64_t i = 0; i < factor.rows(); ++i) {
+        kr.mul_accum(factor.Row(i), scale, padded);
+      }
     }
-    MultiplyTransposeAInto(factor, factor,
-                           state.grams[static_cast<size_t>(m)]);
+    MultiplyTransposeAInto(factor, factor, state.grams[static_cast<size_t>(m)],
+                           kr);
     ws.grams.NotifyModeChanged(m);
   }
 }
@@ -82,9 +82,11 @@ void AlsSweep(const SparseTensor& x, CpdState& state,
 }
 
 KruskalModel AlsDecompose(const SparseTensor& x, int64_t rank,
-                          const AlsOptions& options, Rng& rng) {
-  CpdState state(KruskalModel::Random(x.dims(), rank, rng));
+                          const AlsOptions& options, Rng& rng,
+                          KernelTier tier) {
+  CpdState state(KruskalModel::Random(x.dims(), rank, rng), tier);
   AlsWorkspace ws;
+  ws.tier = tier;
   double previous_fitness = state.model.Fitness(x);
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     AlsSweep(x, state, options.normalize_columns, ws);

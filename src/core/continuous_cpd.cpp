@@ -66,11 +66,16 @@ ContinuousCpd::ContinuousCpd(std::vector<int64_t> mode_dims,
       window_(mode_dims, options.window_size, options.period,
               options.expected_nnz),
       rng_(options.seed) {
-  state_ = CpdState(KruskalModel::Random(
-      WithTimeMode(std::move(mode_dims), options.window_size), options.rank,
-      rng_));
+  state_ = CpdState(
+      KruskalModel::Random(
+          WithTimeMode(std::move(mode_dims), options.window_size),
+          options.rank, rng_),
+      ResolveKernelTier(options_.force_generic_kernels));
+  state_.SetFactorPrecision(options_.factor_precision);
   updater_ = MakeUpdater(options_);
   SNS_CHECK(updater_ != nullptr);
+  updater_->set_kernel_tier(
+      ResolveKernelTier(options_.force_generic_kernels));
 }
 
 void ContinuousCpd::IngestOnly(const Tuple& tuple) {
@@ -79,9 +84,10 @@ void ContinuousCpd::IngestOnly(const Tuple& tuple) {
 }
 
 void ContinuousCpd::InitializeWithAls() {
-  state_ =
-      CpdState(AlsDecompose(window_.tensor(), options_.rank, options_.init,
-                            rng_));
+  const KernelTier tier = ResolveKernelTier(options_.force_generic_kernels);
+  state_ = CpdState(
+      AlsDecompose(window_.tensor(), options_.rank, options_.init, rng_, tier),
+      tier);
   if (options_.variant != SnsVariant::kMat) {
     // The row variants operate on raw factors with λ = 1.
     state_.AbsorbLambda();
@@ -100,6 +106,9 @@ void ContinuousCpd::InitializeWithAls() {
     }
     state_.RecomputeGrams();
   }
+  // Re-enter the configured precision: ALS produced fresh double factors,
+  // so mixed mode re-quantizes them and rebuilds the float32 mirrors.
+  state_.SetFactorPrecision(options_.factor_precision);
   fitness_tracker_.Reset(window_.tensor(), state_,
                          options_.fitness_resync_interval);
   updates_enabled_ = true;

@@ -7,10 +7,21 @@
 namespace sns {
 
 void CpdState::RecomputeGrams() {
-  grams.clear();
-  grams.reserve(static_cast<size_t>(num_modes()));
-  for (int m = 0; m < num_modes(); ++m) {
-    grams.push_back(MultiplyTransposeA(model.factor(m), model.factor(m)));
+  const int modes = num_modes();
+  if (modes == 0) {
+    grams.clear();
+    return;
+  }
+  const int64_t r = rank();
+  // In place when already shaped (keeps SNS-MAT's per-event quantization
+  // refresh allocation-free); (re)allocate otherwise.
+  if (static_cast<int>(grams.size()) != modes || grams[0].rows() != r) {
+    grams.assign(static_cast<size_t>(modes), Matrix(r, r));
+  }
+  const RankKernelTable& kr = GetRankKernelTable(PaddedRank(r), kernel_tier);
+  for (int m = 0; m < modes; ++m) {
+    const Matrix& f = model.factor(m);
+    MultiplyTransposeAInto(f, f, grams[static_cast<size_t>(m)], kr);
   }
 }
 
@@ -34,30 +45,81 @@ void CpdState::AbsorbLambda() {
   RecomputeGrams();
 }
 
+void CpdState::SetFactorPrecision(FactorPrecision p) {
+  precision = p;
+  if (mixed()) {
+    QuantizeFactorsToF32();
+  } else {
+    factors32.clear();
+  }
+}
+
+void CpdState::QuantizeFactorsToF32() {
+  if (!mixed() || num_modes() == 0) return;
+  factors32.resize(static_cast<size_t>(num_modes()));
+  const int64_t r = rank();
+  for (int m = 0; m < num_modes(); ++m) {
+    Matrix& f = model.factor(m);
+    Matrix32& f32 = factors32[static_cast<size_t>(m)];
+    if (f32.rows() != f.rows() || f32.cols() != r) {
+      f32 = Matrix32(f.rows(), r);
+    }
+    for (int64_t i = 0; i < f.rows(); ++i) {
+      double* d = f.Row(i);
+      float* s = f32.Row(i);
+      for (int64_t k = 0; k < r; ++k) {
+        const float q = static_cast<float>(d[k]);
+        s[k] = q;
+        d[k] = static_cast<double>(q);
+      }
+    }
+  }
+  RecomputeGrams();
+}
+
+void CpdState::SyncRowToF32(int mode, int64_t row) {
+  if (!mixed()) return;
+  double* d = model.factor(mode).Row(row);
+  float* s = factors32[static_cast<size_t>(mode)].Row(row);
+  const int64_t r = rank();
+  for (int64_t k = 0; k < r; ++k) {
+    const float q = static_cast<float>(d[k]);
+    s[k] = q;
+    d[k] = static_cast<double>(q);
+  }
+}
+
 void ApplyGramRowUpdate(Matrix& gram, const double* old_row,
                         const double* new_row) {
+  ApplyGramRowUpdate(gram, old_row, new_row,
+                     GetRankKernelTable(gram.stride()));
+}
+
+void ApplyGramRowUpdate(Matrix& gram, const double* old_row,
+                        const double* new_row, const RankKernelTable& kr) {
   const int64_t r = gram.rows();
-  DispatchPaddedRank(gram.stride(), [&](auto tag) {
-    constexpr int64_t P = decltype(tag)::value;
-    for (int64_t i = 0; i < r; ++i) {
-      VecGramRowDelta<P>(new_row[i], new_row, old_row[i], old_row,
-                         gram.Row(i), gram.stride());
-    }
-  });
+  for (int64_t i = 0; i < r; ++i) {
+    kr.gram_row_delta(new_row[i], new_row, old_row[i], old_row, gram.Row(i),
+                      gram.stride());
+  }
 }
 
 void ApplyPrevGramRowUpdate(Matrix& prev_gram, const double* prev_row,
                             const double* new_row) {
+  ApplyPrevGramRowUpdate(prev_gram, prev_row, new_row,
+                         GetRankKernelTable(prev_gram.stride()));
+}
+
+void ApplyPrevGramRowUpdate(Matrix& prev_gram, const double* prev_row,
+                            const double* new_row,
+                            const RankKernelTable& kr) {
   const int64_t r = prev_gram.rows();
-  DispatchPaddedRank(prev_gram.stride(), [&](auto tag) {
-    constexpr int64_t P = decltype(tag)::value;
-    for (int64_t i = 0; i < r; ++i) {
-      const double prev_i = prev_row[i];
-      if (prev_i == 0.0) continue;
-      VecScaledDiffAccum<P>(prev_i, new_row, prev_row, prev_gram.Row(i),
-                            prev_gram.stride());
-    }
-  });
+  for (int64_t i = 0; i < r; ++i) {
+    const double prev_i = prev_row[i];
+    if (prev_i == 0.0) continue;
+    kr.scaled_diff_accum(prev_i, new_row, prev_row, prev_gram.Row(i),
+                         prev_gram.stride());
+  }
 }
 
 }  // namespace sns

@@ -7,10 +7,15 @@
 
 #include <vector>
 
+#include "common/cpu_features.h"
+#include "core/options.h"
 #include "linalg/matrix.h"
+#include "linalg/matrix32.h"
 #include "tensor/kruskal.h"
 
 namespace sns {
+
+struct RankKernelTable;  // linalg/rank_dispatch.h
 
 /// Factor matrices + Grams. The time mode is always the last mode.
 struct CpdState {
@@ -18,12 +23,28 @@ struct CpdState {
   /// grams[m] = A(m)'A(m), kept in lockstep with the factors by the update
   /// rules (Eqs. 13, 24, 25) or recomputed wholesale after batch steps.
   std::vector<Matrix> grams;
+  /// Mixed precision only (empty otherwise): float32 mirrors of the factors,
+  /// read by the hot Hadamard/MTTKRP paths. The double factors remain the
+  /// store of record — every committed row passes through float32 (see
+  /// SyncRowToF32), so each mirror row equals its double row exactly.
+  std::vector<Matrix32> factors32;
+  /// Numeric storage mode; set through SetFactorPrecision.
+  FactorPrecision precision = FactorPrecision::kFloat64;
+  /// Tier the state's own kernels (RecomputeGrams, quantization refresh)
+  /// run at. Engines construct their state with their resolved tier so a
+  /// forced-generic run never touches an intrinsic codelet.
+  KernelTier kernel_tier = ResolveKernelTier();
 
   CpdState() = default;
   explicit CpdState(KruskalModel m) : model(std::move(m)) { RecomputeGrams(); }
+  CpdState(KruskalModel m, KernelTier tier)
+      : model(std::move(m)), kernel_tier(tier) {
+    RecomputeGrams();
+  }
 
   int num_modes() const { return model.num_modes(); }
   int64_t rank() const { return model.rank(); }
+  bool mixed() const { return precision == FactorPrecision::kFloat32Accum64; }
 
   /// Recomputes every Gram matrix from the factors (O(Σ N_m R²)).
   void RecomputeGrams();
@@ -32,14 +53,37 @@ struct CpdState {
   /// The unnormalized variants (everything except SNS-MAT) operate on plain
   /// factors, so ALS-initialized models are de-normalized through this.
   void AbsorbLambda();
+
+  /// Switches precision. Entering mixed mode quantizes the current factors
+  /// (QuantizeFactorsToF32); leaving it drops the mirrors — the double
+  /// factors keep their (quantized) values.
+  void SetFactorPrecision(FactorPrecision p);
+
+  /// Mixed mode: rounds EVERY factor entry through float32 (writing the
+  /// rounded value back to the double factor), rebuilds the float32
+  /// mirrors, and recomputes the Grams from the quantized factors. Called
+  /// on entry to mixed mode and after whole-factor rewrites (ALS init,
+  /// SNS-MAT sweeps). No-op in float64 mode.
+  void QuantizeFactorsToF32();
+
+  /// Mixed mode: rounds one factor row through float32 in place and syncs
+  /// its mirror row. Called by CommitRow BEFORE the Gram row updates, so
+  /// Grams stay in lockstep with the quantized factors. No-op in float64
+  /// mode.
+  void SyncRowToF32(int mode, int64_t row);
 };
 
 /// Eq. 13 (and Eqs. 24–25 taken together): Q ← Q − p'p + a'a after the row
 /// of one factor changed from `old_row` to `new_row`. Padded-buffer
 /// contract: both rows must reference gram.stride() doubles with zero
-/// padding lanes (Matrix rows and AlignedVector buffers qualify).
+/// padding lanes (Matrix rows and AlignedVector buffers qualify). The
+/// table-taking overloads run through the caller's cached RankKernelTable
+/// (the hot-path form); the plain overloads resolve the process-wide auto
+/// tier per call.
 void ApplyGramRowUpdate(Matrix& gram, const double* old_row,
                         const double* new_row);
+void ApplyGramRowUpdate(Matrix& gram, const double* old_row,
+                        const double* new_row, const RankKernelTable& kr);
 
 /// Eq. 17 / Eq. 26: U ← U − p'p + p'a for U = A'_prev A when the row changed
 /// from `prev_row` (its value at event start) to `new_row`. Valid because
@@ -47,6 +91,8 @@ void ApplyGramRowUpdate(Matrix& gram, const double* old_row,
 /// ApplyGramRowUpdate.
 void ApplyPrevGramRowUpdate(Matrix& prev_gram, const double* prev_row,
                             const double* new_row);
+void ApplyPrevGramRowUpdate(Matrix& prev_gram, const double* prev_row,
+                            const double* new_row, const RankKernelTable& kr);
 
 }  // namespace sns
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "linalg/rank_dispatch.h"
+
 namespace sns {
 
 void GramProductCache::BeginEvent(const std::vector<Matrix>& grams) {
@@ -33,16 +35,18 @@ void GramProductCache::ProductExcept(int mode, Matrix& out) {
   const std::vector<Matrix>& grams = *grams_;
   const int n = static_cast<int>(grams.size());
   SNS_DCHECK(mode >= 0 && mode <= n);
+  const RankKernelTable& kr =
+      kr_ ? *kr_ : GetRankKernelTable(grams[0].stride());
   for (int i = prefix_valid_ + 1; i <= mode; ++i) {
-    HadamardInto(prefix_[i - 1], grams[i - 1], prefix_[i]);
+    HadamardInto(prefix_[i - 1], grams[i - 1], prefix_[i], kr);
   }
   prefix_valid_ = std::max(prefix_valid_, mode);
   for (int i = suffix_valid_ - 1; i >= mode + 1; --i) {
-    HadamardInto(grams[i], suffix_[i + 1], suffix_[i]);
+    HadamardInto(grams[i], suffix_[i + 1], suffix_[i], kr);
   }
   suffix_valid_ = std::min(suffix_valid_, mode + 1);
   if (mode < n) {
-    HadamardInto(prefix_[mode], suffix_[mode + 1], out);
+    HadamardInto(prefix_[mode], suffix_[mode + 1], out, kr);
   } else {
     out.CopyFrom(prefix_[n]);
   }

@@ -23,6 +23,8 @@
 
 namespace sns {
 
+struct RankKernelTable;  // linalg/rank_dispatch.h
+
 /// Contract: BeginEvent binds the cache to one Gram vector and invalidates
 /// everything (the grams may have changed arbitrarily since the last event);
 /// between BeginEvent and the next BeginEvent the bound grams may only
@@ -42,8 +44,14 @@ class GramProductCache {
   /// past the end": the product over all modes.
   void ProductExcept(int mode, Matrix& out);
 
+  /// Pins the kernel table (matching the Grams' padded stride) the chain
+  /// Hadamards run through — set by RowUpdaterBase to the engine's tier.
+  /// Unset, each ProductExcept resolves the process-wide auto tier.
+  void set_kernels(const RankKernelTable* kr) { kr_ = kr; }
+
  private:
   const std::vector<Matrix>* grams_ = nullptr;
+  const RankKernelTable* kr_ = nullptr;
   std::vector<Matrix> prefix_;  // prefix_[i] = ∗_{n<i} Q(n); prefix_[0] = 1.
   std::vector<Matrix> suffix_;  // suffix_[i] = ∗_{n≥i} Q(n); suffix_[N] = 1.
   int prefix_valid_ = 0;        // prefix_[0..prefix_valid_] are valid.

@@ -12,6 +12,8 @@
 
 namespace sns {
 
+struct RankKernelTable;  // linalg/rank_dispatch.h
+
 /// Reusable Gram solver: factorize H once, then solve any number of rows
 /// against it. The Cholesky fast path performs zero heap allocations once
 /// the internal buffer matches H's order, which makes this the solver of
@@ -28,10 +30,17 @@ class GramSolver {
   /// must not alias.
   void Solve(const double* b, double* x) const;
 
+  /// Pins the RUNTIME-LENGTH kernel table (padded_rank == 0) the Cholesky
+  /// row-suffix loops run through — set by UpdateWorkspace::Prepare to the
+  /// engine's kernel tier. Unset, each Factorize/Solve resolves the
+  /// process-wide auto tier.
+  void set_kernels(const RankKernelTable* rt) { rt_ = rt; }
+
  private:
   Matrix upper_;  // A = U'U factor (row-suffix kernels; linalg/cholesky.h).
   Matrix pinv_;
   bool use_pinv_ = false;
+  const RankKernelTable* rt_ = nullptr;
 };
 
 /// Computes x = b H† for symmetric PSD H (order n). `b` and `x` hold n

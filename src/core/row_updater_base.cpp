@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "tensor/mttkrp.h"
+
 namespace sns {
 
 void RowUpdaterBase::OnEvent(const SparseTensor& window,
@@ -36,7 +38,8 @@ void RowUpdaterBase::BeginEvent(const WindowDelta& delta,
   time_mode_ = state.num_modes() - 1;
   snap_rank_ = state.rank();
   snap_stride_ = PaddedRank(snap_rank_);
-  ws_.Prepare(state.num_modes(), snap_rank_, sample_capacity_);
+  ws_.Prepare(state.num_modes(), snap_rank_, sample_capacity_, tier_);
+  gram_cache_.set_kernels(ws_.kernels);
   gram_cache_.BeginEvent(state.grams);
   // No-ops (and allocation-free) once sized for this shape.
   snapshot_values_.Resize((kMaxTensorModes + 2) * snap_stride_);
@@ -109,9 +112,13 @@ double RowUpdaterBase::EvaluatePrevModel(const ModeIndex& index,
 
 void RowUpdaterBase::CommitRow(int mode, int64_t row, const double* old_row,
                                CpdState& state) {
+  // Mixed precision: quantize the just-written row through float32 (and
+  // sync its mirror) BEFORE the Gram update, so Q tracks the quantized
+  // factors exactly. No-op in float64 mode.
+  state.SyncRowToF32(mode, row);
   const double* new_row = state.model.factor(mode).Row(row);
-  ApplyGramRowUpdate(state.grams[static_cast<size_t>(mode)], old_row,
-                     new_row);
+  ApplyGramRowUpdate(state.grams[static_cast<size_t>(mode)], old_row, new_row,
+                     *ws_.kernels);
   if (NeedsPrevGrams()) {
     // Record the rank-1 correction U(mode) = Q(mode) + (p−a)'a. old_row is
     // also the event-start (prev) row p: rows update once per event. Both
@@ -141,16 +148,39 @@ void RowUpdaterBase::HadamardOfPrevGramsExcept(const CpdState& state,
     }
     if (!has_delta) {
       // No row of mode n committed yet this event: U(n) = Q(n).
-      HadamardAccumulate(ws.h_prev, gram);
+      HadamardAccumulate(ws.h_prev, gram, *ws.kernels);
       continue;
     }
     ws.u_scratch.CopyFrom(gram);
     for (int k = 0; k < num_gram_deltas_; ++k) {
       if (delta_mode_[static_cast<size_t>(k)] != n) continue;
       const double* diff = delta_values_.data() + 2 * k * snap_stride_;
-      AddOuterProduct(ws.u_scratch, diff, diff + snap_stride_);
+      AddOuterProduct(ws.u_scratch, diff, diff + snap_stride_, *ws.kernels);
     }
-    HadamardAccumulate(ws.h_prev, ws.u_scratch);
+    HadamardAccumulate(ws.h_prev, ws.u_scratch, *ws.kernels);
+  }
+}
+
+void RowUpdaterBase::HadamardRowDispatch(const CpdState& state,
+                                         const ModeIndex& index, int skip_mode,
+                                         double* out,
+                                         UpdateWorkspace& ws) const {
+  if (state.mixed()) {
+    HadamardRowProduct32(state.factors32, index, skip_mode, out, *ws.kernels);
+  } else {
+    HadamardRowProduct(state.model.factors(), index, skip_mode, out,
+                       *ws.kernels);
+  }
+}
+
+void RowUpdaterBase::MttkrpRowDispatch(const SparseTensor& window,
+                                       const CpdState& state, int mode,
+                                       int64_t row, double* out, double* had,
+                                       UpdateWorkspace& ws) const {
+  if (state.mixed()) {
+    MttkrpRow32(window, state.factors32, mode, row, out, had, *ws.kernels);
+  } else {
+    MttkrpRow(window, state.model.factors(), mode, row, out, had, *ws.kernels);
   }
 }
 

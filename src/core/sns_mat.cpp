@@ -8,6 +8,10 @@ void SnsMatUpdater::OnEvent(const SparseTensor& window,
   // The maintained factors are a strong warm start, so a single ALS sweep
   // with column normalization (Alg. 2) suffices per event.
   AlsSweep(window, state, /*normalize_columns=*/true, ws_);
+  // Mixed precision quantizes at sweep granularity (the sweep itself runs
+  // in double): round every factor through float32, refresh the mirrors,
+  // and recompute the Grams from the quantized factors.
+  if (state.mixed()) state.QuantizeFactorsToF32();
 }
 
 }  // namespace sns

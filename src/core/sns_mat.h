@@ -17,6 +17,8 @@ class SnsMatUpdater : public EventUpdater {
   void OnEvent(const SparseTensor& window, const WindowDelta& delta,
                CpdState& state) override;
 
+  void set_kernel_tier(KernelTier tier) override { ws_.tier = tier; }
+
  private:
   // Reused sweep scratch: per-event sweeps allocate nothing once warm.
   AlsWorkspace ws_;

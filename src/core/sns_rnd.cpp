@@ -19,15 +19,15 @@ void SnsRndUpdater::UpdateRow(int mode, int64_t row,
   if (degree <= sample_threshold_) {
     // Exact path (Alg. 4 lines 9-10): Eq. 12, identical to SNS-VEC's
     // non-time rule, applied to every mode including time.
-    MttkrpRow(window, state.model.factors(), mode, row, ws.rhs.data(),
-              ws.had.data());
+    MttkrpRowDispatch(window, state, mode, row, ws.rhs.data(), ws.had.data(),
+                      ws);
   } else {
     // Sampled path (Alg. 4 lines 11-14): Eq. 16.
     // First term: A(m)(row,:) H_prev with H_prev = ∗_{n≠m} U(n), each U(n)
     // reconstructed from Q(n) and this event's committed-row deltas. The
     // row is still at its event-start value B(m)(row,:) here.
     HadamardOfPrevGramsExcept(state, mode, ws);
-    RowTimesMatrixPadded(ws.old_row.data(), ws.h_prev, ws.rhs.data());
+    RowTimesMatrixPadded(ws.old_row.data(), ws.h_prev, ws.rhs.data(), kr);
 
     // Residual corrections x̄_J = x_J − x̃_J at θ cells sampled uniformly
     // from the slice grid (zero cells included — they pull spurious model
@@ -37,16 +37,14 @@ void SnsRndUpdater::UpdateRow(int mode, int64_t row,
     for (const SampledCell& cell : ws.samples) {
       const double residual =
           cell.value - EvaluatePrevModel(cell.index, state);
-      HadamardRowProduct(state.model.factors(), cell.index, mode,
-                         ws.had.data());
+      HadamardRowDispatch(state, cell.index, mode, ws.had.data(), ws);
       kr.axpy(residual, ws.had.data(), ws.rhs.data(), padded);
     }
 
     // ΔX term of Eq. 16.
     for (const DeltaCell& cell : delta.cells) {
       if (cell.index[mode] != row) continue;
-      HadamardRowProduct(state.model.factors(), cell.index, mode,
-                         ws.had.data());
+      HadamardRowDispatch(state, cell.index, mode, ws.had.data(), ws);
       kr.axpy(cell.delta, ws.had.data(), ws.rhs.data(), padded);
     }
   }

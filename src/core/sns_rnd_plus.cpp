@@ -21,15 +21,15 @@ void SnsRndPlusUpdater::UpdateRow(int mode, int64_t row,
 
   if (degree <= sample_threshold_) {
     // Exact coordinate rule (Alg. 5 line 13 → Eq. 21) for every mode.
-    MttkrpRow(window, state.model.factors(), mode, row, ws.rhs.data(),
-              ws.had.data());
+    MttkrpRowDispatch(window, state, mode, row, ws.rhs.data(), ws.had.data(),
+                      ws);
   } else {
     // Sampled coordinate rule (Alg. 5 lines 9-11, 14 → Eq. 23):
     // e_k + Σ (x̄_J + Δx_J)·Π_{n≠m} a(n)_{j_n k} with
     // e_k = Σ_r b_{i r} (∗_{n≠m} U(n))(r, k), U(n) reconstructed from Q(n)
     // and this event's committed-row deltas.
     HadamardOfPrevGramsExcept(state, mode, ws);
-    RowTimesMatrixPadded(ws.old_row.data(), ws.h_prev, ws.rhs.data());
+    RowTimesMatrixPadded(ws.old_row.data(), ws.h_prev, ws.rhs.data(), kr);
 
     // θ cells sampled uniformly from the slice grid, zero cells included
     // (their x̄ = −x̃ pulls spurious mass down); delta cells excluded per
@@ -39,20 +39,18 @@ void SnsRndPlusUpdater::UpdateRow(int mode, int64_t row,
     for (const SampledCell& cell : ws.samples) {
       const double residual =
           cell.value - EvaluatePrevModel(cell.index, state);
-      HadamardRowProduct(state.model.factors(), cell.index, mode,
-                         ws.had.data());
+      HadamardRowDispatch(state, cell.index, mode, ws.had.data(), ws);
       kr.axpy(residual, ws.had.data(), ws.rhs.data(), padded);
     }
     for (const DeltaCell& cell : delta.cells) {
       if (cell.index[mode] != row) continue;
-      HadamardRowProduct(state.model.factors(), cell.index, mode,
-                         ws.had.data());
+      HadamardRowDispatch(state, cell.index, mode, ws.had.data(), ws);
       kr.axpy(cell.delta, ws.had.data(), ws.rhs.data(), padded);
     }
   }
 
   CoordinateDescentRow(factor.Row(row), rank, ws.h, ws.rhs.data(), clip_min_,
-                       clip_max_);
+                       clip_max_, kr);
   CommitRow(mode, row, ws.old_row.data(), state);  // Eqs. 24-26.
 }
 

@@ -48,8 +48,14 @@ void CholeskySolveInPlace(const Matrix& lower, double* SNS_RESTRICT x) {
 }
 
 bool CholeskyFactorizeUpperInto(const Matrix& a, Matrix& upper) {
+  return CholeskyFactorizeUpperInto(a, upper, GetRankKernelTable(0));
+}
+
+bool CholeskyFactorizeUpperInto(const Matrix& a, Matrix& upper,
+                                const RankKernelTable& kr) {
   SNS_CHECK(a.rows() == a.cols());
   SNS_CHECK(upper.rows() == a.rows() && upper.cols() == a.rows());
+  SNS_DCHECK(kr.padded_rank == 0);  // Suffix lengths are runtime values.
   const int64_t n = a.rows();
   // Stage the upper triangle of (symmetric) a row by row.
   for (int64_t i = 0; i < n; ++i) {
@@ -66,31 +72,37 @@ bool CholeskyFactorizeUpperInto(const Matrix& a, Matrix& upper) {
     const double inv = 1.0 / diag;
     for (int64_t j = k + 1; j < n; ++j) row_k[j] *= inv;
     // Trailing update: U(i, i..n) −= u_ki · U(k, i..n) — contiguous
-    // independent-element suffix axpys.
+    // independent-element suffix axpys (negated alpha flips the sign
+    // exactly, so this matches the subtraction form bitwise per tier).
     for (int64_t i = k + 1; i < n; ++i) {
       const double u_ki = row_k[i];
       if (u_ki == 0.0) continue;
-      double* SNS_RESTRICT row_i = upper.Row(i);
-      for (int64_t j = i; j < n; ++j) row_i[j] -= u_ki * row_k[j];
+      kr.axpy(-u_ki, row_k + i, upper.Row(i) + i, n - i);
     }
   }
   return true;
 }
 
-void CholeskySolveUpperInPlace(const Matrix& upper, double* SNS_RESTRICT x) {
+void CholeskySolveUpperInPlace(const Matrix& upper, double* x) {
+  CholeskySolveUpperInPlace(upper, x, GetRankKernelTable(0));
+}
+
+void CholeskySolveUpperInPlace(const Matrix& upper, double* x,
+                               const RankKernelTable& kr) {
+  SNS_DCHECK(kr.padded_rank == 0);
   const int64_t n = upper.rows();
   // Forward elimination U' y = b, walking rows of U: once y[k] is final,
   // subtract its contribution U(k, k+1..n)·y[k] from the pending suffix.
   for (int64_t k = 0; k < n; ++k) {
-    const double* SNS_RESTRICT row = upper.Row(k);
+    const double* row = upper.Row(k);
     const double y_k = x[k] / row[k];
     x[k] = y_k;
-    for (int64_t j = k + 1; j < n; ++j) x[j] -= row[j] * y_k;
+    kr.axpy(-y_k, row + k + 1, x + k + 1, n - k - 1);
   }
   // Back substitution U x = y: contiguous row-suffix dots.
   for (int64_t i = n - 1; i >= 0; --i) {
-    const double* SNS_RESTRICT row = upper.Row(i);
-    x[i] = (x[i] - VecDot<0>(row + i + 1, x + i + 1, n - i - 1)) / row[i];
+    const double* row = upper.Row(i);
+    x[i] = (x[i] - kr.dot(row + i + 1, x + i + 1, n - i - 1)) / row[i];
   }
 }
 

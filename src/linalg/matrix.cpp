@@ -86,18 +86,16 @@ Matrix Multiply(const Matrix& a, const Matrix& b) {
   SNS_CHECK(a.cols() == b.rows());
   Matrix c(a.rows(), b.cols());
   const int64_t n = a.rows(), k_dim = a.cols();
-  DispatchPaddedRank(b.stride(), [&](auto tag) {
-    constexpr int64_t P = decltype(tag)::value;
-    for (int64_t i = 0; i < n; ++i) {
-      const double* a_row = a.Row(i);
-      double* c_row = c.Row(i);
-      for (int64_t k = 0; k < k_dim; ++k) {
-        const double a_ik = a_row[k];
-        if (a_ik == 0.0) continue;
-        VecAxpy<P>(a_ik, b.Row(k), c_row, b.stride());
-      }
+  const RankKernelTable& kr = GetRankKernelTable(b.stride());
+  for (int64_t i = 0; i < n; ++i) {
+    const double* a_row = a.Row(i);
+    double* c_row = c.Row(i);
+    for (int64_t k = 0; k < k_dim; ++k) {
+      const double a_ik = a_row[k];
+      if (a_ik == 0.0) continue;
+      kr.axpy(a_ik, b.Row(k), c_row, b.stride());
     }
-  });
+  }
   return c;
 }
 
@@ -108,22 +106,24 @@ Matrix MultiplyTransposeA(const Matrix& a, const Matrix& b) {
 }
 
 void MultiplyTransposeAInto(const Matrix& a, const Matrix& b, Matrix& out) {
+  MultiplyTransposeAInto(a, b, out, GetRankKernelTable(b.stride()));
+}
+
+void MultiplyTransposeAInto(const Matrix& a, const Matrix& b, Matrix& out,
+                            const RankKernelTable& kr) {
   SNS_CHECK(a.rows() == b.rows());
   SNS_CHECK(out.rows() == a.cols() && out.cols() == b.cols());
   out.SetZero();
   const int64_t n = a.rows(), p = a.cols();
-  DispatchPaddedRank(b.stride(), [&](auto tag) {
-    constexpr int64_t P = decltype(tag)::value;
-    for (int64_t k = 0; k < n; ++k) {
-      const double* a_row = a.Row(k);
-      const double* b_row = b.Row(k);
-      for (int64_t i = 0; i < p; ++i) {
-        const double a_ki = a_row[i];
-        if (a_ki == 0.0) continue;
-        VecAxpy<P>(a_ki, b_row, out.Row(i), b.stride());
-      }
+  for (int64_t k = 0; k < n; ++k) {
+    const double* a_row = a.Row(k);
+    const double* b_row = b.Row(k);
+    for (int64_t i = 0; i < p; ++i) {
+      const double a_ki = a_row[i];
+      if (a_ki == 0.0) continue;
+      kr.axpy(a_ki, b_row, out.Row(i), b.stride());
     }
-  });
+  }
 }
 
 Matrix Hadamard(const Matrix& a, const Matrix& b) {
@@ -133,51 +133,55 @@ Matrix Hadamard(const Matrix& a, const Matrix& b) {
 }
 
 void HadamardInto(const Matrix& a, const Matrix& b, Matrix& out) {
+  HadamardInto(a, b, out, GetRankKernelTable(a.stride()));
+}
+
+void HadamardInto(const Matrix& a, const Matrix& b, Matrix& out,
+                  const RankKernelTable& kr) {
   SNS_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
   SNS_CHECK(out.rows() == a.rows() && out.cols() == a.cols());
-  DispatchPaddedRank(a.stride(), [&](auto tag) {
-    constexpr int64_t P = decltype(tag)::value;
-    for (int64_t i = 0; i < a.rows(); ++i) {
-      VecMul<P>(a.Row(i), b.Row(i), out.Row(i), a.stride());
-    }
-  });
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    kr.mul(a.Row(i), b.Row(i), out.Row(i), a.stride());
+  }
 }
 
 void HadamardAccumulate(Matrix& dst, const Matrix& src) {
+  HadamardAccumulate(dst, src, GetRankKernelTable(dst.stride()));
+}
+
+void HadamardAccumulate(Matrix& dst, const Matrix& src,
+                        const RankKernelTable& kr) {
   SNS_CHECK(dst.rows() == src.rows() && dst.cols() == src.cols());
-  DispatchPaddedRank(dst.stride(), [&](auto tag) {
-    constexpr int64_t P = decltype(tag)::value;
-    for (int64_t i = 0; i < dst.rows(); ++i) {
-      VecMulAccum<P>(dst.Row(i), src.Row(i), dst.stride());
-    }
-  });
+  for (int64_t i = 0; i < dst.rows(); ++i) {
+    kr.mul_accum(dst.Row(i), src.Row(i), dst.stride());
+  }
 }
 
 void AddOuterProduct(Matrix& dst, const double* u, const double* v) {
+  AddOuterProduct(dst, u, v, GetRankKernelTable(dst.stride()));
+}
+
+void AddOuterProduct(Matrix& dst, const double* u, const double* v,
+                     const RankKernelTable& kr) {
   const int64_t n = dst.rows();
   SNS_DCHECK(dst.cols() == n);
-  DispatchPaddedRank(dst.stride(), [&](auto tag) {
-    constexpr int64_t P = decltype(tag)::value;
-    for (int64_t i = 0; i < n; ++i) {
-      const double u_i = u[i];
-      if (u_i == 0.0) continue;
-      VecAxpy<P>(u_i, v, dst.Row(i), dst.stride());
-    }
-  });
+  for (int64_t i = 0; i < n; ++i) {
+    const double u_i = u[i];
+    if (u_i == 0.0) continue;
+    kr.axpy(u_i, v, dst.Row(i), dst.stride());
+  }
 }
 
 Matrix KhatriRao(const Matrix& a, const Matrix& b) {
   SNS_CHECK(a.cols() == b.cols());
   Matrix c(a.rows() * b.rows(), a.cols());
-  DispatchPaddedRank(a.stride(), [&](auto tag) {
-    constexpr int64_t P = decltype(tag)::value;
-    for (int64_t i = 0; i < a.rows(); ++i) {
-      const double* a_row = a.Row(i);
-      for (int64_t k = 0; k < b.rows(); ++k) {
-        VecMul<P>(a_row, b.Row(k), c.Row(i * b.rows() + k), a.stride());
-      }
+  const RankKernelTable& kr = GetRankKernelTable(a.stride());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const double* a_row = a.Row(i);
+    for (int64_t k = 0; k < b.rows(); ++k) {
+      kr.mul(a_row, b.Row(k), c.Row(i * b.rows() + k), a.stride());
     }
-  });
+  }
   return c;
 }
 
@@ -228,22 +232,25 @@ void RowTimesMatrix(const double* SNS_RESTRICT row, const Matrix& m,
   }
 }
 
-void RowTimesMatrixPadded(const double* SNS_RESTRICT row, const Matrix& m,
-                          double* SNS_RESTRICT out) {
+void RowTimesMatrixPadded(const double* row, const Matrix& m, double* out) {
+  RowTimesMatrixPadded(row, m, out, GetRankKernelTable(m.stride()));
+}
+
+void RowTimesMatrixPadded(const double* row, const Matrix& m, double* out,
+                          const RankKernelTable& kr) {
   const int64_t rows = m.rows();
-  DispatchPaddedRank(m.stride(), [&](auto tag) {
-    constexpr int64_t P = decltype(tag)::value;
-    VecFill<P>(out, 0.0, m.stride());
-    for (int64_t i = 0; i < rows; ++i) {
-      const double r_i = row[i];
-      if (r_i == 0.0) continue;
-      VecAxpy<P>(r_i, m.Row(i), out, m.stride());
-    }
-  });
+  kr.fill(out, 0.0, m.stride());
+  for (int64_t i = 0; i < rows; ++i) {
+    const double r_i = row[i];
+    if (r_i == 0.0) continue;
+    kr.axpy(r_i, m.Row(i), out, m.stride());
+  }
 }
 
 double Dot(const double* a, const double* b, int64_t n) {
-  return VecDot<0>(a, b, n);
+  // Runtime-length auto-tier table: same kernel every dot in the library
+  // uses, so internal bitwise differentials stay exact.
+  return GetRankKernelTable(0).dot(a, b, n);
 }
 
 double MaxAbsDiff(const Matrix& a, const Matrix& b) {

@@ -1,0 +1,99 @@
+// Float32 mirror of a padded-stride factor matrix — the storage half of
+// the mixed-precision mode (ContinuousCpdOptions::factor_precision =
+// kFloat32Accum64).
+//
+// In mixed mode the double factor matrices remain the store of record for
+// every cold path (queries, fitness, ALS, snapshots), but each committed
+// row is quantized through float32 first, so the doubles only ever hold
+// f32-representable values; this mirror holds the same values as actual
+// floats and is what the hot read kernels (mul_accum_f32 / fma3_f32 in the
+// RankKernelTable) consume — halving factor-row read traffic while all
+// accumulation is widened back to double in-register.
+//
+// Layout: rows are separated by stride() = PaddedRank32(cols()) floats
+// (a multiple of kRankPadFloats = 8, i.e. 32 bytes), with the padding
+// lanes held at exactly 0.0f. Since PaddedRank32(R) >= PaddedRank(R), the
+// double-padded trip count of the rank kernels is always in-bounds on
+// these rows.
+
+#ifndef SLICENSTITCH_LINALG_MATRIX32_H_
+#define SLICENSTITCH_LINALG_MATRIX32_H_
+
+#include <cstdint>
+
+#include "common/check.h"
+#include "linalg/matrix.h"
+#include "linalg/simd.h"
+
+namespace sns {
+
+class Matrix32 {
+ public:
+  Matrix32() = default;
+  Matrix32(int64_t rows, int64_t cols)
+      : rows_(rows), cols_(cols), stride_(PaddedRank32(cols)),
+        data_(rows * stride_) {
+    SNS_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  /// Leading stride in floats: PaddedRank32(cols()).
+  int64_t stride() const { return stride_; }
+
+  float* Row(int64_t i) {
+    SNS_DCHECK(i >= 0 && i < rows_);
+    return data_.data() + i * stride_;
+  }
+  const float* Row(int64_t i) const {
+    SNS_DCHECK(i >= 0 && i < rows_);
+    return data_.data() + i * stride_;
+  }
+
+  float& operator()(int64_t i, int64_t j) {
+    SNS_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_.data()[i * stride_ + j];
+  }
+  float operator()(int64_t i, int64_t j) const {
+    SNS_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_.data()[i * stride_ + j];
+  }
+
+  /// Rounds one row of logical values into row i (padding lanes stay 0.0f).
+  /// `src` must hold cols() doubles.
+  void SetRowFromDouble(int64_t i, const double* src) {
+    float* dst = Row(i);
+    for (int64_t j = 0; j < cols_; ++j) dst[j] = static_cast<float>(src[j]);
+  }
+
+  /// Rebuilds the whole mirror from a same-shaped double matrix, rounding
+  /// every logical entry. Reshapes if needed.
+  void AssignFromDouble(const Matrix& src) {
+    if (rows_ != src.rows() || cols_ != src.cols()) {
+      *this = Matrix32(src.rows(), src.cols());
+    }
+    for (int64_t i = 0; i < rows_; ++i) SetRowFromDouble(i, src.Row(i));
+  }
+
+  /// True when every padding lane holds exactly 0.0f (the layout
+  /// invariant; test hook).
+  bool PaddingIsZero() const {
+    for (int64_t i = 0; i < rows_; ++i) {
+      const float* row = Row(i);
+      for (int64_t j = cols_; j < stride_; ++j) {
+        if (row[j] != 0.0f) return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  int64_t stride_ = 0;
+  AlignedVector32 data_;
+};
+
+}  // namespace sns
+
+#endif  // SLICENSTITCH_LINALG_MATRIX32_H_

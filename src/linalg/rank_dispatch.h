@@ -27,6 +27,7 @@
 
 #include <cstdint>
 
+#include "common/cpu_features.h"
 #include "linalg/simd.h"
 
 namespace sns {
@@ -171,6 +172,33 @@ inline void VecScaledDiffAccum(double p, const double* SNS_RESTRICT new_row,
 }
 
 // ---------------------------------------------------------------------------
+// Float32-read primitives of the mixed-precision mode (factor rows stored
+// as float32, accumulation widened to double in-register — see
+// linalg/matrix32.h). `n` is the DOUBLE padded length PaddedRank(R); the
+// float rows' stride PaddedRank32(R) is always >= n, with zero lanes past
+// the logical rank, so the double trip count is in-bounds and tail-free.
+
+/// dst[r] *= (double)src[r]: Hadamard row accumulation from a float32 row.
+template <int64_t P>
+inline void VecMulAccumF32(double* SNS_RESTRICT dst,
+                           const float* SNS_RESTRICT src, int64_t n) {
+  const int64_t m = TripCount<P>(n);
+  for (int64_t r = 0; r < m; ++r) dst[r] *= static_cast<double>(src[r]);
+}
+
+/// out[r] += v · ((double)a[r] · (double)b[r]): fused 3-mode MTTKRP row
+/// accumulation from two float32 rows.
+template <int64_t P>
+inline void VecFma3F32(double v, const float* SNS_RESTRICT a,
+                       const float* SNS_RESTRICT b, double* SNS_RESTRICT out,
+                       int64_t n) {
+  const int64_t m = TripCount<P>(n);
+  for (int64_t r = 0; r < m; ++r) {
+    out[r] += v * (static_cast<double>(a[r]) * static_cast<double>(b[r]));
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Function-pointer table over the primitives, resolved once per engine.
 
 /// The row-level kernel set the per-event updaters call directly. Resolved
@@ -178,19 +206,48 @@ inline void VecScaledDiffAccum(double p, const double* SNS_RESTRICT new_row,
 /// and cached, so steady-state events perform no dispatch at all. Every
 /// function takes the padded length as its trailing argument; specialized
 /// tables (padded_rank > 0) ignore it.
+///
+/// Three tiers of the same contract exist (common/cpu_features.h): the
+/// generic tier points at the templated primitives above; the AVX2 and
+/// AVX-512 tiers point at the intrinsic codelets of linalg/codelets/,
+/// compiled in dedicated TUs with the matching -m flags and only reachable
+/// through this table (so a baseline build never executes them on hosts
+/// without the extensions). Intrinsic tiers may fuse multiply-adds, so they
+/// match the generic tier to a few ulps, not bitwise; elementwise kernels
+/// (fill/copy/mul/mul_accum) are bitwise across tiers.
 struct RankKernelTable {
-  int64_t padded_rank;  // 0 for the generic runtime-bound table.
+  KernelTier tier;      // Which implementation tier this table points at.
+  int64_t padded_rank;  // 0 for the runtime-bound table of this tier.
   void (*fill)(double* dst, double value, int64_t n);
   void (*copy)(const double* src, double* dst, int64_t n);
   void (*axpy)(double alpha, const double* x, double* y, int64_t n);
+  void (*mul)(const double* a, const double* b, double* out, int64_t n);
   void (*mul_accum)(double* dst, const double* src, int64_t n);
+  void (*fma3)(double v, const double* a, const double* b, double* out,
+               int64_t n);
   double (*dot)(const double* a, const double* b, int64_t n);
+  void (*gram_row_delta)(double new_i, const double* new_row, double old_i,
+                         const double* old_row, double* g, int64_t n);
+  void (*scaled_diff_accum)(double p, const double* new_row,
+                            const double* prev_row, double* g, int64_t n);
+  // Mixed-precision factor reads (float32 rows, double accumulation).
+  void (*mul_accum_f32)(double* dst, const float* src, int64_t n);
+  void (*fma3_f32)(double v, const float* a, const float* b, double* out,
+                   int64_t n);
 };
 
-/// The table for a given padded rank: a specialization for every padded
-/// rank with a RankTag case above, the generic table otherwise. The
-/// returned reference has static storage duration.
+/// The auto-tier table for a given padded rank: a specialization for every
+/// padded rank with a RankTag case above, the runtime-bound table
+/// otherwise, from the tier ResolveKernelTier() picked for this process.
+/// The returned reference has static storage duration.
 const RankKernelTable& GetRankKernelTable(int64_t padded_rank);
+
+/// Same, pinned to an explicit tier. Falls back tier-by-tier (AVX-512 →
+/// AVX2 → generic) when the requested tier is not compiled into the build,
+/// so the returned table is always callable on a host that supports the
+/// requested tier.
+const RankKernelTable& GetRankKernelTable(int64_t padded_rank,
+                                          KernelTier tier);
 
 }  // namespace sns
 

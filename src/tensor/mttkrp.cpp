@@ -11,80 +11,60 @@ namespace {
 // The two modes of a 3-mode tensor other than `mode`, in ascending order —
 // the common case gets a fused single-pass kernel below. The fused product
 // v·(r_a[r]·r_b[r]) groups exactly like the generic Hadamard accumulation
-// (1·r_a is exact), so both paths are bitwise identical.
+// (1·r_a is exact), so both paths are bitwise identical per tier.
 inline void OtherTwoModes(int mode, int* a, int* b) {
   *a = mode == 0 ? 1 : 0;
   *b = mode == 2 ? 1 : 2;
 }
 
-// Rank-dispatched body of HadamardRowProduct. The padded lanes end at 0.0:
-// they start at 0.0, and every accumulated factor row has zero padding.
-template <int64_t P>
-void HadamardRowProductImpl(const std::vector<Matrix>& factors,
-                            const ModeIndex& index, int skip_mode,
-                            double* out, int64_t rank, int64_t padded) {
+// Body of HadamardRowProduct. The padded lanes end at 0.0: they start at
+// 0.0, and every accumulated factor row has zero padding.
+inline void HadamardRowProductImpl(const std::vector<Matrix>& factors,
+                                   const ModeIndex& index, int skip_mode,
+                                   double* out, int64_t rank, int64_t padded,
+                                   const RankKernelTable& kr) {
   std::fill(out, out + rank, 1.0);
   std::fill(out + rank, out + padded, 0.0);
   for (size_t m = 0; m < factors.size(); ++m) {
     if (static_cast<int>(m) == skip_mode) continue;
-    VecMulAccum<P>(out, factors[m].Row(index[static_cast<int>(m)]), padded);
+    kr.mul_accum(out, factors[m].Row(index[static_cast<int>(m)]), padded);
   }
 }
 
-template <int64_t P>
-void MttkrpRowImpl(const SparseTensor& x, const std::vector<Matrix>& factors,
-                   int mode, int64_t row, double* out, double* had,
-                   int64_t rank, int64_t padded) {
-  VecFill<P>(out, 0.0, padded);
-  if (factors.size() == 3) {
-    int a, b;
-    OtherTwoModes(mode, &a, &b);
-    const Matrix& fa = factors[static_cast<size_t>(a)];
-    const Matrix& fb = factors[static_cast<size_t>(b)];
-    for (const SparseTensor::SliceEntry entry : x.Slice(mode, row)) {
-      VecFma3<P>(entry.value, fa.Row(entry.coords[a]),
-                 fb.Row(entry.coords[b]), out, padded);
-    }
-    return;
+inline void HadamardRowProduct32Impl(const std::vector<Matrix32>& factors32,
+                                     const ModeIndex& index, int skip_mode,
+                                     double* out, int64_t rank, int64_t padded,
+                                     const RankKernelTable& kr) {
+  std::fill(out, out + rank, 1.0);
+  std::fill(out + rank, out + padded, 0.0);
+  for (size_t m = 0; m < factors32.size(); ++m) {
+    if (static_cast<int>(m) == skip_mode) continue;
+    kr.mul_accum_f32(out, factors32[m].Row(index[static_cast<int>(m)]),
+                     padded);
   }
-  for (const SparseTensor::SliceEntry entry : x.Slice(mode, row)) {
-    HadamardRowProductImpl<P>(factors, entry.coords, mode, had, rank, padded);
-    VecAxpy<P>(entry.value, had, out, padded);
-  }
-}
-
-template <int64_t P>
-void MttkrpIntoImpl(const SparseTensor& x, const std::vector<Matrix>& factors,
-                    int mode, Matrix& out, double* had, int64_t rank,
-                    int64_t padded) {
-  out.SetZero();
-  if (factors.size() == 3) {
-    int a, b;
-    OtherTwoModes(mode, &a, &b);
-    const Matrix& fa = factors[static_cast<size_t>(a)];
-    const Matrix& fb = factors[static_cast<size_t>(b)];
-    x.ForEachNonzero([&](const ModeIndex& index, double value) {
-      VecFma3<P>(value, fa.Row(index[a]), fb.Row(index[b]),
-                 out.Row(index[mode]), padded);
-    });
-    return;
-  }
-  x.ForEachNonzero([&](const ModeIndex& index, double value) {
-    HadamardRowProductImpl<P>(factors, index, mode, had, rank, padded);
-    VecAxpy<P>(value, had, out.Row(index[mode]), padded);
-  });
 }
 
 }  // namespace
 
 void HadamardRowProduct(const std::vector<Matrix>& factors,
                         const ModeIndex& index, int skip_mode, double* out) {
-  const int64_t rank = factors[0].cols();
-  const int64_t padded = factors[0].stride();
-  DispatchPaddedRank(padded, [&](auto tag) {
-    HadamardRowProductImpl<decltype(tag)::value>(factors, index, skip_mode,
-                                                 out, rank, padded);
-  });
+  HadamardRowProduct(factors, index, skip_mode, out,
+                     GetRankKernelTable(factors[0].stride()));
+}
+
+void HadamardRowProduct(const std::vector<Matrix>& factors,
+                        const ModeIndex& index, int skip_mode, double* out,
+                        const RankKernelTable& kr) {
+  HadamardRowProductImpl(factors, index, skip_mode, out, factors[0].cols(),
+                         factors[0].stride(), kr);
+}
+
+void HadamardRowProduct32(const std::vector<Matrix32>& factors32,
+                          const ModeIndex& index, int skip_mode, double* out,
+                          const RankKernelTable& kr) {
+  const int64_t rank = factors32[0].cols();
+  HadamardRowProduct32Impl(factors32, index, skip_mode, out, rank,
+                           PaddedRank(rank), kr);
 }
 
 Matrix Mttkrp(const SparseTensor& x, const std::vector<Matrix>& factors,
@@ -98,12 +78,31 @@ Matrix Mttkrp(const SparseTensor& x, const std::vector<Matrix>& factors,
 
 void MttkrpInto(const SparseTensor& x, const std::vector<Matrix>& factors,
                 int mode, Matrix& out, double* had) {
+  MttkrpInto(x, factors, mode, out, had,
+             GetRankKernelTable(factors[0].stride()));
+}
+
+void MttkrpInto(const SparseTensor& x, const std::vector<Matrix>& factors,
+                int mode, Matrix& out, double* had,
+                const RankKernelTable& kr) {
   const int64_t rank = factors[0].cols();
   const int64_t padded = factors[0].stride();
   SNS_CHECK(out.rows() == x.dim(mode) && out.cols() == rank);
-  DispatchPaddedRank(padded, [&](auto tag) {
-    MttkrpIntoImpl<decltype(tag)::value>(x, factors, mode, out, had, rank,
-                                         padded);
+  out.SetZero();
+  if (factors.size() == 3) {
+    int a, b;
+    OtherTwoModes(mode, &a, &b);
+    const Matrix& fa = factors[static_cast<size_t>(a)];
+    const Matrix& fb = factors[static_cast<size_t>(b)];
+    x.ForEachNonzero([&](const ModeIndex& index, double value) {
+      kr.fma3(value, fa.Row(index[a]), fb.Row(index[b]), out.Row(index[mode]),
+              padded);
+    });
+    return;
+  }
+  x.ForEachNonzero([&](const ModeIndex& index, double value) {
+    HadamardRowProductImpl(factors, index, mode, had, rank, padded, kr);
+    kr.axpy(value, had, out.Row(index[mode]), padded);
   });
 }
 
@@ -115,12 +114,55 @@ void MttkrpRow(const SparseTensor& x, const std::vector<Matrix>& factors,
 
 void MttkrpRow(const SparseTensor& x, const std::vector<Matrix>& factors,
                int mode, int64_t row, double* out, double* had) {
+  MttkrpRow(x, factors, mode, row, out, had,
+            GetRankKernelTable(factors[0].stride()));
+}
+
+void MttkrpRow(const SparseTensor& x, const std::vector<Matrix>& factors,
+               int mode, int64_t row, double* out, double* had,
+               const RankKernelTable& kr) {
   const int64_t rank = factors[0].cols();
   const int64_t padded = factors[0].stride();
-  DispatchPaddedRank(padded, [&](auto tag) {
-    MttkrpRowImpl<decltype(tag)::value>(x, factors, mode, row, out, had, rank,
-                                        padded);
-  });
+  kr.fill(out, 0.0, padded);
+  if (factors.size() == 3) {
+    int a, b;
+    OtherTwoModes(mode, &a, &b);
+    const Matrix& fa = factors[static_cast<size_t>(a)];
+    const Matrix& fb = factors[static_cast<size_t>(b)];
+    for (const SparseTensor::SliceEntry entry : x.Slice(mode, row)) {
+      kr.fma3(entry.value, fa.Row(entry.coords[a]), fb.Row(entry.coords[b]),
+              out, padded);
+    }
+    return;
+  }
+  for (const SparseTensor::SliceEntry entry : x.Slice(mode, row)) {
+    HadamardRowProductImpl(factors, entry.coords, mode, had, rank, padded, kr);
+    kr.axpy(entry.value, had, out, padded);
+  }
+}
+
+void MttkrpRow32(const SparseTensor& x, const std::vector<Matrix32>& factors32,
+                 int mode, int64_t row, double* out, double* had,
+                 const RankKernelTable& kr) {
+  const int64_t rank = factors32[0].cols();
+  const int64_t padded = PaddedRank(rank);
+  kr.fill(out, 0.0, padded);
+  if (factors32.size() == 3) {
+    int a, b;
+    OtherTwoModes(mode, &a, &b);
+    const Matrix32& fa = factors32[static_cast<size_t>(a)];
+    const Matrix32& fb = factors32[static_cast<size_t>(b)];
+    for (const SparseTensor::SliceEntry entry : x.Slice(mode, row)) {
+      kr.fma3_f32(entry.value, fa.Row(entry.coords[a]),
+                  fb.Row(entry.coords[b]), out, padded);
+    }
+    return;
+  }
+  for (const SparseTensor::SliceEntry entry : x.Slice(mode, row)) {
+    HadamardRowProduct32Impl(factors32, entry.coords, mode, had, rank, padded,
+                             kr);
+    kr.axpy(entry.value, had, out, padded);
+  }
 }
 
 Matrix HadamardOfGramsExcept(const std::vector<Matrix>& grams, int skip_mode) {

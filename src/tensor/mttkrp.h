@@ -15,15 +15,32 @@
 #include <vector>
 
 #include "linalg/matrix.h"
+#include "linalg/matrix32.h"
 #include "tensor/sparse_tensor.h"
 
 namespace sns {
 
+struct RankKernelTable;  // linalg/rank_dispatch.h
+
 /// out[r] = Π_{m≠skip_mode} factors[m](index[m], r) for r in [0, R).
 /// With skip_mode = -1, multiplies over every mode. `out` must hold
 /// PaddedRank(R) values (padding is left zeroed).
+///
+/// Table-taking overloads (here and below) run through the caller's cached
+/// RankKernelTable — the hot-path form, honoring an engine-pinned kernel
+/// tier; the plain overloads resolve the process-wide auto tier per call.
 void HadamardRowProduct(const std::vector<Matrix>& factors,
                         const ModeIndex& index, int skip_mode, double* out);
+void HadamardRowProduct(const std::vector<Matrix>& factors,
+                        const ModeIndex& index, int skip_mode, double* out,
+                        const RankKernelTable& kr);
+
+/// Mixed-precision form: reads float32 factor mirrors (linalg/matrix32.h),
+/// accumulating in double. `out` must hold PaddedRank(R) doubles, R =
+/// factors32[0].cols(); `kr` must match PaddedRank(R).
+void HadamardRowProduct32(const std::vector<Matrix32>& factors32,
+                          const ModeIndex& index, int skip_mode, double* out,
+                          const RankKernelTable& kr);
 
 /// Full sparse MTTKRP: returns the N_mode × R matrix
 /// X_(mode) (⊙_{m≠mode} A(m)), iterating once over the non-zeros of x.
@@ -44,12 +61,24 @@ void MttkrpRow(const SparseTensor& x, const std::vector<Matrix>& factors,
 /// allocation — the form called on the per-event update hot path.
 void MttkrpRow(const SparseTensor& x, const std::vector<Matrix>& factors,
                int mode, int64_t row, double* out, double* had);
+void MttkrpRow(const SparseTensor& x, const std::vector<Matrix>& factors,
+               int mode, int64_t row, double* out, double* had,
+               const RankKernelTable& kr);
+
+/// Mixed-precision row MTTKRP: factor rows are read from the float32
+/// mirrors with double accumulation. Same scratch contract as MttkrpRow.
+void MttkrpRow32(const SparseTensor& x, const std::vector<Matrix32>& factors32,
+                 int mode, int64_t row, double* out, double* had,
+                 const RankKernelTable& kr);
 
 /// Allocation-free full MTTKRP into a preallocated dim(mode)×R `out`
 /// (zeroed here); `had` must hold PaddedRank(R) values. The hot-path form
 /// used by the SNS-MAT per-event ALS sweep.
 void MttkrpInto(const SparseTensor& x, const std::vector<Matrix>& factors,
                 int mode, Matrix& out, double* had);
+void MttkrpInto(const SparseTensor& x, const std::vector<Matrix>& factors,
+                int mode, Matrix& out, double* had,
+                const RankKernelTable& kr);
 
 /// Hadamard of all Gram matrices except `skip_mode` (skip_mode = -1 keeps
 /// all): H(m) = ∗_{n≠m} A(n)'A(n) of Eqs. 4/12. `grams[m]` must be R×R.

@@ -23,6 +23,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/cpu_features.h"
 #include "common/random.h"
 #include "core/als.h"
 #include "core/continuous_cpd.h"
@@ -85,6 +86,21 @@ void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
 
 namespace sns {
 namespace {
+
+// The naive reference below is deliberately plain scalar code, so the
+// bitwise differentials only hold when the production path runs the
+// portable kernels too: pin the whole binary to the generic tier before
+// any test constructs an updater. (The allocation-count and cache
+// consistency guarantees are tier-independent.)
+class ForceGenericTierEnvironment : public ::testing::Environment {
+ public:
+  void SetUp() override {
+    setenv("SNS_FORCE_GENERIC_KERNELS", "1", /*overwrite=*/1);
+    internal::RefreshKernelTierForTest();
+  }
+};
+const auto* const kForceGenericTier =
+    ::testing::AddGlobalTestEnvironment(new ForceGenericTierEnvironment);
 
 // ---------------------------------------------------------------------------
 // Shared event helpers (mirroring core_updaters_test).

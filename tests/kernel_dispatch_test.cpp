@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/cpu_features.h"
 #include "common/random.h"
 #include "core/cpd_state.h"
 #include "core/sns_rnd.h"
@@ -21,6 +22,7 @@
 #include "core/sns_vec_plus.h"
 #include "linalg/cholesky.h"
 #include "linalg/matrix.h"
+#include "linalg/matrix32.h"
 #include "linalg/rank_dispatch.h"
 #include "linalg/simd.h"
 #include "tensor/mttkrp.h"
@@ -31,6 +33,27 @@ namespace {
 // Ranks exercising every specialization (padded 4, 8, 12, 16, 20, 24, 32),
 // the generic fallback (40), and every padded-tail residue.
 const int64_t kRanks[] = {1, 3, 5, 7, 12, 16, 20, 24, 29, 32, 40};
+
+// Every tier the host can actually run: the generic fallback always, plus
+// each compiled-in intrinsic tier the CPU supports. Kernels pinned to these
+// tables exercise the real codelets, not the fallback.
+std::vector<KernelTier> AvailableTiers() {
+  std::vector<KernelTier> tiers = {KernelTier::kGeneric};
+  for (const KernelTier t : {KernelTier::kAvx2, KernelTier::kAvx512}) {
+    if (KernelTierCompiledIn(t) && KernelTierSupported(t)) tiers.push_back(t);
+  }
+  return tiers;
+}
+
+// FMA-bearing codelets drop one rounding per multiply-add: intrinsic tiers
+// agree with the scalar reference to ulps, not bitwise.
+void ExpectTierValue(KernelTier tier, double actual, double expected) {
+  if (tier == KernelTier::kGeneric) {
+    ASSERT_EQ(actual, expected);
+  } else {
+    ASSERT_NEAR(actual, expected, 1e-13 * (1.0 + std::fabs(expected)));
+  }
+}
 
 class KernelDispatchTest : public ::testing::TestWithParam<int64_t> {};
 
@@ -135,20 +158,24 @@ TEST_P(KernelDispatchTest, HadamardKernelsMatchNaive) {
 TEST_P(KernelDispatchTest, AddOuterProductMatchesNaive) {
   const int64_t rank = GetParam();
   Rng rng(20 + rank);
-  Matrix dst = Matrix::RandomNormal(rank, rank, rng);
-  const Matrix expected_base = dst;
+  const Matrix base = Matrix::RandomNormal(rank, rank, rng);
   AlignedVector u(rank), v(rank);
   for (int64_t r = 0; r < rank; ++r) {
     u[r] = rng.Normal();
     v[r] = rng.Normal();
   }
-  AddOuterProduct(dst, u.data(), v.data());
-  for (int64_t i = 0; i < rank; ++i) {
-    for (int64_t j = 0; j < rank; ++j) {
-      ASSERT_EQ(dst(i, j), expected_base(i, j) + u[i] * v[j]);
+  for (const KernelTier tier : AvailableTiers()) {
+    SCOPED_TRACE(KernelTierName(tier));
+    Matrix dst = base;
+    AddOuterProduct(dst, u.data(), v.data(),
+                    GetRankKernelTable(dst.stride(), tier));
+    for (int64_t i = 0; i < rank; ++i) {
+      for (int64_t j = 0; j < rank; ++j) {
+        ExpectTierValue(tier, dst(i, j), base(i, j) + u[i] * v[j]);
+      }
     }
+    EXPECT_TRUE(dst.PaddingIsZero());
   }
-  EXPECT_TRUE(dst.PaddingIsZero());
 }
 
 TEST_P(KernelDispatchTest, MultiplyTransposeAIntoMatchesNaive) {
@@ -175,29 +202,133 @@ TEST_P(KernelDispatchTest, MultiplyTransposeAIntoMatchesNaive) {
 TEST_P(KernelDispatchTest, GramRowUpdatesMatchNaive) {
   const int64_t rank = GetParam();
   Rng rng(40 + rank);
-  Matrix gram = Matrix::RandomNormal(rank, rank, rng);
-  Matrix prev_gram = gram;
-  const Matrix base = gram;
+  const Matrix base = Matrix::RandomNormal(rank, rank, rng);
   AlignedVector old_row(rank), new_row(rank);
   for (int64_t r = 0; r < rank; ++r) {
     old_row[r] = rng.Normal();
     new_row[r] = rng.Normal();
   }
 
-  ApplyGramRowUpdate(gram, old_row.data(), new_row.data());
-  ApplyPrevGramRowUpdate(prev_gram, old_row.data(), new_row.data());
-  for (int64_t i = 0; i < rank; ++i) {
-    for (int64_t j = 0; j < rank; ++j) {
-      // Group like the kernel: g += (a·b − p·p), not (g + a·b) − p·p.
-      const double gram_delta =
-          new_row[i] * new_row[j] - old_row[i] * old_row[j];
-      ASSERT_EQ(gram(i, j), base(i, j) + gram_delta);
-      const double prev_delta = old_row[i] * (new_row[j] - old_row[j]);
-      ASSERT_EQ(prev_gram(i, j), base(i, j) + prev_delta);
+  for (const KernelTier tier : AvailableTiers()) {
+    SCOPED_TRACE(KernelTierName(tier));
+    Matrix gram = base;
+    Matrix prev_gram = base;
+    const RankKernelTable& kr = GetRankKernelTable(gram.stride(), tier);
+    ApplyGramRowUpdate(gram, old_row.data(), new_row.data(), kr);
+    ApplyPrevGramRowUpdate(prev_gram, old_row.data(), new_row.data(), kr);
+    for (int64_t i = 0; i < rank; ++i) {
+      for (int64_t j = 0; j < rank; ++j) {
+        // Group like the kernel: g += (a·b − p·p), not (g + a·b) − p·p.
+        const double gram_delta =
+            new_row[i] * new_row[j] - old_row[i] * old_row[j];
+        ExpectTierValue(tier, gram(i, j), base(i, j) + gram_delta);
+        const double prev_delta = old_row[i] * (new_row[j] - old_row[j]);
+        ExpectTierValue(tier, prev_gram(i, j), base(i, j) + prev_delta);
+      }
+    }
+    EXPECT_TRUE(gram.PaddingIsZero());
+    EXPECT_TRUE(prev_gram.PaddingIsZero());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Every RankKernelTable entry point, per available tier, against a scalar
+// reference. Elementwise kernels (fill/copy/mul/mul_accum and the widening
+// mul_accum_f32) are bitwise on every tier — same per-entry arithmetic;
+// FMA-bearing kernels (axpy/fma3/dot/gram deltas/fma3_f32) are bitwise on
+// the generic tier and ulp-tight on the intrinsic ones.
+
+TEST_P(KernelDispatchTest, TableKernelsMatchNaivePerTier) {
+  const int64_t rank = GetParam();
+  const int64_t padded = PaddedRank(rank);
+  Rng rng(110 + rank);
+  AlignedVector a(rank), b(rank);
+  for (int64_t r = 0; r < rank; ++r) {
+    a[r] = rng.Normal();
+    b[r] = rng.Normal();
+  }
+  // Pre-quantized rows + float32 mirrors for the f32 kernels.
+  Matrix aq(1, rank), bq(1, rank);
+  for (int64_t r = 0; r < rank; ++r) {
+    aq(0, r) = static_cast<double>(static_cast<float>(a[r]));
+    bq(0, r) = static_cast<double>(static_cast<float>(b[r]));
+  }
+  Matrix32 a32(1, rank), b32(1, rank);
+  a32.AssignFromDouble(aq);
+  b32.AssignFromDouble(bq);
+
+  AlignedVector out(rank), scratch(rank);
+  for (const KernelTier tier : AvailableTiers()) {
+    SCOPED_TRACE(KernelTierName(tier));
+    const RankKernelTable& kr = GetRankKernelTable(padded, tier);
+    // Specialized table for padded ranks <= 32, runtime-bound (sentinel 0)
+    // beyond.
+    ASSERT_EQ(kr.padded_rank, padded <= 32 ? padded : 0);
+
+    kr.fill(out.data(), 1.75, padded);
+    for (int64_t r = 0; r < padded; ++r) ASSERT_EQ(out[r], 1.75);
+
+    kr.copy(a.data(), out.data(), padded);
+    for (int64_t r = 0; r < rank; ++r) ASSERT_EQ(out[r], a[r]);
+
+    kr.copy(b.data(), out.data(), padded);
+    kr.axpy(1.3, a.data(), out.data(), padded);
+    for (int64_t r = 0; r < rank; ++r) {
+      ExpectTierValue(tier, out[r], b[r] + 1.3 * a[r]);
+    }
+
+    kr.mul(a.data(), b.data(), out.data(), padded);
+    for (int64_t r = 0; r < rank; ++r) ASSERT_EQ(out[r], a[r] * b[r]);
+
+    kr.copy(a.data(), out.data(), padded);
+    kr.mul_accum(out.data(), b.data(), padded);
+    for (int64_t r = 0; r < rank; ++r) ASSERT_EQ(out[r], a[r] * b[r]);
+
+    kr.copy(b.data(), out.data(), padded);
+    kr.fma3(0.77, a.data(), a.data(), out.data(), padded);
+    for (int64_t r = 0; r < rank; ++r) {
+      ExpectTierValue(tier, out[r], b[r] + 0.77 * (a[r] * a[r]));
+    }
+
+    // Dot reference replicating the fixed four-lane reduction grouping
+    // every tier's contract is based on.
+    {
+      const int64_t m4 = padded - padded % 4;
+      double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+      for (int64_t r = 0; r < m4; r += 4) {
+        s0 += a.data()[r] * b.data()[r];
+        s1 += a.data()[r + 1] * b.data()[r + 1];
+        s2 += a.data()[r + 2] * b.data()[r + 2];
+        s3 += a.data()[r + 3] * b.data()[r + 3];
+      }
+      const double expected = (s0 + s2) + (s1 + s3);
+      ExpectTierValue(tier, kr.dot(a.data(), b.data(), padded), expected);
+    }
+
+    kr.copy(b.data(), out.data(), padded);
+    kr.gram_row_delta(a[0], a.data(), b[0], b.data(), out.data(), padded);
+    for (int64_t r = 0; r < rank; ++r) {
+      ExpectTierValue(tier, out[r], b[r] + (a[0] * a[r] - b[0] * b[r]));
+    }
+
+    kr.copy(b.data(), out.data(), padded);
+    kr.scaled_diff_accum(1.1, a.data(), b.data(), out.data(), padded);
+    for (int64_t r = 0; r < rank; ++r) {
+      ExpectTierValue(tier, out[r], b[r] + 1.1 * (a[r] - b[r]));
+    }
+
+    kr.copy(aq.Row(0), out.data(), padded);
+    kr.mul_accum_f32(out.data(), b32.Row(0), padded);
+    for (int64_t r = 0; r < rank; ++r) {
+      ASSERT_EQ(out[r], aq(0, r) * bq(0, r));
+    }
+
+    kr.fill(out.data(), 0.25, padded);
+    kr.fma3_f32(1.5, a32.Row(0), b32.Row(0), out.data(), padded);
+    for (int64_t r = 0; r < rank; ++r) {
+      ExpectTierValue(tier, out[r], 0.25 + 1.5 * (aq(0, r) * bq(0, r)));
     }
   }
-  EXPECT_TRUE(gram.PaddingIsZero());
-  EXPECT_TRUE(prev_gram.PaddingIsZero());
 }
 
 // ---------------------------------------------------------------------------

@@ -11,14 +11,18 @@ cd "$(dirname "$0")/.."
 
 compiler="${1:-${CXX:-g++}}"
 
-# The public surface: the umbrella header, the api/ facade layer, and the
-# runtime layer it exposes (tickets, mailboxes, shards).
+# The public surface: the umbrella header, the api/ facade layer, the
+# runtime layer it exposes (tickets, mailboxes, shards), and the kernel
+# dispatch surface (CPU probe, codelet table contract, float32 mirrors).
 headers=(
   src/slicenstitch.h
   src/api/service_options.h
   src/api/sns_service.h
   src/api/stream_event.h
   src/api/stream_handle.h
+  src/common/cpu_features.h
+  src/linalg/codelets/codelet_tables.h
+  src/linalg/matrix32.h
   src/runtime/mailbox.h
   src/runtime/sharded_executor.h
   src/runtime/task.h
