@@ -2,7 +2,29 @@
 
 #include <cstdio>
 
+#include "common/serial.h"
+#include "durability/checkpoint.h"
+#include "durability/journal.h"
+
 namespace sns {
+
+SnsService::StreamEntry::StreamEntry() = default;
+SnsService::StreamEntry::~StreamEntry() = default;
+
+Status SnsService::AppendJournal(StreamEntry& entry, uint64_t sequence,
+                                 durability::JournalOpType op, int64_t time,
+                                 std::span<const Tuple> tuples) {
+  if (entry.journal == nullptr) return Status::OK();
+  if (entry.journal_poisoned) {
+    return Status::DataLoss(
+        "stream journal is poisoned by an earlier append failure");
+  }
+  Status status = entry.journal->Append(sequence, op, time, tuples);
+  // Sticky: skipping one record and appending the next would leave a
+  // sequence gap that replay could not tell from corruption.
+  if (!status.ok()) entry.journal_poisoned = true;
+  return status;
+}
 
 SnsService::SnsService() : registry_(std::make_unique<Registry>()) {}
 
@@ -145,15 +167,19 @@ Ticket SnsService::IngestAsync(std::string_view stream,
   if (executor_ == nullptr) {
     // Inline: applied synchronously before returning, so the span needs no
     // owning copy.
-    return SubmitOp(*entry, [tuples](StreamHandle& handle) {
-      return handle.Ingest(tuples);
+    return SubmitOp(*entry, [tuples](StreamEntry& e, uint64_t seq) {
+      SNS_RETURN_IF_ERROR(AppendJournal(
+          e, seq, durability::JournalOpType::kIngest, 0, tuples));
+      return e.handle->Ingest(tuples);
     });
   }
   return SubmitOp(
       *entry,
       [batch = std::vector<Tuple>(tuples.begin(), tuples.end())](
-          StreamHandle& handle) {
-        return handle.Ingest(std::span<const Tuple>(batch));
+          StreamEntry& e, uint64_t seq) {
+        SNS_RETURN_IF_ERROR(AppendJournal(
+            e, seq, durability::JournalOpType::kIngest, 0, batch));
+        return e.handle->Ingest(std::span<const Tuple>(batch));
       });
 }
 
@@ -162,16 +188,20 @@ Ticket SnsService::IngestAsync(std::string_view stream,
   StreamEntry* entry = ResolveEntry(stream);
   if (entry == nullptr) return Ticket::Completed(NoSuchStream(stream));
   return SubmitOp(*entry,
-                  [batch = std::move(tuples)](StreamHandle& handle) {
-                    return handle.Ingest(std::span<const Tuple>(batch));
+                  [batch = std::move(tuples)](StreamEntry& e, uint64_t seq) {
+                    SNS_RETURN_IF_ERROR(AppendJournal(
+                        e, seq, durability::JournalOpType::kIngest, 0, batch));
+                    return e.handle->Ingest(std::span<const Tuple>(batch));
                   });
 }
 
 Ticket SnsService::AdvanceToAsync(std::string_view stream, int64_t time) {
   StreamEntry* entry = ResolveEntry(stream);
   if (entry == nullptr) return Ticket::Completed(NoSuchStream(stream));
-  return SubmitOp(*entry, [time](StreamHandle& handle) {
-    return handle.AdvanceTo(time);
+  return SubmitOp(*entry, [time](StreamEntry& e, uint64_t seq) {
+    SNS_RETURN_IF_ERROR(AppendJournal(
+        e, seq, durability::JournalOpType::kAdvanceTo, time, {}));
+    return e.handle->AdvanceTo(time);
   });
 }
 
@@ -186,7 +216,11 @@ Status SnsService::Warmup(std::string_view stream,
   if (entry == nullptr) return NoSuchStream(stream);
   return SubmitOp(
              *entry,
-             [tuples](StreamHandle& handle) { return handle.Warmup(tuples); },
+             [tuples](StreamEntry& e, uint64_t seq) {
+               SNS_RETURN_IF_ERROR(AppendJournal(
+                   e, seq, durability::JournalOpType::kWarmup, 0, tuples));
+               return e.handle->Warmup(tuples);
+             },
              /*force_block=*/true)
       .Wait();
 }
@@ -196,7 +230,11 @@ Status SnsService::Initialize(std::string_view stream) {
   if (entry == nullptr) return NoSuchStream(stream);
   return SubmitOp(
              *entry,
-             [](StreamHandle& handle) { return handle.Initialize(); },
+             [](StreamEntry& e, uint64_t seq) {
+               SNS_RETURN_IF_ERROR(AppendJournal(
+                   e, seq, durability::JournalOpType::kInitialize, 0, {}));
+               return e.handle->Initialize();
+             },
              /*force_block=*/true)
       .Wait();
 }
@@ -207,7 +245,11 @@ Status SnsService::Ingest(std::string_view stream,
   if (entry == nullptr) return NoSuchStream(stream);
   return SubmitOp(
              *entry,
-             [tuples](StreamHandle& handle) { return handle.Ingest(tuples); },
+             [tuples](StreamEntry& e, uint64_t seq) {
+               SNS_RETURN_IF_ERROR(AppendJournal(
+                   e, seq, durability::JournalOpType::kIngest, 0, tuples));
+               return e.handle->Ingest(tuples);
+             },
              /*force_block=*/true)
       .Wait();
 }
@@ -221,7 +263,11 @@ Status SnsService::AdvanceTo(std::string_view stream, int64_t time) {
   if (entry == nullptr) return NoSuchStream(stream);
   return SubmitOp(
              *entry,
-             [time](StreamHandle& handle) { return handle.AdvanceTo(time); },
+             [time](StreamEntry& e, uint64_t seq) {
+               SNS_RETURN_IF_ERROR(AppendJournal(
+                   e, seq, durability::JournalOpType::kAdvanceTo, time, {}));
+               return e.handle->AdvanceTo(time);
+             },
              /*force_block=*/true)
       .Wait();
 }
@@ -236,19 +282,30 @@ void SnsService::AdvanceAllTo(int64_t time) {
     }
   }
   for (StreamEntry* entry : entries) {
+    // Streams that never saw input are left untouched — advancing their
+    // clock would forbid warming them up with earlier tuples later — and
+    // streams ahead of the horizon are skipped. The decision happens in a
+    // query hop BEFORE any ticket is issued: skipped streams must consume
+    // no sequence token, or their journals would carry a record-less token
+    // (an undetectable replay gap). Racing submissions are a caller error
+    // (see the class comment), so the two hops observe a stable clock.
+    const StreamStats stats = RunOnShard(
+        *entry, [](StreamHandle& handle) { return handle.Stats(); });
+    if (!stats.has_ingested || stats.last_time > time) continue;
     const Status status =
-        RunOnShard(*entry, [time](StreamHandle& handle) {
-          const StreamStats stats = handle.Stats();
-          // Streams that never saw input are left untouched — advancing
-          // their clock would forbid warming them up with earlier tuples
-          // later. Streams ahead of the horizon are skipped, so AdvanceTo
-          // never fails here.
-          if (!stats.has_ingested || stats.last_time > time) {
-            return Status::OK();
-          }
-          return handle.AdvanceTo(time);
-        });
-    SNS_CHECK(status.ok());
+        SubmitOp(
+            *entry,
+            [time](StreamEntry& e, uint64_t seq) {
+              SNS_RETURN_IF_ERROR(AppendJournal(
+                  e, seq, durability::JournalOpType::kAdvanceTo, time, {}));
+              return e.handle->AdvanceTo(time);
+            },
+            /*force_block=*/true)
+            .Wait();
+    // AdvanceTo cannot fail past the guard above; tolerate the typed
+    // shutdown refusal (AdvanceAllTo after Shutdown degrades to a no-op).
+    SNS_CHECK(status.ok() ||
+              status.code() == StatusCode::kFailedPrecondition);
   }
 }
 
@@ -301,6 +358,81 @@ StatusOr<uint64_t> SnsService::AppliedSequence(
   StreamEntry* entry = ResolveEntry(stream);
   if (entry == nullptr) return NoSuchStream(stream);
   return entry->applied_seq.load(std::memory_order_acquire);
+}
+
+// --- Durability -----------------------------------------------------------
+
+Status SnsService::Checkpoint(std::string_view stream,
+                              serial::ByteSink& sink) {
+  if (registry_->shutdown.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition(
+        "service is shut down; checkpoint streams before Shutdown");
+  }
+  StreamEntry* entry = ResolveEntry(stream);
+  if (entry == nullptr) return NoSuchStream(stream);
+  StreamEntry* e = entry;
+  // The hop rides the owning shard's FIFO mailbox, so by the time it runs,
+  // exactly the mutations enqueued before this call have been applied —
+  // applied_seq read on the shard IS the checkpoint's sequence point.
+  return RunOnShard(*entry, [e, &sink](StreamHandle& handle) {
+    return durability::WriteStreamCheckpoint(
+        handle, e->applied_seq.load(std::memory_order_acquire), sink);
+  });
+}
+
+StatusOr<StreamHandle*> SnsService::Restore(serial::ByteSource& source) {
+  if (registry_->shutdown.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("service is shut down");
+  }
+  auto restored = durability::ReadStreamCheckpoint(source);
+  if (!restored.ok()) return restored.status();
+  const uint64_t sequence = restored.value().sequence;
+  std::string name = restored.value().handle.name();
+  std::lock_guard<std::mutex> lock(registry_->mu);
+  if (registry_->streams.find(name) != registry_->streams.end()) {
+    return Status::FailedPrecondition("stream '" + name +
+                                      "' already exists");
+  }
+  auto entry = std::make_unique<StreamEntry>();
+  entry->handle = std::make_unique<StreamHandle>(
+      std::move(restored).value().handle);
+  if (executor_ != nullptr) entry->shard = executor_->AssignShard();
+  entry->issued_seq = sequence;
+  entry->applied_seq.store(sequence, std::memory_order_release);
+  StreamHandle* raw = entry->handle.get();
+  registry_->streams.emplace(std::move(name), std::move(entry));
+  return raw;
+}
+
+Status SnsService::EnableJournal(std::string_view stream,
+                                 const std::string& directory) {
+  return EnableJournal(stream, directory, durability::JournalOptions());
+}
+
+Status SnsService::EnableJournal(std::string_view stream,
+                                 const std::string& directory,
+                                 const durability::JournalOptions& options) {
+  if (registry_->shutdown.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("service is shut down");
+  }
+  StreamEntry* entry = ResolveEntry(stream);
+  if (entry == nullptr) return NoSuchStream(stream);
+  if (entry->journal != nullptr) {
+    return Status::FailedPrecondition(
+        "stream '" + std::string(stream) + "' already journals to '" +
+        entry->journal->directory() + "'");
+  }
+  auto writer = durability::JournalWriter::Open(directory, options);
+  if (!writer.ok()) return writer.status();
+  // Quiesce the owning shard so the journal attaches at a sequence point:
+  // every in-flight ticket lands un-journaled (covered by the caller's
+  // checkpoint), every later one is journaled.
+  if (executor_ != nullptr && entry->shard >= 0) {
+    executor_->DrainShard(entry->shard);
+  }
+  entry->journal = std::move(writer).value();
+  entry->journal_poisoned = false;
+  return Status::OK();
 }
 
 // --- Runtime lifecycle ----------------------------------------------------

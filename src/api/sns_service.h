@@ -72,6 +72,17 @@
 
 namespace sns {
 
+namespace serial {
+class ByteSink;
+class ByteSource;
+}  // namespace serial
+
+namespace durability {
+class JournalWriter;
+struct JournalOptions;
+enum class JournalOpType : uint8_t;
+}  // namespace durability
+
 /// Multi-stream service facade over the sharded runtime. Move-only; streams
 /// and shard threads are owned by the service.
 class SnsService {
@@ -207,6 +218,39 @@ class SnsService {
   /// >= its sequence(). Lock-free — no shard hop.
   StatusOr<uint64_t> AppliedSequence(std::string_view stream) const;
 
+  // --- Durability -------------------------------------------------------
+
+  /// Writes a versioned, CRC-guarded checkpoint of one stream into `sink`
+  /// (durability/checkpoint.h envelope), stamped with the stream's applied
+  /// sequence token. Runs as a request/reply hop on the owning shard, so it
+  /// captures a consistent sequence point even during live async ingest:
+  /// exactly the operations whose tickets were enqueued before the
+  /// checkpoint call are included. After Shutdown the service refuses with
+  /// kFailedPrecondition — checkpoint before shutting down.
+  Status Checkpoint(std::string_view stream, serial::ByteSink& sink);
+
+  /// Rebuilds a stream from a Checkpoint byte stream and registers it under
+  /// its serialized name (like CreateStream: duplicate names fail, the
+  /// stream is pinned to a shard, the returned pointer is service-owned).
+  /// The stream resumes at its checkpointed sequence token, so attaching a
+  /// journal and replaying (durability::RecoverStream) continues the exact
+  /// token sequence.
+  StatusOr<StreamHandle*> Restore(serial::ByteSource& source);
+
+  /// Attaches a write-ahead event journal to one stream: every subsequent
+  /// ticketed mutation is appended to `directory` (durability/journal.h)
+  /// before it is applied. The owning shard is drained first, so the
+  /// journal starts at a clean sequence point; for crash recovery, enable
+  /// journaling right after CreateStream/Restore and checkpoint afterwards.
+  /// Fails if the stream already journals or the service is shut down. Must
+  /// not race with submissions to the stream. A failed append poisons the
+  /// journal (a silently skipped record would become an undetectable replay
+  /// gap): the failing operation is not applied and every later mutation
+  /// fails with kDataLoss.
+  Status EnableJournal(std::string_view stream, const std::string& directory);
+  Status EnableJournal(std::string_view stream, const std::string& directory,
+                       const durability::JournalOptions& options);
+
   // --- Runtime lifecycle ------------------------------------------------
 
   /// Blocks until every accepted task on every shard has executed. With
@@ -224,11 +268,18 @@ class SnsService {
   /// allocated so shard tasks hold stable pointers across pool mutations
   /// and service moves.
   struct StreamEntry {
+    StreamEntry();   // Out-of-line: JournalWriter is incomplete here.
+    ~StreamEntry();
+
     std::unique_ptr<StreamHandle> handle;
     int shard = -1;  // Pinned owning shard; -1 inline.
     std::mutex submit_mu;    // Serializes ticket issue + enqueue.
     uint64_t issued_seq = 0;  // Guarded by submit_mu.
     std::atomic<uint64_t> applied_seq{0};  // Written on the owning shard.
+    /// Write-ahead journal, or null. Like the handle, touched only on the
+    /// owning shard once attached (EnableJournal drains before attaching).
+    std::unique_ptr<durability::JournalWriter> journal;
+    bool journal_poisoned = false;  // Sticky append failure; owning shard.
   };
 
   /// The stream registry, heap-allocated behind the service so shard tasks
@@ -247,13 +298,23 @@ class SnsService {
     return Status::NotFound("no stream named '" + std::string(name) + "'");
   }
 
-  /// Issues a ticket for `op(StreamHandle&) -> Status` and enqueues it on
-  /// the owning shard (or runs it inline). The only entry point that
-  /// consumes sequence tokens. Honors BackpressurePolicy unless
-  /// `force_block` — the synchronous mutation forms, whose callers
-  /// self-throttle by waiting on the ticket anyway.
+  /// Issues a ticket for `op(StreamEntry&, uint64_t seq) -> Status` and
+  /// enqueues it on the owning shard (or runs it inline). The only entry
+  /// point that consumes sequence tokens; ops receive their token so they
+  /// can journal write-ahead (AppendJournal) before applying. Honors
+  /// BackpressurePolicy unless `force_block` — the synchronous mutation
+  /// forms, whose callers self-throttle by waiting on the ticket anyway.
+  /// A rejected submission (backpressure / shutdown) consumes no token and
+  /// journals nothing, so tokens and journal records stay 1:1.
   template <typename Op>
   Ticket SubmitOp(StreamEntry& entry, Op op, bool force_block = false);
+
+  /// Write-ahead append of one ticketed operation to the stream's journal
+  /// (no-op without one). Runs on the owning shard as the first step of
+  /// every mutation op; an error means the op must not be applied.
+  static Status AppendJournal(StreamEntry& entry, uint64_t sequence,
+                              durability::JournalOpType op, int64_t time,
+                              std::span<const Tuple> tuples);
 
   /// Blocking request/reply hop: runs `fn(StreamHandle&) -> R` on the
   /// owning shard and returns R. Always blocks for mailbox room; falls back
@@ -283,7 +344,7 @@ Ticket SnsService::SubmitOp(StreamEntry& entry, Op op, bool force_block) {
           Status::FailedPrecondition("service is shut down"));
     }
     entry.issued_seq = seq;
-    Status status = op(*entry.handle);
+    Status status = op(entry, seq);
     entry.applied_seq.store(seq, std::memory_order_release);
     auto record = std::make_shared<internal::TicketRecord>(seq);
     record->Complete(std::move(status));
@@ -294,7 +355,7 @@ Ticket SnsService::SubmitOp(StreamEntry& entry, Op op, bool force_block) {
   const Mailbox::PushResult result = executor_->Submit(
       entry.shard,
       Task([e, record, op = std::move(op)]() mutable {
-        Status status = op(*e->handle);
+        Status status = op(*e, record->sequence());
         e->applied_seq.store(record->sequence(), std::memory_order_release);
         record->Complete(std::move(status));
       }),

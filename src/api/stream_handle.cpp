@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/serial.h"
+#include "durability/checkpoint.h"
+#include "tensor/mode_index.h"
+
 namespace sns {
 namespace {
 
@@ -245,6 +249,102 @@ Status StreamHandle::RemoveSink(EventSink* sink) {
   }
   sinks.erase(it);
   return Status::OK();
+}
+
+Status StreamHandle::Checkpoint(serial::ByteSink& sink) const {
+  return durability::WriteStreamCheckpoint(*this, /*sequence=*/0, sink);
+}
+
+StatusOr<StreamHandle> StreamHandle::Restore(serial::ByteSource& source) {
+  auto restored = durability::ReadStreamCheckpoint(source);
+  if (!restored.ok()) return restored.status();
+  return std::move(restored).value().handle;
+}
+
+Status StreamHandle::SerializeState(serial::Writer& w) const {
+  w.Str(name_);
+  w.U32(static_cast<uint32_t>(mode_dims_.size()));
+  for (int64_t dim : mode_dims_) w.I64(dim);
+  const ContinuousCpdOptions& opt = engine_->options();
+  w.I64(opt.rank);
+  w.I32(opt.window_size);
+  w.I64(opt.period);
+  w.U8(static_cast<uint8_t>(opt.variant));
+  w.I64(opt.sample_threshold);
+  w.F64(opt.clip_bound);
+  w.U8(opt.nonnegative_factors ? 1 : 0);
+  w.I64(opt.expected_nnz);
+  w.I64(opt.fitness_resync_interval);
+  w.U8(static_cast<uint8_t>(opt.factor_precision));
+  w.U8(opt.force_generic_kernels ? 1 : 0);
+  w.I32(opt.init.max_iterations);
+  w.F64(opt.init.fitness_tolerance);
+  w.U8(opt.init.normalize_columns ? 1 : 0);
+  w.U64(opt.seed);
+  w.I64(last_time_);
+  w.U8(initialized_ ? 1 : 0);
+  engine_->SerializeTo(w);
+  return w.status();
+}
+
+StatusOr<StreamHandle> StreamHandle::DeserializeState(serial::Reader& r) {
+  std::string name;
+  SNS_RETURN_IF_ERROR(r.Str(&name));
+  uint32_t num_dims = 0;
+  SNS_RETURN_IF_ERROR(r.U32(&num_dims));
+  if (num_dims < 1 || num_dims >= static_cast<uint32_t>(kMaxTensorModes)) {
+    return Status::DataLoss("checkpoint stream has " +
+                            std::to_string(num_dims) + " non-time modes");
+  }
+  std::vector<int64_t> mode_dims(num_dims);
+  for (uint32_t m = 0; m < num_dims; ++m) {
+    SNS_RETURN_IF_ERROR(r.I64(&mode_dims[m]));
+  }
+  ContinuousCpdOptions opt;
+  uint8_t variant = 0;
+  uint8_t nonnegative = 0;
+  uint8_t precision = 0;
+  uint8_t force_generic = 0;
+  uint8_t normalize = 0;
+  SNS_RETURN_IF_ERROR(r.I64(&opt.rank));
+  SNS_RETURN_IF_ERROR(r.I32(&opt.window_size));
+  SNS_RETURN_IF_ERROR(r.I64(&opt.period));
+  SNS_RETURN_IF_ERROR(r.U8(&variant));
+  SNS_RETURN_IF_ERROR(r.I64(&opt.sample_threshold));
+  SNS_RETURN_IF_ERROR(r.F64(&opt.clip_bound));
+  SNS_RETURN_IF_ERROR(r.U8(&nonnegative));
+  SNS_RETURN_IF_ERROR(r.I64(&opt.expected_nnz));
+  SNS_RETURN_IF_ERROR(r.I64(&opt.fitness_resync_interval));
+  SNS_RETURN_IF_ERROR(r.U8(&precision));
+  SNS_RETURN_IF_ERROR(r.U8(&force_generic));
+  SNS_RETURN_IF_ERROR(r.I32(&opt.init.max_iterations));
+  SNS_RETURN_IF_ERROR(r.F64(&opt.init.fitness_tolerance));
+  SNS_RETURN_IF_ERROR(r.U8(&normalize));
+  SNS_RETURN_IF_ERROR(r.U64(&opt.seed));
+  if (variant > static_cast<uint8_t>(SnsVariant::kRndPlus)) {
+    return Status::DataLoss("checkpoint names unknown variant " +
+                            std::to_string(variant));
+  }
+  if (precision > static_cast<uint8_t>(FactorPrecision::kFloat32Accum64)) {
+    return Status::DataLoss("checkpoint names unknown factor precision " +
+                            std::to_string(precision));
+  }
+  opt.variant = static_cast<SnsVariant>(variant);
+  opt.nonnegative_factors = nonnegative != 0;
+  opt.factor_precision = static_cast<FactorPrecision>(precision);
+  opt.force_generic_kernels = force_generic != 0;
+  opt.init.normalize_columns = normalize != 0;
+  auto handle = StreamHandle::Create(std::move(name), std::move(mode_dims),
+                                     opt);
+  if (!handle.ok()) return handle.status();
+  int64_t last_time = 0;
+  uint8_t initialized = 0;
+  SNS_RETURN_IF_ERROR(r.I64(&last_time));
+  SNS_RETURN_IF_ERROR(r.U8(&initialized));
+  SNS_RETURN_IF_ERROR(handle.value().engine_->RestoreFrom(r));
+  handle.value().last_time_ = last_time;
+  handle.value().initialized_ = initialized != 0;
+  return handle;
 }
 
 StreamStats StreamHandle::Stats() const {

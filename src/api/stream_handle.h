@@ -30,6 +30,13 @@
 
 namespace sns {
 
+namespace serial {
+class ByteSink;
+class ByteSource;
+class Writer;
+class Reader;
+}  // namespace serial
+
 /// One ranked result of a TopK query.
 struct TopEntry {
   int64_t index = 0;  // Row index within the queried mode.
@@ -156,6 +163,31 @@ class StreamHandle {
 
   /// Unsubscribes a previously added sink.
   Status RemoveSink(EventSink* sink);
+
+  // --- Durability -------------------------------------------------------
+
+  /// Writes a versioned, CRC-guarded checkpoint of the complete stream
+  /// state (durability/checkpoint.h envelope) with sequence token 0 — the
+  /// standalone-handle form; SnsService::Checkpoint stamps the stream's
+  /// live token instead.
+  Status Checkpoint(serial::ByteSink& sink) const;
+
+  /// Rebuilds a stream from a Checkpoint byte stream. After an OK return
+  /// the restored stream's observable behavior — every factor value, query
+  /// result, and future trajectory — is bitwise identical to the stream the
+  /// checkpoint was taken from. Corrupt input fails with a typed Status
+  /// (kDataLoss / kInvalidArgument / kFailedPrecondition), never a crash.
+  static StatusOr<StreamHandle> Restore(serial::ByteSource& source);
+
+  /// Raw state payload (schema, options, clock, engine) without the
+  /// checkpoint envelope; durability/checkpoint.h wraps it with the magic /
+  /// version / CRC frame. Event sinks are not serialized — subscriptions
+  /// are process-local wiring and must be re-attached after Restore.
+  Status SerializeState(serial::Writer& w) const;
+
+  /// Inverse of SerializeState. Only safe over CRC-verified bytes — the
+  /// decoder validates shapes and enum ranges but trusts verified payloads.
+  static StatusOr<StreamHandle> DeserializeState(serial::Reader& r);
 
   // --- Introspection ----------------------------------------------------
 

@@ -142,6 +142,20 @@ size_t Rng::Categorical(const std::vector<double>& weights) {
   return weights.size() - 1;  // Guard against accumulated rounding.
 }
 
+RngState Rng::SaveState() const {
+  RngState s;
+  for (int i = 0; i < 4; ++i) s.state[static_cast<size_t>(i)] = state_[i];
+  s.has_cached_normal = has_cached_normal_;
+  s.cached_normal = cached_normal_;
+  return s;
+}
+
+void Rng::RestoreState(const RngState& s) {
+  for (int i = 0; i < 4; ++i) state_[i] = s.state[static_cast<size_t>(i)];
+  has_cached_normal_ = s.has_cached_normal;
+  cached_normal_ = s.cached_normal;
+}
+
 std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
   std::vector<size_t> out;
   if (k >= n) {

@@ -9,11 +9,29 @@
 #ifndef SLICENSTITCH_COMMON_RANDOM_H_
 #define SLICENSTITCH_COMMON_RANDOM_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
 namespace sns {
+
+/// Complete serializable state of an Rng: the xoshiro256** engine words plus
+/// the Box–Muller cache of Normal(). RestoreState(SaveState()) makes the
+/// generator continue with the identical draw sequence — the property the
+/// durability checkpoints rely on so restored streams sample the same θ
+/// indices as the uninterrupted run.
+struct RngState {
+  std::array<uint64_t, 4> state{};
+  bool has_cached_normal = false;
+  double cached_normal = 0.0;
+
+  friend bool operator==(const RngState& a, const RngState& b) {
+    return a.state == b.state &&
+           a.has_cached_normal == b.has_cached_normal &&
+           a.cached_normal == b.cached_normal;
+  }
+};
 
 /// Deterministic random number generator (xoshiro256**).
 ///
@@ -64,6 +82,13 @@ class Rng {
   /// Samples k distinct indices uniformly from [0, n) (Floyd's algorithm);
   /// if k >= n returns all of [0, n). Order of the result is unspecified.
   std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Snapshot of the complete generator state.
+  RngState SaveState() const;
+
+  /// Resumes from a snapshot: subsequent draws are bitwise identical to the
+  /// generator the snapshot was taken from.
+  void RestoreState(const RngState& s);
 
  private:
   uint64_t state_[4];

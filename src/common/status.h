@@ -23,6 +23,10 @@ enum class StatusCode {
   kResourceExhausted,
   kInternal,
   kIOError,
+  /// Stored data is unrecoverably corrupt or incomplete (checksum mismatch,
+  /// truncated checkpoint, journal gap) — distinct from kIOError, which
+  /// covers transient I/O failures worth retrying.
+  kDataLoss,
 };
 
 /// Result of an operation that can fail without a payload.
@@ -57,6 +61,9 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

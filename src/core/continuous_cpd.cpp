@@ -1,7 +1,9 @@
 #include "core/continuous_cpd.h"
 
 #include <algorithm>
+#include <string>
 
+#include "common/serial.h"
 #include "core/als.h"
 #include "core/sns_mat.h"
 #include "core/sns_rnd.h"
@@ -38,6 +40,55 @@ std::unique_ptr<EventUpdater> MakeUpdater(const ContinuousCpdOptions& options) {
 std::vector<int64_t> WithTimeMode(std::vector<int64_t> mode_dims, int w) {
   mode_dims.push_back(w);
   return mode_dims;
+}
+
+// Section tags of the engine snapshot: cheap structural self-checks that
+// turn a decoder/format drift into a typed failure instead of garbage state.
+constexpr uint32_t kTagWindow = 0x444E4957;    // "WIND"
+constexpr uint32_t kTagModel = 0x53445043;     // "CPDS"
+constexpr uint32_t kTagFitness = 0x4E544946;   // "FITN"
+constexpr uint32_t kTagRng = 0x53474E52;       // "RNGS"
+constexpr uint32_t kTagCounters = 0x52544E43;  // "CNTR"
+
+Status ExpectTag(serial::Reader& r, uint32_t want, const char* what) {
+  uint32_t got = 0;
+  SNS_RETURN_IF_ERROR(r.U32(&got));
+  if (got != want) {
+    return Status::DataLoss(std::string("engine snapshot is missing its ") +
+                            what + " section");
+  }
+  return Status::OK();
+}
+
+void WriteMatrixEntries(serial::Writer& w, const Matrix& m) {
+  for (int64_t i = 0; i < m.rows(); ++i) {
+    const double* row = m.Row(i);
+    for (int64_t j = 0; j < m.cols(); ++j) w.F64(row[j]);
+  }
+}
+
+Status ReadMatrixEntries(serial::Reader& r, Matrix& m) {
+  for (int64_t i = 0; i < m.rows(); ++i) {
+    double* row = m.Row(i);
+    for (int64_t j = 0; j < m.cols(); ++j) {
+      SNS_RETURN_IF_ERROR(r.F64(&row[j]));
+    }
+  }
+  return Status::OK();
+}
+
+void WriteRngState(serial::Writer& w, const RngState& s) {
+  for (uint64_t word : s.state) w.U64(word);
+  w.U8(s.has_cached_normal ? 1 : 0);
+  w.F64(s.cached_normal);
+}
+
+Status ReadRngState(serial::Reader& r, RngState& s) {
+  for (uint64_t& word : s.state) SNS_RETURN_IF_ERROR(r.U64(&word));
+  uint8_t has_cached = 0;
+  SNS_RETURN_IF_ERROR(r.U8(&has_cached));
+  s.has_cached_normal = has_cached != 0;
+  return r.F64(&s.cached_normal);
 }
 
 }  // namespace
@@ -157,6 +208,136 @@ void ContinuousCpd::ProcessBatch(std::span<const Tuple> tuples) {
 void ContinuousCpd::AdvanceTo(int64_t time) {
   window_.AdvanceTo(time,
                     [this](const WindowDelta& delta) { HandleEvent(delta); });
+}
+
+void ContinuousCpd::SerializeTo(serial::Writer& w) const {
+  w.U32(kTagWindow);
+  window_.SerializeTo(w);
+
+  w.U32(kTagModel);
+  const KruskalModel& model = state_.model;
+  const int modes = state_.num_modes();
+  const int64_t rank = state_.rank();
+  w.U32(static_cast<uint32_t>(modes));
+  w.I64(rank);
+  for (int m = 0; m < modes; ++m) {
+    const Matrix& factor = model.factor(m);
+    w.I64(factor.rows());
+    WriteMatrixEntries(w, factor);
+  }
+  for (double lambda : model.lambda()) w.F64(lambda);
+  // Grams verbatim: they are maintained incrementally (Eq. 13) and
+  // accumulate rounding in event order, so they bitwise-differ from a fresh
+  // recomputation; restoring a recomputed Gram would fork the trajectory.
+  for (const Matrix& gram : state_.grams) WriteMatrixEntries(w, gram);
+  w.U8(static_cast<uint8_t>(state_.precision));
+
+  w.U32(kTagFitness);
+  const FitnessAccumulators acc = fitness_tracker_.SaveAccumulators();
+  w.F64(acc.norm_x_sq);
+  w.F64(acc.inner);
+  w.I64(acc.events_since_resync);
+
+  w.U32(kTagRng);
+  WriteRngState(w, rng_.SaveState());
+  const Rng* updater_rng = updater_->MutableRng();
+  w.U8(updater_rng != nullptr ? 1 : 0);
+  if (updater_rng != nullptr) WriteRngState(w, updater_rng->SaveState());
+
+  w.U32(kTagCounters);
+  w.U8(updates_enabled_ ? 1 : 0);
+  w.I64(events_processed_);
+}
+
+Status ContinuousCpd::RestoreFrom(serial::Reader& r) {
+  SNS_RETURN_IF_ERROR(ExpectTag(r, kTagWindow, "window"));
+  SNS_RETURN_IF_ERROR(window_.RestoreFrom(r));
+
+  SNS_RETURN_IF_ERROR(ExpectTag(r, kTagModel, "model"));
+  KruskalModel& model = state_.model;
+  const int modes = state_.num_modes();
+  const int64_t rank = state_.rank();
+  uint32_t stored_modes = 0;
+  int64_t stored_rank = 0;
+  SNS_RETURN_IF_ERROR(r.U32(&stored_modes));
+  SNS_RETURN_IF_ERROR(r.I64(&stored_rank));
+  if (static_cast<int>(stored_modes) != modes || stored_rank != rank) {
+    return Status::DataLoss(
+        "snapshot model shape (" + std::to_string(stored_modes) + " modes, "
+        "rank " + std::to_string(stored_rank) + ") does not match the "
+        "engine (" + std::to_string(modes) + " modes, rank " +
+        std::to_string(rank) + ")");
+  }
+  for (int m = 0; m < modes; ++m) {
+    Matrix& factor = model.factor(m);
+    int64_t rows = 0;
+    SNS_RETURN_IF_ERROR(r.I64(&rows));
+    if (rows != factor.rows()) {
+      return Status::DataLoss("snapshot factor " + std::to_string(m) +
+                              " has " + std::to_string(rows) +
+                              " rows; engine expects " +
+                              std::to_string(factor.rows()));
+    }
+    SNS_RETURN_IF_ERROR(ReadMatrixEntries(r, factor));
+  }
+  for (double& lambda : model.lambda()) SNS_RETURN_IF_ERROR(r.F64(&lambda));
+  // Mixed precision: the serialized doubles already hold float32-
+  // representable values, so re-quantizing is an identity on them — it only
+  // rebuilds the float32 mirrors. Runs before the Grams are read because it
+  // recomputes them as a side effect.
+  if (state_.mixed()) state_.QuantizeFactorsToF32();
+  for (Matrix& gram : state_.grams) SNS_RETURN_IF_ERROR(ReadMatrixEntries(r, gram));
+  uint8_t stored_precision = 0;
+  SNS_RETURN_IF_ERROR(r.U8(&stored_precision));
+  if (stored_precision != static_cast<uint8_t>(options_.factor_precision)) {
+    return Status::DataLoss(
+        "snapshot factor precision does not match the engine options");
+  }
+
+  SNS_RETURN_IF_ERROR(ExpectTag(r, kTagFitness, "fitness"));
+  FitnessAccumulators acc;
+  SNS_RETURN_IF_ERROR(r.F64(&acc.norm_x_sq));
+  SNS_RETURN_IF_ERROR(r.F64(&acc.inner));
+  SNS_RETURN_IF_ERROR(r.I64(&acc.events_since_resync));
+
+  SNS_RETURN_IF_ERROR(ExpectTag(r, kTagRng, "rng"));
+  RngState engine_rng;
+  SNS_RETURN_IF_ERROR(ReadRngState(r, engine_rng));
+  rng_.RestoreState(engine_rng);
+  uint8_t has_updater_rng = 0;
+  SNS_RETURN_IF_ERROR(r.U8(&has_updater_rng));
+  Rng* updater_rng = updater_->MutableRng();
+  if ((has_updater_rng != 0) != (updater_rng != nullptr)) {
+    return Status::DataLoss(
+        "snapshot updater rng presence does not match the engine variant");
+  }
+  if (updater_rng != nullptr) {
+    RngState sampling_rng;
+    SNS_RETURN_IF_ERROR(ReadRngState(r, sampling_rng));
+    updater_rng->RestoreState(sampling_rng);
+  }
+
+  SNS_RETURN_IF_ERROR(ExpectTag(r, kTagCounters, "counter"));
+  uint8_t updates_enabled = 0;
+  SNS_RETURN_IF_ERROR(r.U8(&updates_enabled));
+  updates_enabled_ = updates_enabled != 0;
+  SNS_RETURN_IF_ERROR(r.I64(&events_processed_));
+  if (events_processed_ < 0) {
+    return Status::DataLoss("snapshot event counter is negative");
+  }
+  // Wall-clock latency telemetry restarts at zero — it is nondeterministic
+  // by nature and deliberately not part of the snapshot.
+  update_seconds_ = 0.0;
+
+  // Rebind the fitness tracker last: Reset sizes its scratch against the
+  // restored model and runs an exact resync, whose terms are then replaced
+  // by the snapshot's accumulators to resume the estimate mid-interval.
+  if (updates_enabled_) {
+    fitness_tracker_.Reset(window_.tensor(), state_,
+                           options_.fitness_resync_interval);
+  }
+  fitness_tracker_.RestoreAccumulators(acc);
+  return Status::OK();
 }
 
 }  // namespace sns

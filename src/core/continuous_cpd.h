@@ -36,6 +36,11 @@
 
 namespace sns {
 
+namespace serial {
+class Writer;
+class Reader;
+}  // namespace serial
+
 /// Continuous CP decomposition of one multi-aspect data stream.
 ///
 /// Pinned in place (copies AND moves deleted): the updaters' caches hold
@@ -117,6 +122,21 @@ class ContinuousCpd {
                : update_seconds_ * 1e6 /
                      static_cast<double>(events_processed_);
   }
+
+  /// Serializes the complete deterministic engine state: window (tensor
+  /// layout + schedule), factors, λ, Grams (verbatim — they are maintained
+  /// incrementally and bitwise-differ from a recomputation), fitness
+  /// accumulators, both Rngs (engine + updater sampling), and the event
+  /// counters. update_seconds_ is wall-clock and deliberately excluded, so
+  /// equal trajectories always serialize to equal bytes.
+  void SerializeTo(serial::Writer& w) const;
+
+  /// Restores into a freshly Created engine with identical mode_dims and
+  /// options. After an OK return, processing any tuple sequence is bitwise
+  /// identical to the engine the snapshot was taken from processing it.
+  /// Corrupt or mismatched input fails with a typed Status (mostly
+  /// kDataLoss); the engine must then be discarded.
+  Status RestoreFrom(serial::Reader& r);
 
  private:
   ContinuousCpd(std::vector<int64_t> mode_dims,

@@ -37,6 +37,16 @@
 
 namespace sns {
 
+/// Snapshot of the tracker's incremental accumulators, taken between events
+/// (durability checkpoints). Restoring them after Reset reproduces the
+/// tracker's exact estimate trajectory instead of restarting it from an
+/// exact resync.
+struct FitnessAccumulators {
+  double norm_x_sq = 0.0;
+  double inner = 0.0;
+  int64_t events_since_resync = 0;
+};
+
 /// Maintains a running estimate of the model-vs-window fitness. Owned by
 /// ContinuousCpd; Reset at (re)initialization, fed once per window event.
 class RunningFitnessTracker {
@@ -67,6 +77,19 @@ class RunningFitnessTracker {
 
   /// Events accounted since the last exact resync (test hook).
   int64_t events_since_resync() const { return events_since_resync_; }
+
+  /// Snapshot / restore of the incremental terms, valid between events
+  /// (no delta in flight). Restore must follow a Reset against the same
+  /// window/model the snapshot was taken over.
+  FitnessAccumulators SaveAccumulators() const {
+    return {norm_x_sq_, inner_, events_since_resync_};
+  }
+  void RestoreAccumulators(const FitnessAccumulators& acc) {
+    norm_x_sq_ = acc.norm_x_sq;
+    inner_ = acc.inner;
+    events_since_resync_ = acc.events_since_resync;
+    num_cells_ = 0;
+  }
 
  private:
   void ResyncExact(const SparseTensor& window, const CpdState& state) const;

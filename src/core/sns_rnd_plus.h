@@ -30,6 +30,8 @@ class SnsRndPlusUpdater : public RowUpdaterBase {
 
   std::string_view name() const override { return "SNS+RND"; }
 
+  Rng* MutableRng() override { return &rng_; }
+
  protected:
   bool NeedsPrevGrams() const override { return true; }
 

@@ -13,6 +13,8 @@
 
 namespace sns {
 
+class Rng;  // common/random.h
+
 /// Processes window events. `window` is the live window with the delta
 /// already applied, so it equals the X + ΔX of the update rules; `delta`
 /// carries ΔX itself (Definition 6).
@@ -32,6 +34,11 @@ class EventUpdater {
   /// any event. Default: ignored (updaters without SIMD-dispatched hot
   /// loops need no tier).
   virtual void set_kernel_tier(KernelTier /*tier*/) {}
+
+  /// The updater's private sampling Rng, or nullptr for deterministic
+  /// updaters. Durability checkpoints save and restore it so a restored
+  /// stream draws the identical θ-sample sequence.
+  virtual Rng* MutableRng() { return nullptr; }
 };
 
 }  // namespace sns

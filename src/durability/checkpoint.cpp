@@ -1,0 +1,146 @@
+#include "durability/checkpoint.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "api/sns_service.h"
+#include "common/crc32.h"
+#include "durability/journal.h"
+
+namespace sns {
+namespace durability {
+namespace {
+
+// Size guard for the payload-length field of a corrupt envelope; real
+// checkpoints of plausible streams sit far below it.
+constexpr uint64_t kMaxPayloadBytes = 1ull << 32;
+
+/// Failure codes a replayed request may legitimately reproduce: the journal
+/// records every acknowledged request, including ones the stream rejected,
+/// and deterministic validation rejects them identically on replay.
+bool IsMirroredFailure(StatusCode code) {
+  return code == StatusCode::kInvalidArgument ||
+         code == StatusCode::kOutOfRange ||
+         code == StatusCode::kFailedPrecondition ||
+         code == StatusCode::kNotFound;
+}
+
+}  // namespace
+
+Status WriteStreamCheckpoint(const StreamHandle& handle, uint64_t sequence,
+                             serial::ByteSink& sink) {
+  serial::StringSink payload_sink;
+  serial::Writer payload(payload_sink);
+  payload.U64(sequence);
+  SNS_RETURN_IF_ERROR(handle.SerializeState(payload));
+  const std::string& bytes = payload_sink.data();
+  serial::Writer w(sink);
+  w.U32(kCheckpointMagic);
+  w.U32(kCheckpointVersion);
+  w.U64(bytes.size());
+  w.Bytes(bytes.data(), bytes.size());
+  w.U32(Crc32(bytes.data(), bytes.size()));
+  return w.status();
+}
+
+StatusOr<RestoredStream> ReadStreamCheckpoint(serial::ByteSource& source) {
+  serial::Reader header(source);
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint64_t payload_size = 0;
+  SNS_RETURN_IF_ERROR(header.U32(&magic));
+  if (magic != kCheckpointMagic) {
+    return Status::InvalidArgument(
+        "not a stream checkpoint (bad magic number)");
+  }
+  SNS_RETURN_IF_ERROR(header.U32(&version));
+  if (version != kCheckpointVersion) {
+    return Status::FailedPrecondition(
+        "checkpoint has format version " + std::to_string(version) +
+        "; this build reads version " + std::to_string(kCheckpointVersion));
+  }
+  SNS_RETURN_IF_ERROR(header.U64(&payload_size));
+  if (payload_size > kMaxPayloadBytes) {
+    return Status::DataLoss("checkpoint frames an implausible payload size");
+  }
+  std::string bytes(static_cast<size_t>(payload_size), '\0');
+  SNS_RETURN_IF_ERROR(source.ReadExact(bytes.data(), bytes.size()));
+  uint32_t crc = 0;
+  SNS_RETURN_IF_ERROR(header.U32(&crc));
+  if (Crc32(bytes.data(), bytes.size()) != crc) {
+    return Status::DataLoss("checkpoint payload CRC mismatch");
+  }
+
+  serial::StringSource payload_source(bytes);
+  serial::Reader payload(payload_source);
+  uint64_t sequence = 0;
+  SNS_RETURN_IF_ERROR(payload.U64(&sequence));
+  auto handle = StreamHandle::DeserializeState(payload);
+  if (!handle.ok()) return handle.status();
+  if (payload_source.remaining() != 0) {
+    return Status::DataLoss("checkpoint payload carries trailing bytes");
+  }
+  return RestoredStream{std::move(handle).value(), sequence};
+}
+
+StatusOr<RecoveryReport> RecoverStream(SnsService& service,
+                                       serial::ByteSource& checkpoint,
+                                       const std::string& journal_directory) {
+  auto restored = service.Restore(checkpoint);
+  if (!restored.ok()) return restored.status();
+  const std::string name = restored.value()->name();
+
+  RecoveryReport report;
+  {
+    auto sequence = service.AppliedSequence(name);
+    if (!sequence.ok()) return sequence.status();
+    report.checkpoint_sequence = sequence.value();
+  }
+
+  auto stats = ReplayJournal(
+      journal_directory, report.checkpoint_sequence,
+      [&service, &name, &report](const JournalRecord& record) {
+        Status status;
+        switch (record.op) {
+          case JournalOpType::kWarmup:
+            status = service.Warmup(name, record.tuples);
+            break;
+          case JournalOpType::kInitialize:
+            status = service.Initialize(name);
+            break;
+          case JournalOpType::kIngest:
+            status = service.Ingest(name, record.tuples);
+            break;
+          case JournalOpType::kAdvanceTo:
+            status = service.AdvanceTo(name, record.time);
+            break;
+        }
+        if (!status.ok()) {
+          if (!IsMirroredFailure(status.code())) return status;
+          ++report.mirrored_failures;
+        }
+        return Status::OK();
+      });
+  if (!stats.ok()) return stats.status();
+  report.records_replayed = stats.value().records_applied;
+  report.torn_tail = stats.value().torn_tail;
+  report.last_sequence =
+      report.checkpoint_sequence + stats.value().records_applied;
+
+  // Every replayed request consumed exactly one ticket, so the stream's
+  // applied token must land exactly at checkpoint + replayed. Anything else
+  // means the journal and the service disagree about history.
+  auto applied = service.AppliedSequence(name);
+  if (!applied.ok()) return applied.status();
+  if (applied.value() != report.last_sequence) {
+    return Status::Internal(
+        "recovery sequence mismatch: stream applied token " +
+        std::to_string(applied.value()) + " != checkpoint " +
+        std::to_string(report.checkpoint_sequence) + " + " +
+        std::to_string(report.records_replayed) + " replayed records");
+  }
+  return report;
+}
+
+}  // namespace durability
+}  // namespace sns

@@ -1,0 +1,89 @@
+// Versioned, checksummed stream checkpoints: the first half of the
+// durability contract (durability/journal.h is the second).
+//
+// A checkpoint is one self-describing byte envelope holding the complete
+// deterministic state of a stream — schema, options, window tensor layout,
+// event schedule, factors, λ, Grams, fitness accumulators, RNG engines, and
+// the stream's per-operation sequence token. Restoring it yields a stream
+// whose future trajectory is bitwise identical to the original's, so
+// checkpoint + journal-suffix replay reproduces an uninterrupted run
+// exactly (pinned by tests/durability_test.cpp).
+//
+// Envelope layout (common/serial.h little-endian encoding):
+//
+//   [u32 magic][u32 version][u64 payload_size][payload][u32 crc32(payload)]
+//
+// where payload = [u64 sequence][StreamHandle::SerializeState bytes]. The
+// sequence token lives INSIDE the checksummed payload: a flipped byte there
+// must surface as kDataLoss, never silently misalign journal replay.
+//
+// Failure taxonomy: wrong magic → kInvalidArgument (not a checkpoint at
+// all); version from a different format generation → kFailedPrecondition;
+// truncation, CRC mismatch, or a payload that decodes inconsistently →
+// kDataLoss. Restores never crash on corrupt input.
+
+#ifndef SLICENSTITCH_DURABILITY_CHECKPOINT_H_
+#define SLICENSTITCH_DURABILITY_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "api/stream_handle.h"
+#include "common/serial.h"
+#include "common/status.h"
+
+namespace sns {
+
+class SnsService;
+
+namespace durability {
+
+inline constexpr uint32_t kCheckpointMagic = 0x50434E53;  // "SNCP"
+inline constexpr uint32_t kCheckpointVersion = 1;
+
+/// Serializes `handle` (with its per-stream sequence token) into `sink` as
+/// one checkpoint envelope. The bytes are deterministic: equal stream state
+/// and sequence always produce equal envelopes.
+Status WriteStreamCheckpoint(const StreamHandle& handle, uint64_t sequence,
+                             serial::ByteSink& sink);
+
+/// A decoded checkpoint: the rebuilt stream plus the sequence token of the
+/// last ticketed operation it reflects (0 for standalone-handle
+/// checkpoints). Journal records with sequence > this are the replay
+/// suffix.
+struct RestoredStream {
+  StreamHandle handle;
+  uint64_t sequence = 0;
+};
+
+/// Decodes one checkpoint envelope from `source`. See the failure taxonomy
+/// above; on any error the source's read position is unspecified.
+StatusOr<RestoredStream> ReadStreamCheckpoint(serial::ByteSource& source);
+
+/// Outcome of a successful RecoverStream.
+struct RecoveryReport {
+  uint64_t checkpoint_sequence = 0;  // Token the checkpoint reflects.
+  uint64_t records_replayed = 0;     // Journal records re-applied.
+  /// Replayed operations that failed with the same benign validation error
+  /// they failed with originally (the journal records requests, not
+  /// outcomes, so failed requests are replayed and must fail again).
+  uint64_t mirrored_failures = 0;
+  uint64_t last_sequence = 0;        // Stream token after recovery.
+  bool torn_tail = false;            // Journal ended in a torn record.
+};
+
+/// Full crash recovery: restores the checkpoint into `service` (registering
+/// the stream under its serialized name) and replays the journal suffix
+/// from `journal_directory` through the service's ticketed entry points, so
+/// the recovered stream ends bitwise identical to the uninterrupted
+/// original. Call before EnableJournal and before any other producer
+/// touches the stream; on error the partially recovered stream (if any) is
+/// left registered and should be Removed.
+StatusOr<RecoveryReport> RecoverStream(SnsService& service,
+                                       serial::ByteSource& checkpoint,
+                                       const std::string& journal_directory);
+
+}  // namespace durability
+}  // namespace sns
+
+#endif  // SLICENSTITCH_DURABILITY_CHECKPOINT_H_

@@ -1,0 +1,139 @@
+// Append-only write-ahead event journal: the second half of the durability
+// contract (durability/checkpoint.h is the first).
+//
+// Every ticketed mutation of a journaled stream is appended — sequence
+// token, operation kind, and payload tuples — BEFORE it is applied, so after
+// a crash the journal holds every operation the service ever acknowledged.
+// Recovery = restore the latest checkpoint + replay the journal suffix
+// (records with sequence > the checkpoint's); the result is bitwise
+// identical to the uninterrupted run.
+//
+// On-disk format. A journal is a directory of numbered segment files
+// `wal-NNNNNNNN.seg`. Each segment starts with a fixed header (magic +
+// format version) followed by length-prefixed records:
+//
+//   [u32 payload_size][u32 crc32(payload)][payload bytes]
+//
+// The payload encodes one JournalRecord (common/serial.h little-endian
+// layout). A write that dies mid-record leaves a truncated tail; replay
+// treats a short read at the END of the LAST segment as a clean torn tail
+// (the record was never acknowledged) and every other corruption — CRC
+// mismatch, short read mid-directory, sequence gap — as kDataLoss. Writers
+// never append to a pre-existing segment: each JournalWriter::Open starts a
+// fresh segment numbered after the highest on disk, so a torn tail is never
+// buried under later records.
+
+#ifndef SLICENSTITCH_DURABILITY_JOURNAL_H_
+#define SLICENSTITCH_DURABILITY_JOURNAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/serial.h"
+#include "common/status.h"
+#include "stream/event.h"
+
+namespace sns {
+namespace durability {
+
+inline constexpr uint64_t kJournalMagic = 0x4C4157534E53ULL;  // "SNSWAL"
+inline constexpr uint32_t kJournalVersion = 1;
+
+/// Mutating service operations a journal can carry.
+enum class JournalOpType : uint8_t {
+  kWarmup = 1,
+  kInitialize = 2,
+  kIngest = 3,
+  kAdvanceTo = 4,
+};
+
+/// One journaled operation. `sequence` is the stream's per-operation ticket
+/// token — the replay cursor that joins journal records to checkpoints.
+struct JournalRecord {
+  uint64_t sequence = 0;
+  JournalOpType op = JournalOpType::kIngest;
+  int64_t time = 0;  // AdvanceTo horizon; unused by the other ops.
+  std::vector<Tuple> tuples;
+};
+
+struct JournalOptions {
+  /// Segment rotation threshold: a record that would push the current
+  /// segment past this many bytes opens the next segment first (a single
+  /// record larger than the threshold still lands whole).
+  int64_t max_segment_bytes = 4 << 20;
+  /// fsync after every record. Default off: records are flushed to the OS
+  /// on every append (surviving process crashes); syncing guards against
+  /// power loss at a heavy per-record cost.
+  bool sync_each_record = false;
+};
+
+/// Appender for one stream's journal. Not thread-safe; the service calls it
+/// from the stream's owning shard only.
+class JournalWriter {
+ public:
+  /// Creates `directory` if needed and opens a fresh segment numbered after
+  /// the highest existing one.
+  static StatusOr<std::unique_ptr<JournalWriter>> Open(
+      const std::string& directory, const JournalOptions& options = {});
+
+  ~JournalWriter();
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Appends one record and flushes it to the OS (write-ahead: the caller
+  /// applies the operation only after this returns OK).
+  Status Append(uint64_t sequence, JournalOpType op, int64_t time,
+                std::span<const Tuple> tuples);
+  Status Append(const JournalRecord& record) {
+    return Append(record.sequence, record.op, record.time, record.tuples);
+  }
+
+  const std::string& directory() const { return directory_; }
+  /// Segments this writer has opened (≥ 1); rotation test hook.
+  int64_t segments_opened() const { return segments_opened_; }
+
+ private:
+  JournalWriter(std::string directory, const JournalOptions& options,
+                int64_t next_segment)
+      : directory_(std::move(directory)),
+        options_(options),
+        next_segment_(next_segment) {}
+
+  Status OpenNextSegment();
+
+  std::string directory_;
+  JournalOptions options_;
+  int64_t next_segment_ = 0;
+  int64_t segments_opened_ = 0;
+  int64_t segment_bytes_ = 0;
+  std::unique_ptr<serial::FileSink> segment_;
+};
+
+/// Result of a journal replay.
+struct ReplayStats {
+  uint64_t records_seen = 0;     // Decoded records, including skipped ones.
+  uint64_t records_applied = 0;  // Records with sequence > after_sequence.
+  uint64_t last_sequence = 0;    // Highest decoded sequence (0 when none).
+  bool torn_tail = false;        // Final record was torn and discarded.
+};
+
+/// Replays every intact record with sequence > `after_sequence` through
+/// `apply`, in sequence order across all segments. Verifies per-record CRCs
+/// and strict +1 sequence contiguity (from the first journaled record
+/// through the last, and joining `after_sequence` when it falls inside the
+/// journaled range). A truncated final record in the final segment is
+/// reported via ReplayStats::torn_tail, not an error; any other corruption
+/// fails with kDataLoss, and a segment-header version from a newer format
+/// fails with kFailedPrecondition. An `apply` error aborts the replay.
+StatusOr<ReplayStats> ReplayJournal(
+    const std::string& directory, uint64_t after_sequence,
+    const std::function<Status(const JournalRecord&)>& apply);
+
+}  // namespace durability
+}  // namespace sns
+
+#endif  // SLICENSTITCH_DURABILITY_JOURNAL_H_

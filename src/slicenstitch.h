@@ -13,6 +13,8 @@
 //   - ContinuousCpdOptions / SnsVariant      — engine configuration,
 //   - DataStream / Tuple                     — stream construction,
 //   - KruskalModel                           — reading factor matrices,
+//   - checkpoints + write-ahead journals     — durable streams and crash
+//     recovery (durability/checkpoint.h, durability/journal.h),
 //   - synthetic generators + dataset presets + CSV loading,
 //   - the anomaly-detection toolkit of §VI-G.
 //
@@ -36,6 +38,8 @@
 #include "data/datasets.h"
 #include "data/loader.h"
 #include "data/synthetic.h"
+#include "durability/checkpoint.h"
+#include "durability/journal.h"
 #include "stream/data_stream.h"
 #include "tensor/kruskal.h"
 

@@ -1,6 +1,9 @@
 #include "stream/continuous_window.h"
 
 #include <limits>
+#include <string>
+
+#include "common/serial.h"
 
 namespace sns {
 namespace {
@@ -80,6 +83,69 @@ WindowDelta ContinuousTensorWindow::PopScheduled() {
   SNS_CHECK(event.due >= last_event_time_);
   last_event_time_ = event.due;
   return ApplyScheduled(event);
+}
+
+void ContinuousTensorWindow::SerializeTo(serial::Writer& w) const {
+  window_.SerializeTo(w);
+  w.U64(next_seq_);
+  w.I64(last_event_time_);
+  // Drain a copy of the heap: entries emerge in the exact (due, seq) pop
+  // order, which is also a canonical encoding — equal schedules always
+  // serialize to equal bytes regardless of internal heap layout.
+  auto copy = schedule_;
+  w.U64(copy.size());
+  while (!copy.empty()) {
+    const Scheduled& s = copy.top();
+    w.I64(s.due);
+    w.U64(s.seq);
+    w.I32(s.w);
+    w.U32(static_cast<uint32_t>(s.tuple.index.size()));
+    for (int m = 0; m < s.tuple.index.size(); ++m) w.I32(s.tuple.index[m]);
+    w.F64(s.tuple.value);
+    w.I64(s.tuple.time);
+    copy.pop();
+  }
+}
+
+Status ContinuousTensorWindow::RestoreFrom(serial::Reader& r) {
+  SNS_RETURN_IF_ERROR(window_.RestoreFrom(r));
+  SNS_RETURN_IF_ERROR(r.U64(&next_seq_));
+  SNS_RETURN_IF_ERROR(r.I64(&last_event_time_));
+  uint64_t pending = 0;
+  SNS_RETURN_IF_ERROR(r.U64(&pending));
+  const int arity = num_modes() - 1;
+  for (uint64_t i = 0; i < pending; ++i) {
+    Scheduled s;
+    SNS_RETURN_IF_ERROR(r.I64(&s.due));
+    SNS_RETURN_IF_ERROR(r.U64(&s.seq));
+    SNS_RETURN_IF_ERROR(r.I32(&s.w));
+    uint32_t stored_arity = 0;
+    SNS_RETURN_IF_ERROR(r.U32(&stored_arity));
+    if (static_cast<int>(stored_arity) != arity) {
+      return Status::DataLoss("scheduled event " + std::to_string(i) +
+                              " has arity " + std::to_string(stored_arity) +
+                              ", window expects " + std::to_string(arity));
+    }
+    for (int m = 0; m < arity; ++m) {
+      int32_t c = 0;
+      SNS_RETURN_IF_ERROR(r.I32(&c));
+      if (c < 0 || c >= window_.dim(m)) {
+        return Status::DataLoss("scheduled event " + std::to_string(i) +
+                                " index out of range in mode " +
+                                std::to_string(m));
+      }
+      s.tuple.index.PushBack(c);
+    }
+    SNS_RETURN_IF_ERROR(r.F64(&s.tuple.value));
+    SNS_RETURN_IF_ERROR(r.I64(&s.tuple.time));
+    if (s.w < 1 || s.w > window_size_ || s.seq >= next_seq_ ||
+        s.due < last_event_time_) {
+      return Status::DataLoss("scheduled event " + std::to_string(i) +
+                              " is inconsistent with the window clock");
+    }
+    schedule_.push(std::move(s));
+  }
+  return Status::OK();
 }
 
 WindowDelta ContinuousTensorWindow::ApplyScheduled(const Scheduled& event) {

@@ -21,6 +21,11 @@
 
 namespace sns {
 
+namespace serial {
+class Writer;
+class Reader;
+}  // namespace serial
+
 /// Maintains the up-to-date tensor window of a multi-aspect data stream
 /// under the continuous tensor model.
 ///
@@ -85,6 +90,16 @@ class ContinuousTensorWindow {
   int64_t ActiveTupleCount() const {
     return static_cast<int64_t>(schedule_.size());
   }
+
+  /// Serializes the window tensor (with storage layout), the event clock,
+  /// and the pending schedule in deterministic (due, seq) order.
+  void SerializeTo(serial::Writer& w) const;
+
+  /// Restores into this window, which must be freshly constructed with the
+  /// same shape/period. Replays are then bitwise identical: the schedule
+  /// heap pops in the strict (due, seq) order the snapshot recorded.
+  /// Corrupt input fails with kDataLoss.
+  Status RestoreFrom(serial::Reader& r);
 
  private:
   struct Scheduled {

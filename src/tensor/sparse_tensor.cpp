@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/serial.h"
+
 namespace sns {
 
 SparseTensor::SparseTensor(std::vector<int64_t> dims, int64_t expected_nnz)
@@ -121,6 +123,107 @@ void SparseTensor::RemoveFromBuckets(uint32_t id) {
     }
     bucket.pop_back();
   }
+}
+
+void SparseTensor::SerializeTo(serial::Writer& w) const {
+  const int modes = num_modes();
+  w.U32(static_cast<uint32_t>(modes));
+  for (int m = 0; m < modes; ++m) w.I64(dims_[static_cast<size_t>(m)]);
+  const uint32_t n = pool_.size();
+  w.U64(n);
+  for (uint32_t id = 0; id < n; ++id) {
+    const ModeIndex& coords = pool_.coords(id);
+    for (int m = 0; m < modes; ++m) w.I32(coords[m]);
+    w.F64(pool_.value(id));
+    const auto& pos = pool_.bucket_pos(id);
+    for (int m = 0; m < modes; ++m) w.U32(pos[static_cast<size_t>(m)]);
+  }
+}
+
+Status SparseTensor::RestoreFrom(serial::Reader& r) {
+  if (nnz() != 0) {
+    return Status::FailedPrecondition(
+        "SparseTensor::RestoreFrom requires an empty tensor");
+  }
+  const int modes = num_modes();
+  uint32_t stored_modes = 0;
+  SNS_RETURN_IF_ERROR(r.U32(&stored_modes));
+  if (static_cast<int>(stored_modes) != modes) {
+    return Status::DataLoss("tensor mode count mismatch: stored " +
+                            std::to_string(stored_modes) + ", expected " +
+                            std::to_string(modes));
+  }
+  for (int m = 0; m < modes; ++m) {
+    int64_t dim = 0;
+    SNS_RETURN_IF_ERROR(r.I64(&dim));
+    if (dim != dims_[static_cast<size_t>(m)]) {
+      return Status::DataLoss("tensor shape mismatch in mode " +
+                              std::to_string(m));
+    }
+  }
+  uint64_t n = 0;
+  SNS_RETURN_IF_ERROR(r.U64(&n));
+  if (n > EntryPool::kInvalidId) {
+    return Status::DataLoss("implausible tensor nnz " + std::to_string(n));
+  }
+  pool_.Reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    ModeIndex coords;
+    for (int m = 0; m < modes; ++m) {
+      int32_t c = 0;
+      SNS_RETURN_IF_ERROR(r.I32(&c));
+      coords.PushBack(c);
+    }
+    double value = 0.0;
+    SNS_RETURN_IF_ERROR(r.F64(&value));
+    if (!IndexInBounds(coords)) {
+      return Status::DataLoss("tensor entry " + std::to_string(i) +
+                              " out of bounds at " + coords.ToString());
+    }
+    if (std::fabs(value) < kZeroEpsilon || !std::isfinite(value)) {
+      // A live tensor never stores near-zero or non-finite cells (Add/Set
+      // erase below kZeroEpsilon), so such an entry marks corruption.
+      return Status::DataLoss("tensor entry " + std::to_string(i) +
+                              " holds an invalid value");
+    }
+    const auto [id, inserted] = pool_.FindOrInsert(coords, value);
+    if (!inserted || id != static_cast<uint32_t>(i)) {
+      return Status::DataLoss("duplicate tensor cell at " + coords.ToString());
+    }
+    auto& pos = pool_.bucket_pos(id);
+    for (int m = 0; m < modes; ++m) {
+      SNS_RETURN_IF_ERROR(r.U32(&pos[static_cast<size_t>(m)]));
+    }
+  }
+  // Rebuild the per-(mode, index) buckets at the serialized positions: size
+  // each bucket to its degree, then place every pool id at its recorded
+  // slot, validating that the slots tile each bucket exactly.
+  for (int m = 0; m < modes; ++m) {
+    for (auto& bucket : buckets_[static_cast<size_t>(m)]) bucket.clear();
+  }
+  const uint32_t count = pool_.size();
+  for (uint32_t id = 0; id < count; ++id) {
+    const ModeIndex& coords = pool_.coords(id);
+    for (int m = 0; m < modes; ++m) {
+      buckets_[static_cast<size_t>(m)][static_cast<size_t>(coords[m])]
+          .push_back(EntryPool::kInvalidId);
+    }
+  }
+  for (uint32_t id = 0; id < count; ++id) {
+    const ModeIndex& coords = pool_.coords(id);
+    const auto& pos = pool_.bucket_pos(id);
+    for (int m = 0; m < modes; ++m) {
+      auto& bucket =
+          buckets_[static_cast<size_t>(m)][static_cast<size_t>(coords[m])];
+      const uint32_t p = pos[static_cast<size_t>(m)];
+      if (p >= bucket.size() || bucket[p] != EntryPool::kInvalidId) {
+        return Status::DataLoss("inconsistent bucket position for entry at " +
+                                coords.ToString());
+      }
+      bucket[p] = id;
+    }
+  }
+  return Status::OK();
 }
 
 void SparseTensor::EraseEntry(uint32_t id) {

@@ -26,10 +26,16 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
 #include "tensor/entry_pool.h"
 #include "tensor/mode_index.h"
 
 namespace sns {
+
+namespace serial {
+class Writer;
+class Reader;
+}  // namespace serial
 
 /// Sparse tensor over a fixed dense shape. Cells not present are zero.
 /// Entries whose magnitude drops below kZeroEpsilon after an update are
@@ -144,6 +150,21 @@ class SparseTensor {
   /// Probe sequences performed against the coordinate hash index so far.
   /// Regression instrumentation: slice iteration must leave this unchanged.
   uint64_t hash_lookup_count() const { return pool_.hash_lookup_count(); }
+
+  /// Serializes the non-zeros INCLUDING their storage layout — entries in
+  /// pool-id order, each with its per-mode bucket positions — so a restored
+  /// tensor walks its pool and slices in the identical order. Iteration
+  /// order feeds the accumulation order of MTTKRP and slice sums, so layout
+  /// fidelity is what makes restored factor trajectories bitwise equal to
+  /// the uninterrupted run (durability contract).
+  void SerializeTo(serial::Writer& w) const;
+
+  /// Restores into this tensor, which must be empty and of the serialized
+  /// shape. Rebuilds pool order, hash index, and bucket layout exactly.
+  /// Corrupt input (out-of-bounds coordinates, duplicate cells, inconsistent
+  /// bucket positions) fails with kDataLoss, leaving the tensor
+  /// unspecified-but-safe.
+  Status RestoreFrom(serial::Reader& r);
 
  private:
   void InsertIntoBuckets(uint32_t id);

@@ -1,0 +1,810 @@
+// Durability coverage: serializable RNG state, storage-layout-faithful
+// tensor serialization, the versioned checkpoint envelope, the write-ahead
+// event journal, and the central contract — restore(checkpoint) + replay of
+// the journal suffix is BITWISE identical to uninterrupted execution, for
+// every updater variant, shard count, and checkpoint position. Fault
+// injection (truncation, bit flips, torn records, version skew) pins the
+// failure taxonomy: recovery either succeeds exactly or fails with a typed
+// Status — never a crash, never a silently wrong state.
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "slicenstitch.h"
+#include "tensor/sparse_tensor.h"
+
+namespace sns {
+namespace {
+
+namespace fs = std::filesystem;
+
+ContinuousCpdOptions SmallEngineOptions(
+    SnsVariant variant,
+    FactorPrecision precision = FactorPrecision::kFloat64) {
+  ContinuousCpdOptions options;
+  options.rank = 4;
+  options.window_size = 3;
+  options.period = 30;
+  options.variant = variant;
+  options.sample_threshold = 10;
+  options.clip_bound = 1000.0;
+  options.factor_precision = precision;
+  return options;
+}
+
+DataStream SmallStream(int64_t num_events, uint64_t seed) {
+  SyntheticStreamConfig config;
+  config.mode_dims = {6, 5};
+  config.num_events = num_events;
+  config.time_span = 6 * 3 * 30;
+  config.diurnal_period = 90;
+  config.seed = seed;
+  auto stream = GenerateSyntheticStream(config);
+  SNS_CHECK(stream.ok());
+  return std::move(stream).value();
+}
+
+/// Splits a stream at the warm-up boundary W·T.
+std::pair<std::span<const Tuple>, std::span<const Tuple>> SplitWarmup(
+    const DataStream& stream, const ContinuousCpdOptions& options) {
+  const std::span<const Tuple> tuples(stream.tuples());
+  const int64_t warmup_end =
+      static_cast<int64_t>(options.window_size) * options.period;
+  const size_t i = static_cast<size_t>(stream.CountTuplesThrough(warmup_end));
+  return {tuples.subspan(0, i), tuples.subspan(i)};
+}
+
+SnsService MakeService(int shards) {
+  ServiceOptions options;
+  options.shards = shards;
+  return SnsService(options);
+}
+
+/// Fresh scratch directory (removed if a previous run left it behind).
+std::string FreshDir(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "/sns_durability_" + tag;
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::string CheckpointBytes(SnsService& service, const std::string& name) {
+  serial::StringSink sink;
+  const Status status = service.Checkpoint(name, sink);
+  SNS_CHECK(status.ok());
+  return sink.TakeData();
+}
+
+// --- RNG state (satellite: serializable generator state) -------------------
+
+TEST(RngStateTest, SaveRestoreContinuesIdenticalDrawSequence) {
+  Rng original(0xfeedULL);
+  // Warm the generator and leave a cached Box–Muller deviate pending, the
+  // subtle half of the state.
+  for (int i = 0; i < 17; ++i) original.UniformDouble();
+  original.Normal();
+
+  const RngState snapshot = original.SaveState();
+  Rng resumed(1);  // Different seed: everything must come from the snapshot.
+  resumed.RestoreState(snapshot);
+  EXPECT_EQ(resumed.SaveState(), snapshot);
+
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(original.Next(), resumed.Next());
+    EXPECT_EQ(original.Normal(), resumed.Normal());
+    EXPECT_EQ(original.UniformInt(0, 1000), resumed.UniformInt(0, 1000));
+  }
+  EXPECT_EQ(original.SaveState(), resumed.SaveState());
+}
+
+TEST(RngStateTest, CachedNormalIsPartOfTheState) {
+  Rng rng(42);
+  rng.Normal();  // First call caches the second Box–Muller deviate.
+  const RngState with_cache = rng.SaveState();
+  EXPECT_TRUE(with_cache.has_cached_normal);
+
+  Rng resumed(42);
+  resumed.RestoreState(with_cache);
+  EXPECT_EQ(rng.Normal(), resumed.Normal());  // Consumes the cache.
+  EXPECT_FALSE(rng.SaveState().has_cached_normal);
+}
+
+// --- SparseTensor layout fidelity -----------------------------------------
+
+TEST(SparseTensorSerialTest, RoundTripPreservesStorageLayoutBitwise) {
+  SparseTensor tensor({4, 3, 2});
+  Rng rng(7);
+  // Scramble the internal layout: interleave inserts and removals so pool
+  // order, free-list reuse, and bucket order all diverge from insertion
+  // order.
+  std::vector<ModeIndex> inserted;
+  for (int i = 0; i < 40; ++i) {
+    ModeIndex index({static_cast<int32_t>(rng.UniformInt(0, 3)),
+                     static_cast<int32_t>(rng.UniformInt(0, 2)),
+                     static_cast<int32_t>(rng.UniformInt(0, 1))});
+    tensor.Add(index, rng.UniformDouble(0.5, 2.0));
+    inserted.push_back(index);
+    if (i % 5 == 4) {
+      const ModeIndex& victim = inserted[static_cast<size_t>(i / 2)];
+      tensor.Add(victim, -tensor.Get(victim));  // Remove.
+    }
+  }
+  ASSERT_GT(tensor.nnz(), 0);
+
+  serial::StringSink sink;
+  serial::Writer w(sink);
+  tensor.SerializeTo(w);
+  ASSERT_TRUE(w.status().ok());
+  const std::string first = sink.TakeData();
+
+  SparseTensor restored({4, 3, 2});
+  serial::StringSource source(first);
+  serial::Reader r(source);
+  ASSERT_TRUE(restored.RestoreFrom(r).ok());
+  EXPECT_EQ(restored.nnz(), tensor.nnz());
+
+  // Byte-identical re-serialization == identical storage layout, which is
+  // what makes post-restore accumulation orders (and thus trajectories)
+  // bitwise equal.
+  serial::StringSink sink2;
+  serial::Writer w2(sink2);
+  restored.SerializeTo(w2);
+  ASSERT_TRUE(w2.status().ok());
+  EXPECT_EQ(sink2.data(), first);
+}
+
+TEST(SparseTensorSerialTest, RestoreRejectsShapeMismatch) {
+  SparseTensor tensor({4, 3, 2});
+  tensor.Add(ModeIndex({1, 1, 1}), 2.0);
+  serial::StringSink sink;
+  serial::Writer w(sink);
+  tensor.SerializeTo(w);
+
+  SparseTensor wrong_shape({4, 3, 3});
+  serial::StringSource source(sink.data());
+  serial::Reader r(source);
+  const Status status = wrong_shape.RestoreFrom(r);
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+}
+
+// --- Standalone StreamHandle checkpoints ----------------------------------
+
+TEST(StreamCheckpointTest, RestoredHandleReserializesToIdenticalBytes) {
+  const ContinuousCpdOptions options =
+      SmallEngineOptions(SnsVariant::kRndPlus);
+  const DataStream stream = SmallStream(120, 11);
+  const auto [warmup, live] = SplitWarmup(stream, options);
+
+  auto handle = StreamHandle::Create("solo", {6, 5}, options);
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(handle.value().Warmup(warmup).ok());
+  ASSERT_TRUE(handle.value().Initialize().ok());
+  ASSERT_TRUE(handle.value().Ingest(live.subspan(0, live.size() / 2)).ok());
+
+  serial::StringSink sink;
+  ASSERT_TRUE(handle.value().Checkpoint(sink).ok());
+  const std::string first = sink.TakeData();
+
+  serial::StringSource source(first);
+  auto restored = StreamHandle::Restore(source);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().name(), "solo");
+  EXPECT_TRUE(restored.value().initialized());
+
+  serial::StringSink sink2;
+  ASSERT_TRUE(restored.value().Checkpoint(sink2).ok());
+  EXPECT_EQ(sink2.data(), first);
+}
+
+TEST(StreamCheckpointTest, RestoredHandleContinuesBitwiseIdentically) {
+  const ContinuousCpdOptions options = SmallEngineOptions(SnsVariant::kRnd);
+  const DataStream stream = SmallStream(140, 12);
+  const auto [warmup, live] = SplitWarmup(stream, options);
+  const size_t half = live.size() / 2;
+
+  auto original = StreamHandle::Create("s", {6, 5}, options);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(original.value().Warmup(warmup).ok());
+  ASSERT_TRUE(original.value().Initialize().ok());
+  ASSERT_TRUE(original.value().Ingest(live.subspan(0, half)).ok());
+
+  serial::StringSink mid;
+  ASSERT_TRUE(original.value().Checkpoint(mid).ok());
+  serial::StringSource source(mid.data());
+  auto restored = StreamHandle::Restore(source);
+  ASSERT_TRUE(restored.ok());
+
+  // Both process the identical suffix; every factor value, the running
+  // fitness estimate, and the full serialized state must stay bitwise equal.
+  ASSERT_TRUE(original.value().Ingest(live.subspan(half)).ok());
+  ASSERT_TRUE(restored.value().Ingest(live.subspan(half)).ok());
+  EXPECT_EQ(original.value().RunningFitness(),
+            restored.value().RunningFitness());
+
+  serial::StringSink end_a;
+  serial::StringSink end_b;
+  ASSERT_TRUE(original.value().Checkpoint(end_a).ok());
+  ASSERT_TRUE(restored.value().Checkpoint(end_b).ok());
+  EXPECT_EQ(end_a.data(), end_b.data());
+}
+
+// --- Checkpoint fault injection -------------------------------------------
+
+std::string MakeValidCheckpoint() {
+  const ContinuousCpdOptions options =
+      SmallEngineOptions(SnsVariant::kVecPlus);
+  const DataStream stream = SmallStream(100, 13);
+  const auto [warmup, live] = SplitWarmup(stream, options);
+  auto handle = StreamHandle::Create("fi", {6, 5}, options);
+  SNS_CHECK(handle.ok());
+  SNS_CHECK(handle.value().Warmup(warmup).ok());
+  SNS_CHECK(handle.value().Initialize().ok());
+  SNS_CHECK(handle.value().Ingest(live.subspan(0, 30)).ok());
+  serial::StringSink sink;
+  SNS_CHECK(handle.value().Checkpoint(sink).ok());
+  return sink.TakeData();
+}
+
+Status TryRestore(const std::string& bytes) {
+  serial::StringSource source(bytes);
+  auto restored = StreamHandle::Restore(source);
+  return restored.ok() ? Status::OK() : restored.status();
+}
+
+TEST(CheckpointFaultInjectionTest, TruncationsFailTypedNeverCrash) {
+  const std::string valid = MakeValidCheckpoint();
+  ASSERT_TRUE(TryRestore(valid).ok());
+  // Every prefix, sampled densely near the envelope fields and sparsely
+  // through the payload, must fail with a typed status.
+  for (size_t cut = 0; cut < valid.size();
+       cut += (cut < 64 ? 1 : valid.size() / 37 + 1)) {
+    const Status status = TryRestore(valid.substr(0, cut));
+    EXPECT_FALSE(status.ok()) << "prefix of " << cut << " bytes restored";
+    EXPECT_EQ(status.code(), StatusCode::kDataLoss)
+        << "prefix " << cut << ": " << status.ToString();
+  }
+}
+
+TEST(CheckpointFaultInjectionTest, PayloadBitFlipsAreDataLoss) {
+  const std::string valid = MakeValidCheckpoint();
+  // Payload starts after magic+version+size (16 bytes); flip a sample of
+  // bytes across it, including the embedded sequence token.
+  for (size_t pos = 16; pos < valid.size() - 4; pos += valid.size() / 53 + 1) {
+    std::string corrupt = valid;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x20);
+    const Status status = TryRestore(corrupt);
+    EXPECT_FALSE(status.ok()) << "flip at " << pos << " restored";
+    EXPECT_EQ(status.code(), StatusCode::kDataLoss)
+        << "flip at " << pos << ": " << status.ToString();
+  }
+}
+
+TEST(CheckpointFaultInjectionTest, MagicAndVersionSkewAreTyped) {
+  const std::string valid = MakeValidCheckpoint();
+  std::string bad_magic = valid;
+  bad_magic[0] = static_cast<char>(bad_magic[0] ^ 0xFF);
+  EXPECT_EQ(TryRestore(bad_magic).code(), StatusCode::kInvalidArgument);
+
+  std::string newer_version = valid;
+  newer_version[4] = static_cast<char>(newer_version[4] + 1);
+  EXPECT_EQ(TryRestore(newer_version).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// --- Journal unit behavior ------------------------------------------------
+
+std::vector<Tuple> TinyTuples(int64_t time, int count) {
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < count; ++i) {
+    Tuple tuple;
+    tuple.index = ModeIndex({i % 3, i % 2});
+    tuple.value = 1.0 + i;
+    tuple.time = time;
+    tuples.push_back(tuple);
+  }
+  return tuples;
+}
+
+TEST(JournalTest, AppendReplayRoundTrip) {
+  const std::string dir = FreshDir("journal_roundtrip");
+  {
+    auto writer = durability::JournalWriter::Open(dir);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value()
+                    ->Append(1, durability::JournalOpType::kWarmup, 0,
+                             TinyTuples(5, 3))
+                    .ok());
+    ASSERT_TRUE(writer.value()
+                    ->Append(2, durability::JournalOpType::kInitialize, 0, {})
+                    .ok());
+    ASSERT_TRUE(writer.value()
+                    ->Append(3, durability::JournalOpType::kIngest, 0,
+                             TinyTuples(9, 2))
+                    .ok());
+    ASSERT_TRUE(writer.value()
+                    ->Append(4, durability::JournalOpType::kAdvanceTo, 77, {})
+                    .ok());
+  }
+  std::vector<durability::JournalRecord> seen;
+  auto stats = durability::ReplayJournal(
+      dir, /*after_sequence=*/0, [&seen](const durability::JournalRecord& r) {
+        seen.push_back(r);
+        return Status::OK();
+      });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().records_seen, 4u);
+  EXPECT_EQ(stats.value().records_applied, 4u);
+  EXPECT_EQ(stats.value().last_sequence, 4u);
+  EXPECT_FALSE(stats.value().torn_tail);
+  ASSERT_EQ(seen.size(), 4u);
+  EXPECT_EQ(seen[0].op, durability::JournalOpType::kWarmup);
+  EXPECT_EQ(seen[0].tuples.size(), 3u);
+  EXPECT_EQ(seen[0].tuples[1].value, 2.0);
+  EXPECT_EQ(seen[3].time, 77);
+
+  // Replaying after a checkpoint at sequence 2 skips the prefix.
+  auto suffix = durability::ReplayJournal(
+      dir, /*after_sequence=*/2,
+      [](const durability::JournalRecord&) { return Status::OK(); });
+  ASSERT_TRUE(suffix.ok());
+  EXPECT_EQ(suffix.value().records_seen, 4u);
+  EXPECT_EQ(suffix.value().records_applied, 2u);
+}
+
+TEST(JournalTest, RotatesSegmentsAndReplaysAcrossThem) {
+  const std::string dir = FreshDir("journal_rotation");
+  durability::JournalOptions options;
+  options.max_segment_bytes = 128;  // Tiny: force frequent rotation.
+  {
+    auto writer = durability::JournalWriter::Open(dir, options);
+    ASSERT_TRUE(writer.ok());
+    for (uint64_t seq = 1; seq <= 20; ++seq) {
+      ASSERT_TRUE(writer.value()
+                      ->Append(seq, durability::JournalOpType::kIngest, 0,
+                               TinyTuples(static_cast<int64_t>(seq), 2))
+                      .ok());
+    }
+    EXPECT_GT(writer.value()->segments_opened(), 1);
+  }
+  size_t segment_files = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    (void)entry;
+    ++segment_files;
+  }
+  EXPECT_GT(segment_files, 1u);
+
+  auto stats = durability::ReplayJournal(
+      dir, 0, [](const durability::JournalRecord&) { return Status::OK(); });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().records_applied, 20u);
+  EXPECT_EQ(stats.value().last_sequence, 20u);
+}
+
+TEST(JournalTest, FreshWriterNeverAppendsToExistingSegments) {
+  const std::string dir = FreshDir("journal_fresh_segment");
+  {
+    auto writer = durability::JournalWriter::Open(dir);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value()
+                    ->Append(1, durability::JournalOpType::kIngest, 0,
+                             TinyTuples(1, 1))
+                    .ok());
+  }
+  {
+    // A second Open (e.g. after recovery) starts a new numbered segment.
+    auto writer = durability::JournalWriter::Open(dir);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value()
+                    ->Append(2, durability::JournalOpType::kIngest, 0,
+                             TinyTuples(2, 1))
+                    .ok());
+  }
+  size_t segment_files = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    (void)entry;
+    ++segment_files;
+  }
+  EXPECT_EQ(segment_files, 2u);
+  auto stats = durability::ReplayJournal(
+      dir, 0, [](const durability::JournalRecord&) { return Status::OK(); });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().records_applied, 2u);
+}
+
+std::vector<std::string> SortedSegmentPaths(const std::string& dir) {
+  std::vector<std::string> paths;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    paths.push_back(entry.path().string());
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+void TruncateFile(const std::string& path, int64_t drop_bytes) {
+  const auto size = fs::file_size(path);
+  fs::resize_file(path, size - static_cast<uintmax_t>(drop_bytes));
+}
+
+TEST(JournalFaultInjectionTest, TornTailIsCleanlyDiscarded) {
+  const std::string dir = FreshDir("journal_torn_tail");
+  {
+    auto writer = durability::JournalWriter::Open(dir);
+    ASSERT_TRUE(writer.ok());
+    for (uint64_t seq = 1; seq <= 5; ++seq) {
+      ASSERT_TRUE(writer.value()
+                      ->Append(seq, durability::JournalOpType::kIngest, 0,
+                               TinyTuples(static_cast<int64_t>(seq), 2))
+                      .ok());
+    }
+  }
+  // Tear the final record: drop a few bytes off the only (= last) segment.
+  TruncateFile(SortedSegmentPaths(dir).back(), 3);
+  auto stats = durability::ReplayJournal(
+      dir, 0, [](const durability::JournalRecord&) { return Status::OK(); });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats.value().torn_tail);
+  EXPECT_EQ(stats.value().records_applied, 4u);
+  EXPECT_EQ(stats.value().last_sequence, 4u);
+}
+
+TEST(JournalFaultInjectionTest, TruncationBeforeTheEndIsDataLoss) {
+  const std::string dir = FreshDir("journal_mid_truncate");
+  durability::JournalOptions options;
+  options.max_segment_bytes = 128;
+  {
+    auto writer = durability::JournalWriter::Open(dir, options);
+    ASSERT_TRUE(writer.ok());
+    for (uint64_t seq = 1; seq <= 12; ++seq) {
+      ASSERT_TRUE(writer.value()
+                      ->Append(seq, durability::JournalOpType::kIngest, 0,
+                               TinyTuples(static_cast<int64_t>(seq), 2))
+                      .ok());
+    }
+    ASSERT_GT(writer.value()->segments_opened(), 1);
+  }
+  // A short read in a NON-final segment means acknowledged records after it
+  // are gone — loss, not a torn tail.
+  TruncateFile(SortedSegmentPaths(dir).front(), 5);
+  auto stats = durability::ReplayJournal(
+      dir, 0, [](const durability::JournalRecord&) { return Status::OK(); });
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(JournalFaultInjectionTest, FlippedRecordByteIsDataLoss) {
+  const std::string dir = FreshDir("journal_bit_flip");
+  {
+    auto writer = durability::JournalWriter::Open(dir);
+    ASSERT_TRUE(writer.ok());
+    for (uint64_t seq = 1; seq <= 3; ++seq) {
+      ASSERT_TRUE(writer.value()
+                      ->Append(seq, durability::JournalOpType::kIngest, 0,
+                               TinyTuples(static_cast<int64_t>(seq), 2))
+                      .ok());
+    }
+  }
+  const std::string path = SortedSegmentPaths(dir).front();
+  auto contents = serial::ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  std::string data = std::move(contents).value();
+  data[data.size() / 2] = static_cast<char>(data[data.size() / 2] ^ 0x01);
+  ASSERT_TRUE(serial::WriteStringToFile(path, data).ok());
+
+  auto stats = durability::ReplayJournal(
+      dir, 0, [](const durability::JournalRecord&) { return Status::OK(); });
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(JournalFaultInjectionTest, NewerFormatVersionIsFailedPrecondition) {
+  const std::string dir = FreshDir("journal_version_skew");
+  {
+    auto writer = durability::JournalWriter::Open(dir);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value()
+                    ->Append(1, durability::JournalOpType::kIngest, 0,
+                             TinyTuples(1, 1))
+                    .ok());
+  }
+  const std::string path = SortedSegmentPaths(dir).front();
+  auto contents = serial::ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  std::string data = std::move(contents).value();
+  data[8] = static_cast<char>(data[8] + 1);  // Version field after u64 magic.
+  ASSERT_TRUE(serial::WriteStringToFile(path, data).ok());
+
+  auto stats = durability::ReplayJournal(
+      dir, 0, [](const durability::JournalRecord&) { return Status::OK(); });
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(JournalFaultInjectionTest, SequenceGapIsDataLoss) {
+  const std::string dir = FreshDir("journal_seq_gap");
+  {
+    auto writer = durability::JournalWriter::Open(dir);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value()
+                    ->Append(1, durability::JournalOpType::kIngest, 0,
+                             TinyTuples(1, 1))
+                    .ok());
+    ASSERT_TRUE(writer.value()
+                    ->Append(3, durability::JournalOpType::kIngest, 0,
+                             TinyTuples(3, 1))
+                    .ok());
+  }
+  auto stats = durability::ReplayJournal(
+      dir, 0, [](const durability::JournalRecord&) { return Status::OK(); });
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kDataLoss);
+}
+
+// --- The central differential: recovery == uninterrupted ------------------
+
+struct ProtocolInput {
+  ContinuousCpdOptions options;
+  std::span<const Tuple> warmup;
+  std::vector<std::span<const Tuple>> batches;
+  int64_t horizon = 0;
+};
+
+ProtocolInput MakeProtocol(const DataStream& stream,
+                           const ContinuousCpdOptions& options) {
+  ProtocolInput input;
+  input.options = options;
+  const auto [warmup, live] = SplitWarmup(stream, options);
+  input.warmup = warmup;
+  for (size_t i = 0; i < live.size(); i += 3) {
+    input.batches.push_back(live.subspan(i, std::min<size_t>(3, live.size() - i)));
+  }
+  input.horizon = stream.tuples().back().time + options.period;
+  return input;
+}
+
+/// Uninterrupted reference: the full protocol with no journal, final state
+/// as checkpoint bytes.
+std::string RunUninterrupted(const ProtocolInput& input, int shards) {
+  SnsService service = MakeService(shards);
+  SNS_CHECK(service.CreateStream("s", {6, 5}, input.options).ok());
+  SNS_CHECK(service.Warmup("s", input.warmup).ok());
+  SNS_CHECK(service.Initialize("s").ok());
+  for (const auto& batch : input.batches) {
+    SNS_CHECK(service.Ingest("s", batch).ok());
+  }
+  SNS_CHECK(service.AdvanceTo("s", input.horizon).ok());
+  return CheckpointBytes(service, "s");
+}
+
+enum class Interrupt { kBeforeWarmup, kMidBatches, kAfterBatches };
+
+/// Journaled run checkpointed at `interrupt`, "crashed" at the end, then
+/// recovered into a fresh service from checkpoint + journal suffix. Returns
+/// the recovered service's final checkpoint bytes.
+std::string RunRecovered(const ProtocolInput& input, int shards,
+                         Interrupt interrupt, const std::string& dir) {
+  fs::remove_all(dir);
+  std::string saved;
+  {
+    SnsService service = MakeService(shards);
+    SNS_CHECK(service.CreateStream("s", {6, 5}, input.options).ok());
+    SNS_CHECK(service.EnableJournal("s", dir).ok());
+    if (interrupt == Interrupt::kBeforeWarmup) {
+      saved = CheckpointBytes(service, "s");
+    }
+    SNS_CHECK(service.Warmup("s", input.warmup).ok());
+    SNS_CHECK(service.Initialize("s").ok());
+    for (size_t i = 0; i < input.batches.size(); ++i) {
+      SNS_CHECK(service.Ingest("s", input.batches[i]).ok());
+      if (interrupt == Interrupt::kMidBatches &&
+          i + 1 == input.batches.size() / 2) {
+        saved = CheckpointBytes(service, "s");
+      }
+    }
+    if (interrupt == Interrupt::kAfterBatches) {
+      saved = CheckpointBytes(service, "s");
+    }
+    SNS_CHECK(service.AdvanceTo("s", input.horizon).ok());
+  }  // "Crash": the service dies; checkpoint + journal survive.
+
+  SnsService recovered = MakeService(shards);
+  serial::StringSource source(saved);
+  auto report = durability::RecoverStream(recovered, source, dir);
+  SNS_CHECK(report.ok());
+  SNS_CHECK(!report.value().torn_tail);
+  return CheckpointBytes(recovered, "s");
+}
+
+TEST(RecoveryDifferentialTest, AllVariantsShardsAndInterruptPoints) {
+  const DataStream stream = SmallStream(130, 21);
+  const SnsVariant variants[] = {SnsVariant::kMat, SnsVariant::kVec,
+                                 SnsVariant::kRnd, SnsVariant::kVecPlus,
+                                 SnsVariant::kRndPlus};
+  const Interrupt interrupts[] = {Interrupt::kBeforeWarmup,
+                                  Interrupt::kMidBatches,
+                                  Interrupt::kAfterBatches};
+  for (SnsVariant variant : variants) {
+    const ProtocolInput input =
+        MakeProtocol(stream, SmallEngineOptions(variant));
+    // The trajectory is shard-invariant (pinned streams), so one reference
+    // run serves every shard count.
+    const std::string reference = RunUninterrupted(input, /*shards=*/0);
+    for (int shards : {0, 1, 4}) {
+      for (Interrupt interrupt : interrupts) {
+        const std::string recovered = RunRecovered(
+            input, shards, interrupt, FreshDir("differential"));
+        EXPECT_EQ(recovered, reference)
+            << VariantName(variant) << " shards=" << shards
+            << " interrupt=" << static_cast<int>(interrupt);
+      }
+    }
+  }
+}
+
+TEST(RecoveryDifferentialTest, MixedPrecisionRecoversBitwise) {
+  const DataStream stream = SmallStream(110, 23);
+  const ProtocolInput input = MakeProtocol(
+      stream, SmallEngineOptions(SnsVariant::kRndPlus,
+                                 FactorPrecision::kFloat32Accum64));
+  const std::string reference = RunUninterrupted(input, 0);
+  for (Interrupt interrupt :
+       {Interrupt::kBeforeWarmup, Interrupt::kMidBatches}) {
+    const std::string recovered =
+        RunRecovered(input, /*shards=*/1, interrupt, FreshDir("mixed"));
+    EXPECT_EQ(recovered, reference)
+        << "interrupt=" << static_cast<int>(interrupt);
+  }
+}
+
+TEST(RecoveryDifferentialTest, ReportAccountsForReplayAndMirroredFailures) {
+  const DataStream stream = SmallStream(100, 29);
+  const ProtocolInput input =
+      MakeProtocol(stream, SmallEngineOptions(SnsVariant::kVec));
+  const std::string dir = FreshDir("report");
+  std::string saved;
+  std::string final_bytes;
+  uint64_t saved_seq = 0;
+  uint64_t final_seq = 0;
+  {
+    SnsService service = MakeService(1);
+    SNS_CHECK(service.CreateStream("s", {6, 5}, input.options).ok());
+    SNS_CHECK(service.EnableJournal("s", dir).ok());
+    SNS_CHECK(service.Warmup("s", input.warmup).ok());
+    SNS_CHECK(service.Initialize("s").ok());
+    SNS_CHECK(service.Ingest("s", input.batches[0]).ok());
+    saved = CheckpointBytes(service, "s");
+    saved_seq = service.AppliedSequence("s").value();
+    // A request the stream rejects (time regression): it consumes a token,
+    // lands in the journal, and must fail identically on replay.
+    Tuple regressed = input.batches[1].front();
+    regressed.time = 0;
+    EXPECT_EQ(service.Ingest("s", regressed).code(),
+              StatusCode::kFailedPrecondition);
+    SNS_CHECK(service.Ingest("s", input.batches[1]).ok());
+    final_bytes = CheckpointBytes(service, "s");
+    final_seq = service.AppliedSequence("s").value();
+  }
+  SnsService recovered = MakeService(1);
+  serial::StringSource source(saved);
+  auto report = durability::RecoverStream(recovered, source, dir);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().checkpoint_sequence, saved_seq);
+  EXPECT_EQ(report.value().last_sequence, final_seq);
+  EXPECT_EQ(report.value().records_replayed, final_seq - saved_seq);
+  EXPECT_EQ(report.value().mirrored_failures, 1u);
+  EXPECT_EQ(CheckpointBytes(recovered, "s"), final_bytes);
+}
+
+// --- Service lifecycle interactions ---------------------------------------
+
+TEST(ServiceDurabilityTest, CheckpointDuringAsyncIngestIsASequencePoint) {
+  const DataStream stream = SmallStream(130, 31);
+  const ProtocolInput input =
+      MakeProtocol(stream, SmallEngineOptions(SnsVariant::kRndPlus));
+
+  SnsService service = MakeService(2);
+  ASSERT_TRUE(service.CreateStream("s", {6, 5}, input.options).ok());
+  ASSERT_TRUE(service.Warmup("s", input.warmup).ok());
+  ASSERT_TRUE(service.Initialize("s").ok());
+
+  // Fire every batch asynchronously, checkpoint in the middle of the
+  // barrage WITHOUT draining, then let the rest land.
+  std::vector<Ticket> tickets;
+  serial::StringSink sink;
+  Status checkpoint_status = Status::OK();
+  for (size_t i = 0; i < input.batches.size(); ++i) {
+    tickets.push_back(service.IngestAsync("s", input.batches[i]));
+    if (i == input.batches.size() / 2) {
+      checkpoint_status = service.Checkpoint("s", sink);
+    }
+  }
+  for (Ticket& ticket : tickets) ASSERT_TRUE(ticket.Wait().ok());
+  ASSERT_TRUE(checkpoint_status.ok());
+
+  // The checkpoint reflects a prefix of the ticketed operations: restore it
+  // and verify it matches a clean run of exactly that many batches.
+  serial::StringSource source(sink.data());
+  SnsService restored_service = MakeService(0);
+  ASSERT_TRUE(restored_service.Restore(source).ok());
+  const uint64_t seq = restored_service.AppliedSequence("s").value();
+  ASSERT_GE(seq, 2u);  // Warmup + Initialize.
+  const uint64_t batches_included = seq - 2;
+  ASSERT_LE(batches_included, input.batches.size());
+
+  SnsService reference = MakeService(0);
+  ASSERT_TRUE(reference.CreateStream("s", {6, 5}, input.options).ok());
+  ASSERT_TRUE(reference.Warmup("s", input.warmup).ok());
+  ASSERT_TRUE(reference.Initialize("s").ok());
+  for (uint64_t i = 0; i < batches_included; ++i) {
+    ASSERT_TRUE(reference.Ingest("s", input.batches[i]).ok());
+  }
+  EXPECT_EQ(sink.data(), CheckpointBytes(reference, "s"));
+}
+
+TEST(ServiceDurabilityTest, DurabilityCallsAfterShutdownFailTyped) {
+  const DataStream stream = SmallStream(90, 37);
+  const ProtocolInput input =
+      MakeProtocol(stream, SmallEngineOptions(SnsVariant::kVec));
+  SnsService service = MakeService(1);
+  ASSERT_TRUE(service.CreateStream("s", {6, 5}, input.options).ok());
+  ASSERT_TRUE(service.Warmup("s", input.warmup).ok());
+  ASSERT_TRUE(service.Initialize("s").ok());
+  const std::string valid = CheckpointBytes(service, "s");
+
+  service.Shutdown();
+
+  serial::StringSink sink;
+  EXPECT_EQ(service.Checkpoint("s", sink).code(),
+            StatusCode::kFailedPrecondition);
+  serial::StringSource source(valid);
+  EXPECT_EQ(service.Restore(source).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(service.EnableJournal("s", FreshDir("post_shutdown")).code(),
+            StatusCode::kFailedPrecondition);
+  // AdvanceAllTo degrades to a typed no-op, not a crash.
+  service.AdvanceAllTo(input.horizon);
+}
+
+TEST(ServiceDurabilityTest, RestoreRejectsDuplicateName) {
+  const DataStream stream = SmallStream(90, 41);
+  const ProtocolInput input =
+      MakeProtocol(stream, SmallEngineOptions(SnsVariant::kVec));
+  SnsService service = MakeService(0);
+  ASSERT_TRUE(service.CreateStream("s", {6, 5}, input.options).ok());
+  ASSERT_TRUE(service.Warmup("s", input.warmup).ok());
+  const std::string bytes = CheckpointBytes(service, "s");
+
+  serial::StringSource source(bytes);
+  EXPECT_EQ(service.Restore(source).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  // A fresh service accepts it; the restored stream resumes its token.
+  SnsService other = MakeService(0);
+  serial::StringSource source2(bytes);
+  auto restored = other.Restore(source2);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(other.AppliedSequence("s").value(),
+            service.AppliedSequence("s").value());
+}
+
+TEST(ServiceDurabilityTest, EnableJournalTwiceFails) {
+  const DataStream stream = SmallStream(90, 43);
+  const ProtocolInput input =
+      MakeProtocol(stream, SmallEngineOptions(SnsVariant::kVec));
+  SnsService service = MakeService(0);
+  ASSERT_TRUE(service.CreateStream("s", {6, 5}, input.options).ok());
+  const std::string dir = FreshDir("twice");
+  ASSERT_TRUE(service.EnableJournal("s", dir).ok());
+  EXPECT_EQ(service.EnableJournal("s", dir).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(service.EnableJournal("missing", dir).code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace sns

@@ -12,7 +12,8 @@ cd "$(dirname "$0")/.."
 compiler="${1:-${CXX:-g++}}"
 
 # The public surface: the umbrella header, the api/ facade layer, the
-# runtime layer it exposes (tickets, mailboxes, shards), and the kernel
+# runtime layer it exposes (tickets, mailboxes, shards), the durability
+# layer (checkpoints, journals, serialization primitives), and the kernel
 # dispatch surface (CPU probe, codelet table contract, float32 mirrors).
 headers=(
   src/slicenstitch.h
@@ -21,6 +22,10 @@ headers=(
   src/api/stream_event.h
   src/api/stream_handle.h
   src/common/cpu_features.h
+  src/common/crc32.h
+  src/common/serial.h
+  src/durability/checkpoint.h
+  src/durability/journal.h
   src/linalg/codelets/codelet_tables.h
   src/linalg/matrix32.h
   src/runtime/mailbox.h
