@@ -272,7 +272,7 @@ Status SnsService::AdvanceTo(std::string_view stream, int64_t time) {
       .Wait();
 }
 
-void SnsService::AdvanceAllTo(int64_t time) {
+Status SnsService::AdvanceAllTo(int64_t time) {
   std::vector<StreamEntry*> entries;
   {
     std::lock_guard<std::mutex> lock(registry_->mu);
@@ -281,6 +281,7 @@ void SnsService::AdvanceAllTo(int64_t time) {
       entries.push_back(entry.get());
     }
   }
+  Status first_error;
   for (StreamEntry* entry : entries) {
     // Streams that never saw input are left untouched — advancing their
     // clock would forbid warming them up with earlier tuples later — and
@@ -302,11 +303,17 @@ void SnsService::AdvanceAllTo(int64_t time) {
             },
             /*force_block=*/true)
             .Wait();
-    // AdvanceTo cannot fail past the guard above; tolerate the typed
-    // shutdown refusal (AdvanceAllTo after Shutdown degrades to a no-op).
-    SNS_CHECK(status.ok() ||
-              status.code() == StatusCode::kFailedPrecondition);
+    // The horizon guard above rules out engine-side failures, but the
+    // write-ahead journal append can still fail (disk full, poisoned
+    // journal): surface the first such error after attempting every
+    // stream. The typed shutdown refusal degrades to a no-op.
+    if (!status.ok() &&
+        status.code() != StatusCode::kFailedPrecondition &&
+        first_error.ok()) {
+      first_error = status;
+    }
   }
+  return first_error;
 }
 
 // --- Sequence-consistent queries ------------------------------------------

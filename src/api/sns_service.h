@@ -175,8 +175,11 @@ class SnsService {
   /// remain possible with earlier tuples) are left untouched. Used to flush
   /// all windows to a common horizon, e.g. at shutdown or a checkpoint;
   /// must not race with concurrent submissions or pool mutations
-  /// (CreateStream / Remove).
-  void AdvanceAllTo(int64_t time);
+  /// (CreateStream / Remove). Every stream is attempted; the first
+  /// per-stream failure (e.g. a journal append error — kIOError, or a
+  /// poisoned journal — kDataLoss) is returned. After Shutdown the typed
+  /// refusal degrades to an OK no-op.
+  Status AdvanceAllTo(int64_t time);
 
   // --- Sequence-consistent queries --------------------------------------
   // Executed on the owning shard via a request/reply hop: the caller

@@ -11,9 +11,14 @@ namespace sns {
 namespace durability {
 namespace {
 
-// Size guard for the payload-length field of a corrupt envelope; real
-// checkpoints of plausible streams sit far below it.
+// Plausibility guard for the payload-length field of a corrupt envelope;
+// real checkpoints of plausible streams sit far below it. The payload is
+// read in kPayloadChunkBytes steps, so a hostile length field can never
+// force one giant upfront allocation — a source shorter than its claimed
+// length fails with kDataLoss at its actual end, having allocated only as
+// much as it actually delivered.
 constexpr uint64_t kMaxPayloadBytes = 1ull << 32;
+constexpr size_t kPayloadChunkBytes = 1u << 20;
 
 /// Failure codes a replayed request may legitimately reproduce: the journal
 /// records every acknowledged request, including ones the stream rejected,
@@ -63,8 +68,15 @@ StatusOr<RestoredStream> ReadStreamCheckpoint(serial::ByteSource& source) {
   if (payload_size > kMaxPayloadBytes) {
     return Status::DataLoss("checkpoint frames an implausible payload size");
   }
-  std::string bytes(static_cast<size_t>(payload_size), '\0');
-  SNS_RETURN_IF_ERROR(source.ReadExact(bytes.data(), bytes.size()));
+  std::string bytes;
+  for (uint64_t left = payload_size; left > 0;) {
+    const size_t step =
+        static_cast<size_t>(std::min<uint64_t>(left, kPayloadChunkBytes));
+    const size_t old_size = bytes.size();
+    bytes.resize(old_size + step);
+    SNS_RETURN_IF_ERROR(source.ReadExact(bytes.data() + old_size, step));
+    left -= step;
+  }
   uint32_t crc = 0;
   SNS_RETURN_IF_ERROR(header.U32(&crc));
   if (Crc32(bytes.data(), bytes.size()) != crc) {

@@ -62,6 +62,27 @@ std::string EncodeRecord(uint64_t sequence, JournalOpType op, int64_t time,
   return payload.TakeData();
 }
 
+/// Removes the torn tail of the final segment from disk. A later
+/// JournalWriter::Open starts a fresh, higher-numbered segment, so a torn
+/// tail left in place would sit at the end of a non-last segment forever and
+/// turn every subsequent replay into kDataLoss. Truncating is safe: the torn
+/// record was never acknowledged. A segment too short to hold even its
+/// header (a crash during segment creation — the header is flushed before
+/// any record) is removed whole.
+Status RepairTornTail(const std::string& path, size_t intact_bytes) {
+  std::error_code ec;
+  if (intact_bytes < kSegmentHeaderBytes) {
+    fs::remove(path, ec);
+  } else {
+    fs::resize_file(path, intact_bytes, ec);
+  }
+  if (ec) {
+    return Status::IOError("cannot truncate torn tail of journal segment '" +
+                           path + "': " + ec.message());
+  }
+  return Status::OK();
+}
+
 StatusOr<JournalRecord> DecodeRecord(std::string_view payload) {
   serial::StringSource source(payload);
   serial::Reader r(source);
@@ -208,6 +229,7 @@ StatusOr<ReplayStats> ReplayJournal(
     // segment (no record was ever acked into it); anywhere else it is loss.
     if (data.size() < kSegmentHeaderBytes) {
       if (last_segment) {
+        SNS_RETURN_IF_ERROR(RepairTornTail(path, 0));
         stats.torn_tail = true;
         break;
       }
@@ -249,6 +271,7 @@ StatusOr<ReplayStats> ReplayJournal(
       }
       if (torn) {
         if (last_segment) {
+          SNS_RETURN_IF_ERROR(RepairTornTail(path, pos));
           stats.torn_tail = true;
           break;
         }

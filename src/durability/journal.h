@@ -17,11 +17,12 @@
 // The payload encodes one JournalRecord (common/serial.h little-endian
 // layout). A write that dies mid-record leaves a truncated tail; replay
 // treats a short read at the END of the LAST segment as a clean torn tail
-// (the record was never acknowledged) and every other corruption — CRC
-// mismatch, short read mid-directory, sequence gap — as kDataLoss. Writers
-// never append to a pre-existing segment: each JournalWriter::Open starts a
-// fresh segment numbered after the highest on disk, so a torn tail is never
-// buried under later records.
+// (the record was never acknowledged) and TRUNCATES it from disk, and every
+// other corruption — CRC mismatch, short read mid-directory, sequence gap —
+// is kDataLoss. Writers never append to a pre-existing segment: each
+// JournalWriter::Open starts a fresh segment numbered after the highest on
+// disk, and because replay already removed the torn tail, that fresh segment
+// never buries one — recover, re-attach, crash, recover again keeps working.
 
 #ifndef SLICENSTITCH_DURABILITY_JOURNAL_H_
 #define SLICENSTITCH_DURABILITY_JOURNAL_H_
@@ -118,7 +119,9 @@ struct ReplayStats {
   uint64_t records_seen = 0;     // Decoded records, including skipped ones.
   uint64_t records_applied = 0;  // Records with sequence > after_sequence.
   uint64_t last_sequence = 0;    // Highest decoded sequence (0 when none).
-  bool torn_tail = false;        // Final record was torn and discarded.
+  /// The final record was torn; it was discarded and truncated from disk so
+  /// a later writer's fresh segment cannot bury it.
+  bool torn_tail = false;
 };
 
 /// Replays every intact record with sequence > `after_sequence` through
@@ -126,9 +129,11 @@ struct ReplayStats {
 /// and strict +1 sequence contiguity (from the first journaled record
 /// through the last, and joining `after_sequence` when it falls inside the
 /// journaled range). A truncated final record in the final segment is
-/// reported via ReplayStats::torn_tail, not an error; any other corruption
-/// fails with kDataLoss, and a segment-header version from a newer format
-/// fails with kFailedPrecondition. An `apply` error aborts the replay.
+/// reported via ReplayStats::torn_tail, not an error, and is truncated from
+/// the segment on disk (kIOError if that repair fails) so the journal is
+/// clean before a new writer attaches; any other corruption fails with
+/// kDataLoss, and a segment-header version from a newer format fails with
+/// kFailedPrecondition. An `apply` error aborts the replay.
 StatusOr<ReplayStats> ReplayJournal(
     const std::string& directory, uint64_t after_sequence,
     const std::function<Status(const JournalRecord&)>& apply);

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <filesystem>
 #include <span>
 #include <string>
@@ -285,6 +286,24 @@ TEST(CheckpointFaultInjectionTest, PayloadBitFlipsAreDataLoss) {
   }
 }
 
+TEST(CheckpointFaultInjectionTest, ImplausiblePayloadSizeFailsTyped) {
+  const std::string valid = MakeValidCheckpoint();
+  // The u64 payload_size field sits at offset 8 (after magic + version).
+  // Just under the 4 GiB plausibility cap: the chunked payload read runs off
+  // the source's actual end and fails kDataLoss without ever attempting one
+  // multi-GiB allocation.
+  std::string under_cap = valid;
+  const uint64_t huge = (1ull << 32) - 1;
+  std::memcpy(under_cap.data() + 8, &huge, sizeof(huge));
+  EXPECT_EQ(TryRestore(under_cap).code(), StatusCode::kDataLoss);
+
+  // Past the cap: rejected before any payload byte is read.
+  std::string over_cap = valid;
+  const uint64_t absurd = 1ull << 33;
+  std::memcpy(over_cap.data() + 8, &absurd, sizeof(absurd));
+  EXPECT_EQ(TryRestore(over_cap).code(), StatusCode::kDataLoss);
+}
+
 TEST(CheckpointFaultInjectionTest, MagicAndVersionSkewAreTyped) {
   const std::string valid = MakeValidCheckpoint();
   std::string bad_magic = valid;
@@ -451,6 +470,90 @@ TEST(JournalFaultInjectionTest, TornTailIsCleanlyDiscarded) {
   EXPECT_TRUE(stats.value().torn_tail);
   EXPECT_EQ(stats.value().records_applied, 4u);
   EXPECT_EQ(stats.value().last_sequence, 4u);
+}
+
+TEST(JournalFaultInjectionTest, TornTailIsTruncatedSoRecoveryIsRepeatable) {
+  const std::string dir = FreshDir("journal_torn_repeat");
+  {
+    auto writer = durability::JournalWriter::Open(dir);
+    ASSERT_TRUE(writer.ok());
+    for (uint64_t seq = 1; seq <= 5; ++seq) {
+      ASSERT_TRUE(writer.value()
+                      ->Append(seq, durability::JournalOpType::kIngest, 0,
+                               TinyTuples(static_cast<int64_t>(seq), 2))
+                      .ok());
+    }
+  }
+  const std::string segment = SortedSegmentPaths(dir).back();
+  TruncateFile(segment, 3);
+  const auto torn_size = fs::file_size(segment);
+
+  // First replay discards the torn record AND truncates it from disk.
+  auto first = durability::ReplayJournal(
+      dir, 0, [](const durability::JournalRecord&) { return Status::OK(); });
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first.value().torn_tail);
+  EXPECT_EQ(first.value().records_applied, 4u);
+  EXPECT_LT(fs::file_size(segment), torn_size);
+
+  // A recovered service re-attaches: a NEW writer opens a fresh segment
+  // after the (now clean) torn one and continues the token sequence.
+  {
+    auto writer = durability::JournalWriter::Open(dir);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value()
+                    ->Append(5, durability::JournalOpType::kIngest, 0,
+                             TinyTuples(5, 2))
+                    .ok());
+  }
+  // Before the repair existed, this second replay hit the buried torn
+  // record in a non-last segment and failed kDataLoss forever.
+  auto second = durability::ReplayJournal(
+      dir, 0, [](const durability::JournalRecord&) { return Status::OK(); });
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second.value().torn_tail);
+  EXPECT_EQ(second.value().records_applied, 5u);
+  EXPECT_EQ(second.value().last_sequence, 5u);
+}
+
+TEST(JournalFaultInjectionTest, TornSegmentHeaderIsRemovedFromDisk) {
+  const std::string dir = FreshDir("journal_torn_header");
+  {
+    auto writer = durability::JournalWriter::Open(dir);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value()
+                    ->Append(1, durability::JournalOpType::kIngest, 0,
+                             TinyTuples(1, 1))
+                    .ok());
+  }
+  {
+    // A writer that dies during segment creation leaves a partial header
+    // (and, by the write-ahead contract, no acknowledged record).
+    auto writer = durability::JournalWriter::Open(dir);
+    ASSERT_TRUE(writer.ok());
+  }
+  TruncateFile(SortedSegmentPaths(dir).back(), 7);  // 12-byte header → 5.
+
+  auto first = durability::ReplayJournal(
+      dir, 0, [](const durability::JournalRecord&) { return Status::OK(); });
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first.value().torn_tail);
+  EXPECT_EQ(first.value().records_applied, 1u);
+  EXPECT_EQ(SortedSegmentPaths(dir).size(), 1u);  // Torn segment removed.
+
+  {
+    auto writer = durability::JournalWriter::Open(dir);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value()
+                    ->Append(2, durability::JournalOpType::kIngest, 0,
+                             TinyTuples(2, 1))
+                    .ok());
+  }
+  auto second = durability::ReplayJournal(
+      dir, 0, [](const durability::JournalRecord&) { return Status::OK(); });
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second.value().torn_tail);
+  EXPECT_EQ(second.value().records_applied, 2u);
 }
 
 TEST(JournalFaultInjectionTest, TruncationBeforeTheEndIsDataLoss) {
@@ -700,6 +803,55 @@ TEST(RecoveryDifferentialTest, ReportAccountsForReplayAndMirroredFailures) {
   EXPECT_EQ(CheckpointBytes(recovered, "s"), final_bytes);
 }
 
+TEST(RecoveryDifferentialTest, TornTailRecoveryThenReattachThenRecoverAgain) {
+  // The examples/durable_service.cpp loop: crash with a torn tail, recover,
+  // re-attach the journal, continue, crash again, recover again. The second
+  // recovery only works because the first one truncated the torn record —
+  // otherwise it sits buried in a non-last segment as permanent kDataLoss.
+  const DataStream stream = SmallStream(120, 47);
+  const ProtocolInput input =
+      MakeProtocol(stream, SmallEngineOptions(SnsVariant::kVecPlus));
+  const std::string dir = FreshDir("torn_reattach");
+  const size_t half = input.batches.size() / 2;
+  ASSERT_GE(half, 2u);
+  std::string saved;
+  {
+    SnsService service = MakeService(1);
+    SNS_CHECK(service.CreateStream("s", {6, 5}, input.options).ok());
+    SNS_CHECK(service.EnableJournal("s", dir).ok());
+    SNS_CHECK(service.Warmup("s", input.warmup).ok());
+    SNS_CHECK(service.Initialize("s").ok());
+    saved = CheckpointBytes(service, "s");
+    for (size_t i = 0; i < half; ++i) {
+      SNS_CHECK(service.Ingest("s", input.batches[i]).ok());
+    }
+  }  // Crash #1...
+  // ...mid-write of the final record: its batch was never acknowledged.
+  TruncateFile(SortedSegmentPaths(dir).back(), 3);
+
+  std::string continued;
+  {
+    SnsService service = MakeService(1);
+    serial::StringSource source(saved);
+    auto report = durability::RecoverStream(service, source, dir);
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report.value().torn_tail);
+    // Re-attach and resume the feed from the torn (lost) batch onward.
+    ASSERT_TRUE(service.EnableJournal("s", dir).ok());
+    for (size_t i = half - 1; i < input.batches.size(); ++i) {
+      ASSERT_TRUE(service.Ingest("s", input.batches[i]).ok());
+    }
+    continued = CheckpointBytes(service, "s");
+  }  // Crash #2, this time with a clean tail.
+
+  SnsService recovered = MakeService(1);
+  serial::StringSource source(saved);
+  auto report = durability::RecoverStream(recovered, source, dir);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report.value().torn_tail);
+  EXPECT_EQ(CheckpointBytes(recovered, "s"), continued);
+}
+
 // --- Service lifecycle interactions ---------------------------------------
 
 TEST(ServiceDurabilityTest, CheckpointDuringAsyncIngestIsASequencePoint) {
@@ -766,8 +918,35 @@ TEST(ServiceDurabilityTest, DurabilityCallsAfterShutdownFailTyped) {
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(service.EnableJournal("s", FreshDir("post_shutdown")).code(),
             StatusCode::kFailedPrecondition);
-  // AdvanceAllTo degrades to a typed no-op, not a crash.
-  service.AdvanceAllTo(input.horizon);
+  // AdvanceAllTo degrades to an OK no-op, not a crash.
+  EXPECT_TRUE(service.AdvanceAllTo(input.horizon).ok());
+}
+
+TEST(ServiceDurabilityTest, AdvanceAllToSurfacesJournalAppendFailure) {
+  const DataStream stream = SmallStream(90, 53);
+  const ProtocolInput input =
+      MakeProtocol(stream, SmallEngineOptions(SnsVariant::kVec));
+  SnsService service = MakeService(0);
+  ASSERT_TRUE(service.CreateStream("s", {6, 5}, input.options).ok());
+  const std::string dir = FreshDir("advance_all_journal_fail");
+  durability::JournalOptions journal_options;
+  journal_options.max_segment_bytes = 1;  // Every append rotates.
+  ASSERT_TRUE(service.EnableJournal("s", dir, journal_options).ok());
+  ASSERT_TRUE(service.Warmup("s", input.warmup).ok());
+  ASSERT_TRUE(service.Initialize("s").ok());
+  ASSERT_TRUE(service.Ingest("s", input.batches[0]).ok());
+
+  // Replace the journal directory with a plain file: the next append's
+  // segment rotation fails. AdvanceAllTo must surface that as a typed
+  // error, not abort the process.
+  fs::remove_all(dir);
+  ASSERT_TRUE(serial::WriteStringToFile(dir, "not a directory").ok());
+  const Status status = service.AdvanceAllTo(input.horizon);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  // The failed append poisoned the stream; later mutations fail kDataLoss.
+  EXPECT_EQ(service.Ingest("s", input.batches[1]).code(),
+            StatusCode::kDataLoss);
 }
 
 TEST(ServiceDurabilityTest, RestoreRejectsDuplicateName) {

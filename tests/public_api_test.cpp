@@ -172,7 +172,7 @@ TEST(SnsServiceTest, RoutesIngestionByStreamId) {
   // Flush every window past its span: all streams drain to empty.
   const int64_t horizon =
       std::max(left_stream.end_time(), right_stream.end_time()) + 10 * 30;
-  service.AdvanceAllTo(horizon);
+  EXPECT_TRUE(service.AdvanceAllTo(horizon).ok());
   EXPECT_EQ(service.Find("left")->Stats().window_nnz, 0);
   EXPECT_EQ(service.Find("right")->Stats().window_nnz, 0);
 }
