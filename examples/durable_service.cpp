@@ -1,7 +1,8 @@
 // Durable stream scenario: a service that survives being killed mid-ingest.
 //
 // The process keeps its complete state under one directory:
-//   <state_dir>/checkpoint.bin — latest checkpoint (written atomically via
+//   <state_dir>/checkpoint.bin — latest checkpoint, written by
+//                                SnsService::CheckpointToFile (tmp + fsync +
 //                                rename, so a crash never leaves a torn one),
 //   <state_dir>/wal/           — write-ahead event journal.
 //
@@ -53,18 +54,6 @@ bool FileExists(const std::string& path) {
   if (f == nullptr) return false;
   std::fclose(f);
   return true;
-}
-
-// Checkpoint to a temp file, then rename over the live one: readers only
-// ever see a complete, CRC-valid checkpoint.
-bool WriteCheckpointAtomically(sns::SnsService& service,
-                               const std::string& path) {
-  const std::string tmp = path + ".tmp";
-  auto sink = sns::serial::FileSink::Open(tmp);
-  if (!sink.ok()) return false;
-  if (!service.Checkpoint("feed", sink.value()).ok()) return false;
-  if (!sink.value().Close().ok()) return false;
-  return std::rename(tmp.c_str(), path.c_str()) == 0;
 }
 
 }  // namespace
@@ -161,7 +150,17 @@ int main(int argc, char** argv) {
   }
   if (applied < 2) {
     if (!service.Initialize("feed").ok()) return 1;
-    if (!WriteCheckpointAtomically(service, checkpoint_path)) return 1;
+    if (!service.CheckpointToFile("feed", checkpoint_path).ok()) return 1;
+  }
+
+  // With a checkpoint on disk and the journal attached, arm the self-healing
+  // layer: a failed journal append quarantines the stream and rebuilds it
+  // from checkpoint + journal suffix instead of poisoning it permanently.
+  if (const sns::Status status =
+          service.EnableAutoRecovery("feed", checkpoint_path);
+      !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
   }
 
   const int64_t already_ingested =
@@ -174,7 +173,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     if ((k + 1) % checkpoint_every == 0) {
-      if (!WriteCheckpointAtomically(service, checkpoint_path)) return 1;
+      if (!service.CheckpointToFile("feed", checkpoint_path).ok()) return 1;
     }
     if (throttle_us > 0) usleep(static_cast<useconds_t>(throttle_us));
   }

@@ -25,7 +25,8 @@ const char* BackpressurePolicyName(BackpressurePolicy policy) {
     case BackpressurePolicy::kReject:
       return "reject";
   }
-  SNS_CHECK(false && "invalid BackpressurePolicy value");
+  SNS_CHECK(false &&
+            "BackpressurePolicyName: value outside the BackpressurePolicy enum");
 }
 
 }  // namespace sns

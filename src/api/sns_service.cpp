@@ -1,30 +1,230 @@
 #include "api/sns_service.h"
 
+#include <cmath>
 #include <cstdio>
+#include <thread>
 
+#include "common/failpoint.h"
 #include "common/serial.h"
 #include "durability/checkpoint.h"
 #include "durability/journal.h"
 
 namespace sns {
 
+/// Frozen at EnableAutoRecovery time so a recovery attempt needs no locks
+/// and no live journal writer to know where its durable truth lives.
+struct SnsService::AutoRecoveryConfig {
+  std::string checkpoint_path;
+  std::string journal_directory;
+  durability::JournalOptions journal_options;
+  RecoveryPolicy policy;
+};
+
 SnsService::StreamEntry::StreamEntry() = default;
 SnsService::StreamEntry::~StreamEntry() = default;
+
+// --- Health machine -------------------------------------------------------
+
+Status SnsService::HealthGate(const StreamEntry& entry) {
+  switch (entry.health.load(std::memory_order_acquire)) {
+    case StreamHealth::kHealthy:
+      return Status::OK();
+    case StreamHealth::kQuarantined:
+    case StreamHealth::kRecovering:
+      return Status::Unavailable(
+          "stream '" + entry.name +
+          "' is quarantined pending recovery; retry after it heals");
+    case StreamHealth::kFailed:
+      return Status::DataLoss(
+          "stream '" + entry.name +
+          "' failed permanently after a journal append failure; rebuild it "
+          "from a checkpoint");
+  }
+  return Status::Internal("stream health outside the StreamHealth enum");
+}
+
+void SnsService::SetHealth(StreamEntry& entry, StreamHealth to,
+                           const Status& cause, int attempt) {
+  const StreamHealth from = entry.health.load(std::memory_order_relaxed);
+  if (!cause.ok()) {
+    std::lock_guard<std::mutex> lock(entry.health_mu);
+    entry.last_error = cause;
+  }
+  entry.health.store(to, std::memory_order_release);
+  HealthTransition transition;
+  transition.stream = entry.name;
+  transition.from = from;
+  transition.to = to;
+  transition.attempt = attempt;
+  transition.cause = cause;
+  // Always called on the owning shard, so the handle (and its sink list)
+  // is safe to touch even mid-recovery.
+  entry.handle->NotifyHealthTransition(transition);
+}
+
+Status SnsService::AttemptRecovery(StreamEntry& entry) {
+  const AutoRecoveryConfig& cfg = *entry.auto_recovery;
+  // Release the wounded writer FIRST: its in-memory cursor no longer
+  // matches the disk after a failed append, and replay's torn-tail repair
+  // truncates the very segment it still holds open.
+  entry.journal.reset();
+  auto source = serial::FileSource::Open(cfg.checkpoint_path);
+  if (!source.ok()) return source.status();
+  auto recovered =
+      durability::RecoverHandle(source.value(), cfg.journal_directory);
+  if (!recovered.ok()) return recovered.status();
+  durability::RecoveredHandle rebuilt = std::move(recovered).value();
+
+  // Bitwise pin: the failed append left the live engine untouched, so the
+  // durable state must reproduce it exactly — token for token, byte for
+  // byte. A divergence means checkpoint + journal do not describe this
+  // stream; adopting the rebuilt state would silently fork history.
+  const uint64_t live_seq = entry.applied_seq.load(std::memory_order_acquire);
+  if (rebuilt.report.last_sequence != live_seq) {
+    return Status::Internal(
+        "recovered state stops at token " +
+        std::to_string(rebuilt.report.last_sequence) +
+        " but the live stream applied token " + std::to_string(live_seq));
+  }
+  serial::StringSink live_bytes;
+  {
+    serial::Writer w(live_bytes);
+    SNS_RETURN_IF_ERROR(entry.handle->SerializeState(w));
+  }
+  serial::StringSink rebuilt_bytes;
+  {
+    serial::Writer w(rebuilt_bytes);
+    SNS_RETURN_IF_ERROR(rebuilt.handle.SerializeState(w));
+  }
+  if (live_bytes.data() != rebuilt_bytes.data()) {
+    return Status::Internal(
+        "recovered stream state diverges bitwise from the live state");
+  }
+  // Adopt the rebuilt stream (it IS the durable truth) and carry the live
+  // subscriptions over — sinks are process wiring, not stream state. The
+  // entry's handle allocation stays stable, so raw pointers survive.
+  rebuilt.handle.MoveSinksFrom(*entry.handle);
+  *entry.handle = std::move(rebuilt.handle);
+  // Fresh writer LAST: replay repaired any torn tail, and a new writer
+  // always opens a fresh segment after the highest on disk.
+  auto writer = durability::JournalWriter::Open(cfg.journal_directory,
+                                                cfg.journal_options);
+  if (!writer.ok()) return writer.status();
+  entry.journal = std::move(writer).value();
+  return Status::OK();
+}
+
+Status SnsService::HandleAppendFailure(StreamEntry& entry, uint64_t sequence,
+                                       durability::JournalOpType op,
+                                       int64_t time,
+                                       std::span<const Tuple> tuples,
+                                       Status cause) {
+  entry.quarantine_count.fetch_add(1, std::memory_order_relaxed);
+  SetHealth(entry, StreamHealth::kQuarantined, cause, 0);
+  if (entry.auto_recovery == nullptr) {
+    // No recovery configured: the quarantine is terminal. The writer's
+    // on-disk state is unknown (a partial record may sit at its tail), so
+    // no further append may ever touch this journal.
+    SetHealth(entry, StreamHealth::kFailed, cause, 0);
+    return cause;
+  }
+  const RecoveryPolicy& policy = entry.auto_recovery->policy;
+  for (int attempt = 1; attempt <= policy.max_attempts; ++attempt) {
+    entry.recovery_attempts.fetch_add(1, std::memory_order_relaxed);
+    SetHealth(entry, StreamHealth::kRecovering, cause, attempt);
+    const int64_t backoff_ms = policy.BackoffMs(attempt);
+    if (policy.sleep_fn) {
+      policy.sleep_fn(backoff_ms);
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    }
+    Status attempt_status = AttemptRecovery(entry);
+    if (attempt_status.ok()) {
+      // The stream is rebuilt and the journal reopened; retry this op's
+      // write-ahead append. Success heals the stream and the failure stays
+      // invisible to the caller — the op applies normally.
+      attempt_status = AppendJournal(entry, sequence, op, time, tuples);
+      if (attempt_status.ok()) {
+        entry.recoveries_completed.fetch_add(1, std::memory_order_relaxed);
+        SetHealth(entry, StreamHealth::kHealthy, Status::OK(), attempt);
+        return Status::OK();
+      }
+    }
+    cause = std::move(attempt_status);
+    SetHealth(entry, StreamHealth::kQuarantined, cause, attempt);
+  }
+  SetHealth(entry, StreamHealth::kFailed, cause, policy.max_attempts);
+  return cause;
+}
+
+Status SnsService::ExecuteMutation(StreamEntry& entry, uint64_t sequence,
+                                   durability::JournalOpType op, int64_t time,
+                                   std::span<const Tuple> tuples) {
+  // Ops queued behind an exhausted recovery still hold tokens; refusing
+  // them here — journaling nothing, applying nothing — simply ends the
+  // journal at the last healthy token, gap-free.
+  if (entry.health.load(std::memory_order_acquire) == StreamHealth::kFailed) {
+    return HealthGate(entry);
+  }
+  Status append = AppendJournal(entry, sequence, op, time, tuples);
+  if (!append.ok()) {
+    append = HandleAppendFailure(entry, sequence, op, time, tuples,
+                                 std::move(append));
+  }
+  if (!append.ok()) return append;
+  switch (op) {
+    case durability::JournalOpType::kWarmup:
+      return entry.handle->Warmup(tuples);
+    case durability::JournalOpType::kInitialize:
+      return entry.handle->Initialize();
+    case durability::JournalOpType::kIngest:
+      return entry.handle->Ingest(tuples);
+    case durability::JournalOpType::kAdvanceTo:
+      return entry.handle->AdvanceTo(time);
+  }
+  return Status::Internal("journal op outside the JournalOpType enum");
+}
 
 Status SnsService::AppendJournal(StreamEntry& entry, uint64_t sequence,
                                  durability::JournalOpType op, int64_t time,
                                  std::span<const Tuple> tuples) {
   if (entry.journal == nullptr) return Status::OK();
-  if (entry.journal_poisoned) {
-    return Status::DataLoss(
-        "stream journal is poisoned by an earlier append failure");
-  }
-  Status status = entry.journal->Append(sequence, op, time, tuples);
-  // Sticky: skipping one record and appending the next would leave a
-  // sequence gap that replay could not tell from corruption.
-  if (!status.ok()) entry.journal_poisoned = true;
-  return status;
+  return entry.journal->Append(sequence, op, time, tuples);
 }
+
+Status SnsService::ValidateAdmission(const StreamEntry& entry,
+                                     std::span<const Tuple> tuples) {
+  // Validated against the entry's immutable schema copy — never the handle,
+  // which the owning shard may be rebuilding — so admission is safe from
+  // any producer thread. Whole-batch: a refused batch changes nothing.
+  const size_t arity = entry.mode_dims.size();
+  for (size_t n = 0; n < tuples.size(); ++n) {
+    const Tuple& tuple = tuples[n];
+    if (static_cast<size_t>(tuple.index.size()) != arity) {
+      return Status::InvalidArgument(
+          "tuple " + std::to_string(n) + " has " +
+          std::to_string(tuple.index.size()) + " mode indices; stream '" +
+          entry.name + "' has " + std::to_string(arity) + " non-time modes");
+    }
+    for (size_t m = 0; m < arity; ++m) {
+      if (tuple.index[m] < 0 || tuple.index[m] >= entry.mode_dims[m]) {
+        return Status::InvalidArgument(
+            "tuple " + std::to_string(n) + " index " +
+            std::to_string(tuple.index[m]) + " is outside mode " +
+            std::to_string(m) + " of size " +
+            std::to_string(entry.mode_dims[m]));
+      }
+    }
+    if (!std::isfinite(tuple.value)) {
+      return Status::InvalidArgument(
+          "tuple " + std::to_string(n) +
+          " carries a non-finite value; stream values must be finite");
+    }
+  }
+  return Status::OK();
+}
+
+// --- Construction / moves -------------------------------------------------
 
 SnsService::SnsService() : registry_(std::make_unique<Registry>()) {}
 
@@ -98,6 +298,8 @@ StatusOr<StreamHandle*> SnsService::CreateStream(
   }
   auto entry = std::make_unique<StreamEntry>();
   entry->handle = std::make_unique<StreamHandle>(std::move(handle).value());
+  entry->name = entry->handle->name();
+  entry->mode_dims = entry->handle->mode_dims();
   if (executor_ != nullptr) entry->shard = executor_->AssignShard();
   StreamHandle* raw = entry->handle.get();
   registry_->streams.emplace(std::move(name), std::move(entry));
@@ -161,48 +363,57 @@ int64_t SnsService::stream_count() const {
 // --- Asynchronous ingestion -----------------------------------------------
 
 Ticket SnsService::IngestAsync(std::string_view stream,
-                               std::span<const Tuple> tuples) {
+                               std::span<const Tuple> tuples,
+                               std::optional<std::chrono::milliseconds> deadline) {
   StreamEntry* entry = ResolveEntry(stream);
   if (entry == nullptr) return Ticket::Completed(NoSuchStream(stream));
+  Status admit = ValidateAdmission(*entry, tuples);
+  if (!admit.ok()) return Ticket::Completed(std::move(admit));
   if (executor_ == nullptr) {
     // Inline: applied synchronously before returning, so the span needs no
     // owning copy.
     return SubmitOp(*entry, [tuples](StreamEntry& e, uint64_t seq) {
-      SNS_RETURN_IF_ERROR(AppendJournal(
-          e, seq, durability::JournalOpType::kIngest, 0, tuples));
-      return e.handle->Ingest(tuples);
+      return ExecuteMutation(e, seq, durability::JournalOpType::kIngest, 0,
+                             tuples);
     });
   }
   return SubmitOp(
       *entry,
       [batch = std::vector<Tuple>(tuples.begin(), tuples.end())](
           StreamEntry& e, uint64_t seq) {
-        SNS_RETURN_IF_ERROR(AppendJournal(
-            e, seq, durability::JournalOpType::kIngest, 0, batch));
-        return e.handle->Ingest(std::span<const Tuple>(batch));
-      });
+        return ExecuteMutation(e, seq, durability::JournalOpType::kIngest, 0,
+                               batch);
+      },
+      /*force_block=*/false, deadline);
 }
 
 Ticket SnsService::IngestAsync(std::string_view stream,
-                               std::vector<Tuple> tuples) {
+                               std::vector<Tuple> tuples,
+                               std::optional<std::chrono::milliseconds> deadline) {
   StreamEntry* entry = ResolveEntry(stream);
   if (entry == nullptr) return Ticket::Completed(NoSuchStream(stream));
-  return SubmitOp(*entry,
-                  [batch = std::move(tuples)](StreamEntry& e, uint64_t seq) {
-                    SNS_RETURN_IF_ERROR(AppendJournal(
-                        e, seq, durability::JournalOpType::kIngest, 0, batch));
-                    return e.handle->Ingest(std::span<const Tuple>(batch));
-                  });
+  Status admit = ValidateAdmission(*entry, tuples);
+  if (!admit.ok()) return Ticket::Completed(std::move(admit));
+  return SubmitOp(
+      *entry,
+      [batch = std::move(tuples)](StreamEntry& e, uint64_t seq) {
+        return ExecuteMutation(e, seq, durability::JournalOpType::kIngest, 0,
+                               batch);
+      },
+      /*force_block=*/false, deadline);
 }
 
-Ticket SnsService::AdvanceToAsync(std::string_view stream, int64_t time) {
+Ticket SnsService::AdvanceToAsync(std::string_view stream, int64_t time,
+                                  std::optional<std::chrono::milliseconds> deadline) {
   StreamEntry* entry = ResolveEntry(stream);
   if (entry == nullptr) return Ticket::Completed(NoSuchStream(stream));
-  return SubmitOp(*entry, [time](StreamEntry& e, uint64_t seq) {
-    SNS_RETURN_IF_ERROR(AppendJournal(
-        e, seq, durability::JournalOpType::kAdvanceTo, time, {}));
-    return e.handle->AdvanceTo(time);
-  });
+  return SubmitOp(
+      *entry,
+      [time](StreamEntry& e, uint64_t seq) {
+        return ExecuteMutation(e, seq, durability::JournalOpType::kAdvanceTo,
+                               time, {});
+      },
+      /*force_block=*/false, deadline);
 }
 
 // --- Synchronous routed ingestion -----------------------------------------
@@ -214,12 +425,12 @@ Status SnsService::Warmup(std::string_view stream,
                           std::span<const Tuple> tuples) {
   StreamEntry* entry = ResolveEntry(stream);
   if (entry == nullptr) return NoSuchStream(stream);
+  SNS_RETURN_IF_ERROR(ValidateAdmission(*entry, tuples));
   return SubmitOp(
              *entry,
              [tuples](StreamEntry& e, uint64_t seq) {
-               SNS_RETURN_IF_ERROR(AppendJournal(
-                   e, seq, durability::JournalOpType::kWarmup, 0, tuples));
-               return e.handle->Warmup(tuples);
+               return ExecuteMutation(
+                   e, seq, durability::JournalOpType::kWarmup, 0, tuples);
              },
              /*force_block=*/true)
       .Wait();
@@ -231,9 +442,8 @@ Status SnsService::Initialize(std::string_view stream) {
   return SubmitOp(
              *entry,
              [](StreamEntry& e, uint64_t seq) {
-               SNS_RETURN_IF_ERROR(AppendJournal(
-                   e, seq, durability::JournalOpType::kInitialize, 0, {}));
-               return e.handle->Initialize();
+               return ExecuteMutation(
+                   e, seq, durability::JournalOpType::kInitialize, 0, {});
              },
              /*force_block=*/true)
       .Wait();
@@ -243,12 +453,12 @@ Status SnsService::Ingest(std::string_view stream,
                           std::span<const Tuple> tuples) {
   StreamEntry* entry = ResolveEntry(stream);
   if (entry == nullptr) return NoSuchStream(stream);
+  SNS_RETURN_IF_ERROR(ValidateAdmission(*entry, tuples));
   return SubmitOp(
              *entry,
              [tuples](StreamEntry& e, uint64_t seq) {
-               SNS_RETURN_IF_ERROR(AppendJournal(
-                   e, seq, durability::JournalOpType::kIngest, 0, tuples));
-               return e.handle->Ingest(tuples);
+               return ExecuteMutation(
+                   e, seq, durability::JournalOpType::kIngest, 0, tuples);
              },
              /*force_block=*/true)
       .Wait();
@@ -264,9 +474,8 @@ Status SnsService::AdvanceTo(std::string_view stream, int64_t time) {
   return SubmitOp(
              *entry,
              [time](StreamEntry& e, uint64_t seq) {
-               SNS_RETURN_IF_ERROR(AppendJournal(
-                   e, seq, durability::JournalOpType::kAdvanceTo, time, {}));
-               return e.handle->AdvanceTo(time);
+               return ExecuteMutation(
+                   e, seq, durability::JournalOpType::kAdvanceTo, time, {});
              },
              /*force_block=*/true)
       .Wait();
@@ -297,15 +506,14 @@ Status SnsService::AdvanceAllTo(int64_t time) {
         SubmitOp(
             *entry,
             [time](StreamEntry& e, uint64_t seq) {
-              SNS_RETURN_IF_ERROR(AppendJournal(
-                  e, seq, durability::JournalOpType::kAdvanceTo, time, {}));
-              return e.handle->AdvanceTo(time);
+              return ExecuteMutation(
+                  e, seq, durability::JournalOpType::kAdvanceTo, time, {});
             },
             /*force_block=*/true)
             .Wait();
     // The horizon guard above rules out engine-side failures, but the
-    // write-ahead journal append can still fail (disk full, poisoned
-    // journal): surface the first such error after attempting every
+    // write-ahead journal append can still fail (disk full, quarantined or
+    // failed stream): surface the first such error after attempting every
     // stream. The typed shutdown refusal degrades to a no-op.
     if (!status.ok() &&
         status.code() != StatusCode::kFailedPrecondition &&
@@ -367,6 +575,64 @@ StatusOr<uint64_t> SnsService::AppliedSequence(
   return entry->applied_seq.load(std::memory_order_acquire);
 }
 
+// --- Supervision ----------------------------------------------------------
+
+StatusOr<StreamHealthInfo> SnsService::Health(std::string_view stream) const {
+  StreamEntry* entry = ResolveEntry(stream);
+  if (entry == nullptr) return NoSuchStream(stream);
+  StreamHealthInfo info;
+  info.health = entry->health.load(std::memory_order_acquire);
+  info.quarantine_count =
+      entry->quarantine_count.load(std::memory_order_relaxed);
+  info.recovery_attempts =
+      entry->recovery_attempts.load(std::memory_order_relaxed);
+  info.recoveries_completed =
+      entry->recoveries_completed.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(entry->health_mu);
+    info.last_error = entry->last_error;
+  }
+  return info;
+}
+
+Status SnsService::EnableAutoRecovery(std::string_view stream,
+                                      const std::string& checkpoint_path,
+                                      const RecoveryPolicy& policy) {
+  if (registry_->shutdown.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("service is shut down");
+  }
+  StreamEntry* entry = ResolveEntry(stream);
+  if (entry == nullptr) return NoSuchStream(stream);
+  if (policy.max_attempts < 1) {
+    return Status::InvalidArgument(
+        "RecoveryPolicy::max_attempts must be >= 1, got " +
+        std::to_string(policy.max_attempts));
+  }
+  if (entry->journal == nullptr) {
+    return Status::FailedPrecondition(
+        "stream '" + std::string(stream) +
+        "' has no journal; auto-recovery replays checkpoint + journal "
+        "(EnableJournal first)");
+  }
+  {
+    // Fail fast on a misconfigured path — a recovery that cannot even open
+    // its checkpoint should be caught here, not mid-incident.
+    auto probe = serial::FileSource::Open(checkpoint_path);
+    if (!probe.ok()) return probe.status();
+  }
+  // Quiesce the owning shard so the config attaches at a sequence point.
+  if (executor_ != nullptr && entry->shard >= 0) {
+    executor_->DrainShard(entry->shard);
+  }
+  auto cfg = std::make_unique<AutoRecoveryConfig>();
+  cfg->checkpoint_path = checkpoint_path;
+  cfg->journal_directory = entry->journal->directory();
+  cfg->journal_options = entry->journal->options();
+  cfg->policy = policy;
+  entry->auto_recovery = std::move(cfg);
+  return Status::OK();
+}
+
 // --- Durability -----------------------------------------------------------
 
 Status SnsService::Checkpoint(std::string_view stream,
@@ -387,6 +653,34 @@ Status SnsService::Checkpoint(std::string_view stream,
   });
 }
 
+Status SnsService::CheckpointToFile(std::string_view stream,
+                                    const std::string& path) {
+  serial::StringSink envelope;
+  SNS_RETURN_IF_ERROR(Checkpoint(stream, envelope));
+  // Write-to-temporary + rename: a failure anywhere before the rename
+  // leaves the previous checkpoint at `path` untouched — the invariant
+  // auto-recovery depends on.
+  const std::string tmp = path + ".tmp";
+  auto sink = serial::FileSink::Open(tmp);
+  if (!sink.ok()) return sink.status();
+  Status io = sink.value().Write(envelope.data().data(),
+                                 envelope.data().size());
+  if (io.ok()) io = sink.value().Flush(/*sync_to_disk=*/true);
+  if (io.ok()) io = sink.value().Close();
+  if (io.ok() && SNS_FAILPOINT("checkpoint.rename")) {
+    io = failpoint::InjectedFailure("checkpoint.rename");
+  }
+  if (io.ok() && std::rename(tmp.c_str(), path.c_str()) != 0) {
+    io = Status::IOError("failed to rename checkpoint '" + tmp +
+                         "' over '" + path + "'");
+  }
+  if (!io.ok()) {
+    std::remove(tmp.c_str());
+    return io;
+  }
+  return Status::OK();
+}
+
 StatusOr<StreamHandle*> SnsService::Restore(serial::ByteSource& source) {
   if (registry_->shutdown.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("service is shut down");
@@ -403,6 +697,8 @@ StatusOr<StreamHandle*> SnsService::Restore(serial::ByteSource& source) {
   auto entry = std::make_unique<StreamEntry>();
   entry->handle = std::make_unique<StreamHandle>(
       std::move(restored).value().handle);
+  entry->name = entry->handle->name();
+  entry->mode_dims = entry->handle->mode_dims();
   if (executor_ != nullptr) entry->shard = executor_->AssignShard();
   entry->issued_seq = sequence;
   entry->applied_seq.store(sequence, std::memory_order_release);
@@ -429,6 +725,13 @@ Status SnsService::EnableJournal(std::string_view stream,
         "stream '" + std::string(stream) + "' already journals to '" +
         entry->journal->directory() + "'");
   }
+  if (entry->health.load(std::memory_order_acquire) !=
+      StreamHealth::kHealthy) {
+    return Status::FailedPrecondition(
+        "stream '" + std::string(stream) +
+        "' is not healthy; rebuild it from a checkpoint before attaching a "
+        "journal");
+  }
   auto writer = durability::JournalWriter::Open(directory, options);
   if (!writer.ok()) return writer.status();
   // Quiesce the owning shard so the journal attaches at a sequence point:
@@ -438,7 +741,6 @@ Status SnsService::EnableJournal(std::string_view stream,
     executor_->DrainShard(entry->shard);
   }
   entry->journal = std::move(writer).value();
-  entry->journal_poisoned = false;
   return Status::OK();
 }
 

@@ -22,7 +22,10 @@
 //   - IngestAsync / AdvanceToAsync enqueue onto the owning shard and return
 //     a completion Ticket carrying the operation's per-stream sequence
 //     token. A full mailbox either blocks the producer or rejects the
-//     ticket (StatusCode::kResourceExhausted), per BackpressurePolicy.
+//     ticket (StatusCode::kResourceExhausted), per BackpressurePolicy; an
+//     optional deadline bounds the blocking wait, completing the ticket
+//     with kDeadlineExceeded (nothing enqueued, no token consumed) when a
+//     wedged shard cannot admit the operation in time.
 //   - The synchronous forms (Warmup, Initialize, Ingest, AdvanceTo) and the
 //     typed queries (Reconstruct, TopK, ComponentActivity, RunningFitness,
 //     Stats, generic Query) execute as request/reply hops on the owning
@@ -38,6 +41,28 @@
 //     mutations fail (kFailedPrecondition) and queries execute inline —
 //     the threads are gone, so inline reads are race-free.
 //
+// Failure containment (api/stream_health.h): every stream carries a health
+// state. A failed write-ahead append quarantines the stream — mutations
+// are refused with a typed, retryable status and nothing further touches
+// the journal, while queries keep serving last-good state. With
+// EnableAutoRecovery configured, the owning shard heals the stream in
+// place: bounded, backed-off retries rebuild it from the last checkpoint +
+// journal suffix (durability::RecoverHandle), pin the rebuilt state
+// bitwise against the live state, reopen the journal, and re-append the
+// failed record — on success the failure is invisible to the caller.
+// Exhausted retries (or no recovery config) end in StreamHealth::kFailed:
+// terminal, mutations fail kDataLoss, queries still work. The supervisor
+// surface (Health) reads per-stream health, retry counters, and the last
+// error lock-free — usable even while a shard is wedged — and every health
+// edge is delivered to the stream's EventSinks.
+//
+// Hostile-input admission control: Warmup/Ingest batches are validated
+// against the stream schema at submission — arity, coordinate range, and
+// value finiteness (NaN/Inf) — and rejected whole-batch with
+// kInvalidArgument BEFORE a sequence token is issued or a journal record
+// written. Chronology violations are detected at apply time (they depend
+// on stream state) and are journaled like any acknowledged request.
+//
 // Thread safety (sharded mode): all entry points may be called from any
 // number of threads concurrently, except that CreateStream / Remove /
 // AdvanceAllTo / Shutdown must not race with submissions to the affected
@@ -51,6 +76,7 @@
 #define SLICENSTITCH_API_SNS_SERVICE_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -65,6 +91,7 @@
 
 #include "api/service_options.h"
 #include "api/stream_handle.h"
+#include "api/stream_health.h"
 #include "common/status.h"
 #include "core/options.h"
 #include "runtime/sharded_executor.h"
@@ -139,22 +166,32 @@ class SnsService {
 
   // --- Asynchronous ingestion -------------------------------------------
   // Enqueue onto the owning shard and return immediately. The ticket
-  // completes with the operation's Status once the shard applies it —
-  // including validation errors, which are detected at application time.
+  // completes with the operation's Status once the shard applies it.
   // Under BackpressurePolicy::kReject a full mailbox completes the ticket
   // immediately with kResourceExhausted and enqueues nothing; under kBlock
-  // the call waits for room. Unknown streams and a shut-down service also
-  // complete immediately (kNotFound / kFailedPrecondition).
+  // the call waits for room — bounded by `deadline` when one is given: a
+  // shard still full at the deadline completes the ticket with
+  // kDeadlineExceeded, enqueueing nothing and consuming no token, so the
+  // stream is left exactly as if the call never happened. (Inline services
+  // have no queue; deadlines never fire there.) Unknown streams, hostile
+  // input (admission control), unhealthy streams, and a shut-down service
+  // also complete immediately with their typed status.
 
   /// Processes one chronological batch of live tuples (copied into the
   /// task). Semantics of the applied operation match StreamHandle::Ingest.
-  Ticket IngestAsync(std::string_view stream, std::span<const Tuple> tuples);
+  Ticket IngestAsync(
+      std::string_view stream, std::span<const Tuple> tuples,
+      std::optional<std::chrono::milliseconds> deadline = std::nullopt);
 
   /// Move-in form: avoids copying the batch.
-  Ticket IngestAsync(std::string_view stream, std::vector<Tuple> tuples);
+  Ticket IngestAsync(
+      std::string_view stream, std::vector<Tuple> tuples,
+      std::optional<std::chrono::milliseconds> deadline = std::nullopt);
 
   /// Drains scheduled window events due at or before `time`.
-  Ticket AdvanceToAsync(std::string_view stream, int64_t time);
+  Ticket AdvanceToAsync(
+      std::string_view stream, int64_t time,
+      std::optional<std::chrono::milliseconds> deadline = std::nullopt);
 
   // --- Synchronous routed ingestion -------------------------------------
   // Name-addressed forms of the StreamHandle entry points; unknown names
@@ -177,14 +214,16 @@ class SnsService {
   /// must not race with concurrent submissions or pool mutations
   /// (CreateStream / Remove). Every stream is attempted; the first
   /// per-stream failure (e.g. a journal append error — kIOError, or a
-  /// poisoned journal — kDataLoss) is returned. After Shutdown the typed
+  /// failed stream — kDataLoss) is returned. After Shutdown the typed
   /// refusal degrades to an OK no-op.
   Status AdvanceAllTo(int64_t time);
 
   // --- Sequence-consistent queries --------------------------------------
   // Executed on the owning shard via a request/reply hop: the caller
   // blocks for the reply, and the query observes every ingest whose ticket
-  // was issued before the query call (same FIFO mailbox).
+  // was issued before the query call (same FIFO mailbox). Queries serve
+  // regardless of stream health — a quarantined or failed stream still
+  // answers from its last-good state.
 
   /// Model reconstruction x̃ at one full window coordinate.
   StatusOr<double> Reconstruct(std::string_view stream,
@@ -221,6 +260,27 @@ class SnsService {
   /// >= its sequence(). Lock-free — no shard hop.
   StatusOr<uint64_t> AppliedSequence(std::string_view stream) const;
 
+  // --- Supervision ------------------------------------------------------
+
+  /// Supervisor snapshot of one stream's health: state-machine position,
+  /// quarantine/recovery counters, and the most recent failure cause. Read
+  /// from counters the owning shard maintains — no shard hop, so it works
+  /// even while the shard is wedged mid-recovery.
+  StatusOr<StreamHealthInfo> Health(std::string_view stream) const;
+
+  /// Arms in-place auto-recovery for one journaled stream: after a failed
+  /// write-ahead append, the owning shard rebuilds the stream from the
+  /// checkpoint at `checkpoint_path` plus the journal suffix, verifies the
+  /// rebuilt state bitwise against the live state, reopens the journal,
+  /// and retries the failed append — up to policy.max_attempts times with
+  /// jittered exponential backoff (api/stream_health.h). The checkpoint
+  /// must cover the journal's start (the usual order: CreateStream/Restore
+  /// → EnableJournal → CheckpointToFile → EnableAutoRecovery). Requires an
+  /// attached journal; must not race with submissions to the stream.
+  Status EnableAutoRecovery(std::string_view stream,
+                            const std::string& checkpoint_path,
+                            const RecoveryPolicy& policy = {});
+
   // --- Durability -------------------------------------------------------
 
   /// Writes a versioned, CRC-guarded checkpoint of one stream into `sink`
@@ -231,6 +291,12 @@ class SnsService {
   /// checkpoint call are included. After Shutdown the service refuses with
   /// kFailedPrecondition — checkpoint before shutting down.
   Status Checkpoint(std::string_view stream, serial::ByteSink& sink);
+
+  /// Checkpoint into a file, atomically: the envelope is written to a
+  /// temporary sibling, fsynced, and renamed over `path`, so a crash or
+  /// write failure mid-checkpoint never clobbers the previous good
+  /// checkpoint — the invariant auto-recovery depends on.
+  Status CheckpointToFile(std::string_view stream, const std::string& path);
 
   /// Rebuilds a stream from a Checkpoint byte stream and registers it under
   /// its serialized name (like CreateStream: duplicate names fail, the
@@ -245,11 +311,11 @@ class SnsService {
   /// before it is applied. The owning shard is drained first, so the
   /// journal starts at a clean sequence point; for crash recovery, enable
   /// journaling right after CreateStream/Restore and checkpoint afterwards.
-  /// Fails if the stream already journals or the service is shut down. Must
-  /// not race with submissions to the stream. A failed append poisons the
-  /// journal (a silently skipped record would become an undetectable replay
-  /// gap): the failing operation is not applied and every later mutation
-  /// fails with kDataLoss.
+  /// Fails if the stream already journals, is not healthy, or the service
+  /// is shut down. Must not race with submissions to the stream. A failed
+  /// append quarantines the stream (see the class comment): the failing
+  /// operation is not applied, and whether the stream heals or fails
+  /// permanently is decided by EnableAutoRecovery's policy.
   Status EnableJournal(std::string_view stream, const std::string& directory);
   Status EnableJournal(std::string_view stream, const std::string& directory,
                        const durability::JournalOptions& options);
@@ -267,6 +333,10 @@ class SnsService {
   void Shutdown();
 
  private:
+  /// Auto-recovery configuration of one stream (set by EnableAutoRecovery;
+  /// defined in the .cpp — durability::JournalOptions is incomplete here).
+  struct AutoRecoveryConfig;
+
   /// One registered stream: its handle plus runtime bookkeeping. Heap-
   /// allocated so shard tasks hold stable pointers across pool mutations
   /// and service moves.
@@ -279,10 +349,28 @@ class SnsService {
     std::mutex submit_mu;    // Serializes ticket issue + enqueue.
     uint64_t issued_seq = 0;  // Guarded by submit_mu.
     std::atomic<uint64_t> applied_seq{0};  // Written on the owning shard.
+
+    /// Immutable copies of the stream identity/schema, readable from any
+    /// thread without touching the handle (which recovery may be swapping
+    /// on the owning shard): set once at CreateStream/Restore.
+    std::string name;
+    std::vector<int64_t> mode_dims;
+
     /// Write-ahead journal, or null. Like the handle, touched only on the
-    /// owning shard once attached (EnableJournal drains before attaching).
+    /// owning shard once attached (EnableJournal drains before attaching);
+    /// recovery closes and reopens it in place.
     std::unique_ptr<durability::JournalWriter> journal;
-    bool journal_poisoned = false;  // Sticky append failure; owning shard.
+    /// Auto-recovery config, or null (quarantine is then terminal).
+    std::unique_ptr<AutoRecoveryConfig> auto_recovery;
+
+    /// Health state machine (api/stream_health.h). Written on the owning
+    /// shard, read lock-free everywhere (submit gate, supervisor).
+    std::atomic<StreamHealth> health{StreamHealth::kHealthy};
+    std::atomic<uint64_t> quarantine_count{0};
+    std::atomic<uint64_t> recovery_attempts{0};
+    std::atomic<uint64_t> recoveries_completed{0};
+    std::mutex health_mu;  // Guards last_error only.
+    Status last_error;     // Most recent failure cause; guarded by health_mu.
   };
 
   /// The stream registry, heap-allocated behind the service so shard tasks
@@ -301,23 +389,63 @@ class SnsService {
     return Status::NotFound("no stream named '" + std::string(name) + "'");
   }
 
+  /// Submit-time health gate: the typed refusal for a stream that is not
+  /// accepting mutations, or OK. Reads one atomic; no token is consumed
+  /// and nothing is journaled for refused submissions.
+  static Status HealthGate(const StreamEntry& entry);
+
+  /// Hostile-input admission control: validates a batch against the
+  /// entry's immutable schema copy (arity, coordinate range, finiteness).
+  /// Violations are kInvalidArgument and happen BEFORE a token is issued,
+  /// so nothing is journaled. Chronology is apply-time (state-dependent).
+  static Status ValidateAdmission(const StreamEntry& entry,
+                                  std::span<const Tuple> tuples);
+
   /// Issues a ticket for `op(StreamEntry&, uint64_t seq) -> Status` and
   /// enqueues it on the owning shard (or runs it inline). The only entry
   /// point that consumes sequence tokens; ops receive their token so they
-  /// can journal write-ahead (AppendJournal) before applying. Honors
-  /// BackpressurePolicy unless `force_block` — the synchronous mutation
-  /// forms, whose callers self-throttle by waiting on the ticket anyway.
-  /// A rejected submission (backpressure / shutdown) consumes no token and
-  /// journals nothing, so tokens and journal records stay 1:1.
+  /// can journal write-ahead before applying. Honors BackpressurePolicy
+  /// unless `force_block` — the synchronous mutation forms, whose callers
+  /// self-throttle by waiting on the ticket anyway. A rejected submission
+  /// (health gate / backpressure / deadline / shutdown) consumes no token
+  /// and journals nothing, so tokens and journal records stay 1:1.
   template <typename Op>
-  Ticket SubmitOp(StreamEntry& entry, Op op, bool force_block = false);
+  Ticket SubmitOp(
+      StreamEntry& entry, Op op, bool force_block = false,
+      std::optional<std::chrono::milliseconds> deadline = std::nullopt);
+
+  /// The body every ticketed mutation runs on the owning shard: health
+  /// check, write-ahead journal append (with quarantine + auto-recovery on
+  /// failure), then the handle operation itself.
+  static Status ExecuteMutation(StreamEntry& entry, uint64_t sequence,
+                                durability::JournalOpType op, int64_t time,
+                                std::span<const Tuple> tuples);
 
   /// Write-ahead append of one ticketed operation to the stream's journal
-  /// (no-op without one). Runs on the owning shard as the first step of
-  /// every mutation op; an error means the op must not be applied.
+  /// (no-op without one). Runs on the owning shard; an error means the op
+  /// must not be applied.
   static Status AppendJournal(StreamEntry& entry, uint64_t sequence,
                               durability::JournalOpType op, int64_t time,
                               std::span<const Tuple> tuples);
+
+  /// Quarantine + bounded-retry recovery after a failed append. Returns OK
+  /// if the stream healed and the record was re-appended (the caller then
+  /// applies the op normally); otherwise the terminal failure cause, with
+  /// the stream left kFailed. Runs on the owning shard.
+  static Status HandleAppendFailure(StreamEntry& entry, uint64_t sequence,
+                                    durability::JournalOpType op,
+                                    int64_t time,
+                                    std::span<const Tuple> tuples,
+                                    Status cause);
+
+  /// One recovery attempt: rebuild from checkpoint + journal suffix,
+  /// verify bitwise against live state, swap in, reopen the journal.
+  static Status AttemptRecovery(StreamEntry& entry);
+
+  /// Drives the health state machine: stores the cause, publishes the new
+  /// state, and notifies the stream's sinks. Owning shard only.
+  static void SetHealth(StreamEntry& entry, StreamHealth to,
+                        const Status& cause, int attempt);
 
   /// Blocking request/reply hop: runs `fn(StreamHandle&) -> R` on the
   /// owning shard and returns R. Always blocks for mailbox room; falls back
@@ -335,13 +463,18 @@ class SnsService {
 // --- Template implementations -------------------------------------------
 
 template <typename Op>
-Ticket SnsService::SubmitOp(StreamEntry& entry, Op op, bool force_block) {
+Ticket SnsService::SubmitOp(StreamEntry& entry, Op op, bool force_block,
+                            std::optional<std::chrono::milliseconds> deadline) {
+  {
+    Status gate = HealthGate(entry);
+    if (!gate.ok()) return Ticket::Completed(std::move(gate));
+  }
   std::lock_guard<std::mutex> lock(entry.submit_mu);
   const uint64_t seq = entry.issued_seq + 1;
   if (executor_ == nullptr) {
     // Inline: apply on the caller's thread, sequence numbers, shutdown
     // fencing and all, so the ticketed surface behaves identically at
-    // shards = 0.
+    // shards = 0. No queue exists, so deadlines cannot expire here.
     if (registry_->shutdown.load(std::memory_order_acquire)) {
       return Ticket::Completed(
           Status::FailedPrecondition("service is shut down"));
@@ -353,6 +486,10 @@ Ticket SnsService::SubmitOp(StreamEntry& entry, Op op, bool force_block) {
     record->Complete(std::move(status));
     return Ticket(std::move(record));
   }
+  std::optional<Mailbox::Deadline> absolute;
+  if (deadline.has_value()) {
+    absolute = std::chrono::steady_clock::now() + *deadline;
+  }
   auto record = std::make_shared<internal::TicketRecord>(seq);
   StreamEntry* e = &entry;
   const Mailbox::PushResult result = executor_->Submit(
@@ -362,12 +499,17 @@ Ticket SnsService::SubmitOp(StreamEntry& entry, Op op, bool force_block) {
         e->applied_seq.store(record->sequence(), std::memory_order_release);
         record->Complete(std::move(status));
       }),
-      force_block || options_.backpressure == BackpressurePolicy::kBlock);
+      force_block || options_.backpressure == BackpressurePolicy::kBlock,
+      absolute);
   switch (result) {
     case Mailbox::PushResult::kFull:
       return Ticket::Completed(Status::ResourceExhausted(
           "shard " + std::to_string(entry.shard) + " mailbox is full (depth " +
           std::to_string(options_.max_queue_depth) + ")"));
+    case Mailbox::PushResult::kTimedOut:
+      return Ticket::Completed(Status::DeadlineExceeded(
+          "shard " + std::to_string(entry.shard) +
+          " could not admit the operation before its deadline"));
     case Mailbox::PushResult::kClosed:
       return Ticket::Completed(
           Status::FailedPrecondition("service is shut down"));

@@ -12,6 +12,7 @@
 #include <cmath>
 #include <cstdint>
 
+#include "api/stream_health.h"
 #include "stream/event.h"
 #include "tensor/kruskal.h"
 #include "tensor/sparse_tensor.h"
@@ -82,6 +83,14 @@ class EventSink {
   virtual ~EventSink() = default;
 
   virtual void OnStreamEvent(const StreamEvent& event) = 0;
+
+  /// Health state-machine edge of the stream (quarantine, recovery attempt,
+  /// healed, failed — api/stream_health.h). Delivered on the stream's
+  /// owning shard as the transition happens; the default ignores it, so
+  /// sinks that only care about window events need no change.
+  virtual void OnHealthTransition(const HealthTransition& transition) {
+    (void)transition;
+  }
 };
 
 }  // namespace sns

@@ -1,6 +1,7 @@
 #include "api/stream_handle.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "common/serial.h"
@@ -73,10 +74,19 @@ Status StreamHandle::ValidateBatch(std::span<const Tuple> tuples) const {
     for (int m = 0; m < arity; ++m) {
       if (tuple.index[m] < 0 ||
           tuple.index[m] >= mode_dims_[static_cast<size_t>(m)]) {
-        return Status::OutOfRange("tuple " + std::to_string(n) +
-                                  " index out of range in mode " +
-                                  std::to_string(m));
+        return Status::InvalidArgument("tuple " + std::to_string(n) +
+                                       " index out of range in mode " +
+                                       std::to_string(m));
       }
+    }
+    // Hostile-input guard: a NaN/Inf value would be silently dropped by the
+    // window tensor at apply time (SparseTensor::Set erases non-finite),
+    // desynchronizing journal replay from caller intent. Reject the whole
+    // batch up front instead.
+    if (!std::isfinite(tuple.value)) {
+      return Status::InvalidArgument(
+          "tuple " + std::to_string(n) +
+          " has a non-finite value; stream values must be finite");
     }
     if (tuple.time < prev_time) {
       return Status::FailedPrecondition(
@@ -249,6 +259,17 @@ Status StreamHandle::RemoveSink(EventSink* sink) {
   }
   sinks.erase(it);
   return Status::OK();
+}
+
+void StreamHandle::MoveSinksFrom(StreamHandle& other) {
+  fanout_->sinks = std::move(other.fanout_->sinks);
+  other.fanout_->sinks.clear();
+}
+
+void StreamHandle::NotifyHealthTransition(const HealthTransition& transition) {
+  for (EventSink* sink : fanout_->sinks) {
+    sink->OnHealthTransition(transition);
+  }
 }
 
 Status StreamHandle::Checkpoint(serial::ByteSink& sink) const {

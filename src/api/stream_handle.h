@@ -164,6 +164,16 @@ class StreamHandle {
   /// Unsubscribes a previously added sink.
   Status RemoveSink(EventSink* sink);
 
+  /// Takes over `other`'s sink subscriptions (this handle's own list is
+  /// replaced). Recovery uses this to carry live subscriptions onto a
+  /// rebuilt handle — sinks are process-local wiring, not stream state.
+  void MoveSinksFrom(StreamHandle& other);
+
+  /// Delivers one health state-machine edge to every attached sink
+  /// (EventSink::OnHealthTransition), in attachment order. Called by the
+  /// service's supervisor on the owning shard.
+  void NotifyHealthTransition(const HealthTransition& transition);
+
   // --- Durability -------------------------------------------------------
 
   /// Writes a versioned, CRC-guarded checkpoint of the complete stream

@@ -1,0 +1,50 @@
+#include "api/stream_health.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sns {
+namespace {
+
+/// SplitMix64 finalizer: a cheap, high-quality 64-bit mix for the
+/// deterministic jitter — not a statistical RNG, just decorrelation of
+/// (seed, attempt) pairs.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* StreamHealthName(StreamHealth health) {
+  switch (health) {
+    case StreamHealth::kHealthy:
+      return "healthy";
+    case StreamHealth::kQuarantined:
+      return "quarantined";
+    case StreamHealth::kRecovering:
+      return "recovering";
+    case StreamHealth::kFailed:
+      return "failed";
+  }
+  SNS_CHECK(false && "StreamHealthName: value outside the StreamHealth enum");
+  return "unknown";
+}
+
+int64_t RecoveryPolicy::BackoffMs(int attempt) const {
+  SNS_CHECK(attempt >= 1);
+  double backoff = static_cast<double>(initial_backoff_ms) *
+                   std::pow(backoff_multiplier, attempt - 1);
+  backoff = std::min(backoff, static_cast<double>(max_backoff_ms));
+  // Deterministic jitter in [0.5, 1.0): same seed + attempt, same backoff.
+  const uint64_t h = Mix64(jitter_seed ^ static_cast<uint64_t>(attempt));
+  const double jitter =
+      0.5 + 0.5 * (static_cast<double>(h >> 11) / 9007199254740992.0);
+  return static_cast<int64_t>(backoff * jitter);
+}
+
+}  // namespace sns

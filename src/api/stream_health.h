@@ -1,0 +1,95 @@
+// Per-stream health: the state machine behind the service's self-healing.
+//
+// Every stream carries a health state the supervisor (SnsService) drives:
+//
+//     kHealthy ──append fails──▶ kQuarantined ──attempt──▶ kRecovering
+//        ▲                           ▲                          │
+//        │ recovery + retried        │ attempt failed           │
+//        │ append succeed            └──────────────────────────┤
+//        │                                                      │
+//        └──────────────────────────────────────────────────────┤
+//                                                               ▼
+//                          attempts exhausted / no recovery ▶ kFailed
+//
+// While quarantined / recovering, mutations are refused with kUnavailable
+// (retryable — the stream may heal) and nothing is journaled, so the
+// token/journal 1:1 invariant holds; queries keep serving from last-good
+// state. kFailed is terminal: mutations fail kDataLoss, queries still work.
+// Transitions are reported to the stream's EventSinks via
+// EventSink::OnHealthTransition and aggregated in StreamHealthInfo
+// (SnsService::Health).
+
+#ifndef SLICENSTITCH_API_STREAM_HEALTH_H_
+#define SLICENSTITCH_API_STREAM_HEALTH_H_
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace sns {
+
+/// Health of one stream; drives what its mutation entry points do.
+enum class StreamHealth : uint8_t {
+  kHealthy = 0,      // Mutations and queries flow normally.
+  kQuarantined = 1,  // Mutations refused (kUnavailable); recovery pending.
+  kRecovering = 2,   // A recovery attempt is executing on the owning shard.
+  kFailed = 3,       // Terminal: recovery exhausted; mutations fail kDataLoss.
+};
+
+/// Short display name, e.g. "healthy". SNS_CHECK-fails outside the enum.
+const char* StreamHealthName(StreamHealth health);
+
+/// One edge of the health state machine, delivered to EventSinks as it
+/// happens (on the stream's owning shard). Views are valid only for the
+/// duration of the callback.
+struct HealthTransition {
+  std::string_view stream;  // Stream name.
+  StreamHealth from = StreamHealth::kHealthy;
+  StreamHealth to = StreamHealth::kHealthy;
+  /// Recovery attempt number (1-based) for kRecovering/kQuarantined edges
+  /// of the retry loop; 0 for the initial quarantine.
+  int attempt = 0;
+  /// The error that caused this edge (OK for a completed recovery).
+  Status cause;
+};
+
+/// Bounded-retry policy of stream auto-recovery. The backoff before
+/// attempt k (1-based) is
+///
+///   min(max_backoff_ms, initial_backoff_ms * multiplier^(k-1)) * jitter
+///
+/// with jitter a deterministic factor in [0.5, 1.0) derived from
+/// jitter_seed and k — deterministic so recovery timing is reproducible in
+/// tests, jittered so fleets of streams do not retry in lockstep.
+struct RecoveryPolicy {
+  int max_attempts = 3;
+  int64_t initial_backoff_ms = 10;
+  double backoff_multiplier = 2.0;
+  int64_t max_backoff_ms = 1000;
+  uint64_t jitter_seed = 0;
+  /// Injectable clock: recovery sleeps by calling this with the jittered
+  /// backoff in milliseconds. Null = std::this_thread::sleep_for. Tests
+  /// substitute a recording no-op to run instantly and observe the
+  /// schedule.
+  std::function<void(int64_t backoff_ms)> sleep_fn;
+
+  /// The jittered backoff before attempt k (1-based), in milliseconds.
+  int64_t BackoffMs(int attempt) const;
+};
+
+/// Supervisor snapshot of one stream's health (SnsService::Health). Read
+/// lock-free from counters the owning shard maintains — works even while
+/// the shard is wedged mid-recovery.
+struct StreamHealthInfo {
+  StreamHealth health = StreamHealth::kHealthy;
+  uint64_t quarantine_count = 0;      // Times the stream left kHealthy.
+  uint64_t recovery_attempts = 0;     // Recovery attempts ever started.
+  uint64_t recoveries_completed = 0;  // Attempts that restored kHealthy.
+  Status last_error;                  // Most recent failure cause (or OK).
+};
+
+}  // namespace sns
+
+#endif  // SLICENSTITCH_API_STREAM_HEALTH_H_

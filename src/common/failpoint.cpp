@@ -1,0 +1,177 @@
+#include "common/failpoint.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <string_view>
+
+namespace sns {
+namespace failpoint {
+namespace {
+
+enum class Trigger { kOff, kOnce, kEveryN, kAfterN };
+
+struct Armed {
+  Trigger trigger = Trigger::kOff;
+  int64_t n = 0;           // Parameter of every:N / after:N.
+  int64_t evaluations = 0; // Count since (re-)arming.
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Armed, std::less<>> points;
+  bool env_parsed = false;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();  // Leaked: outlives statics.
+  return *registry;
+}
+
+/// Parses "off" | "once" | "every:N" | "after:N" into an Armed record.
+Status ParsePolicy(std::string_view spec, Armed* out) {
+  if (spec == "off") {
+    out->trigger = Trigger::kOff;
+    return Status::OK();
+  }
+  if (spec == "once") {
+    out->trigger = Trigger::kOnce;
+    return Status::OK();
+  }
+  Trigger trigger;
+  std::string_view digits;
+  constexpr std::string_view kEvery = "every:";
+  constexpr std::string_view kAfter = "after:";
+  if (spec.substr(0, kEvery.size()) == kEvery) {
+    trigger = Trigger::kEveryN;
+    digits = spec.substr(kEvery.size());
+  } else if (spec.substr(0, kAfter.size()) == kAfter) {
+    trigger = Trigger::kAfterN;
+    digits = spec.substr(kAfter.size());
+  } else {
+    return Status::InvalidArgument("unknown failpoint policy '" +
+                                   std::string(spec) + "'");
+  }
+  if (digits.empty()) {
+    return Status::InvalidArgument("failpoint policy '" + std::string(spec) +
+                                   "' is missing its count");
+  }
+  int64_t n = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("failpoint policy '" + std::string(spec) +
+                                     "' has a non-numeric count");
+    }
+    n = n * 10 + (c - '0');
+  }
+  if (trigger == Trigger::kEveryN && n < 1) {
+    return Status::InvalidArgument("every:N needs N >= 1");
+  }
+  out->trigger = trigger;
+  out->n = n;
+  return Status::OK();
+}
+
+/// Parses the SNS_FAILPOINTS spec ("name=policy;name=policy", ';' or ','
+/// separated) into the registry. Malformed entries are skipped — a typo in
+/// the environment must not take the process down.
+void ParseEnvLocked(Registry& registry) {
+  registry.env_parsed = true;
+  const char* env = std::getenv("SNS_FAILPOINTS");
+  if (env == nullptr) return;
+  std::string_view spec(env);
+  while (!spec.empty()) {
+    const size_t sep = spec.find_first_of(";,");
+    std::string_view entry =
+        sep == std::string_view::npos ? spec : spec.substr(0, sep);
+    spec = sep == std::string_view::npos ? std::string_view()
+                                         : spec.substr(sep + 1);
+    const size_t eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0) continue;
+    Armed armed;
+    if (!ParsePolicy(entry.substr(eq + 1), &armed).ok()) continue;
+    registry.points.insert_or_assign(std::string(entry.substr(0, eq)), armed);
+  }
+}
+
+void PublishArmedCountLocked(const Registry& registry) {
+  internal::g_armed.store(static_cast<int64_t>(registry.points.size()),
+                          std::memory_order_release);
+}
+
+}  // namespace
+
+namespace internal {
+
+std::atomic<int64_t> g_armed{-1};  // -1: environment not parsed yet.
+
+bool FireSlow(const char* name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  if (!registry.env_parsed) {
+    ParseEnvLocked(registry);
+    PublishArmedCountLocked(registry);
+  }
+  auto it = registry.points.find(std::string_view(name));
+  if (it == registry.points.end()) return false;
+  Armed& armed = it->second;
+  ++armed.evaluations;
+  switch (armed.trigger) {
+    case Trigger::kOff:
+      return false;
+    case Trigger::kOnce:
+      return armed.evaluations == 1;
+    case Trigger::kEveryN:
+      return armed.evaluations % armed.n == 0;
+    case Trigger::kAfterN:
+      return armed.evaluations > armed.n;
+  }
+  return false;
+}
+
+}  // namespace internal
+
+Status Arm(const std::string& name, const std::string& policy) {
+  if (name.empty()) {
+    return Status::InvalidArgument("failpoint name must not be empty");
+  }
+  Armed armed;
+  SNS_RETURN_IF_ERROR(ParsePolicy(policy, &armed));
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  if (!registry.env_parsed) ParseEnvLocked(registry);
+  registry.points.insert_or_assign(name, armed);
+  PublishArmedCountLocked(registry);
+  return Status::OK();
+}
+
+void Disarm(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  if (!registry.env_parsed) ParseEnvLocked(registry);
+  registry.points.erase(name);
+  PublishArmedCountLocked(registry);
+}
+
+void DisarmAll() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.points.clear();
+  registry.env_parsed = false;
+  internal::g_armed.store(-1, std::memory_order_release);
+}
+
+int64_t Evaluations(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.points.find(name);
+  return it == registry.points.end() ? 0 : it->second.evaluations;
+}
+
+Status InjectedFailure(const char* name) {
+  return Status::IOError("injected failure at failpoint '" +
+                         std::string(name) + "'");
+}
+
+}  // namespace failpoint
+}  // namespace sns

@@ -1,0 +1,94 @@
+// Deterministic fault injection: named failpoints compiled into error
+// paths that are impossible to reach on a healthy machine (disk-full,
+// torn writes, wedged queues), so those paths become unit tests instead of
+// kill -9 smoke scripts. Modeled on the RocksDB fail_point / Rust fail-rs
+// idiom.
+//
+// A call site guards its injected failure with the SNS_FAILPOINT macro:
+//
+//   if (SNS_FAILPOINT("journal.append")) {
+//     return Status::IOError("injected failure at failpoint 'journal.append'");
+//   }
+//
+// The macro evaluates to false — one relaxed atomic load, no lock, no
+// string compare — unless at least one failpoint is armed. Arming happens
+// two ways:
+//   - tests call failpoint::Arm("journal.append", "once"), and
+//   - the SNS_FAILPOINTS environment variable carries a spec like
+//     "journal.append=once;serial.file_sink_write=every:3", parsed lazily
+//     on the first evaluation (so binaries under CI can inject faults with
+//     no code changes).
+//
+// Trigger policies (evaluations are counted per failpoint, starting at 1):
+//   off       never fires (armed but inert; keeps counters running)
+//   once      fires on the first evaluation only
+//   every:N   fires on evaluations N, 2N, 3N, ...
+//   after:N   fires on every evaluation strictly after the N-th
+//
+// Failpoints only answer "fire here?"; the call site decides what failing
+// means (an IOError, a short write, a full mailbox). Compiling with
+// -DSNS_DISABLE_FAILPOINTS turns every SNS_FAILPOINT into a constant false
+// and strips the subsystem from the hot path entirely.
+
+#ifndef SLICENSTITCH_COMMON_FAILPOINT_H_
+#define SLICENSTITCH_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace sns {
+namespace failpoint {
+
+/// Arms (or re-arms) one failpoint with a policy spec: "off", "once",
+/// "every:N", or "after:N" (N >= 1 for every, N >= 0 for after).
+/// Re-arming resets the failpoint's evaluation counter.
+Status Arm(const std::string& name, const std::string& policy);
+
+/// Disarms one failpoint; later evaluations are the no-op fast path again.
+void Disarm(const std::string& name);
+
+/// Disarms everything (test teardown). Also forgets that SNS_FAILPOINTS
+/// was parsed, so the next evaluation re-reads the environment.
+void DisarmAll();
+
+/// Times the named failpoint has been evaluated since it was (re-)armed;
+/// 0 when unarmed. Test observability hook.
+int64_t Evaluations(const std::string& name);
+
+/// Canonical status for a fired failpoint, so injected and real failures
+/// are distinguishable in logs: kIOError with the failpoint's name.
+Status InjectedFailure(const char* name);
+
+namespace internal {
+
+/// Number of armed failpoints; -1 until SNS_FAILPOINTS has been parsed.
+/// Exposed only for the macro's fast path.
+extern std::atomic<int64_t> g_armed;
+
+/// Slow path: parses the environment if needed, then consults the
+/// registry. Returns whether the call site should fail.
+bool FireSlow(const char* name);
+
+}  // namespace internal
+
+/// True when evaluation must leave the fast path: some failpoint is armed,
+/// or the environment has not been inspected yet.
+inline bool MaybeArmed() {
+  return internal::g_armed.load(std::memory_order_acquire) != 0;
+}
+
+}  // namespace failpoint
+}  // namespace sns
+
+#if defined(SNS_DISABLE_FAILPOINTS)
+#define SNS_FAILPOINT(name) (false)
+#else
+#define SNS_FAILPOINT(name)            \
+  (::sns::failpoint::MaybeArmed() &&   \
+   ::sns::failpoint::internal::FireSlow(name))
+#endif
+
+#endif  // SLICENSTITCH_COMMON_FAILPOINT_H_

@@ -6,6 +6,8 @@
 
 #include <unistd.h>
 
+#include "common/failpoint.h"
+
 namespace sns {
 namespace serial {
 namespace {
@@ -63,6 +65,21 @@ FileSink::~FileSink() {
 
 Status FileSink::Write(const void* data, size_t size) {
   if (file_ == nullptr) return Status::FailedPrecondition("sink is closed");
+  // Injected disk faults: "serial.file_sink_write" fails cleanly before a
+  // byte lands (ENOSPC at the start of a write); "..._short_write" commits
+  // the first half and then fails — the torn-write shape that leaves a
+  // truncated journal record on disk.
+  if (SNS_FAILPOINT("serial.file_sink_write")) {
+    return failpoint::InjectedFailure("serial.file_sink_write");
+  }
+  if (SNS_FAILPOINT("serial.file_sink_short_write")) {
+    const size_t half = size / 2;
+    if (half > 0 && std::fwrite(data, 1, half, file_) != half) {
+      return Status::IOError(ErrnoMessage("write failed", path_));
+    }
+    std::fflush(file_);
+    return failpoint::InjectedFailure("serial.file_sink_short_write");
+  }
   if (std::fwrite(data, 1, size, file_) != size) {
     return Status::IOError(ErrnoMessage("write failed", path_));
   }

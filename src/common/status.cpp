@@ -1,9 +1,8 @@
 #include "common/status.h"
 
 namespace sns {
-namespace {
 
-const char* CodeName(StatusCode code) {
+const char* StatusCodeName(StatusCode code) {
   switch (code) {
     case StatusCode::kOk:
       return "OK";
@@ -23,15 +22,30 @@ const char* CodeName(StatusCode code) {
       return "IOError";
     case StatusCode::kDataLoss:
       return "DataLoss";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
+  SNS_CHECK(false && "StatusCodeName: value outside the StatusCode enum");
   return "Unknown";
 }
 
-}  // namespace
+bool IsRetryable(StatusCode code) {
+  switch (code) {
+    case StatusCode::kUnavailable:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kIOError:
+      return true;
+    default:
+      return false;
+  }
+}
 
 std::string Status::ToString() const {
   if (ok()) return "OK";
-  std::string out = CodeName(code_);
+  std::string out = StatusCodeName(code_);
   if (!message_.empty()) {
     out += ": ";
     out += message_;

@@ -27,7 +27,26 @@ enum class StatusCode {
   /// truncated checkpoint, journal gap) — distinct from kIOError, which
   /// covers transient I/O failures worth retrying.
   kDataLoss,
+  /// The operation's deadline expired before it could be admitted or
+  /// completed. The operation was NOT applied; retrying with a fresh
+  /// deadline is safe.
+  kDeadlineExceeded,
+  /// The target is temporarily out of service (e.g. a stream quarantined
+  /// pending recovery). Retrying after a backoff is the expected response.
+  kUnavailable,
 };
+
+/// Canonical display name of a status code, e.g. "DeadlineExceeded".
+/// SNS_CHECK-fails on values outside the enum.
+const char* StatusCodeName(StatusCode code);
+
+/// True for codes that signal a transient condition where retrying the
+/// same operation can succeed: kUnavailable (quarantine in progress),
+/// kResourceExhausted (backpressure), kDeadlineExceeded (the deadline was
+/// the caller's, not the data's), and kIOError (transient I/O). Permanent
+/// verdicts — validation errors, corruption, terminal stream failure —
+/// are not retryable.
+bool IsRetryable(StatusCode code);
 
 /// Result of an operation that can fail without a payload.
 ///
@@ -64,6 +83,12 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

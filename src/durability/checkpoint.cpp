@@ -5,6 +5,7 @@
 
 #include "api/sns_service.h"
 #include "common/crc32.h"
+#include "common/failpoint.h"
 #include "durability/journal.h"
 
 namespace sns {
@@ -20,9 +21,8 @@ namespace {
 constexpr uint64_t kMaxPayloadBytes = 1ull << 32;
 constexpr size_t kPayloadChunkBytes = 1u << 20;
 
-/// Failure codes a replayed request may legitimately reproduce: the journal
-/// records every acknowledged request, including ones the stream rejected,
-/// and deterministic validation rejects them identically on replay.
+}  // namespace
+
 bool IsMirroredFailure(StatusCode code) {
   return code == StatusCode::kInvalidArgument ||
          code == StatusCode::kOutOfRange ||
@@ -30,10 +30,11 @@ bool IsMirroredFailure(StatusCode code) {
          code == StatusCode::kNotFound;
 }
 
-}  // namespace
-
 Status WriteStreamCheckpoint(const StreamHandle& handle, uint64_t sequence,
                              serial::ByteSink& sink) {
+  if (SNS_FAILPOINT("checkpoint.write")) {
+    return failpoint::InjectedFailure("checkpoint.write");
+  }
   serial::StringSink payload_sink;
   serial::Writer payload(payload_sink);
   payload.U64(sequence);
@@ -152,6 +153,49 @@ StatusOr<RecoveryReport> RecoverStream(SnsService& service,
         std::to_string(report.records_replayed) + " replayed records");
   }
   return report;
+}
+
+StatusOr<RecoveredHandle> RecoverHandle(serial::ByteSource& checkpoint,
+                                        const std::string& journal_directory) {
+  auto restored = ReadStreamCheckpoint(checkpoint);
+  if (!restored.ok()) return restored.status();
+
+  const uint64_t checkpoint_sequence = restored.value().sequence;
+  RecoveredHandle out{std::move(restored).value().handle, RecoveryReport{}};
+  out.report.checkpoint_sequence = checkpoint_sequence;
+
+  StreamHandle* handle = &out.handle;
+  RecoveryReport* report = &out.report;
+  auto stats = ReplayJournal(
+      journal_directory, out.report.checkpoint_sequence,
+      [handle, report](const JournalRecord& record) {
+        Status status;
+        switch (record.op) {
+          case JournalOpType::kWarmup:
+            status = handle->Warmup(record.tuples);
+            break;
+          case JournalOpType::kInitialize:
+            status = handle->Initialize();
+            break;
+          case JournalOpType::kIngest:
+            status = handle->Ingest(std::span<const Tuple>(record.tuples));
+            break;
+          case JournalOpType::kAdvanceTo:
+            status = handle->AdvanceTo(record.time);
+            break;
+        }
+        if (!status.ok()) {
+          if (!IsMirroredFailure(status.code())) return status;
+          ++report->mirrored_failures;
+        }
+        return Status::OK();
+      });
+  if (!stats.ok()) return stats.status();
+  out.report.records_replayed = stats.value().records_applied;
+  out.report.torn_tail = stats.value().torn_tail;
+  out.report.last_sequence =
+      out.report.checkpoint_sequence + stats.value().records_applied;
+  return out;
 }
 
 }  // namespace durability

@@ -41,6 +41,12 @@ namespace durability {
 inline constexpr uint32_t kCheckpointMagic = 0x50434E53;  // "SNCP"
 inline constexpr uint32_t kCheckpointVersion = 1;
 
+/// Failure codes a replayed request may legitimately reproduce: the journal
+/// records every acknowledged request, including ones the stream rejected,
+/// and deterministic validation rejects them identically on replay. Any
+/// other code during replay means the journal and the stream disagree.
+bool IsMirroredFailure(StatusCode code);
+
 /// Serializes `handle` (with its per-stream sequence token) into `sink` as
 /// one checkpoint envelope. The bytes are deterministic: equal stream state
 /// and sequence always produce equal envelopes.
@@ -82,6 +88,23 @@ struct RecoveryReport {
 StatusOr<RecoveryReport> RecoverStream(SnsService& service,
                                        serial::ByteSource& checkpoint,
                                        const std::string& journal_directory);
+
+/// A stream rebuilt outside any service: checkpoint + journal-suffix replay
+/// applied directly to a standalone StreamHandle. The handle carries no
+/// sequence counter of its own, so the final token lives in the report.
+struct RecoveredHandle {
+  StreamHandle handle;
+  RecoveryReport report;
+};
+
+/// Standalone-handle form of RecoverStream: decodes the checkpoint, replays
+/// the journal suffix through the handle's own entry points (mirrored
+/// failures tolerated, torn tail truncated), and returns the rebuilt handle
+/// plus the replay report. This is the primitive stream auto-recovery runs
+/// on the owning shard — no service registration, no ticket issue, no
+/// cross-shard hop.
+StatusOr<RecoveredHandle> RecoverHandle(serial::ByteSource& checkpoint,
+                                        const std::string& journal_directory);
 
 }  // namespace durability
 }  // namespace sns

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/crc32.h"
+#include "common/failpoint.h"
 #include "tensor/mode_index.h"
 
 namespace sns {
@@ -156,6 +157,9 @@ StatusOr<std::unique_ptr<JournalWriter>> JournalWriter::Open(
 JournalWriter::~JournalWriter() = default;
 
 Status JournalWriter::OpenNextSegment() {
+  if (SNS_FAILPOINT("journal.rotate")) {
+    return failpoint::InjectedFailure("journal.rotate");
+  }
   auto sink = serial::FileSink::Open(directory_ + "/" +
                                      SegmentFileName(next_segment_));
   if (!sink.ok()) return sink.status();
@@ -176,6 +180,11 @@ Status JournalWriter::Append(uint64_t sequence, JournalOpType op,
                              int64_t time, std::span<const Tuple> tuples) {
   if (segment_ == nullptr) {
     return Status::FailedPrecondition("journal writer is not open");
+  }
+  // Clean append failure: nothing reaches the segment (contrast with the
+  // torn-write shape injected at "serial.file_sink_short_write").
+  if (SNS_FAILPOINT("journal.append")) {
+    return failpoint::InjectedFailure("journal.append");
   }
   const std::string payload = EncodeRecord(sequence, op, time, tuples);
   if (payload.size() > kMaxRecordBytes) {

@@ -94,6 +94,7 @@ class JournalWriter {
   }
 
   const std::string& directory() const { return directory_; }
+  const JournalOptions& options() const { return options_; }
   /// Segments this writer has opened (≥ 1); rotation test hook.
   int64_t segments_opened() const { return segments_opened_; }
 

@@ -18,13 +18,16 @@
 #ifndef SLICENSTITCH_RUNTIME_MAILBOX_H_
 #define SLICENSTITCH_RUNTIME_MAILBOX_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <optional>
 #include <utility>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 #include "runtime/task.h"
 
 namespace sns {
@@ -32,10 +35,13 @@ namespace sns {
 class Mailbox {
  public:
   enum class PushResult {
-    kOk,      // Enqueued.
-    kFull,    // Refused: at capacity (non-blocking push only).
-    kClosed,  // Refused: the mailbox is shut down.
+    kOk,        // Enqueued.
+    kFull,      // Refused: at capacity (non-blocking push only).
+    kClosed,    // Refused: the mailbox is shut down.
+    kTimedOut,  // Refused: still full when the push deadline expired.
   };
+
+  using Deadline = std::chrono::steady_clock::time_point;
 
   explicit Mailbox(int64_t capacity) : capacity_(capacity) {
     SNS_CHECK(capacity >= 1);
@@ -46,15 +52,32 @@ class Mailbox {
 
   /// Enqueues a task. With block = true a full mailbox suspends the caller
   /// until the consumer makes room (kBlock backpressure); with block = false
-  /// it returns kFull immediately (kReject backpressure). Tasks pushed with
-  /// block = true are only ever refused by Close().
-  PushResult Push(Task task, bool block) {
+  /// it returns kFull immediately (kReject backpressure). A `deadline`
+  /// bounds the blocking wait: a mailbox still full at the deadline refuses
+  /// with kTimedOut and enqueues nothing. Tasks pushed with block = true
+  /// and no deadline are only ever refused by Close().
+  PushResult Push(Task task, bool block,
+                  std::optional<Deadline> deadline = std::nullopt) {
     {
       std::unique_lock<std::mutex> lock(mu_);
+      // Deterministic queue-wedge injection: the mailbox reports itself
+      // full without touching the queue, exercising backpressure and
+      // deadline paths without needing a truly wedged consumer.
+      if (SNS_FAILPOINT("mailbox.push")) {
+        return block && deadline.has_value() ? PushResult::kTimedOut
+                                             : PushResult::kFull;
+      }
+      const auto has_room = [this] {
+        return closed_ || static_cast<int64_t>(queue_.size()) < capacity_;
+      };
       if (block) {
-        not_full_.wait(lock, [this] {
-          return closed_ || static_cast<int64_t>(queue_.size()) < capacity_;
-        });
+        if (deadline.has_value()) {
+          if (!not_full_.wait_until(lock, *deadline, has_room)) {
+            return PushResult::kTimedOut;
+          }
+        } else {
+          not_full_.wait(lock, has_room);
+        }
       }
       if (closed_) return PushResult::kClosed;
       if (static_cast<int64_t>(queue_.size()) >= capacity_) {

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/check.h"
@@ -48,12 +49,14 @@ class ShardedExecutor {
     return shard;
   }
 
-  /// Enqueues a task onto one shard. Semantics of `block` and the result
-  /// are Mailbox::Push's.
-  Mailbox::PushResult Submit(int shard, Task task, bool block) {
+  /// Enqueues a task onto one shard. Semantics of `block`, `deadline`, and
+  /// the result are Mailbox::Push's.
+  Mailbox::PushResult Submit(
+      int shard, Task task, bool block,
+      std::optional<Mailbox::Deadline> deadline = std::nullopt) {
     SNS_CHECK(shard >= 0 && shard < num_shards());
-    return shards_[static_cast<size_t>(shard)]->Submit(std::move(task),
-                                                       block);
+    return shards_[static_cast<size_t>(shard)]->Submit(std::move(task), block,
+                                                       deadline);
   }
 
   /// Blocks until every accepted task on every shard has executed.

@@ -20,6 +20,7 @@
 #ifndef SLICENSTITCH_RUNTIME_TICKET_H_
 #define SLICENSTITCH_RUNTIME_TICKET_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -64,6 +65,19 @@ class TicketRecord {
     return status_;
   }
 
+  /// Bounded wait: the operation's Status if it completed within `timeout`,
+  /// else kDeadlineExceeded. The operation itself is unaffected — it will
+  /// still execute and can be waited on again.
+  Status WaitFor(std::chrono::milliseconds timeout) const {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!cv_.wait_for(lock, timeout, [this] { return done_; })) {
+      return Status::DeadlineExceeded(
+          "operation still pending after " + std::to_string(timeout.count()) +
+          " ms");
+    }
+    return status_;
+  }
+
  private:
   mutable std::mutex mu_;
   mutable std::condition_variable cv_;
@@ -103,6 +117,14 @@ class Ticket {
   Status Wait() const {
     SNS_CHECK(record_ != nullptr);
     return record_->Wait();
+  }
+
+  /// Bounded Wait: kDeadlineExceeded if the operation is still pending
+  /// after `timeout`. A timed-out WaitFor does NOT cancel the operation —
+  /// it will still apply in order, and Wait()/WaitFor() may be retried.
+  Status WaitFor(std::chrono::milliseconds timeout) const {
+    SNS_CHECK(record_ != nullptr);
+    return record_->WaitFor(timeout);
   }
 
   /// The per-stream sequence token, assigned in application order starting

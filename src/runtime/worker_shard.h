@@ -10,6 +10,7 @@
 #define SLICENSTITCH_RUNTIME_WORKER_SHARD_H_
 
 #include <cstdint>
+#include <optional>
 #include <thread>
 
 #include "runtime/mailbox.h"
@@ -28,10 +29,12 @@ class WorkerShard {
   WorkerShard(const WorkerShard&) = delete;
   WorkerShard& operator=(const WorkerShard&) = delete;
 
-  /// Enqueues a task for this shard's thread. Semantics of `block` and the
-  /// result are Mailbox::Push's.
-  Mailbox::PushResult Submit(Task task, bool block) {
-    return mailbox_.Push(std::move(task), block);
+  /// Enqueues a task for this shard's thread. Semantics of `block`,
+  /// `deadline`, and the result are Mailbox::Push's.
+  Mailbox::PushResult Submit(
+      Task task, bool block,
+      std::optional<Mailbox::Deadline> deadline = std::nullopt) {
+    return mailbox_.Push(std::move(task), block, deadline);
   }
 
   /// Blocks until every accepted task has executed (mailbox quiescent).

@@ -15,6 +15,9 @@
 //   - KruskalModel                           — reading factor matrices,
 //   - checkpoints + write-ahead journals     — durable streams and crash
 //     recovery (durability/checkpoint.h, durability/journal.h),
+//   - StreamHealth / RecoveryPolicy / failpoints — the self-healing layer:
+//     per-stream quarantine + auto-recovery (api/stream_health.h) and
+//     deterministic fault injection (common/failpoint.h),
 //   - synthetic generators + dataset presets + CSV loading,
 //   - the anomaly-detection toolkit of §VI-G.
 //
@@ -30,8 +33,10 @@
 #include "api/sns_service.h"
 #include "api/stream_event.h"
 #include "api/stream_handle.h"
+#include "api/stream_health.h"
 #include "runtime/ticket.h"
 #include "apps/anomaly_detection.h"
+#include "common/failpoint.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "core/options.h"

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "api/service_options.h"
+#include "api/stream_health.h"
 #include "common/csv.h"
 #include "common/random.h"
 #include "common/status.h"
@@ -200,6 +202,104 @@ TEST(StopwatchTest, MeasuresNonNegativeIncreasingTime) {
   double t2 = sw.ElapsedSeconds();
   EXPECT_GE(t1, 0.0);
   EXPECT_GE(t2, t1);
+}
+
+// --- Status taxonomy (self-healing additions) ------------------------------
+
+TEST(StatusTest, DeadlineExceededAndUnavailableFactories) {
+  const Status deadline = Status::DeadlineExceeded("push timed out");
+  EXPECT_FALSE(deadline.ok());
+  EXPECT_EQ(deadline.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(deadline.ToString(), "DeadlineExceeded: push timed out");
+
+  const Status unavailable = Status::Unavailable("quarantined");
+  EXPECT_EQ(unavailable.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(unavailable.ToString(), "Unavailable: quarantined");
+}
+
+TEST(StatusTest, StatusCodeNameCoversEveryCode) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition),
+               "FailedPrecondition");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIOError), "IOError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDataLoss), "DataLoss");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
+}
+
+TEST(StatusTest, IsRetryableSeparatesTransientFromPermanent) {
+  // Transient: the same call can succeed later.
+  EXPECT_TRUE(IsRetryable(StatusCode::kUnavailable));
+  EXPECT_TRUE(IsRetryable(StatusCode::kResourceExhausted));
+  EXPECT_TRUE(IsRetryable(StatusCode::kDeadlineExceeded));
+  EXPECT_TRUE(IsRetryable(StatusCode::kIOError));
+  // Permanent verdicts.
+  EXPECT_FALSE(IsRetryable(StatusCode::kOk));
+  EXPECT_FALSE(IsRetryable(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(IsRetryable(StatusCode::kNotFound));
+  EXPECT_FALSE(IsRetryable(StatusCode::kOutOfRange));
+  EXPECT_FALSE(IsRetryable(StatusCode::kFailedPrecondition));
+  EXPECT_FALSE(IsRetryable(StatusCode::kInternal));
+  EXPECT_FALSE(IsRetryable(StatusCode::kDataLoss));
+}
+
+TEST(StreamHealthTest, NamesCoverEveryState) {
+  EXPECT_STREQ(StreamHealthName(StreamHealth::kHealthy), "healthy");
+  EXPECT_STREQ(StreamHealthName(StreamHealth::kQuarantined), "quarantined");
+  EXPECT_STREQ(StreamHealthName(StreamHealth::kRecovering), "recovering");
+  EXPECT_STREQ(StreamHealthName(StreamHealth::kFailed), "failed");
+}
+
+TEST(StreamHealthTest, BackoffScheduleIsBoundedJitteredAndDeterministic) {
+  RecoveryPolicy policy;
+  policy.initial_backoff_ms = 10;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_ms = 50;
+  policy.jitter_seed = 42;
+  for (int attempt = 1; attempt <= 8; ++attempt) {
+    const int64_t backoff = policy.BackoffMs(attempt);
+    // Jitter scales the exponential envelope by [0.5, 1.0).
+    const double envelope =
+        std::min<double>(static_cast<double>(policy.max_backoff_ms),
+                         10.0 * std::pow(2.0, attempt - 1));
+    EXPECT_GE(backoff, static_cast<int64_t>(envelope * 0.5) - 1);
+    EXPECT_LE(backoff, static_cast<int64_t>(envelope));
+    EXPECT_EQ(backoff, policy.BackoffMs(attempt));  // Deterministic.
+  }
+  // Different seeds give different schedules (the fleet-desync property).
+  RecoveryPolicy other = policy;
+  other.jitter_seed = 43;
+  bool any_difference = false;
+  for (int attempt = 1; attempt <= 8; ++attempt) {
+    any_difference |= other.BackoffMs(attempt) != policy.BackoffMs(attempt);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+// Name functions promise to SNS_CHECK-fail on values outside their enums
+// instead of returning garbage; pin the abort with death tests.
+using NameFunctionDeathTest = ::testing::Test;
+
+TEST(NameFunctionDeathTest, StatusCodeNameAbortsOutsideTheEnum) {
+  EXPECT_DEATH(StatusCodeName(static_cast<StatusCode>(255)), "StatusCodeName");
+}
+
+TEST(NameFunctionDeathTest, StreamHealthNameAbortsOutsideTheEnum) {
+  EXPECT_DEATH(StreamHealthName(static_cast<StreamHealth>(255)),
+               "StreamHealthName");
+}
+
+TEST(NameFunctionDeathTest, BackpressurePolicyNameAbortsOutsideTheEnum) {
+  EXPECT_DEATH(BackpressurePolicyName(static_cast<BackpressurePolicy>(255)),
+               "BackpressurePolicyName");
 }
 
 }  // namespace

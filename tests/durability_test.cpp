@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
+#include <limits>
 #include <span>
 #include <string>
 #include <utility>
@@ -983,6 +984,400 @@ TEST(ServiceDurabilityTest, EnableJournalTwiceFails) {
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(service.EnableJournal("missing", dir).code(),
             StatusCode::kNotFound);
+}
+
+// --- Self-healing: quarantine + auto-recovery ------------------------------
+// Faults are injected deterministically (common/failpoint.h), so the error
+// paths below are ordinary unit tests: a journal append that fails
+// mid-barrage, a torn write, a fault that never clears.
+
+/// Every test starts and ends with a disarmed failpoint registry, so an
+/// armed fault can never leak across tests.
+class SelfHealingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { failpoint::DisarmAll(); }
+  void TearDown() override { failpoint::DisarmAll(); }
+};
+
+/// Instant, reproducible recovery timing: no real sleeping, fixed jitter,
+/// and (optionally) a recorded backoff schedule.
+RecoveryPolicy TestPolicy(std::vector<int64_t>* backoffs = nullptr) {
+  RecoveryPolicy policy;
+  policy.jitter_seed = 7;
+  policy.sleep_fn = [backoffs](int64_t backoff_ms) {
+    if (backoffs != nullptr) backoffs->push_back(backoff_ms);
+  };
+  return policy;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  auto source = serial::FileSource::Open(path);
+  SNS_CHECK(source.ok());
+  std::string bytes;
+  char chunk[4096];
+  for (;;) {
+    auto n = source.value().ReadSome(chunk, sizeof chunk);
+    SNS_CHECK(n.ok());
+    if (n.value() == 0) break;
+    bytes.append(chunk, n.value());
+  }
+  return bytes;
+}
+
+// THE acceptance differential: inject a journal-append failure in the
+// middle of an async barrage; the stream quarantines, auto-recovers on its
+// owning shard, re-appends, and every ticket still lands OK — and the
+// resumed factor state is bitwise identical to the uninterrupted run, for
+// inline, one-shard, and multi-shard services.
+TEST_F(SelfHealingTest, InjectedAppendFailureHealsBitwise) {
+  const DataStream stream = SmallStream(120, 61);
+  const ProtocolInput input =
+      MakeProtocol(stream, SmallEngineOptions(SnsVariant::kVecPlus));
+  const std::string reference = RunUninterrupted(input, /*shards=*/0);
+  for (int shards : {0, 1, 4}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    const std::string dir = FreshDir("heal_" + std::to_string(shards));
+    const std::string ckpt = dir + ".ckpt";
+    fs::remove(ckpt);
+    SnsService service = MakeService(shards);
+    ASSERT_TRUE(service.CreateStream("s", {6, 5}, input.options).ok());
+    ASSERT_TRUE(service.EnableJournal("s", dir).ok());
+    ASSERT_TRUE(service.CheckpointToFile("s", ckpt).ok());
+    ASSERT_TRUE(service.EnableAutoRecovery("s", ckpt, TestPolicy()).ok());
+    ASSERT_TRUE(service.Warmup("s", input.warmup).ok());
+    ASSERT_TRUE(service.Initialize("s").ok());
+
+    std::vector<Ticket> tickets;
+    for (size_t i = 0; i < input.batches.size(); ++i) {
+      if (i == input.batches.size() / 2) {
+        ASSERT_TRUE(failpoint::Arm("journal.append", "once").ok());
+      }
+      tickets.push_back(service.IngestAsync("s", input.batches[i]));
+    }
+    for (Ticket& ticket : tickets) EXPECT_TRUE(ticket.Wait().ok());
+    ASSERT_TRUE(service.AdvanceTo("s", input.horizon).ok());
+
+    const StreamHealthInfo health = service.Health("s").value();
+    EXPECT_EQ(health.health, StreamHealth::kHealthy);
+    EXPECT_EQ(health.quarantine_count, 1u);
+    EXPECT_EQ(health.recovery_attempts, 1u);
+    EXPECT_EQ(health.recoveries_completed, 1u);
+    EXPECT_EQ(health.last_error.code(), StatusCode::kIOError);
+
+    EXPECT_EQ(CheckpointBytes(service, "s"), reference);
+
+    // The healed journal is still a valid crash-recovery source: the
+    // re-appended record continued the token sequence across the segment
+    // the recovery opened, so checkpoint + journal rebuild the same state.
+    SnsService recovered = MakeService(0);
+    auto source = serial::FileSource::Open(ckpt);
+    ASSERT_TRUE(source.ok());
+    auto report = durability::RecoverStream(recovered, source.value(), dir);
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(CheckpointBytes(recovered, "s"), reference);
+  }
+}
+
+TEST_F(SelfHealingTest, TornWriteHealsBitwiseViaTailRepair) {
+  const DataStream stream = SmallStream(110, 67);
+  const ProtocolInput input =
+      MakeProtocol(stream, SmallEngineOptions(SnsVariant::kVec));
+  const std::string reference = RunUninterrupted(input, /*shards=*/0);
+  const std::string dir = FreshDir("heal_torn");
+  const std::string ckpt = dir + ".ckpt";
+  fs::remove(ckpt);
+  SnsService service = MakeService(1);
+  ASSERT_TRUE(service.CreateStream("s", {6, 5}, input.options).ok());
+  ASSERT_TRUE(service.EnableJournal("s", dir).ok());
+  ASSERT_TRUE(service.CheckpointToFile("s", ckpt).ok());
+  ASSERT_TRUE(service.EnableAutoRecovery("s", ckpt, TestPolicy()).ok());
+  ASSERT_TRUE(service.Warmup("s", input.warmup).ok());
+  ASSERT_TRUE(service.Initialize("s").ok());
+  for (size_t i = 0; i < input.batches.size(); ++i) {
+    if (i == input.batches.size() / 2) {
+      // The next journal write dies mid-record: half the bytes land on
+      // disk — the torn-write shape, not a clean error. Recovery's replay
+      // must truncate that tail before the retried append can land.
+      ASSERT_TRUE(
+          failpoint::Arm("serial.file_sink_short_write", "once").ok());
+    }
+    ASSERT_TRUE(service.Ingest("s", input.batches[i]).ok());
+  }
+  ASSERT_TRUE(service.AdvanceTo("s", input.horizon).ok());
+
+  const StreamHealthInfo health = service.Health("s").value();
+  EXPECT_EQ(health.health, StreamHealth::kHealthy);
+  EXPECT_EQ(health.recoveries_completed, 1u);
+  EXPECT_EQ(CheckpointBytes(service, "s"), reference);
+}
+
+TEST_F(SelfHealingTest, ExhaustedRecoveryFailsPermanentlyButServesQueries) {
+  const DataStream stream = SmallStream(100, 71);
+  const ProtocolInput input =
+      MakeProtocol(stream, SmallEngineOptions(SnsVariant::kVec));
+  const std::string dir = FreshDir("heal_exhausted");
+  const std::string ckpt = dir + ".ckpt";
+  fs::remove(ckpt);
+  SnsService service = MakeService(1);
+  ASSERT_TRUE(service.CreateStream("s", {6, 5}, input.options).ok());
+  ASSERT_TRUE(service.EnableJournal("s", dir).ok());
+  ASSERT_TRUE(service.CheckpointToFile("s", ckpt).ok());
+  std::vector<int64_t> backoffs;
+  RecoveryPolicy policy = TestPolicy(&backoffs);
+  policy.max_attempts = 2;
+  ASSERT_TRUE(service.EnableAutoRecovery("s", ckpt, policy).ok());
+  ASSERT_TRUE(service.Warmup("s", input.warmup).ok());
+  ASSERT_TRUE(service.Initialize("s").ok());
+  ASSERT_TRUE(service.Ingest("s", input.batches[0]).ok());
+  const double fitness_before = service.RunningFitness("s").value();
+
+  // A fault that never clears: every append fails, including the retried
+  // one after each otherwise-successful rebuild.
+  ASSERT_TRUE(failpoint::Arm("journal.append", "after:0").ok());
+  EXPECT_EQ(service.Ingest("s", input.batches[1]).code(),
+            StatusCode::kIOError);
+
+  const StreamHealthInfo health = service.Health("s").value();
+  EXPECT_EQ(health.health, StreamHealth::kFailed);
+  EXPECT_EQ(health.quarantine_count, 1u);
+  EXPECT_EQ(health.recovery_attempts, 2u);
+  EXPECT_EQ(health.recoveries_completed, 0u);
+  EXPECT_EQ(health.last_error.code(), StatusCode::kIOError);
+  // The retry loop followed the policy's jittered schedule exactly.
+  ASSERT_EQ(backoffs.size(), 2u);
+  EXPECT_EQ(backoffs[0], policy.BackoffMs(1));
+  EXPECT_EQ(backoffs[1], policy.BackoffMs(2));
+  EXPECT_GE(backoffs[1], backoffs[0]);  // Exponential, same jitter seed.
+
+  // kFailed is terminal stream state, not the fault lingering: mutations
+  // stay refused (typed) after the fault clears, through every entry point.
+  failpoint::DisarmAll();
+  EXPECT_EQ(service.Ingest("s", input.batches[1]).code(),
+            StatusCode::kDataLoss);
+  EXPECT_EQ(service.IngestAsync("s", input.batches[1]).Wait().code(),
+            StatusCode::kDataLoss);
+  EXPECT_EQ(service.AdvanceTo("s", input.horizon).code(),
+            StatusCode::kDataLoss);
+  // Queries keep serving the last-good state.
+  EXPECT_EQ(service.RunningFitness("s").value(), fitness_before);
+  EXPECT_TRUE(service.Stats("s").ok());
+  EXPECT_TRUE(service.TopK("s", 0, 3).ok());
+}
+
+TEST_F(SelfHealingTest, QuarantineWithoutRecoveryConfigIsTerminal) {
+  const DataStream stream = SmallStream(100, 73);
+  const ProtocolInput input =
+      MakeProtocol(stream, SmallEngineOptions(SnsVariant::kVec));
+  SnsService service = MakeService(0);
+  ASSERT_TRUE(service.CreateStream("s", {6, 5}, input.options).ok());
+  ASSERT_TRUE(
+      service.EnableJournal("s", FreshDir("heal_unconfigured")).ok());
+  ASSERT_TRUE(service.Warmup("s", input.warmup).ok());
+  ASSERT_TRUE(service.Initialize("s").ok());
+
+  ASSERT_TRUE(failpoint::Arm("journal.append", "once").ok());
+  EXPECT_EQ(service.Ingest("s", input.batches[0]).code(),
+            StatusCode::kIOError);
+
+  // One transient fault, but no recovery config: the quarantine is
+  // immediately terminal even though the fault never fires again.
+  const StreamHealthInfo health = service.Health("s").value();
+  EXPECT_EQ(health.health, StreamHealth::kFailed);
+  EXPECT_EQ(health.quarantine_count, 1u);
+  EXPECT_EQ(health.recovery_attempts, 0u);
+  EXPECT_EQ(service.Ingest("s", input.batches[0]).code(),
+            StatusCode::kDataLoss);
+  EXPECT_TRUE(service.Stats("s").ok());
+  // A failed stream cannot re-attach a journal; it must be rebuilt.
+  EXPECT_EQ(service.EnableJournal("s", FreshDir("heal_reattach")).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+/// Records every health edge a stream's sinks observe.
+struct RecordingHealthSink : EventSink {
+  struct Edge {
+    StreamHealth from;
+    StreamHealth to;
+    int attempt;
+    StatusCode cause;
+  };
+  std::vector<Edge> edges;
+  void OnStreamEvent(const StreamEvent&) override {}
+  void OnHealthTransition(const HealthTransition& transition) override {
+    edges.push_back({transition.from, transition.to, transition.attempt,
+                     transition.cause.code()});
+  }
+};
+
+TEST_F(SelfHealingTest, HealthTransitionsAreDeliveredToSinks) {
+  const DataStream stream = SmallStream(100, 79);
+  const ProtocolInput input =
+      MakeProtocol(stream, SmallEngineOptions(SnsVariant::kVec));
+  const std::string dir = FreshDir("heal_sink");
+  const std::string ckpt = dir + ".ckpt";
+  fs::remove(ckpt);
+  SnsService service = MakeService(0);
+  ASSERT_TRUE(service.CreateStream("s", {6, 5}, input.options).ok());
+  ASSERT_TRUE(service.EnableJournal("s", dir).ok());
+  ASSERT_TRUE(service.CheckpointToFile("s", ckpt).ok());
+  ASSERT_TRUE(service.EnableAutoRecovery("s", ckpt, TestPolicy()).ok());
+  RecordingHealthSink sink;
+  ASSERT_TRUE(service.Find("s")->AddSink(&sink).ok());
+  ASSERT_TRUE(service.Warmup("s", input.warmup).ok());
+  ASSERT_TRUE(service.Initialize("s").ok());
+
+  ASSERT_TRUE(failpoint::Arm("journal.append", "once").ok());
+  ASSERT_TRUE(service.Ingest("s", input.batches[0]).ok());  // Self-healed.
+
+  // quarantine → attempt 1 → healed; the final edge arrives through the
+  // REBUILT handle, proving subscriptions survive the recovery swap.
+  ASSERT_EQ(sink.edges.size(), 3u);
+  EXPECT_EQ(sink.edges[0].from, StreamHealth::kHealthy);
+  EXPECT_EQ(sink.edges[0].to, StreamHealth::kQuarantined);
+  EXPECT_EQ(sink.edges[0].attempt, 0);
+  EXPECT_EQ(sink.edges[0].cause, StatusCode::kIOError);
+  EXPECT_EQ(sink.edges[1].from, StreamHealth::kQuarantined);
+  EXPECT_EQ(sink.edges[1].to, StreamHealth::kRecovering);
+  EXPECT_EQ(sink.edges[1].attempt, 1);
+  EXPECT_EQ(sink.edges[2].from, StreamHealth::kRecovering);
+  EXPECT_EQ(sink.edges[2].to, StreamHealth::kHealthy);
+  EXPECT_EQ(sink.edges[2].attempt, 1);
+  EXPECT_EQ(sink.edges[2].cause, StatusCode::kOk);
+}
+
+TEST_F(SelfHealingTest, CheckpointToFileIsAtomicUnderRenameFailure) {
+  const DataStream stream = SmallStream(100, 83);
+  const ProtocolInput input =
+      MakeProtocol(stream, SmallEngineOptions(SnsVariant::kVec));
+  SnsService service = MakeService(0);
+  ASSERT_TRUE(service.CreateStream("s", {6, 5}, input.options).ok());
+  ASSERT_TRUE(service.Warmup("s", input.warmup).ok());
+  const std::string path = FreshDir("ckpt_atomic") + ".ckpt";
+  fs::remove(path);
+  fs::remove(path + ".tmp");
+  ASSERT_TRUE(service.CheckpointToFile("s", path).ok());
+  const std::string before = ReadFileBytes(path);
+  EXPECT_EQ(before, CheckpointBytes(service, "s"));
+
+  ASSERT_TRUE(service.Initialize("s").ok());
+  ASSERT_TRUE(failpoint::Arm("checkpoint.rename", "once").ok());
+  EXPECT_EQ(service.CheckpointToFile("s", path).code(), StatusCode::kIOError);
+  // The failed checkpoint neither clobbered the good one nor left a temp.
+  EXPECT_EQ(ReadFileBytes(path), before);
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+
+  ASSERT_TRUE(service.CheckpointToFile("s", path).ok());
+  EXPECT_EQ(ReadFileBytes(path), CheckpointBytes(service, "s"));
+}
+
+TEST_F(SelfHealingTest, EnableAutoRecoveryValidatesItsPreconditions) {
+  const DataStream stream = SmallStream(100, 89);
+  const ProtocolInput input =
+      MakeProtocol(stream, SmallEngineOptions(SnsVariant::kVec));
+  SnsService service = MakeService(0);
+  ASSERT_TRUE(service.CreateStream("s", {6, 5}, input.options).ok());
+  const std::string dir = FreshDir("heal_preconditions");
+  const std::string ckpt = dir + ".ckpt";
+  fs::remove(ckpt);
+
+  EXPECT_EQ(service.EnableAutoRecovery("missing", ckpt).code(),
+            StatusCode::kNotFound);
+  // Journal first: recovery replays checkpoint + journal.
+  EXPECT_EQ(service.EnableAutoRecovery("s", ckpt).code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(service.EnableJournal("s", dir).ok());
+  RecoveryPolicy zero;
+  zero.max_attempts = 0;
+  EXPECT_EQ(service.EnableAutoRecovery("s", ckpt, zero).code(),
+            StatusCode::kInvalidArgument);
+  // A checkpoint that does not exist is caught here, not mid-incident.
+  EXPECT_FALSE(service.EnableAutoRecovery("s", ckpt).ok());
+  ASSERT_TRUE(service.CheckpointToFile("s", ckpt).ok());
+  EXPECT_TRUE(service.EnableAutoRecovery("s", ckpt).ok());
+}
+
+TEST_F(SelfHealingTest, RecoverHandleRebuildsBitwiseWithoutAService) {
+  const DataStream stream = SmallStream(110, 97);
+  const ProtocolInput input =
+      MakeProtocol(stream, SmallEngineOptions(SnsVariant::kVecPlus));
+  const std::string dir = FreshDir("recover_handle");
+  std::string saved;
+  std::string final_bytes;
+  uint64_t saved_seq = 0;
+  uint64_t final_seq = 0;
+  {
+    SnsService service = MakeService(0);
+    SNS_CHECK(service.CreateStream("s", {6, 5}, input.options).ok());
+    SNS_CHECK(service.EnableJournal("s", dir).ok());
+    SNS_CHECK(service.Warmup("s", input.warmup).ok());
+    SNS_CHECK(service.Initialize("s").ok());
+    SNS_CHECK(service.Ingest("s", input.batches[0]).ok());
+    saved = CheckpointBytes(service, "s");
+    saved_seq = service.AppliedSequence("s").value();
+    SNS_CHECK(service.Ingest("s", input.batches[1]).ok());
+    SNS_CHECK(service.Ingest("s", input.batches[2]).ok());
+    final_bytes = CheckpointBytes(service, "s");
+    final_seq = service.AppliedSequence("s").value();
+  }
+  serial::StringSource source(saved);
+  auto recovered = durability::RecoverHandle(source, dir);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered.value().report.checkpoint_sequence, saved_seq);
+  EXPECT_EQ(recovered.value().report.last_sequence, final_seq);
+  EXPECT_EQ(recovered.value().report.records_replayed, final_seq - saved_seq);
+  EXPECT_FALSE(recovered.value().report.torn_tail);
+  serial::StringSink sink;
+  ASSERT_TRUE(durability::WriteStreamCheckpoint(recovered.value().handle,
+                                                final_seq, sink)
+                  .ok());
+  EXPECT_EQ(sink.data(), final_bytes);
+}
+
+TEST_F(SelfHealingTest, HostileInputIsRefusedBeforeJournaling) {
+  const DataStream stream = SmallStream(100, 101);
+  const ProtocolInput input =
+      MakeProtocol(stream, SmallEngineOptions(SnsVariant::kVec));
+  const std::string dir = FreshDir("admission");
+  SnsService service = MakeService(0);
+  ASSERT_TRUE(service.CreateStream("s", {6, 5}, input.options).ok());
+  ASSERT_TRUE(service.EnableJournal("s", dir).ok());
+  const std::string saved = CheckpointBytes(service, "s");
+  ASSERT_TRUE(service.Warmup("s", input.warmup).ok());
+  ASSERT_TRUE(service.Initialize("s").ok());
+  ASSERT_TRUE(service.Ingest("s", input.batches[0]).ok());
+  const uint64_t seq = service.AppliedSequence("s").value();
+
+  // NaN, infinity, out-of-range and wrong-arity coordinates: refused with
+  // kInvalidArgument at admission — before a token is issued — through
+  // both the sync and the ticketed entry points.
+  const std::vector<Tuple> nan_batch = {
+      {{1, 1}, std::numeric_limits<double>::quiet_NaN(), 95}};
+  const std::vector<Tuple> inf_batch = {
+      {{1, 1}, std::numeric_limits<double>::infinity(), 95}};
+  const std::vector<Tuple> range_batch = {{{6, 0}, 1.0, 95}};
+  const std::vector<Tuple> arity_batch = {{{1, 1, 1}, 1.0, 95}};
+  for (const auto& batch : {nan_batch, inf_batch, range_batch, arity_batch}) {
+    EXPECT_EQ(service.Ingest("s", batch).code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(service.IngestAsync("s", batch).Wait().code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(service.Warmup("s", batch).code(),
+              StatusCode::kInvalidArgument);
+  }
+  EXPECT_EQ(service.AppliedSequence("s").value(), seq);
+
+  // Nothing hostile reached the journal: replay rebuilds the live state
+  // from exactly the acknowledged records, with no mirrored failures.
+  serial::StringSource source(saved);
+  auto recovered = durability::RecoverHandle(source, dir);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered.value().report.records_replayed, seq);
+  EXPECT_EQ(recovered.value().report.mirrored_failures, 0u);
+  serial::StringSink sink;
+  ASSERT_TRUE(durability::WriteStreamCheckpoint(recovered.value().handle,
+                                                seq, sink)
+                  .ok());
+  EXPECT_EQ(sink.data(), CheckpointBytes(service, "s"));
 }
 
 }  // namespace

@@ -1,0 +1,143 @@
+// Tests for the deterministic fault-injection subsystem
+// (common/failpoint.h): trigger policies, environment arming, evaluation
+// counters, and the unarmed fast path.
+
+#include "common/failpoint.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace sns {
+namespace {
+
+// Every test starts and ends with a clean registry and an unread
+// environment, so tests cannot leak armed failpoints into each other.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    unsetenv("SNS_FAILPOINTS");
+    failpoint::DisarmAll();
+  }
+  void TearDown() override {
+    unsetenv("SNS_FAILPOINTS");
+    failpoint::DisarmAll();
+  }
+};
+
+TEST_F(FailpointTest, UnarmedNeverFires) {
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(SNS_FAILPOINT("test.unarmed"));
+  }
+  EXPECT_EQ(failpoint::Evaluations("test.unarmed"), 0);
+}
+
+TEST_F(FailpointTest, OnceFiresExactlyOnce) {
+  ASSERT_TRUE(failpoint::Arm("test.once", "once").ok());
+  EXPECT_TRUE(SNS_FAILPOINT("test.once"));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(SNS_FAILPOINT("test.once"));
+  }
+  EXPECT_EQ(failpoint::Evaluations("test.once"), 11);
+}
+
+TEST_F(FailpointTest, OffNeverFiresButCounts) {
+  ASSERT_TRUE(failpoint::Arm("test.off", "off").ok());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(SNS_FAILPOINT("test.off"));
+  }
+  EXPECT_EQ(failpoint::Evaluations("test.off"), 5);
+}
+
+TEST_F(FailpointTest, EveryNFiresOnMultiplesOfN) {
+  ASSERT_TRUE(failpoint::Arm("test.every", "every:3").ok());
+  std::vector<int> fired;
+  for (int i = 1; i <= 9; ++i) {
+    if (SNS_FAILPOINT("test.every")) fired.push_back(i);
+  }
+  EXPECT_EQ(fired, (std::vector<int>{3, 6, 9}));
+}
+
+TEST_F(FailpointTest, AfterNFiresOnEveryEvaluationPastN) {
+  ASSERT_TRUE(failpoint::Arm("test.after", "after:2").ok());
+  EXPECT_FALSE(SNS_FAILPOINT("test.after"));
+  EXPECT_FALSE(SNS_FAILPOINT("test.after"));
+  EXPECT_TRUE(SNS_FAILPOINT("test.after"));
+  EXPECT_TRUE(SNS_FAILPOINT("test.after"));
+}
+
+TEST_F(FailpointTest, AfterZeroAlwaysFires) {
+  ASSERT_TRUE(failpoint::Arm("test.always", "after:0").ok());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(SNS_FAILPOINT("test.always"));
+  }
+}
+
+TEST_F(FailpointTest, RearmResetsTheEvaluationCounter) {
+  ASSERT_TRUE(failpoint::Arm("test.rearm", "once").ok());
+  EXPECT_TRUE(SNS_FAILPOINT("test.rearm"));
+  EXPECT_FALSE(SNS_FAILPOINT("test.rearm"));
+  ASSERT_TRUE(failpoint::Arm("test.rearm", "once").ok());
+  EXPECT_EQ(failpoint::Evaluations("test.rearm"), 0);
+  EXPECT_TRUE(SNS_FAILPOINT("test.rearm"));
+}
+
+TEST_F(FailpointTest, DisarmRestoresTheFastPath) {
+  ASSERT_TRUE(failpoint::Arm("test.disarm", "after:0").ok());
+  EXPECT_TRUE(SNS_FAILPOINT("test.disarm"));
+  failpoint::Disarm("test.disarm");
+  EXPECT_FALSE(SNS_FAILPOINT("test.disarm"));
+  EXPECT_EQ(failpoint::Evaluations("test.disarm"), 0);
+}
+
+TEST_F(FailpointTest, DistinctFailpointsAreIndependent) {
+  ASSERT_TRUE(failpoint::Arm("test.a", "once").ok());
+  ASSERT_TRUE(failpoint::Arm("test.b", "off").ok());
+  EXPECT_FALSE(SNS_FAILPOINT("test.b"));
+  EXPECT_TRUE(SNS_FAILPOINT("test.a"));
+  EXPECT_FALSE(SNS_FAILPOINT("test.b"));
+  EXPECT_EQ(failpoint::Evaluations("test.a"), 1);
+  EXPECT_EQ(failpoint::Evaluations("test.b"), 2);
+}
+
+TEST_F(FailpointTest, MalformedPoliciesAreRejected) {
+  EXPECT_EQ(failpoint::Arm("test.bad", "sometimes").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(failpoint::Arm("test.bad", "every:0").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(failpoint::Arm("test.bad", "every:x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(failpoint::Arm("test.bad", "after:-1").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(failpoint::Arm("", "once").code(), StatusCode::kInvalidArgument);
+  // A rejected Arm must not leave the failpoint armed.
+  EXPECT_FALSE(SNS_FAILPOINT("test.bad"));
+}
+
+TEST_F(FailpointTest, EnvironmentSpecArmsFailpoints) {
+  setenv("SNS_FAILPOINTS", "test.env_a=once;test.env_b=every:2", 1);
+  failpoint::DisarmAll();  // Forget the parse so the env is re-read.
+  EXPECT_TRUE(SNS_FAILPOINT("test.env_a"));
+  EXPECT_FALSE(SNS_FAILPOINT("test.env_a"));
+  EXPECT_FALSE(SNS_FAILPOINT("test.env_b"));
+  EXPECT_TRUE(SNS_FAILPOINT("test.env_b"));
+}
+
+TEST_F(FailpointTest, EnvironmentCommaSeparatorAndMalformedEntries) {
+  // Malformed entries are skipped, well-formed ones still arm.
+  setenv("SNS_FAILPOINTS", "garbage,test.env_c=after:0,=once,d=", 1);
+  failpoint::DisarmAll();
+  EXPECT_TRUE(SNS_FAILPOINT("test.env_c"));
+}
+
+TEST_F(FailpointTest, InjectedFailureIsTypedAndNamed) {
+  const Status status = failpoint::InjectedFailure("journal.append");
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  EXPECT_NE(status.message().find("journal.append"), std::string::npos);
+  EXPECT_NE(status.message().find("injected"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sns

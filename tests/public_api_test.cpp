@@ -358,7 +358,7 @@ TEST(StreamHandleTest, IngestionStatusErrorPaths) {
   const std::vector<Tuple> bad_arity = {{{1, 1}, 1.0, 1}, {{1}, 1.0, 2}};
   EXPECT_EQ(handle.Warmup(bad_arity).code(), StatusCode::kInvalidArgument);
   const std::vector<Tuple> bad_range = {{{1, 1}, 1.0, 1}, {{1, 9}, 1.0, 2}};
-  EXPECT_EQ(handle.Warmup(bad_range).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(handle.Warmup(bad_range).code(), StatusCode::kInvalidArgument);
   const std::vector<Tuple> bad_order = {{{1, 1}, 1.0, 9}, {{1, 1}, 1.0, 2}};
   EXPECT_EQ(handle.Warmup(bad_order).code(), StatusCode::kFailedPrecondition);
   EXPECT_EQ(handle.Stats().window_nnz, 0);  // Nothing was applied.

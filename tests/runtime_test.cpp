@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <future>
 #include <span>
@@ -206,9 +207,11 @@ TEST(RuntimeTest, AsyncValidationErrorsCarriedByTickets) {
       service.Warmup("s", std::vector<Tuple>{{{1, 1}, 1.0, 10}}).ok());
   ASSERT_TRUE(service.Initialize("s").ok());
 
+  // An out-of-range coordinate is hostile input: admission control refuses
+  // it before a token is issued (kInvalidArgument, nothing enqueued).
   const Ticket bad_range =
       service.IngestAsync("s", std::vector<Tuple>{{{9, 1}, 1.0, 95}});
-  EXPECT_EQ(bad_range.Wait().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(bad_range.Wait().code(), StatusCode::kInvalidArgument);
   // The failed batches were atomic no-ops: a good batch still applies.
   EXPECT_TRUE(service
                   .IngestAsync("s", std::vector<Tuple>{{{2, 2}, 1.0, 95}})
@@ -538,6 +541,145 @@ TEST(RuntimeTest, RemoveDrainsOwningShardFirst) {
   }
   EXPECT_EQ(service.Ingest("gone", Tuple{{1, 1}, 1.0, 200}).code(),
             StatusCode::kNotFound);
+}
+
+// --- Ticket deadlines -----------------------------------------------------
+
+TEST(DeadlineTest, MailboxBlockingPushHonorsDeadline) {
+  Mailbox mailbox(1);
+  ASSERT_EQ(mailbox.Push([] {}, /*block=*/false), Mailbox::PushResult::kOk);
+  // Full queue, nobody draining: a deadline-bounded blocking push times out
+  // instead of wedging the producer forever.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(20);
+  EXPECT_EQ(mailbox.Push([] {}, /*block=*/true, deadline),
+            Mailbox::PushResult::kTimedOut);
+  EXPECT_EQ(mailbox.size(), 1);  // Nothing was enqueued.
+}
+
+TEST(DeadlineTest, TicketWaitForTimesOutWithoutCancelling) {
+  ServiceOptions runtime;
+  runtime.shards = 1;
+  SnsService service(runtime);
+  ASSERT_TRUE(
+      service.CreateStream("s", {4, 4}, SmallEngineOptions()).ok());
+  ASSERT_TRUE(
+      service.Warmup("s", std::vector<Tuple>{{{1, 1}, 1.0, 10}}).ok());
+  ASSERT_TRUE(service.Initialize("s").ok());
+
+  // Wedge the shard so the enqueued ingest cannot complete yet.
+  std::promise<void> entered;
+  std::promise<void> release;
+  std::future<void> release_future = release.get_future();
+  std::thread blocker([&] {
+    const StatusOr<int> hop = service.Query("s", [&](const StreamHandle&) {
+      entered.set_value();
+      release_future.wait();
+      return 1;
+    });
+    EXPECT_TRUE(hop.ok());
+  });
+  entered.get_future().wait();
+
+  const Ticket pending =
+      service.IngestAsync("s", std::vector<Tuple>{{{2, 2}, 1.0, 95}});
+  ASSERT_FALSE(pending.done());
+  // A timed-out WaitFor reports kDeadlineExceeded but does NOT cancel the
+  // operation — the accepted token is already part of the stream's order.
+  EXPECT_EQ(pending.WaitFor(std::chrono::milliseconds(10)).code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_FALSE(pending.done());
+
+  release.set_value();
+  blocker.join();
+  EXPECT_TRUE(pending.Wait().ok());  // The op itself landed fine.
+  EXPECT_TRUE(pending.WaitFor(std::chrono::milliseconds(1)).ok());
+}
+
+// The deadline acceptance test: a wedged shard with a full queue yields
+// kDeadlineExceeded within the deadline bound — no token consumed, nothing
+// enqueued — and the stream resumes uncorrupted once the wedge clears.
+TEST(DeadlineTest, WedgedShardYieldsDeadlineExceededWithoutCorruption) {
+  ServiceOptions runtime;
+  runtime.shards = 1;
+  runtime.backpressure = BackpressurePolicy::kBlock;
+  runtime.max_queue_depth = 1;
+  SnsService service(runtime);
+  ASSERT_TRUE(
+      service.CreateStream("s", {4, 4}, SmallEngineOptions()).ok());
+  ASSERT_TRUE(
+      service.Warmup("s", std::vector<Tuple>{{{1, 1}, 1.0, 10}}).ok());
+  ASSERT_TRUE(service.Initialize("s").ok());
+  ASSERT_TRUE(service.Ingest("s", Tuple{{1, 2}, 1.0, 95}).ok());
+  const uint64_t base_seq = service.AppliedSequence("s").value();
+
+  // Wedge the shard, then fill its single queue slot.
+  std::promise<void> entered;
+  std::promise<void> release;
+  std::future<void> release_future = release.get_future();
+  std::thread blocker([&] {
+    const StatusOr<int> hop = service.Query("s", [&](const StreamHandle&) {
+      entered.set_value();
+      release_future.wait();
+      return 1;
+    });
+    EXPECT_TRUE(hop.ok());
+  });
+  entered.get_future().wait();
+  const Ticket accepted =
+      service.IngestAsync("s", std::vector<Tuple>{{{2, 2}, 1.0, 96}});
+  EXPECT_FALSE(accepted.done());
+
+  // Under kBlock this push would wedge the producer with the shard; the
+  // deadline bounds it. The refusal must arrive within (a generous
+  // multiple of) the deadline, carry the typed code, and consume no token.
+  const auto t0 = std::chrono::steady_clock::now();
+  const Ticket timed_out = service.IngestAsync(
+      "s", std::vector<Tuple>{{{3, 3}, 1.0, 97}},
+      std::chrono::milliseconds(50));
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  ASSERT_TRUE(timed_out.done());
+  EXPECT_EQ(timed_out.Wait().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(timed_out.sequence(), 0u);  // Never entered the stream's order.
+  EXPECT_GE(elapsed, std::chrono::milliseconds(50));
+  EXPECT_LT(elapsed, std::chrono::seconds(10));
+  // AdvanceToAsync honors the same bound.
+  EXPECT_EQ(service
+                .AdvanceToAsync("s", 98, std::chrono::milliseconds(10))
+                .Wait()
+                .code(),
+            StatusCode::kDeadlineExceeded);
+
+  // Unwedge: the accepted work lands, and the stream is uncorrupted — the
+  // timed-out submissions left no gap in the token sequence.
+  release.set_value();
+  blocker.join();
+  ASSERT_TRUE(accepted.Wait().ok());
+  EXPECT_EQ(service.AppliedSequence("s").value(), base_seq + 1);
+  EXPECT_TRUE(service
+                  .IngestAsync("s", std::vector<Tuple>{{{3, 3}, 1.0, 99}},
+                               std::chrono::milliseconds(1000))
+                  .Wait()
+                  .ok());
+  EXPECT_EQ(service.Stats("s").value().last_time, 99);
+}
+
+TEST(DeadlineTest, DeadlineIrrelevantWhenTheShardKeepsUp) {
+  ServiceOptions runtime;
+  runtime.shards = 2;
+  SnsService service(runtime);
+  ASSERT_TRUE(
+      service.CreateStream("s", {4, 4}, SmallEngineOptions()).ok());
+  ASSERT_TRUE(
+      service.Warmup("s", std::vector<Tuple>{{{1, 1}, 1.0, 10}}).ok());
+  ASSERT_TRUE(service.Initialize("s").ok());
+  std::vector<Ticket> tickets;
+  for (int i = 0; i < 64; ++i) {
+    tickets.push_back(service.IngestAsync(
+        "s", std::vector<Tuple>{{{i % 4, i % 4}, 1.0, 95 + i}},
+        std::chrono::milliseconds(5000)));
+  }
+  for (Ticket& ticket : tickets) EXPECT_TRUE(ticket.Wait().ok());
 }
 
 }  // namespace

@@ -11,9 +11,10 @@ cd "$(dirname "$0")/.."
 
 compiler="${1:-${CXX:-g++}}"
 
-# The public surface: the umbrella header, the api/ facade layer, the
-# runtime layer it exposes (tickets, mailboxes, shards), the durability
-# layer (checkpoints, journals, serialization primitives), and the kernel
+# The public surface: the umbrella header, the api/ facade layer (including
+# the stream-health / self-healing surface), the runtime layer it exposes
+# (tickets, mailboxes, shards), the durability layer (checkpoints, journals,
+# serialization primitives), the fault-injection surface, and the kernel
 # dispatch surface (CPU probe, codelet table contract, float32 mirrors).
 headers=(
   src/slicenstitch.h
@@ -21,8 +22,10 @@ headers=(
   src/api/sns_service.h
   src/api/stream_event.h
   src/api/stream_handle.h
+  src/api/stream_health.h
   src/common/cpu_features.h
   src/common/crc32.h
+  src/common/failpoint.h
   src/common/serial.h
   src/durability/checkpoint.h
   src/durability/journal.h

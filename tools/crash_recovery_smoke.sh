@@ -7,9 +7,19 @@
 #
 # Usage: tools/crash_recovery_smoke.sh [path-to-example_durable_service]
 #        (default: ./build/example_durable_service)
+#
+# The restart phase runs under a hard timeout so a wedged binary
+# (deadlocked shard, unkillable recovery loop) fails the smoke test
+# instead of hanging CI until the job-level timeout reaps it with no
+# diagnostics. (The kill phase needs no timeout: the unconditional
+# SIGKILL already bounds it.)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Seconds before a phase is declared wedged. The full feed takes ~4 s
+# throttled and well under 1 s unthrottled; 120 s is pure headroom.
+phase_timeout=120
 
 binary="${1:-./build/example_durable_service}"
 if [ ! -x "$binary" ]; then
@@ -23,6 +33,9 @@ trap 'rm -rf "$state_dir"' EXIT
 # Phase 1: run throttled so the kill lands mid-ingest, well past the first
 # checkpoint (64 live tuples at ~2 ms each) but far from done (2000 tuples
 # at 2 ms each is ~4 s; the kill fires after ~1 s, around tuple 400-500).
+# (No timeout wrapper here: $victim must be the binary's own pid so the
+# SIGKILL below lands on it, and the unconditional kill already bounds
+# this phase at ~1 s.)
 "$binary" "$state_dir" --tuples=2000 --throttle-us=2000 &
 victim=$!
 sleep 1
@@ -37,9 +50,12 @@ if [ ! -f "$state_dir/checkpoint.bin" ]; then
   exit 1
 fi
 
-# Phase 2: restart. It must report recovery and finish the same feed.
+# Phase 2: restart. It must report recovery and finish the same feed,
+# within the hard timeout — a restart that wedges in recovery is a failure,
+# not a hang.
 log="$state_dir/restart.log"
-"$binary" "$state_dir" --tuples=2000 | tee "$log"
+timeout -k 10 "$phase_timeout" "$binary" "$state_dir" --tuples=2000 \
+  | tee "$log"
 
 grep -q "^Recovered stream 'feed'" "$log" || {
   echo "restart did not recover from the checkpoint/journal" >&2
