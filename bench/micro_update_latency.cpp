@@ -209,6 +209,9 @@ struct ServiceFixture {
     runtime.shards = shards;
     runtime.backpressure = BackpressurePolicy::kBlock;
     runtime.max_queue_depth = 64;
+    // Telemetry on: the benchmark doubles as the overhead regression check,
+    // and its JSON artifact carries the ingest-latency percentiles.
+    runtime.metrics.enabled = true;
     service = std::make_unique<SnsService>(runtime);
     const int64_t warmup_end =
         static_cast<int64_t>(EngineOptions().window_size) *
@@ -264,9 +267,29 @@ struct ServiceFixture {
   std::vector<int64_t> clocks;
 };
 
+// Bucket-wise difference of two snapshots of the SAME histogram, so the
+// reported percentiles cover only the timed phase (warm-up batches are the
+// slowest samples and would otherwise own the p99). min/max keep the
+// lifetime envelope — the diff clamps inside it.
+telemetry::HistogramSnapshot DiffHistogram(
+    const telemetry::HistogramSnapshot& after,
+    const telemetry::HistogramSnapshot& before) {
+  telemetry::HistogramSnapshot diff = after;
+  diff.count = 0;
+  diff.sum = after.sum - before.sum;
+  for (int i = 0; i < telemetry::HistogramSnapshot::kNumBuckets; ++i) {
+    diff.buckets[static_cast<size_t>(i)] -=
+        before.buckets[static_cast<size_t>(i)];
+    diff.count += diff.buckets[static_cast<size_t>(i)];
+  }
+  return diff;
+}
+
 void BM_ServiceThroughput(benchmark::State& state) {
   const int shards = static_cast<int>(state.range(0));
   ServiceFixture fixture(shards);
+  const telemetry::ServiceMetricsSnapshot before =
+      fixture.service->Metrics().value();
   for (auto _ : state) {
     std::vector<Ticket> tickets;
     tickets.reserve(static_cast<size_t>(kThroughputStreams));
@@ -282,6 +305,31 @@ void BM_ServiceThroughput(benchmark::State& state) {
   state.SetLabel("K=" + std::to_string(kThroughputStreams) + " streams, " +
                  (shards == 0 ? std::string("inline")
                               : "S=" + std::to_string(shards) + " shards"));
+
+  // Telemetry snapshot into the JSON artifact: ingest-to-ticket latency of
+  // the timed phase plus per-shard tuple rates (pinned streams make the
+  // shard split deterministic).
+  const telemetry::ServiceMetricsSnapshot after =
+      fixture.service->Metrics().value();
+  const telemetry::HistogramSnapshot timed =
+      DiffHistogram(after.ingest_latency_ns, before.ingest_latency_ns);
+  state.counters["sns_p99_ingest_ns"] = benchmark::Counter(
+      static_cast<double>(timed.Percentile(0.99)));
+  state.counters["sns_p50_ingest_ns"] = benchmark::Counter(
+      static_cast<double>(timed.Percentile(0.50)));
+  std::vector<double> shard_tuples(after.shards.size(), 0.0);
+  for (const auto& stream : after.streams) {
+    shard_tuples[static_cast<size_t>(stream.shard)] +=
+        static_cast<double>(stream.tuples_ingested);
+  }
+  for (const auto& stream : before.streams) {
+    shard_tuples[static_cast<size_t>(stream.shard)] -=
+        static_cast<double>(stream.tuples_ingested);
+  }
+  for (size_t s = 0; s < shard_tuples.size(); ++s) {
+    state.counters["sns_shard" + std::to_string(s) + "_tuples_per_s"] =
+        benchmark::Counter(shard_tuples[s], benchmark::Counter::kIsRate);
+  }
 }
 // Fixed iteration count (see BM_ProcessTuple): every configuration covers
 // the identical ~12.8k-tuple workload, so items/s is comparable across

@@ -15,6 +15,17 @@ Status ServiceOptions::Validate() const {
       backpressure != BackpressurePolicy::kReject) {
     return Status::InvalidArgument("unknown backpressure policy");
   }
+  if (metrics.export_interval_ms < 0) {
+    return Status::InvalidArgument("metrics.export_interval_ms must be >= 0");
+  }
+  if (metrics.export_interval_ms > 0 && !metrics.enabled) {
+    return Status::InvalidArgument(
+        "metrics.export_interval_ms requires metrics.enabled");
+  }
+  if (!metrics.json_path.empty() && metrics.export_interval_ms == 0) {
+    return Status::InvalidArgument(
+        "metrics.json_path requires metrics.export_interval_ms > 0");
+  }
   return Status::OK();
 }
 

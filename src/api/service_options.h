@@ -13,6 +13,7 @@
 #define SLICENSTITCH_API_SERVICE_OPTIONS_H_
 
 #include <cstdint>
+#include <string>
 
 #include "common/status.h"
 
@@ -29,6 +30,26 @@ enum class BackpressurePolicy {
   kReject,
 };
 
+/// Telemetry configuration (src/telemetry/). The layer is always compiled
+/// in; `enabled` decides whether the service allocates metric domains and
+/// the instrumentation sites record into them. Disabled, every site costs a
+/// single null-pointer test.
+struct MetricsOptions {
+  /// Master switch: allocate the MetricsRegistry and record metrics.
+  bool enabled = false;
+
+  /// Interval of the periodic exporter thread, milliseconds. 0 (default)
+  /// disables it; > 0 requires `enabled` and makes the service deliver an
+  /// OnMetrics event to every stream's sinks each interval (and write a
+  /// JSON line when json_path is set).
+  int64_t export_interval_ms = 0;
+
+  /// Path of a JSON-lines capture file, truncated at service creation and
+  /// appended each export interval. Empty (default) disables the file;
+  /// non-empty requires export_interval_ms > 0.
+  std::string json_path;
+};
+
 /// Runtime configuration of an SnsService.
 struct ServiceOptions {
   /// Worker shards executing stream operations. 0 = inline synchronous
@@ -41,6 +62,9 @@ struct ServiceOptions {
   /// Per-shard mailbox capacity, counted in tasks (one ingest batch, one
   /// advance, or one query hop each — never per tuple).
   int64_t max_queue_depth = 1024;
+
+  /// Telemetry: metric recording and periodic export. Off by default.
+  MetricsOptions metrics;
 
   /// Validates ranges; returned by SnsService::Create on failure.
   Status Validate() const;

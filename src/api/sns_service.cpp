@@ -1,6 +1,8 @@
 #include "api/sns_service.h"
 
+#include <algorithm>
 #include <cmath>
+#include <condition_variable>
 #include <cstdio>
 #include <thread>
 
@@ -8,6 +10,7 @@
 #include "common/serial.h"
 #include "durability/checkpoint.h"
 #include "durability/journal.h"
+#include "telemetry/json_exporter.h"
 
 namespace sns {
 
@@ -22,6 +25,17 @@ struct SnsService::AutoRecoveryConfig {
 
 SnsService::StreamEntry::StreamEntry() = default;
 SnsService::StreamEntry::~StreamEntry() = default;
+
+/// State shared between the service and its periodic exporter thread. Heap-
+/// allocated so the thread's captures (and the pointers it holds into the
+/// registry / metrics / executor heap objects) survive service moves.
+struct SnsService::PeriodicExporter {
+  std::thread thread;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool stop = false;  // Guarded by mu.
+  std::optional<telemetry::JsonLinesExporter> file;
+};
 
 // --- Health machine -------------------------------------------------------
 
@@ -120,6 +134,9 @@ Status SnsService::HandleAppendFailure(StreamEntry& entry, uint64_t sequence,
                                        std::span<const Tuple> tuples,
                                        Status cause) {
   entry.quarantine_count.fetch_add(1, std::memory_order_relaxed);
+  if (entry.stream_metrics != nullptr) {
+    entry.stream_metrics->quarantines.Add(1);
+  }
   SetHealth(entry, StreamHealth::kQuarantined, cause, 0);
   if (entry.auto_recovery == nullptr) {
     // No recovery configured: the quarantine is terminal. The writer's
@@ -146,6 +163,9 @@ Status SnsService::HandleAppendFailure(StreamEntry& entry, uint64_t sequence,
       attempt_status = AppendJournal(entry, sequence, op, time, tuples);
       if (attempt_status.ok()) {
         entry.recoveries_completed.fetch_add(1, std::memory_order_relaxed);
+        if (entry.stream_metrics != nullptr) {
+          entry.stream_metrics->recoveries.Add(1);
+        }
         SetHealth(entry, StreamHealth::kHealthy, Status::OK(), attempt);
         return Status::OK();
       }
@@ -166,23 +186,53 @@ Status SnsService::ExecuteMutation(StreamEntry& entry, uint64_t sequence,
   if (entry.health.load(std::memory_order_acquire) == StreamHealth::kFailed) {
     return HealthGate(entry);
   }
-  Status append = AppendJournal(entry, sequence, op, time, tuples);
+  telemetry::StreamMetrics* metrics = entry.stream_metrics;
+  Status append;
+  if (metrics != nullptr && entry.journal != nullptr) {
+    // Byte/rotation deltas bracket only this direct append — a recovery in
+    // HandleAppendFailure swaps in a fresh writer whose cursors restart.
+    const int64_t bytes_before = entry.journal->bytes_appended();
+    const int64_t segments_before = entry.journal->segments_opened();
+    const int64_t start_ns = telemetry::MonotonicNanos();
+    append = AppendJournal(entry, sequence, op, time, tuples);
+    metrics->journal_append_ns.Record(telemetry::MonotonicNanos() - start_ns);
+    if (append.ok()) {
+      metrics->journal_appends.Add(1);
+      metrics->journal_bytes.Add(static_cast<uint64_t>(
+          entry.journal->bytes_appended() - bytes_before));
+      metrics->journal_rotations.Add(static_cast<uint64_t>(
+          entry.journal->segments_opened() - segments_before));
+    }
+  } else {
+    append = AppendJournal(entry, sequence, op, time, tuples);
+  }
   if (!append.ok()) {
     append = HandleAppendFailure(entry, sequence, op, time, tuples,
                                  std::move(append));
   }
   if (!append.ok()) return append;
+  Status applied;
   switch (op) {
     case durability::JournalOpType::kWarmup:
-      return entry.handle->Warmup(tuples);
+      applied = entry.handle->Warmup(tuples);
+      break;
     case durability::JournalOpType::kInitialize:
-      return entry.handle->Initialize();
+      applied = entry.handle->Initialize();
+      break;
     case durability::JournalOpType::kIngest:
-      return entry.handle->Ingest(tuples);
+      applied = entry.handle->Ingest(tuples);
+      break;
     case durability::JournalOpType::kAdvanceTo:
-      return entry.handle->AdvanceTo(time);
+      applied = entry.handle->AdvanceTo(time);
+      break;
+    default:
+      return Status::Internal("journal op outside the JournalOpType enum");
   }
-  return Status::Internal("journal op outside the JournalOpType enum");
+  if (metrics != nullptr && applied.ok()) {
+    metrics->batches_applied.Add(1);
+    if (!tuples.empty()) metrics->tuples_ingested.Add(tuples.size());
+  }
+  return applied;
 }
 
 Status SnsService::AppendJournal(StreamEntry& entry, uint64_t sequence,
@@ -235,10 +285,18 @@ SnsService::SnsService(const ServiceOptions& options)
     std::fprintf(stderr, "SnsService: %s\n", valid.ToString().c_str());
     SNS_CHECK(valid.ok());
   }
-  if (options_.shards > 0) {
-    executor_ = std::make_unique<ShardedExecutor>(options_.shards,
-                                                  options_.max_queue_depth);
+  if (options_.metrics.enabled) {
+    // One shard domain per worker shard; the inline service records into a
+    // single domain 0. Allocated before the executor so shard threads can
+    // record from their first task.
+    metrics_ = std::make_unique<telemetry::MetricsRegistry>(
+        std::max(1, options_.shards));
   }
+  if (options_.shards > 0) {
+    executor_ = std::make_unique<ShardedExecutor>(
+        options_.shards, options_.max_queue_depth, metrics_.get());
+  }
+  StartExporter();
 }
 
 StatusOr<SnsService> SnsService::Create(const ServiceOptions& options) {
@@ -249,7 +307,13 @@ StatusOr<SnsService> SnsService::Create(const ServiceOptions& options) {
 SnsService::SnsService(SnsService&& other)
     : options_(other.options_),
       registry_(std::move(other.registry_)),
-      executor_(std::move(other.executor_)) {
+      metrics_(std::move(other.metrics_)),
+      executor_(std::move(other.executor_)),
+      exporter_(std::move(other.exporter_)) {
+  // The exporter thread and all instrumentation sites hold raw pointers
+  // into the registry / metrics / executor heap objects, which the
+  // unique_ptrs above transfer without relocating — so the thread keeps
+  // running across the move untouched.
   // Leave `other` a valid empty inline service, not a null-registry husk.
   other.options_ = ServiceOptions();
   other.registry_ = std::make_unique<Registry>();
@@ -257,10 +321,14 @@ SnsService::SnsService(SnsService&& other)
 
 SnsService& SnsService::operator=(SnsService&& other) {
   if (this != &other) {
-    // Quiesce and join our own runtime before the registry its tasks point
+    // Stop our own exporter before the executor it submits to, then
+    // quiesce and join our own runtime before the registry its tasks point
     // into is replaced.
+    StopExporter();
     if (executor_ != nullptr) executor_->Shutdown();
+    exporter_ = std::move(other.exporter_);
     executor_ = std::move(other.executor_);
+    metrics_ = std::move(other.metrics_);
     registry_ = std::move(other.registry_);
     options_ = other.options_;
     other.options_ = ServiceOptions();
@@ -270,8 +338,10 @@ SnsService& SnsService::operator=(SnsService&& other) {
 }
 
 SnsService::~SnsService() {
-  // Flush and join the shard threads while every stream handle is still
-  // alive; only then may the registry (and the handles in it) die.
+  // Exporter first (it submits to the executor), then flush and join the
+  // shard threads while every stream handle is still alive; only then may
+  // the registry (and the handles in it) die.
+  StopExporter();
   if (executor_ != nullptr) executor_->Shutdown();
 }
 
@@ -301,9 +371,17 @@ StatusOr<StreamHandle*> SnsService::CreateStream(
   entry->name = entry->handle->name();
   entry->mode_dims = entry->handle->mode_dims();
   if (executor_ != nullptr) entry->shard = executor_->AssignShard();
+  AttachMetrics(*entry);
   StreamHandle* raw = entry->handle.get();
   registry_->streams.emplace(std::move(name), std::move(entry));
   return raw;
+}
+
+void SnsService::AttachMetrics(StreamEntry& entry) {
+  if (metrics_ == nullptr) return;
+  const int domain = entry.shard < 0 ? 0 : entry.shard;
+  entry.shard_metrics = &metrics_->shard(domain);
+  entry.stream_metrics = metrics_->RegisterStream(entry.name, domain);
 }
 
 SnsService::StreamEntry* SnsService::ResolveEntry(
@@ -368,7 +446,12 @@ Ticket SnsService::IngestAsync(std::string_view stream,
   StreamEntry* entry = ResolveEntry(stream);
   if (entry == nullptr) return Ticket::Completed(NoSuchStream(stream));
   Status admit = ValidateAdmission(*entry, tuples);
-  if (!admit.ok()) return Ticket::Completed(std::move(admit));
+  if (!admit.ok()) {
+    if (entry->stream_metrics != nullptr) {
+      entry->stream_metrics->admission_rejects.Add(1);
+    }
+    return Ticket::Completed(std::move(admit));
+  }
   if (executor_ == nullptr) {
     // Inline: applied synchronously before returning, so the span needs no
     // owning copy.
@@ -393,7 +476,12 @@ Ticket SnsService::IngestAsync(std::string_view stream,
   StreamEntry* entry = ResolveEntry(stream);
   if (entry == nullptr) return Ticket::Completed(NoSuchStream(stream));
   Status admit = ValidateAdmission(*entry, tuples);
-  if (!admit.ok()) return Ticket::Completed(std::move(admit));
+  if (!admit.ok()) {
+    if (entry->stream_metrics != nullptr) {
+      entry->stream_metrics->admission_rejects.Add(1);
+    }
+    return Ticket::Completed(std::move(admit));
+  }
   return SubmitOp(
       *entry,
       [batch = std::move(tuples)](StreamEntry& e, uint64_t seq) {
@@ -425,7 +513,13 @@ Status SnsService::Warmup(std::string_view stream,
                           std::span<const Tuple> tuples) {
   StreamEntry* entry = ResolveEntry(stream);
   if (entry == nullptr) return NoSuchStream(stream);
-  SNS_RETURN_IF_ERROR(ValidateAdmission(*entry, tuples));
+  Status admit = ValidateAdmission(*entry, tuples);
+  if (!admit.ok()) {
+    if (entry->stream_metrics != nullptr) {
+      entry->stream_metrics->admission_rejects.Add(1);
+    }
+    return admit;
+  }
   return SubmitOp(
              *entry,
              [tuples](StreamEntry& e, uint64_t seq) {
@@ -453,7 +547,13 @@ Status SnsService::Ingest(std::string_view stream,
                           std::span<const Tuple> tuples) {
   StreamEntry* entry = ResolveEntry(stream);
   if (entry == nullptr) return NoSuchStream(stream);
-  SNS_RETURN_IF_ERROR(ValidateAdmission(*entry, tuples));
+  Status admit = ValidateAdmission(*entry, tuples);
+  if (!admit.ok()) {
+    if (entry->stream_metrics != nullptr) {
+      entry->stream_metrics->admission_rejects.Add(1);
+    }
+    return admit;
+  }
   return SubmitOp(
              *entry,
              [tuples](StreamEntry& e, uint64_t seq) {
@@ -575,6 +675,134 @@ StatusOr<uint64_t> SnsService::AppliedSequence(
   return entry->applied_seq.load(std::memory_order_acquire);
 }
 
+// --- Telemetry ------------------------------------------------------------
+
+StatusOr<telemetry::ServiceMetricsSnapshot> SnsService::Metrics() {
+  if (metrics_ == nullptr) {
+    return Status::FailedPrecondition(
+        "metrics are disabled; create the service with "
+        "ServiceOptions::metrics.enabled");
+  }
+  if (executor_ != nullptr &&
+      !registry_->shutdown.load(std::memory_order_acquire)) {
+    // Sequence barrier: one blocking no-op task per shard. Each shard's
+    // mailbox is FIFO, so once the barrier runs, every operation issued to
+    // that shard before this call has been applied — the same consistency
+    // the typed queries give, without stalling the other shards behind a
+    // full Drain. A kClosed push (shutdown racing in) degrades gracefully:
+    // the shard is quiescing anyway.
+    std::vector<std::shared_ptr<internal::TicketRecord>> barriers;
+    barriers.reserve(static_cast<size_t>(executor_->num_shards()));
+    for (int shard = 0; shard < executor_->num_shards(); ++shard) {
+      auto done = std::make_shared<internal::TicketRecord>();
+      const Mailbox::PushResult result = executor_->Submit(
+          shard, Task([done] { done->Complete(Status::OK()); }),
+          /*block=*/true);
+      if (result == Mailbox::PushResult::kOk) {
+        barriers.push_back(std::move(done));
+      }
+    }
+    for (const auto& barrier : barriers) barrier->Wait();
+  }
+  return metrics_->Snapshot();
+}
+
+void SnsService::StartExporter() {
+  if (options_.metrics.export_interval_ms <= 0) return;
+  exporter_ = std::make_unique<PeriodicExporter>();
+  PeriodicExporter* state = exporter_.get();
+  if (!options_.metrics.json_path.empty()) {
+    auto file = telemetry::JsonLinesExporter::Open(options_.metrics.json_path);
+    if (file.ok()) {
+      state->file.emplace(std::move(file).value());
+    } else {
+      // A capture file that cannot open degrades to event-only export; the
+      // service itself stays healthy.
+      std::fprintf(stderr, "SnsService: metrics capture disabled: %s\n",
+                   file.status().ToString().c_str());
+    }
+  }
+  // Raw pointers into heap objects the service's unique_ptrs own: stable
+  // across service moves; StopExporter joins this thread before any of the
+  // pointees can die.
+  Registry* registry = registry_.get();
+  telemetry::MetricsRegistry* metrics = metrics_.get();
+  ShardedExecutor* executor = executor_.get();
+  const auto interval =
+      std::chrono::milliseconds(options_.metrics.export_interval_ms);
+  state->thread = std::thread([state, registry, metrics, executor, interval] {
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(state->mu);
+        state->cv.wait_for(lock, interval, [state] { return state->stop; });
+        if (state->stop) break;
+      }
+      telemetry::ServiceMetricsSnapshot snapshot = metrics->Snapshot();
+      if (state->file.has_value()) {
+        const Status io = state->file->Append(snapshot);
+        if (!io.ok()) {
+          std::fprintf(stderr, "SnsService: metrics capture stopped: %s\n",
+                       io.ToString().c_str());
+          state->file.reset();
+        }
+      }
+      // Per-stream OnMetrics delivery on the owning shard. Non-blocking
+      // push: a shard under backpressure simply skips this tick rather
+      // than wedging the exporter (the next interval retries). kClosed
+      // means shutdown is racing in — drop likewise. Inline services have
+      // no shard thread, so delivery happens right here on the exporter
+      // thread (documented in EventSink::OnMetrics).
+      struct Delivery {
+        StreamHandle* handle;
+        int shard;
+        const telemetry::StreamMetricsSnapshot* sample;
+      };
+      std::vector<Delivery> deliveries;
+      {
+        std::lock_guard<std::mutex> lock(registry->mu);
+        for (const telemetry::StreamMetricsSnapshot& sample :
+             snapshot.streams) {
+          auto it = registry->streams.find(sample.name);
+          if (it == registry->streams.end()) continue;  // Removed stream.
+          deliveries.push_back(
+              {it->second->handle.get(), it->second->shard, &sample});
+        }
+      }
+      for (const Delivery& delivery : deliveries) {
+        if (executor != nullptr && delivery.shard >= 0) {
+          StreamHandle* handle = delivery.handle;
+          (void)executor->Submit(
+              delivery.shard,
+              Task([handle, sample = *delivery.sample] {
+                handle->NotifyMetrics(sample);
+              }),
+              /*block=*/false);
+        } else {
+          delivery.handle->NotifyMetrics(*delivery.sample);
+        }
+      }
+    }
+  });
+}
+
+void SnsService::StopExporter() {
+  if (exporter_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(exporter_->mu);
+    exporter_->stop = true;
+  }
+  exporter_->cv.notify_all();
+  if (exporter_->thread.joinable()) exporter_->thread.join();
+  if (exporter_->file.has_value()) {
+    const Status io = exporter_->file->Close();
+    if (!io.ok()) {
+      std::fprintf(stderr, "SnsService: metrics capture close: %s\n",
+                   io.ToString().c_str());
+    }
+  }
+  exporter_.reset();
+}
+
 // --- Supervision ----------------------------------------------------------
 
 StatusOr<StreamHealthInfo> SnsService::Health(std::string_view stream) const {
@@ -655,6 +883,11 @@ Status SnsService::Checkpoint(std::string_view stream,
 
 Status SnsService::CheckpointToFile(std::string_view stream,
                                     const std::string& path) {
+  StreamEntry* entry = ResolveEntry(stream);
+  telemetry::StreamMetrics* metrics =
+      entry != nullptr ? entry->stream_metrics : nullptr;
+  const int64_t start_ns =
+      metrics != nullptr ? telemetry::MonotonicNanos() : 0;
   serial::StringSink envelope;
   SNS_RETURN_IF_ERROR(Checkpoint(stream, envelope));
   // Write-to-temporary + rename: a failure anywhere before the rename
@@ -678,6 +911,14 @@ Status SnsService::CheckpointToFile(std::string_view stream,
     std::remove(tmp.c_str());
     return io;
   }
+  if (metrics != nullptr) {
+    // The recorded span covers the whole durable write: serialize (shard
+    // hop included), temp-file write, fsync, rename.
+    metrics->checkpoint_writes.Add(1);
+    metrics->checkpoint_bytes.Add(envelope.data().size());
+    metrics->checkpoint_write_ns.Record(telemetry::MonotonicNanos() -
+                                        start_ns);
+  }
   return Status::OK();
 }
 
@@ -700,6 +941,7 @@ StatusOr<StreamHandle*> SnsService::Restore(serial::ByteSource& source) {
   entry->name = entry->handle->name();
   entry->mode_dims = entry->handle->mode_dims();
   if (executor_ != nullptr) entry->shard = executor_->AssignShard();
+  AttachMetrics(*entry);
   entry->issued_seq = sequence;
   entry->applied_seq.store(sequence, std::memory_order_release);
   StreamHandle* raw = entry->handle.get();
@@ -751,6 +993,9 @@ void SnsService::Drain() {
 }
 
 void SnsService::Shutdown() {
+  // The exporter submits OnMetrics tasks; stop it before the executor it
+  // submits to goes away.
+  StopExporter();
   registry_->shutdown.store(true, std::memory_order_release);
   if (executor_ != nullptr) executor_->Shutdown();
 }

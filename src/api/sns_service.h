@@ -56,6 +56,20 @@
 // error lock-free — usable even while a shard is wedged — and every health
 // edge is delivered to the stream's EventSinks.
 //
+// Telemetry (src/telemetry/): with ServiceOptions::metrics.enabled the
+// service owns a MetricsRegistry — one lock-free domain per shard (mailbox
+// traffic, queue depth, per-task apply time, ingest-to-ticket latency) plus
+// one per stream (tuples, journal/checkpoint bytes and latency, health
+// counters) — preallocated up front, so recording never allocates and costs
+// a null-check plus a relaxed atomic add per event. Metrics() returns a
+// merged, sequence-consistent ServiceMetricsSnapshot (every shard is
+// drained of already-issued work first). metrics.export_interval_ms > 0
+// additionally starts an exporter thread that periodically delivers an
+// OnMetrics event to every stream's sinks on its owning shard and, with
+// metrics.json_path set, appends one JSON line per interval. Disabled
+// (default), the instrumentation sites cost one null-pointer test each and
+// factor state stays bitwise identical either way (pinned by tests).
+//
 // Hostile-input admission control: Warmup/Ingest batches are validated
 // against the stream schema at submission — arity, coordinate range, and
 // value finiteness (NaN/Inf) — and rejected whole-batch with
@@ -96,6 +110,8 @@
 #include "core/options.h"
 #include "runtime/sharded_executor.h"
 #include "runtime/ticket.h"
+#include "telemetry/metrics_registry.h"
+#include "telemetry/scoped_timer.h"
 
 namespace sns {
 
@@ -262,6 +278,18 @@ class SnsService {
 
   // --- Supervision ------------------------------------------------------
 
+  /// Merged telemetry snapshot of the whole service: every shard domain,
+  /// every stream domain, and the cross-shard ingest-latency / apply-time
+  /// histogram merges. Sequence-consistent like the typed queries: every
+  /// shard is first drained of the work already issued to it (one blocking
+  /// barrier task per shard), so the snapshot covers every operation whose
+  /// ticket was issued before this call. kFailedPrecondition when metrics
+  /// are disabled (ServiceOptions::metrics.enabled = false).
+  StatusOr<telemetry::ServiceMetricsSnapshot> Metrics();
+
+  /// True when this service records metrics (metrics.enabled at creation).
+  bool metrics_enabled() const { return metrics_ != nullptr; }
+
   /// Supervisor snapshot of one stream's health: state-machine position,
   /// quarantine/recovery counters, and the most recent failure cause. Read
   /// from counters the owning shard maintains — no shard hop, so it works
@@ -365,6 +393,12 @@ class SnsService {
 
     /// Health state machine (api/stream_health.h). Written on the owning
     /// shard, read lock-free everywhere (submit gate, supervisor).
+    /// Telemetry domains, or null when metrics are disabled. Stable heap
+    /// pointers into the service's MetricsRegistry, set once at
+    /// CreateStream/Restore; recording through them is lock-free.
+    telemetry::ShardMetrics* shard_metrics = nullptr;
+    telemetry::StreamMetrics* stream_metrics = nullptr;
+
     std::atomic<StreamHealth> health{StreamHealth::kHealthy};
     std::atomic<uint64_t> quarantine_count{0};
     std::atomic<uint64_t> recovery_attempts{0};
@@ -385,6 +419,11 @@ class SnsService {
   };
 
   StreamEntry* ResolveEntry(std::string_view name) const;
+
+  /// Points a freshly registered entry at its telemetry domains (no-op when
+  /// metrics are disabled). Called under the registry lock by
+  /// CreateStream/Restore, after the entry's shard is pinned.
+  void AttachMetrics(StreamEntry& entry);
   static Status NoSuchStream(std::string_view name) {
     return Status::NotFound("no stream named '" + std::string(name) + "'");
   }
@@ -455,9 +494,24 @@ class SnsService {
   auto RunOnShard(StreamEntry& entry, Fn fn)
       -> std::invoke_result_t<Fn&, StreamHandle&>;
 
+  /// Periodic exporter thread state (defined in the .cpp). Heap-allocated
+  /// so the thread's captures stay valid across service moves.
+  struct PeriodicExporter;
+
+  /// Starts the exporter thread when metrics.export_interval_ms > 0.
+  void StartExporter();
+  /// Stops and joins the exporter thread. Must run before the executor
+  /// shuts down (the exporter submits OnMetrics delivery tasks).
+  void StopExporter();
+
   ServiceOptions options_;
   std::unique_ptr<Registry> registry_;
+  /// Metric domains; null when metrics are disabled. Heap-allocated so
+  /// instrumentation pointers survive service moves. Declared before the
+  /// executor, whose shards record into it.
+  std::unique_ptr<telemetry::MetricsRegistry> metrics_;
   std::unique_ptr<ShardedExecutor> executor_;  // Null inline.
+  std::unique_ptr<PeriodicExporter> exporter_;  // Null without an interval.
 };
 
 // --- Template implementations -------------------------------------------
@@ -480,7 +534,19 @@ Ticket SnsService::SubmitOp(StreamEntry& entry, Op op, bool force_block,
           Status::FailedPrecondition("service is shut down"));
     }
     entry.issued_seq = seq;
-    Status status = op(entry, seq);
+    Status status;
+    if (entry.shard_metrics != nullptr) {
+      // Inline parity with the worker-shard instrumentation: the applied
+      // operation is both the "task" and the whole issue→complete span.
+      const int64_t start_ns = telemetry::MonotonicNanos();
+      status = op(entry, seq);
+      const int64_t elapsed_ns = telemetry::MonotonicNanos() - start_ns;
+      entry.shard_metrics->apply_ns.Record(elapsed_ns);
+      entry.shard_metrics->ingest_latency_ns.Record(elapsed_ns);
+      entry.shard_metrics->tasks_executed.Add(1);
+    } else {
+      status = op(entry, seq);
+    }
     entry.applied_seq.store(seq, std::memory_order_release);
     auto record = std::make_shared<internal::TicketRecord>(seq);
     record->Complete(std::move(status));
@@ -492,11 +558,23 @@ Ticket SnsService::SubmitOp(StreamEntry& entry, Op op, bool force_block,
   }
   auto record = std::make_shared<internal::TicketRecord>(seq);
   StreamEntry* e = &entry;
+  // Ingest-to-ticket latency: issue time is taken before the push, so the
+  // recorded span covers any backpressure wait plus queueing delay plus the
+  // apply itself — the latency an async producer actually experiences.
+  telemetry::LatencyHistogram* latency =
+      entry.shard_metrics != nullptr
+          ? &entry.shard_metrics->ingest_latency_ns
+          : nullptr;
+  const int64_t issued_ns =
+      latency != nullptr ? telemetry::MonotonicNanos() : 0;
   const Mailbox::PushResult result = executor_->Submit(
       entry.shard,
-      Task([e, record, op = std::move(op)]() mutable {
+      Task([e, record, latency, issued_ns, op = std::move(op)]() mutable {
         Status status = op(*e, record->sequence());
         e->applied_seq.store(record->sequence(), std::memory_order_release);
+        if (latency != nullptr) {
+          latency->Record(telemetry::MonotonicNanos() - issued_ns);
+        }
         record->Complete(std::move(status));
       }),
       force_block || options_.backpressure == BackpressurePolicy::kBlock,

@@ -14,6 +14,7 @@
 
 #include "api/stream_health.h"
 #include "stream/event.h"
+#include "telemetry/metrics_registry.h"
 #include "tensor/kruskal.h"
 #include "tensor/sparse_tensor.h"
 
@@ -90,6 +91,15 @@ class EventSink {
   /// sinks that only care about window events need no change.
   virtual void OnHealthTransition(const HealthTransition& transition) {
     (void)transition;
+  }
+
+  /// Periodic metrics sample for the stream, fired every
+  /// ServiceOptions::metrics.export_interval_ms when the periodic exporter
+  /// is configured. Delivered on the stream's owning shard (sharded
+  /// service) or on the exporter thread (inline service, shards = 0). The
+  /// default ignores it.
+  virtual void OnMetrics(const telemetry::StreamMetricsSnapshot& metrics) {
+    (void)metrics;
   }
 };
 

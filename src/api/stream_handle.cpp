@@ -272,6 +272,12 @@ void StreamHandle::NotifyHealthTransition(const HealthTransition& transition) {
   }
 }
 
+void StreamHandle::NotifyMetrics(const telemetry::StreamMetricsSnapshot& metrics) {
+  for (EventSink* sink : fanout_->sinks) {
+    sink->OnMetrics(metrics);
+  }
+}
+
 Status StreamHandle::Checkpoint(serial::ByteSink& sink) const {
   return durability::WriteStreamCheckpoint(*this, /*sequence=*/0, sink);
 }

@@ -174,6 +174,11 @@ class StreamHandle {
   /// service's supervisor on the owning shard.
   void NotifyHealthTransition(const HealthTransition& transition);
 
+  /// Delivers one periodic metrics sample to every attached sink
+  /// (EventSink::OnMetrics), in attachment order. Called by the service's
+  /// periodic exporter on the owning shard.
+  void NotifyMetrics(const telemetry::StreamMetricsSnapshot& metrics);
+
   // --- Durability -------------------------------------------------------
 
   /// Writes a versioned, CRC-guarded checkpoint of the complete stream

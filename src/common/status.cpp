@@ -32,15 +32,26 @@ const char* StatusCodeName(StatusCode code) {
 }
 
 bool IsRetryable(StatusCode code) {
+  // Exhaustive on purpose: a new StatusCode must make an explicit retryable
+  // decision here (the missing case is a -Werror=switch build break) and in
+  // the taxonomy test before it can ship.
   switch (code) {
-    case StatusCode::kUnavailable:
-    case StatusCode::kResourceExhausted:
-    case StatusCode::kDeadlineExceeded:
-    case StatusCode::kIOError:
-      return true;
-    default:
+    case StatusCode::kOk:
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kInternal:
+    case StatusCode::kDataLoss:
       return false;
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kIOError:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kUnavailable:
+      return true;
   }
+  SNS_CHECK(false && "IsRetryable: value outside the StatusCode enum");
+  return false;
 }
 
 std::string Status::ToString() const {

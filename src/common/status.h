@@ -36,6 +36,11 @@ enum class StatusCode {
   kUnavailable,
 };
 
+/// Number of values in StatusCode, for exhaustive taxonomy iteration in
+/// tests. Keep in sync with the last enumerator above.
+inline constexpr int kStatusCodeCount =
+    static_cast<int>(StatusCode::kUnavailable) + 1;
+
 /// Canonical display name of a status code, e.g. "DeadlineExceeded".
 /// SNS_CHECK-fails on values outside the enum.
 const char* StatusCodeName(StatusCode code);

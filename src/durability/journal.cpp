@@ -205,6 +205,7 @@ Status JournalWriter::Append(uint64_t sequence, JournalOpType op,
   // applied and acknowledged, or a process crash could lose an acked op.
   SNS_RETURN_IF_ERROR(segment_->Flush(options_.sync_each_record));
   segment_bytes_ += frame;
+  bytes_appended_ += frame;
   return Status::OK();
 }
 

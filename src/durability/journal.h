@@ -97,6 +97,9 @@ class JournalWriter {
   const JournalOptions& options() const { return options_; }
   /// Segments this writer has opened (≥ 1); rotation test hook.
   int64_t segments_opened() const { return segments_opened_; }
+  /// Total record-frame bytes successfully appended by this writer (excludes
+  /// segment headers). Telemetry reads deltas of this around each Append.
+  int64_t bytes_appended() const { return bytes_appended_; }
 
  private:
   JournalWriter(std::string directory, const JournalOptions& options,
@@ -112,6 +115,7 @@ class JournalWriter {
   int64_t next_segment_ = 0;
   int64_t segments_opened_ = 0;
   int64_t segment_bytes_ = 0;
+  int64_t bytes_appended_ = 0;
   std::unique_ptr<serial::FileSink> segment_;
 };
 

@@ -29,6 +29,7 @@
 #include "common/check.h"
 #include "common/failpoint.h"
 #include "runtime/task.h"
+#include "telemetry/metrics_registry.h"
 
 namespace sns {
 
@@ -43,7 +44,12 @@ class Mailbox {
 
   using Deadline = std::chrono::steady_clock::time_point;
 
-  explicit Mailbox(int64_t capacity) : capacity_(capacity) {
+  /// `metrics`, when non-null, receives the mailbox traffic tallies
+  /// (pushes, blocked/rejected/deadline-exceeded refusals, queue depth).
+  /// The pointee must outlive the mailbox; null disables instrumentation.
+  explicit Mailbox(int64_t capacity,
+                   telemetry::ShardMetrics* metrics = nullptr)
+      : capacity_(capacity), metrics_(metrics) {
     SNS_CHECK(capacity >= 1);
   }
 
@@ -64,15 +70,24 @@ class Mailbox {
       // full without touching the queue, exercising backpressure and
       // deadline paths without needing a truly wedged consumer.
       if (SNS_FAILPOINT("mailbox.push")) {
-        return block && deadline.has_value() ? PushResult::kTimedOut
-                                             : PushResult::kFull;
+        const bool timed_out = block && deadline.has_value();
+        if (metrics_ != nullptr) {
+          (timed_out ? metrics_->mailbox_deadline_exceeded
+                     : metrics_->mailbox_rejected)
+              .Add(1);
+        }
+        return timed_out ? PushResult::kTimedOut : PushResult::kFull;
       }
       const auto has_room = [this] {
         return closed_ || static_cast<int64_t>(queue_.size()) < capacity_;
       };
       if (block) {
+        if (metrics_ != nullptr && !has_room()) {
+          metrics_->mailbox_blocked.Add(1);
+        }
         if (deadline.has_value()) {
           if (!not_full_.wait_until(lock, *deadline, has_room)) {
+            if (metrics_ != nullptr) metrics_->mailbox_deadline_exceeded.Add(1);
             return PushResult::kTimedOut;
           }
         } else {
@@ -81,10 +96,15 @@ class Mailbox {
       }
       if (closed_) return PushResult::kClosed;
       if (static_cast<int64_t>(queue_.size()) >= capacity_) {
+        if (metrics_ != nullptr) metrics_->mailbox_rejected.Add(1);
         return PushResult::kFull;
       }
       queue_.push_back(std::move(task));
       ++unfinished_;
+      if (metrics_ != nullptr) {
+        metrics_->mailbox_pushes.Add(1);
+        metrics_->queue_depth.Add(1);
+      }
     }
     not_empty_.notify_one();
     return PushResult::kOk;
@@ -99,6 +119,7 @@ class Mailbox {
     if (queue_.empty()) return false;  // Closed and drained.
     out = std::move(queue_.front());
     queue_.pop_front();
+    if (metrics_ != nullptr) metrics_->queue_depth.Add(-1);
     not_full_.notify_one();
     return true;
   }
@@ -141,6 +162,7 @@ class Mailbox {
 
  private:
   const int64_t capacity_;
+  telemetry::ShardMetrics* const metrics_;  // Null when telemetry is off.
   mutable std::mutex mu_;
   std::condition_variable not_full_;   // Producers waiting on capacity.
   std::condition_variable not_empty_;  // The consumer waiting on work.

@@ -2,12 +2,15 @@
 
 namespace sns {
 
-ShardedExecutor::ShardedExecutor(int num_shards, int64_t queue_capacity) {
+ShardedExecutor::ShardedExecutor(int num_shards, int64_t queue_capacity,
+                                 telemetry::MetricsRegistry* metrics) {
   SNS_CHECK(num_shards >= 1);
+  SNS_CHECK(metrics == nullptr || metrics->num_shards() >= num_shards);
   SNS_CHECK(queue_capacity >= 1);
   shards_.reserve(static_cast<size_t>(num_shards));
   for (int i = 0; i < num_shards; ++i) {
-    shards_.push_back(std::make_unique<WorkerShard>(i, queue_capacity));
+    shards_.push_back(std::make_unique<WorkerShard>(
+        i, queue_capacity, metrics != nullptr ? &metrics->shard(i) : nullptr));
   }
 }
 

@@ -23,14 +23,18 @@
 #include "runtime/mailbox.h"
 #include "runtime/task.h"
 #include "runtime/worker_shard.h"
+#include "telemetry/metrics_registry.h"
 
 namespace sns {
 
 class ShardedExecutor {
  public:
   /// Spawns `num_shards` worker threads, each behind a mailbox bounded at
-  /// `queue_capacity` tasks.
-  ShardedExecutor(int num_shards, int64_t queue_capacity);
+  /// `queue_capacity` tasks. `metrics`, when non-null, must expose at least
+  /// `num_shards` shard domains (outliving the executor); shard i records
+  /// into metrics->shard(i). Null disables instrumentation.
+  ShardedExecutor(int num_shards, int64_t queue_capacity,
+                  telemetry::MetricsRegistry* metrics = nullptr);
 
   /// Joins all shard threads (Shutdown() if the owner did not call it).
   ~ShardedExecutor();

@@ -2,11 +2,15 @@
 
 #include <utility>
 
+#include "telemetry/scoped_timer.h"
+
 namespace sns {
 
-WorkerShard::WorkerShard(int index, int64_t queue_capacity)
+WorkerShard::WorkerShard(int index, int64_t queue_capacity,
+                         telemetry::ShardMetrics* metrics)
     : index_(index),
-      mailbox_(queue_capacity),
+      metrics_(metrics),
+      mailbox_(queue_capacity, metrics),
       thread_([this] { Run(); }) {}
 
 WorkerShard::~WorkerShard() { Shutdown(); }
@@ -19,7 +23,14 @@ void WorkerShard::Shutdown() {
 void WorkerShard::Run() {
   Task task;
   while (mailbox_.Pop(task)) {
-    task();
+    if (metrics_ != nullptr) {
+      const int64_t start_ns = telemetry::MonotonicNanos();
+      task();
+      metrics_->apply_ns.Record(telemetry::MonotonicNanos() - start_ns);
+      metrics_->tasks_executed.Add(1);
+    } else {
+      task();
+    }
     task = Task();  // Release captures before acknowledging completion:
                     // after TaskDone a drained caller may free what the
                     // closure captured (e.g. during stream removal).

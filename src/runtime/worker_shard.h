@@ -15,13 +15,17 @@
 
 #include "runtime/mailbox.h"
 #include "runtime/task.h"
+#include "telemetry/metrics_registry.h"
 
 namespace sns {
 
 class WorkerShard {
  public:
   /// Spawns the shard thread, which immediately starts draining the mailbox.
-  WorkerShard(int index, int64_t queue_capacity);
+  /// `metrics`, when non-null, receives this shard's mailbox tallies and
+  /// per-task apply-time histogram; it must outlive the shard.
+  WorkerShard(int index, int64_t queue_capacity,
+              telemetry::ShardMetrics* metrics = nullptr);
 
   /// Joins the thread (running Shutdown() if the owner did not).
   ~WorkerShard();
@@ -50,6 +54,7 @@ class WorkerShard {
   void Run();
 
   const int index_;
+  telemetry::ShardMetrics* const metrics_;  // Null when telemetry is off.
   Mailbox mailbox_;
   std::thread thread_;
 };

@@ -18,6 +18,9 @@
 //   - StreamHealth / RecoveryPolicy / failpoints — the self-healing layer:
 //     per-stream quarantine + auto-recovery (api/stream_health.h) and
 //     deterministic fault injection (common/failpoint.h),
+//   - MetricsRegistry / ServiceMetricsSnapshot / JSON-lines export — the
+//     telemetry layer: lock-free per-shard counters and latency histograms
+//     with periodic export (src/telemetry/),
 //   - synthetic generators + dataset presets + CSV loading,
 //   - the anomaly-detection toolkit of §VI-G.
 //
@@ -46,6 +49,9 @@
 #include "durability/checkpoint.h"
 #include "durability/journal.h"
 #include "stream/data_stream.h"
+#include "telemetry/json_exporter.h"
+#include "telemetry/metrics_registry.h"
+#include "telemetry/scoped_timer.h"
 #include "tensor/kruskal.h"
 
 #endif  // SLICENSTITCH_SLICENSTITCH_H_

@@ -1,0 +1,74 @@
+// Lock-free metric primitives: cache-line-padded relaxed-atomic counters and
+// gauges.
+//
+// These are the cheapest observable quantities the telemetry layer offers:
+// recording is a single relaxed fetch_add, and each instrument occupies its
+// own cache line so two shards bumping adjacent counters never false-share.
+// Reads are relaxed too — metrics are monotone tallies, not synchronization;
+// a reader sees values at most one in-flight increment stale, which is the
+// documented consistency level of every snapshot surface built on top
+// (telemetry/metrics_registry.h).
+
+#ifndef SLICENSTITCH_TELEMETRY_COUNTERS_H_
+#define SLICENSTITCH_TELEMETRY_COUNTERS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace sns {
+namespace telemetry {
+
+/// One cache line: instruments are padded to this so concurrent writers on
+/// different instruments never contend for the same line.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Monotone event tally. Add is one relaxed fetch_add — the whole cost of a
+/// counted hot-path event when telemetry is enabled.
+struct alignas(kCacheLineBytes) Counter {
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Get() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Signed level with a high-water mark (e.g. queue depth). Add updates the
+/// level with one relaxed fetch_add; a positive delta also advances the peak
+/// via a compare-exchange loop that only iterates while the level is actually
+/// making new highs (rare in steady state).
+struct alignas(kCacheLineBytes) Gauge {
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Add(int64_t delta) {
+    const int64_t now = value_.fetch_add(delta, std::memory_order_relaxed) +
+                        delta;
+    if (delta > 0) {
+      int64_t peak = peak_.load(std::memory_order_relaxed);
+      while (now > peak &&
+             !peak_.compare_exchange_weak(peak, now,
+                                          std::memory_order_relaxed)) {
+      }
+    }
+  }
+
+  int64_t Get() const { return value_.load(std::memory_order_relaxed); }
+  int64_t Peak() const { return peak_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+  std::atomic<int64_t> peak_{0};
+};
+
+static_assert(alignof(Counter) >= kCacheLineBytes);
+static_assert(alignof(Gauge) >= kCacheLineBytes);
+
+}  // namespace telemetry
+}  // namespace sns
+
+#endif  // SLICENSTITCH_TELEMETRY_COUNTERS_H_

@@ -1,0 +1,68 @@
+#include "telemetry/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sns {
+namespace telemetry {
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  for (int i = 0; i < kNumBuckets; ++i) buckets[i] += other.buckets[i];
+  sum += other.sum;
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  count += other.count;
+}
+
+int64_t HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0;
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  rank = std::clamp<uint64_t>(rank, 1, count);
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) {
+      const int64_t representative = LatencyHistogram::BucketLowerBound(i) +
+                                     LatencyHistogram::BucketWidth(i) / 2;
+      return std::clamp(representative, min, max);
+    }
+  }
+  return max;  // unreachable when count == sum of buckets
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot snap;
+  uint64_t total = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    snap.buckets[i] = n;
+    total += n;
+  }
+  snap.count = total;
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  if (total == 0) {
+    snap.min = 0;
+    snap.max = 0;
+    snap.sum = 0;
+    return snap;
+  }
+  const int64_t min = min_.load(std::memory_order_relaxed);
+  const int64_t max = max_.load(std::memory_order_relaxed);
+  // A snapshot racing the very first Record can see a bucket tally before
+  // the extremes land; fall back to neutral values rather than INT64_MAX.
+  snap.min = min == INT64_MAX ? 0 : min;
+  snap.max = max < 0 ? 0 : max;
+  return snap;
+}
+
+}  // namespace telemetry
+}  // namespace sns

@@ -1,0 +1,139 @@
+// Fixed-footprint log-bucketed latency histogram with lock-free recording
+// and mergeable snapshots.
+//
+// Layout (HDR-style log-linear): values 0..15 get exact unit buckets; above
+// that each power-of-two octave is split into 16 linear sub-buckets, so the
+// bucket width is always <= 1/16 of the bucket's lower bound and the
+// relative quantization error of any reported percentile is <= 6.25%.
+// Octaves run through exponent 37 — values >= 2^38 ns (~4.6 minutes; far
+// beyond any per-event latency this engine produces) clamp into the top
+// bucket, while min/max still track the exact extremes. That fixes the
+// footprint at 16 + 34*16 = 560 buckets (~4.4 KB), preallocated inline, so
+// recording never allocates.
+//
+// Record() is wait-free modulo the min/max updates: two relaxed fetch_adds
+// (bucket + sum) plus compare-exchange loops for min/max that only iterate
+// when the value extends the observed range — rare after warm-up. Snapshots
+// are relaxed reads; the reported count is derived from the bucket tallies
+// themselves, so percentile ranks are always internally consistent even if
+// the snapshot races concurrent recorders.
+
+#ifndef SLICENSTITCH_TELEMETRY_HISTOGRAM_H_
+#define SLICENSTITCH_TELEMETRY_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+namespace sns {
+namespace telemetry {
+
+class LatencyHistogram;
+
+/// Value-type copy of a histogram's state at one instant. Mergeable and
+/// queryable; cheap to copy around (a few KB, no heap).
+struct HistogramSnapshot {
+  static constexpr int kNumBuckets = 560;
+
+  std::array<uint64_t, kNumBuckets> buckets{};
+  /// Sum of `buckets` — derived at snapshot time, so ranks computed against
+  /// it always land inside the bucket tallies.
+  uint64_t count = 0;
+  int64_t sum = 0;
+  int64_t min = 0;
+  int64_t max = 0;
+
+  /// Folds `other` into this snapshot. Associative and commutative, so
+  /// per-shard snapshots can be merged in any order.
+  void Merge(const HistogramSnapshot& other);
+
+  /// Value at quantile q in [0, 1]: q <= 0 returns min, q >= 1 returns max,
+  /// otherwise the midpoint of the bucket holding the ceil(q * count)-th
+  /// smallest sample, clamped to [min, max]. Returns 0 when empty.
+  int64_t Percentile(double q) const;
+
+  double Mean() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum) /
+                                  static_cast<double>(count);
+  }
+};
+
+/// The live, concurrently-recordable histogram. Storage is inline — the
+/// object is its own fixed ~4.4 KB footprint — and Record never allocates.
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBits = 4;
+  static constexpr int kSubBuckets = 1 << kSubBits;  // 16
+  /// Highest tracked exponent: values in [2^37, 2^38) get their own
+  /// sub-buckets; anything larger clamps into the last of them.
+  static constexpr int kTopExponent = 37;
+  static constexpr int64_t kMaxTrackable = (int64_t{1} << (kTopExponent + 1)) - 1;
+  static constexpr int kNumBuckets =
+      kSubBuckets + (kTopExponent - kSubBits + 1) * kSubBuckets;  // 560
+
+  static_assert(kNumBuckets == HistogramSnapshot::kNumBuckets);
+
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// Records one sample. Negative values (a clock anomaly) clamp to 0;
+  /// values above kMaxTrackable clamp into the top bucket but still drive
+  /// max. Lock-free, allocation-free.
+  void Record(int64_t value) {
+    if (value < 0) value = 0;
+    const int64_t clamped = value > kMaxTrackable ? kMaxTrackable : value;
+    buckets_[BucketIndex(clamped)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    int64_t seen = min_.load(std::memory_order_relaxed);
+    while (value < seen && !min_.compare_exchange_weak(
+                               seen, value, std::memory_order_relaxed)) {
+    }
+    seen = max_.load(std::memory_order_relaxed);
+    while (value > seen && !max_.compare_exchange_weak(
+                               seen, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Relaxed copy of the current state. Safe against concurrent Record; the
+  /// tallies of samples recorded while snapshotting may be partially
+  /// included.
+  HistogramSnapshot Snapshot() const;
+
+  /// Bucket index for a value in [0, kMaxTrackable]. Exposed for boundary
+  /// tests.
+  static constexpr int BucketIndex(int64_t value) {
+    if (value < kSubBuckets) return static_cast<int>(value);
+    const int exponent = std::bit_width(static_cast<uint64_t>(value)) - 1;
+    const int group = exponent - kSubBits + 1;
+    const int sub = static_cast<int>((value >> (exponent - kSubBits)) -
+                                     kSubBuckets);
+    return group * kSubBuckets + sub;
+  }
+
+  /// Smallest value mapping to bucket `index`. Exposed for boundary tests.
+  static constexpr int64_t BucketLowerBound(int index) {
+    if (index < kSubBuckets) return index;
+    const int group = index / kSubBuckets;
+    const int sub = index % kSubBuckets;
+    return static_cast<int64_t>(kSubBuckets + sub) << (group - 1);
+  }
+
+  /// Number of distinct values mapping to bucket `index`.
+  static constexpr int64_t BucketWidth(int index) {
+    if (index < kSubBuckets) return 1;
+    return int64_t{1} << (index / kSubBuckets - 1);
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> min_{INT64_MAX};
+  std::atomic<int64_t> max_{-1};
+};
+
+}  // namespace telemetry
+}  // namespace sns
+
+#endif  // SLICENSTITCH_TELEMETRY_HISTOGRAM_H_

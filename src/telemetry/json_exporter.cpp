@@ -1,0 +1,152 @@
+#include "telemetry/json_exporter.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <string_view>
+
+namespace sns {
+namespace telemetry {
+namespace {
+
+void AppendEscaped(std::string_view text, std::string* out) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+void AppendField(std::string_view key, uint64_t value, std::string* out) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "\"%.*s\":%" PRIu64 ",",
+                static_cast<int>(key.size()), key.data(), value);
+  out->append(buf);
+}
+
+void AppendField(std::string_view key, int64_t value, std::string* out) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "\"%.*s\":%" PRId64 ",",
+                static_cast<int>(key.size()), key.data(), value);
+  out->append(buf);
+}
+
+/// {"count":N,"min":..,"max":..,"mean":..,"p50":..,"p90":..,"p99":..,
+///  "p999":..}
+void AppendHistogram(std::string_view key, const HistogramSnapshot& h,
+                     std::string* out) {
+  out->push_back('"');
+  out->append(key);
+  out->append("\":{");
+  AppendField("count", h.count, out);
+  AppendField("min", h.min, out);
+  AppendField("max", h.max, out);
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "\"mean\":%.1f,", h.Mean());
+  out->append(buf);
+  AppendField("p50", h.Percentile(0.50), out);
+  AppendField("p90", h.Percentile(0.90), out);
+  AppendField("p99", h.Percentile(0.99), out);
+  AppendField("p999", h.Percentile(0.999), out);
+  out->pop_back();  // trailing comma
+  out->append("},");
+}
+
+}  // namespace
+
+std::string ToJsonLine(const ServiceMetricsSnapshot& snapshot,
+                       int64_t timestamp_ms) {
+  std::string out;
+  out.reserve(1024);
+  out.push_back('{');
+  AppendField("ts_ms", timestamp_ms, &out);
+  AppendHistogram("ingest_latency_ns", snapshot.ingest_latency_ns, &out);
+  AppendHistogram("apply_ns", snapshot.apply_ns, &out);
+  out.append("\"shards\":[");
+  for (const ShardMetricsSnapshot& s : snapshot.shards) {
+    out.push_back('{');
+    AppendField("shard", static_cast<int64_t>(s.shard), &out);
+    AppendField("tasks_executed", s.tasks_executed, &out);
+    AppendField("mailbox_pushes", s.mailbox_pushes, &out);
+    AppendField("mailbox_blocked", s.mailbox_blocked, &out);
+    AppendField("mailbox_rejected", s.mailbox_rejected, &out);
+    AppendField("mailbox_deadline_exceeded", s.mailbox_deadline_exceeded,
+                &out);
+    AppendField("queue_depth", s.queue_depth, &out);
+    AppendField("queue_depth_peak", s.queue_depth_peak, &out);
+    AppendHistogram("apply_ns", s.apply_ns, &out);
+    AppendHistogram("ingest_latency_ns", s.ingest_latency_ns, &out);
+    out.pop_back();
+    out.append("},");
+  }
+  if (!snapshot.shards.empty()) out.pop_back();
+  out.append("],\"streams\":[");
+  for (const StreamMetricsSnapshot& s : snapshot.streams) {
+    out.append("{\"name\":\"");
+    AppendEscaped(s.name, &out);
+    out.append("\",");
+    AppendField("shard", static_cast<int64_t>(s.shard), &out);
+    AppendField("tuples_ingested", s.tuples_ingested, &out);
+    AppendField("batches_applied", s.batches_applied, &out);
+    AppendField("admission_rejects", s.admission_rejects, &out);
+    AppendField("quarantines", s.quarantines, &out);
+    AppendField("recoveries", s.recoveries, &out);
+    AppendField("journal_appends", s.journal_appends, &out);
+    AppendField("journal_bytes", s.journal_bytes, &out);
+    AppendField("journal_rotations", s.journal_rotations, &out);
+    AppendField("checkpoint_writes", s.checkpoint_writes, &out);
+    AppendField("checkpoint_bytes", s.checkpoint_bytes, &out);
+    AppendHistogram("journal_append_ns", s.journal_append_ns, &out);
+    AppendHistogram("checkpoint_write_ns", s.checkpoint_write_ns, &out);
+    out.pop_back();
+    out.append("},");
+  }
+  if (!snapshot.streams.empty()) out.pop_back();
+  out.append("]}");
+  return out;
+}
+
+StatusOr<JsonLinesExporter> JsonLinesExporter::Open(const std::string& path) {
+  StatusOr<serial::FileSink> sink = serial::FileSink::Open(path);
+  if (!sink.ok()) return sink.status();
+  return JsonLinesExporter(std::move(sink).value());
+}
+
+Status JsonLinesExporter::Append(const ServiceMetricsSnapshot& snapshot) {
+  const int64_t now_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  std::string line = ToJsonLine(snapshot, now_ms);
+  line.push_back('\n');
+  Status status = sink_.Write(line.data(), line.size());
+  if (!status.ok()) return status;
+  return sink_.Flush();
+}
+
+Status JsonLinesExporter::Close() { return sink_.Close(); }
+
+}  // namespace telemetry
+}  // namespace sns

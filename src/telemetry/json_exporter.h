@@ -1,0 +1,54 @@
+// JSON-lines export of service metrics snapshots, for offline analysis.
+//
+// Each snapshot serializes to a single line of JSON — scalars plus percentile
+// summaries of every histogram (the raw bucket arrays are not exported) —
+// so a capture file can be streamed through `jq`, pandas, or a plotting
+// script one record at a time. ToJsonLine is the pure formatter;
+// JsonLinesExporter owns an append-to-file loop around it and is what the
+// SnsService periodic exporter drives.
+
+#ifndef SLICENSTITCH_TELEMETRY_JSON_EXPORTER_H_
+#define SLICENSTITCH_TELEMETRY_JSON_EXPORTER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/serial.h"
+#include "common/status.h"
+#include "telemetry/metrics_registry.h"
+
+namespace sns {
+namespace telemetry {
+
+/// Formats one snapshot as a single JSON object (no trailing newline).
+/// `timestamp_ms` is stamped verbatim into a "ts_ms" field; pass the wall
+/// clock (milliseconds since the Unix epoch) or 0 when irrelevant.
+std::string ToJsonLine(const ServiceMetricsSnapshot& snapshot,
+                       int64_t timestamp_ms);
+
+/// Appends JSON-lines records to a file. The file is truncated at Open and
+/// flushed after every record, so a capture survives an ungraceful exit up
+/// to the last complete line. Move-only.
+class JsonLinesExporter {
+ public:
+  static StatusOr<JsonLinesExporter> Open(const std::string& path);
+
+  JsonLinesExporter(JsonLinesExporter&&) = default;
+  JsonLinesExporter& operator=(JsonLinesExporter&&) = default;
+
+  /// Writes one snapshot as a line, stamped with the current wall clock.
+  Status Append(const ServiceMetricsSnapshot& snapshot);
+
+  /// Flushes and closes. Idempotent.
+  Status Close();
+
+ private:
+  explicit JsonLinesExporter(serial::FileSink sink) : sink_(std::move(sink)) {}
+
+  serial::FileSink sink_;
+};
+
+}  // namespace telemetry
+}  // namespace sns
+
+#endif  // SLICENSTITCH_TELEMETRY_JSON_EXPORTER_H_

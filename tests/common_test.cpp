@@ -251,6 +251,81 @@ TEST(StatusTest, IsRetryableSeparatesTransientFromPermanent) {
   EXPECT_FALSE(IsRetryable(StatusCode::kDataLoss));
 }
 
+TEST(StatusTest, TaxonomyIsExhaustivePerCode) {
+  // One switch over every enumerator — no default — so adding a StatusCode
+  // without extending this test is a -Wswitch build warning here and an
+  // SNS_CHECK abort in StatusCodeName/IsRetryable. For each code the row
+  // pins: a factory producing it, its display name, and its retryability.
+  for (int raw = 0; raw < kStatusCodeCount; ++raw) {
+    const StatusCode code = static_cast<StatusCode>(raw);
+    Status made;
+    const char* expected_name = nullptr;
+    bool expected_retryable = false;
+    switch (code) {
+      case StatusCode::kOk:
+        made = Status::OK();
+        expected_name = "OK";
+        expected_retryable = false;
+        break;
+      case StatusCode::kInvalidArgument:
+        made = Status::InvalidArgument("m");
+        expected_name = "InvalidArgument";
+        expected_retryable = false;
+        break;
+      case StatusCode::kNotFound:
+        made = Status::NotFound("m");
+        expected_name = "NotFound";
+        expected_retryable = false;
+        break;
+      case StatusCode::kOutOfRange:
+        made = Status::OutOfRange("m");
+        expected_name = "OutOfRange";
+        expected_retryable = false;
+        break;
+      case StatusCode::kFailedPrecondition:
+        made = Status::FailedPrecondition("m");
+        expected_name = "FailedPrecondition";
+        expected_retryable = false;
+        break;
+      case StatusCode::kResourceExhausted:
+        made = Status::ResourceExhausted("m");
+        expected_name = "ResourceExhausted";
+        expected_retryable = true;
+        break;
+      case StatusCode::kInternal:
+        made = Status::Internal("m");
+        expected_name = "Internal";
+        expected_retryable = false;
+        break;
+      case StatusCode::kIOError:
+        made = Status::IOError("m");
+        expected_name = "IOError";
+        expected_retryable = true;
+        break;
+      case StatusCode::kDataLoss:
+        made = Status::DataLoss("m");
+        expected_name = "DataLoss";
+        expected_retryable = false;
+        break;
+      case StatusCode::kDeadlineExceeded:
+        made = Status::DeadlineExceeded("m");
+        expected_name = "DeadlineExceeded";
+        expected_retryable = true;
+        break;
+      case StatusCode::kUnavailable:
+        made = Status::Unavailable("m");
+        expected_name = "Unavailable";
+        expected_retryable = true;
+        break;
+    }
+    ASSERT_NE(expected_name, nullptr) << "code " << raw << " has no row";
+    EXPECT_EQ(made.code(), code) << expected_name;
+    EXPECT_STREQ(StatusCodeName(code), expected_name);
+    EXPECT_EQ(IsRetryable(code), expected_retryable) << expected_name;
+    EXPECT_EQ(made.ok(), code == StatusCode::kOk);
+  }
+}
+
 TEST(StreamHealthTest, NamesCoverEveryState) {
   EXPECT_STREQ(StreamHealthName(StreamHealth::kHealthy), "healthy");
   EXPECT_STREQ(StreamHealthName(StreamHealth::kQuarantined), "quarantined");

@@ -18,6 +18,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
+#include <memory>
 #include <new>
 #include <vector>
 
@@ -37,6 +38,8 @@
 #include "core/sns_rnd_plus.h"
 #include "core/sns_vec.h"
 #include "core/sns_vec_plus.h"
+#include "telemetry/metrics_registry.h"
+#include "telemetry/scoped_timer.h"
 #include "tensor/mttkrp.h"
 
 // ---------------------------------------------------------------------------
@@ -233,6 +236,45 @@ TEST(ZeroAllocationTest, SnsRndPlusSteadyStateEventsAllocateNothing) {
 TEST(ZeroAllocationTest, SnsMatSteadyStateEventsAllocateNothing) {
   SnsMatUpdater updater;
   EXPECT_EQ(SteadyStateAllocations(updater, 5, 20, 0xa110c5), 0u);
+}
+
+// Telemetry hot-path contract: with metrics enabled, the worker-shard
+// instrumentation (scoped timer, latency histograms, counters, queue-depth
+// gauge) adds relaxed atomics to the event loop but never a heap
+// allocation — histogram storage is preallocated inline in the domain.
+TEST(ZeroAllocationTest, MetricsRecordingSteadyStateAllocatesNothing) {
+  const auto metrics = std::make_unique<telemetry::ShardMetrics>();
+  SnsVecPlusUpdater updater(/*clip_bound=*/50.0);
+  Rng rng(0xa110c6);
+  const int w_size = 4;
+  const std::vector<int64_t> dims = {6, 5, w_size};
+  KruskalModel model = KruskalModel::Random(dims, 4, rng);
+  SparseTensor window = DenseWindowFromModel(model);
+  CpdState state(model);
+
+  std::uint64_t counted = 0;
+  for (int step = 0; step < 100; ++step) {
+    WindowDelta delta = RandomEvent(window, rng, w_size, dims[0], dims[1]);
+    const std::uint64_t before =
+        g_heap_allocations.load(std::memory_order_relaxed);
+    {
+      // The exact per-task instrumentation the worker shard performs.
+      telemetry::ScopedTimer timer(&metrics->apply_ns);
+      metrics->mailbox_pushes.Add(1);
+      metrics->queue_depth.Add(1);
+      updater.OnEvent(window, delta, state);
+      metrics->queue_depth.Add(-1);
+      metrics->tasks_executed.Add(1);
+      metrics->ingest_latency_ns.Record(timer.ElapsedNanos());
+    }
+    const std::uint64_t after =
+        g_heap_allocations.load(std::memory_order_relaxed);
+    if (step >= 20) counted += after - before;
+  }
+  EXPECT_EQ(counted, 0u);
+  EXPECT_EQ(metrics->tasks_executed.Get(), 100u);
+  EXPECT_EQ(metrics->apply_ns.Snapshot().count, 100u);
+  EXPECT_EQ(metrics->queue_depth.Get(), 0);
 }
 
 // ---------------------------------------------------------------------------

@@ -14,8 +14,10 @@ compiler="${1:-${CXX:-g++}}"
 # The public surface: the umbrella header, the api/ facade layer (including
 # the stream-health / self-healing surface), the runtime layer it exposes
 # (tickets, mailboxes, shards), the durability layer (checkpoints, journals,
-# serialization primitives), the fault-injection surface, and the kernel
-# dispatch surface (CPU probe, codelet table contract, float32 mirrors).
+# serialization primitives), the fault-injection surface, the telemetry
+# layer (counters, histograms, registry, timers, JSON export), and the
+# kernel dispatch surface (CPU probe, codelet table contract, float32
+# mirrors).
 headers=(
   src/slicenstitch.h
   src/api/service_options.h
@@ -36,6 +38,11 @@ headers=(
   src/runtime/task.h
   src/runtime/ticket.h
   src/runtime/worker_shard.h
+  src/telemetry/counters.h
+  src/telemetry/histogram.h
+  src/telemetry/json_exporter.h
+  src/telemetry/metrics_registry.h
+  src/telemetry/scoped_timer.h
 )
 
 status=0

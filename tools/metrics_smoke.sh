@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Telemetry smoke test: run example_metrics_observability with the periodic
+# JSON-lines exporter pointed at a scratch file, then validate the capture —
+# every line must parse as a standalone JSON object, carry the expected
+# top-level fields, and report internally consistent latency percentiles
+# (p99 >= p50, count > 0 once traffic flowed). Exercises the full telemetry
+# loop — per-shard recording, snapshot merge, exporter thread, file format —
+# against a real process, not an in-process unit test.
+#
+# Usage: tools/metrics_smoke.sh [path-to-example_metrics_observability]
+#        (default: ./build/example_metrics_observability)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+phase_timeout=120
+
+binary="${1:-./build/example_metrics_observability}"
+if [ ! -x "$binary" ]; then
+  echo "missing binary: $binary (build example_metrics_observability first)" >&2
+  exit 1
+fi
+
+state_dir="$(mktemp -d)"
+trap 'rm -rf "$state_dir"' EXIT
+capture="$state_dir/metrics.jsonl"
+
+echo "== running $binary =="
+timeout "$phase_timeout" "$binary" "$capture"
+
+if [ ! -s "$capture" ]; then
+  echo "FAILED: exporter wrote no JSON lines to $capture" >&2
+  exit 1
+fi
+
+echo "== validating $capture =="
+python3 - "$capture" <<'PY'
+import json
+import sys
+
+path = sys.argv[1]
+lines = 0
+saw_traffic = False
+with open(path) as f:
+    for raw in f:
+        raw = raw.strip()
+        if not raw:
+            continue
+        lines += 1
+        snap = json.loads(raw)  # Every line is a standalone JSON object.
+        for field in ("ts_ms", "ingest_latency_ns", "apply_ns",
+                      "shards", "streams"):
+            if field not in snap:
+                sys.exit(f"line {lines}: missing field {field!r}")
+        for name in ("ingest_latency_ns", "apply_ns"):
+            hist = snap[name]
+            for field in ("count", "min", "max", "mean", "p50", "p90",
+                          "p99", "p999"):
+                if field not in hist:
+                    sys.exit(f"line {lines}: {name} missing {field!r}")
+            if hist["count"] > 0:
+                saw_traffic = True
+                if not (hist["min"] <= hist["p50"] <= hist["p90"]
+                        <= hist["p99"] <= hist["p999"] <= hist["max"]):
+                    sys.exit(f"line {lines}: {name} percentiles not "
+                             f"monotone: {hist}")
+        if not isinstance(snap["shards"], list) or not snap["shards"]:
+            sys.exit(f"line {lines}: empty shards array")
+        if not isinstance(snap["streams"], list):
+            sys.exit(f"line {lines}: streams is not an array")
+
+if lines == 0:
+    sys.exit("capture file holds no JSON lines")
+if not saw_traffic:
+    sys.exit("no line ever reported a non-empty latency histogram")
+print(f"OK: {lines} JSON lines, percentiles monotone (p99 >= p50)")
+PY
+
+echo "PASS: telemetry smoke"
