@@ -38,6 +38,7 @@
 #include "core/sns_vec_plus.h"
 #include "data/datasets.h"
 #include "linalg/cholesky.h"
+#include "losses/loss_function.h"
 #include "linalg/matrix32.h"
 #include "linalg/pseudo_inverse.h"
 #include "linalg/rank_dispatch.h"
@@ -51,9 +52,18 @@ namespace {
 // A prepared engine over a mid-size window plus an endless arrival
 // synthesizer, so iterations measure steady-state event processing.
 struct EngineFixture {
-  explicit EngineFixture(SnsVariant variant)
+  explicit EngineFixture(SnsVariant variant,
+                         LossKind loss = LossKind::kGaussian,
+                         bool robust = false)
       : spec(NewYorkTaxiPreset(0.4)), rng(7) {
     spec.engine.variant = variant;
+    spec.engine.loss = loss;
+    if (robust) {
+      spec.engine.robust.enabled = true;
+      spec.engine.robust.threshold = 3.0;
+      spec.engine.robust.decay = 0.5;
+      spec.engine.robust.capacity = 4096;
+    }
     auto stream = GenerateSyntheticStream(spec.stream);
     SNS_CHECK(stream.ok());
     spec.engine.expected_nnz =
@@ -107,6 +117,34 @@ BENCHMARK(BM_ProcessTuple)
     ->Arg(static_cast<int>(SnsVariant::kRnd))
     ->Arg(static_cast<int>(SnsVariant::kVecPlus))
     ->Arg(static_cast<int>(SnsVariant::kRndPlus))
+    ->Iterations(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+// ---------------------------------------------------------------------------
+// Generalized-loss update latency: the damped Newton GCP row step
+// (losses/gcp_row_update.h) under Poisson and Bernoulli losses, and the
+// robust ingest path (outlier capture into S), each against the
+// closed-form Gaussian SNS+VEC run on the identical stream — the premium
+// of swapping the loss is the ratio to the first row.
+void BM_LossUpdate(benchmark::State& state) {
+  const LossKind loss = static_cast<LossKind>(state.range(0));
+  const bool robust = state.range(1) != 0;
+  EngineFixture fixture(SnsVariant::kVecPlus, loss, robust);
+  for (auto _ : state) {
+    fixture.engine->ProcessTuple(fixture.NextTuple());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::string("SNS+VEC ") + std::string(LossKindName(loss)) +
+                 (robust ? "+robust" : ""));
+}
+// Same fixed 10000-tuple workload as BM_ProcessTuple so the Gaussian row
+// here is directly comparable with the committed SNS+VEC numbers.
+BENCHMARK(BM_LossUpdate)
+    ->Args({static_cast<int>(LossKind::kGaussian), 0})  // Baseline.
+    ->Args({static_cast<int>(LossKind::kPoisson), 0})
+    ->Args({static_cast<int>(LossKind::kBernoulliLogit), 0})
+    ->Args({static_cast<int>(LossKind::kGaussian), 1})  // Robust capture.
+    ->Args({static_cast<int>(LossKind::kPoisson), 1})
     ->Iterations(10000)
     ->Unit(benchmark::kMicrosecond);
 

@@ -211,6 +211,17 @@ Status SnsService::ExecuteMutation(StreamEntry& entry, uint64_t sequence,
                                  std::move(append));
   }
   if (!append.ok()) return append;
+  // Streams on a generalized loss or robust mode get their apply cost and
+  // outlier traffic attributed per stream: the outlier counters are diffed
+  // around the apply (the handle's tallies are monotone), and the wall time
+  // lands in loss_update_ns next to the shard-wide apply_ns.
+  const bool track_loss =
+      metrics != nullptr && entry.handle->UsesExtendedState();
+  const uint64_t captures_before =
+      track_loss ? entry.handle->OutlierCaptures() : 0;
+  const uint64_t evictions_before =
+      track_loss ? entry.handle->OutlierEvictions() : 0;
+  const int64_t loss_start_ns = track_loss ? telemetry::MonotonicNanos() : 0;
   Status applied;
   switch (op) {
     case durability::JournalOpType::kWarmup:
@@ -227,6 +238,14 @@ Status SnsService::ExecuteMutation(StreamEntry& entry, uint64_t sequence,
       break;
     default:
       return Status::Internal("journal op outside the JournalOpType enum");
+  }
+  if (track_loss) {
+    metrics->loss_update_ns.Record(telemetry::MonotonicNanos() -
+                                   loss_start_ns);
+    metrics->outlier_captures.Add(entry.handle->OutlierCaptures() -
+                                  captures_before);
+    metrics->outlier_evictions.Add(entry.handle->OutlierEvictions() -
+                                   evictions_before);
   }
   if (metrics != nullptr && applied.ok()) {
     metrics->batches_applied.Add(1);
@@ -650,6 +669,15 @@ StatusOr<std::vector<double>> SnsService::ComponentActivity(
   if (entry == nullptr) return NoSuchStream(stream);
   return RunOnShard(*entry, [](StreamHandle& handle) {
     return handle.ComponentActivity();
+  });
+}
+
+StatusOr<std::vector<TopEntry>> SnsService::OutlierActivity(
+    std::string_view stream, int mode, int k) {
+  StreamEntry* entry = ResolveEntry(stream);
+  if (entry == nullptr) return NoSuchStream(stream);
+  return RunOnShard(*entry, [mode, k](StreamHandle& handle) {
+    return handle.OutlierActivity(mode, k);
   });
 }
 

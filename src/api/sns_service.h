@@ -252,6 +252,12 @@ class SnsService {
   /// Current per-component activity (λ_r · newest time-factor row).
   StatusOr<std::vector<double>> ComponentActivity(std::string_view stream);
 
+  /// Top-k entities of one non-time mode by accumulated outlier mass in the
+  /// robust mode's sparse structure S (StreamHandle::OutlierActivity).
+  /// kFailedPrecondition when the stream runs without robust mode.
+  StatusOr<std::vector<TopEntry>> OutlierActivity(std::string_view stream,
+                                                  int mode, int k);
+
   /// Incrementally maintained fitness estimate.
   StatusOr<double> RunningFitness(std::string_view stream);
 

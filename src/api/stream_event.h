@@ -48,18 +48,29 @@ class StreamEvent {
     return std::fabs(ObservedValue() - PredictedValue());
   }
 
+  /// Signed outlier mass the robust mode (ContinuousCpdOptions::robust)
+  /// diverted from this arrival into the sparse outlier structure S — the
+  /// model-separated anomaly signal. 0 when robust mode is off, for
+  /// slide/expiry events, and for arrivals the model explains within the
+  /// soft threshold.
+  double OutlierCapture() const { return outlier_capture_; }
+
   /// Raw change record (Definition 6) — escape hatch for advanced sinks.
   const WindowDelta& raw_delta() const { return *delta_; }
 
  private:
   friend class StreamHandle;
   StreamEvent(const WindowDelta* delta, const KruskalModel* model,
-              const SparseTensor* window)
-      : delta_(delta), model_(model), window_(window) {}
+              const SparseTensor* window, double outlier_capture)
+      : delta_(delta),
+        model_(model),
+        window_(window),
+        outlier_capture_(outlier_capture) {}
 
   const WindowDelta* delta_;
   const KruskalModel* model_;
   const SparseTensor* window_;
+  double outlier_capture_;
 };
 
 inline ModeIndex StreamEvent::Cell() const {

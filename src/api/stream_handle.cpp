@@ -53,9 +53,10 @@ StreamHandle::StreamHandle(std::string name, std::vector<int64_t> mode_dims,
   SinkFanout* fan = fanout_.get();
   engine_->SetEventObserver([fan](const WindowDelta& delta,
                                   const KruskalModel& model,
-                                  const SparseTensor& window) {
+                                  const SparseTensor& window,
+                                  double outlier_capture) {
     if (fan->sinks.empty()) return;
-    const StreamEvent event(&delta, &model, &window);
+    const StreamEvent event(&delta, &model, &window, outlier_capture);
     for (EventSink* sink : fan->sinks) sink->OnStreamEvent(event);
   });
 }
@@ -241,6 +242,30 @@ StatusOr<FactorRowView> StreamHandle::FactorRow(int mode, int64_t row) const {
   return FactorRowView(factor.Row(row), factor.cols());
 }
 
+StatusOr<std::vector<TopEntry>> StreamHandle::OutlierActivity(int mode,
+                                                              int k) const {
+  if (!engine_->options().robust.enabled) {
+    return Status::FailedPrecondition(
+        "stream '" + name_ + "' runs without robust mode; OutlierActivity "
+        "requires ContinuousCpdOptions::robust.enabled");
+  }
+  if (mode < 0 || mode >= static_cast<int>(mode_dims_.size())) {
+    return Status::InvalidArgument(
+        "OutlierActivity addresses non-time modes 0.." +
+        std::to_string(mode_dims_.size() - 1));
+  }
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  // Fold |S| onto the queried mode: one pass over the (capacity-bounded)
+  // store, then the same ranking used by TopK.
+  std::vector<double> mass(
+      static_cast<size_t>(mode_dims_[static_cast<size_t>(mode)]), 0.0);
+  for (const auto& [cell, value] : engine_->outliers().entries()) {
+    mass[static_cast<size_t>(cell[mode])] += std::fabs(value);
+  }
+  return RankTop(mode_dims_[static_cast<size_t>(mode)], k,
+                 [&](int64_t i) { return mass[static_cast<size_t>(i)]; });
+}
+
 Status StreamHandle::AddSink(EventSink* sink) {
   if (sink == nullptr) return Status::InvalidArgument("sink must not be null");
   auto& sinks = fanout_->sinks;
@@ -308,13 +333,25 @@ Status StreamHandle::SerializeState(serial::Writer& w) const {
   w.F64(opt.init.fitness_tolerance);
   w.U8(opt.init.normalize_columns ? 1 : 0);
   w.U64(opt.seed);
+  if (engine_->UsesExtendedState()) {
+    // Version-2 extension: the loss/robust configuration must round-trip so
+    // restore rebuilds the same engine. Gaussian non-robust streams skip
+    // this block, keeping their payload byte-identical to version-1
+    // checkpoints from pre-loss builds.
+    w.U8(static_cast<uint8_t>(opt.loss));
+    w.U8(opt.robust.enabled ? 1 : 0);
+    w.F64(opt.robust.threshold);
+    w.F64(opt.robust.decay);
+    w.I64(opt.robust.capacity);
+  }
   w.I64(last_time_);
   w.U8(initialized_ ? 1 : 0);
   engine_->SerializeTo(w);
   return w.status();
 }
 
-StatusOr<StreamHandle> StreamHandle::DeserializeState(serial::Reader& r) {
+StatusOr<StreamHandle> StreamHandle::DeserializeState(serial::Reader& r,
+                                                      uint32_t format_version) {
   std::string name;
   SNS_RETURN_IF_ERROR(r.Str(&name));
   uint32_t num_dims = 0;
@@ -348,6 +385,26 @@ StatusOr<StreamHandle> StreamHandle::DeserializeState(serial::Reader& r) {
   SNS_RETURN_IF_ERROR(r.F64(&opt.init.fitness_tolerance));
   SNS_RETURN_IF_ERROR(r.U8(&normalize));
   SNS_RETURN_IF_ERROR(r.U64(&opt.seed));
+  if (format_version >= 2) {
+    // Version-2 payloads name their loss/robust configuration explicitly.
+    // Version-1 payloads predate the loss subsystem and keep the Gaussian
+    // non-robust defaults already in `opt` — by construction they can only
+    // have been written by a Gaussian stream, so this is a faithful
+    // restore, not a guess.
+    uint8_t loss = 0;
+    uint8_t robust_enabled = 0;
+    SNS_RETURN_IF_ERROR(r.U8(&loss));
+    SNS_RETURN_IF_ERROR(r.U8(&robust_enabled));
+    SNS_RETURN_IF_ERROR(r.F64(&opt.robust.threshold));
+    SNS_RETURN_IF_ERROR(r.F64(&opt.robust.decay));
+    SNS_RETURN_IF_ERROR(r.I64(&opt.robust.capacity));
+    if (loss > static_cast<uint8_t>(LossKind::kBernoulliLogit)) {
+      return Status::DataLoss("checkpoint names unknown loss kind " +
+                              std::to_string(loss));
+    }
+    opt.loss = static_cast<LossKind>(loss);
+    opt.robust.enabled = robust_enabled != 0;
+  }
   if (variant > static_cast<uint8_t>(SnsVariant::kRndPlus)) {
     return Status::DataLoss("checkpoint names unknown variant " +
                             std::to_string(variant));
@@ -384,6 +441,11 @@ StreamStats StreamHandle::Stats() const {
   stats.last_time = last_time_ == INT64_MIN ? 0 : last_time_;
   stats.has_ingested = last_time_ != INT64_MIN;
   stats.initialized = initialized_;
+  const OutlierStore& outliers = engine_->outliers();
+  stats.outlier_cells = static_cast<int64_t>(outliers.size());
+  stats.outlier_magnitude = outliers.TotalMagnitude();
+  stats.outlier_captures = outliers.captures();
+  stats.outlier_evictions = outliers.evictions();
   return stats;
 }
 

@@ -78,6 +78,11 @@ struct StreamStats {
   int64_t last_time = 0;         // Largest stream time seen (0 before any).
   bool has_ingested = false;     // Any Warmup/Ingest/AdvanceTo happened.
   bool initialized = false;      // InitializeWithAls has run.
+  // Robust-mode counters (all 0 when robust mode is off).
+  int64_t outlier_cells = 0;          // Entries currently held in S.
+  double outlier_magnitude = 0.0;     // Σ|S| over those entries.
+  uint64_t outlier_captures = 0;      // Arrivals that fed mass into S.
+  uint64_t outlier_evictions = 0;     // Entries displaced at capacity.
 };
 
 /// Facade over one continuous CP decomposition. Move-only.
@@ -148,6 +153,13 @@ class StreamHandle {
   /// modes address entities; the time mode addresses window slices.
   StatusOr<FactorRowView> FactorRow(int mode, int64_t row) const;
 
+  /// Top-k entities of one non-time mode by accumulated outlier mass:
+  /// score_i = Σ |S(J)| over stored outlier cells J with J[mode] = i — the
+  /// "which entities is the model currently refusing to explain" query.
+  /// Requires ContinuousCpdOptions::robust.enabled (kFailedPrecondition
+  /// otherwise). Returns min(k, mode size) entries, best first.
+  StatusOr<std::vector<TopEntry>> OutlierActivity(int mode, int k) const;
+
   /// Incrementally maintained fitness estimate — O(M·R²) per query, no
   /// window rescan. 0 before Initialize.
   double RunningFitness() const { return engine_->RunningFitness(); }
@@ -202,7 +214,18 @@ class StreamHandle {
 
   /// Inverse of SerializeState. Only safe over CRC-verified bytes — the
   /// decoder validates shapes and enum ranges but trusts verified payloads.
-  static StatusOr<StreamHandle> DeserializeState(serial::Reader& r);
+  /// `format_version` is the checkpoint envelope version the bytes were
+  /// framed under: version 1 payloads (pre-loss builds) carry no loss/robust
+  /// fields and always restore as Gaussian; version 2 payloads carry them
+  /// explicitly, so a non-Gaussian stream can never be silently
+  /// misinterpreted as Gaussian.
+  static StatusOr<StreamHandle> DeserializeState(serial::Reader& r,
+                                                 uint32_t format_version = 1);
+
+  /// True when the stream's checkpoint payload carries loss/robust state
+  /// beyond the Gaussian baseline and therefore needs the version-2
+  /// envelope. Gaussian non-robust streams keep writing version-1 bytes.
+  bool UsesExtendedState() const { return engine_->UsesExtendedState(); }
 
   // --- Introspection ----------------------------------------------------
 
@@ -217,6 +240,10 @@ class StreamHandle {
   std::string_view variant_name() const { return engine_->updater_name(); }
   bool initialized() const { return initialized_; }
   const ContinuousCpdOptions& options() const { return engine_->options(); }
+  /// Monotone robust-mode counters (0 when robust mode is off). The service
+  /// layer diffs them around each mutation to feed per-stream telemetry.
+  uint64_t OutlierCaptures() const { return engine_->outliers().captures(); }
+  uint64_t OutlierEvictions() const { return engine_->outliers().evictions(); }
 
   StreamStats Stats() const;
 

@@ -1,10 +1,12 @@
 #include "core/continuous_cpd.h"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 
 #include "common/serial.h"
 #include "core/als.h"
+#include "losses/loss_function.h"
 #include "core/sns_mat.h"
 #include "core/sns_rnd.h"
 #include "core/sns_rnd_plus.h"
@@ -49,6 +51,11 @@ constexpr uint32_t kTagModel = 0x53445043;     // "CPDS"
 constexpr uint32_t kTagFitness = 0x4E544946;   // "FITN"
 constexpr uint32_t kTagRng = 0x53474E52;       // "RNGS"
 constexpr uint32_t kTagCounters = 0x52544E43;  // "CNTR"
+// Trailing section present only when UsesExtendedState(): generalized-loss
+// fitness sums, the outlier decay schedule, and the sparse outlier store.
+// Gaussian non-robust engines never write it, keeping their snapshots
+// byte-identical to pre-loss builds.
+constexpr uint32_t kTagLoss = 0x53534F4C;      // "LOSS"
 
 Status ExpectTag(serial::Reader& r, uint32_t want, const char* what) {
   uint32_t got = 0;
@@ -127,6 +134,17 @@ ContinuousCpd::ContinuousCpd(std::vector<int64_t> mode_dims,
   SNS_CHECK(updater_ != nullptr);
   updater_->set_kernel_tier(
       ResolveKernelTier(options_.force_generic_kernels));
+  loss_ = &GetLossFunction(options_.loss);
+  if (options_.loss != LossKind::kGaussian) {
+    // The Gaussian default deliberately leaves the updater and tracker
+    // untouched (null loss) so their hot paths stay bitwise-identical.
+    updater_->set_loss(loss_);
+    fitness_tracker_.SetLoss(loss_);
+  }
+  if (options_.robust.enabled) {
+    outliers_.Configure(options_.robust.threshold, options_.robust.decay,
+                        options_.robust.capacity);
+  }
 }
 
 void ContinuousCpd::IngestOnly(const Tuple& tuple) {
@@ -139,8 +157,11 @@ void ContinuousCpd::InitializeWithAls() {
   state_ = CpdState(
       AlsDecompose(window_.tensor(), options_.rank, options_.init, rng_, tier),
       tier);
-  if (options_.variant != SnsVariant::kMat) {
-    // The row variants operate on raw factors with λ = 1.
+  if (options_.variant != SnsVariant::kMat ||
+      options_.loss != LossKind::kGaussian) {
+    // The row variants operate on raw factors with λ = 1. The GCP sweep
+    // used by non-Gaussian SNS-MAT also skips column normalization, so it
+    // absorbs λ here too.
     state_.AbsorbLambda();
   }
   if (options_.nonnegative_factors) {
@@ -162,12 +183,21 @@ void ContinuousCpd::InitializeWithAls() {
   state_.SetFactorPrecision(options_.factor_precision);
   fitness_tracker_.Reset(window_.tensor(), state_,
                          options_.fitness_resync_interval);
+  // Robust mode restarts from a clean slate: (re)initialization explains the
+  // whole window with L, and the decay clock re-arms on the next arrival.
+  // Keeps restore-then-replay deterministic.
+  outliers_.Clear();
+  outlier_decay_armed_ = false;
+  next_outlier_decay_ = 0;
   updates_enabled_ = true;
 }
 
-void ContinuousCpd::HandleEvent(const WindowDelta& delta) {
+void ContinuousCpd::HandleEvent(const WindowDelta& delta,
+                                double outlier_capture) {
   if (!updates_enabled_) return;
-  if (observer_) observer_(delta, state_.model, window_.tensor());
+  if (observer_) {
+    observer_(delta, state_.model, window_.tensor(), outlier_capture);
+  }
   fitness_tracker_.OnWindowDelta(delta, window_.tensor(), state_);
   Stopwatch timer;
   updater_->OnEvent(window_.tensor(), delta, state_);
@@ -176,9 +206,53 @@ void ContinuousCpd::HandleEvent(const WindowDelta& delta) {
   fitness_tracker_.OnFactorsUpdated(state_);
 }
 
+double ContinuousCpd::MaybeCaptureOutlier(Tuple& tuple) {
+  if (!options_.robust.enabled || !updates_enabled_) return 0.0;
+  MaybeDecayOutliers(tuple.time);
+  // Residual of the post-arrival cell value against the model's predicted
+  // mean μ = Link(θ) at the newest slice. Evaluated after AdvanceTo so
+  // slide/expiry events due before this arrival have already been applied.
+  const ModeIndex cell = tuple.index.WithAppended(options_.window_size - 1);
+  const double theta = state_.model.Evaluate(cell);
+  const double mu = loss_->Link(theta);
+  const double observed = window_.tensor().Get(cell) + tuple.value;
+  const double residual = observed - mu;
+  // Bound the capture by the observed mass: S separates observed data, never
+  // the model's own prediction. Without the bound, an over-predicting
+  // exponential link (Poisson) captures its huge negative residual and the
+  // cleaned ingest v − s ≈ μ writes the blown-up prediction back into the
+  // window as fake mass, which the next row fit chases even higher.
+  const double limit = std::fabs(observed) + options_.robust.threshold;
+  const double captured =
+      outliers_.Capture(tuple.index, std::clamp(residual, -limit, limit));
+  tuple.value -= captured;  // Only the cleaned part reaches the window.
+  return captured;
+}
+
+void ContinuousCpd::MaybeDecayOutliers(int64_t time) {
+  if (!outlier_decay_armed_) {
+    // Arm on the first robust arrival: decay periods are counted from the
+    // first captured-against timestamp, not from an absolute epoch.
+    outlier_decay_armed_ = true;
+    next_outlier_decay_ = time + options_.period;
+    return;
+  }
+  while (time >= next_outlier_decay_) {
+    outliers_.Decay();
+    next_outlier_decay_ += options_.period;
+  }
+}
+
 void ContinuousCpd::ProcessTuple(const Tuple& tuple) {
   window_.AdvanceTo(tuple.time,
                     [this](const WindowDelta& delta) { HandleEvent(delta); });
+  if (options_.robust.enabled && updates_enabled_) {
+    Tuple cleaned = tuple;
+    const double captured = MaybeCaptureOutlier(cleaned);
+    WindowDelta delta = window_.Ingest(cleaned);
+    HandleEvent(delta, captured);
+    return;
+  }
   WindowDelta delta = window_.Ingest(tuple);
   HandleEvent(delta);
 }
@@ -196,6 +270,16 @@ void ContinuousCpd::ProcessBatch(std::span<const Tuple> tuples) {
       window_.AdvanceTo(
           tuple.time, [this](const WindowDelta& delta) { HandleEvent(delta); });
       next_due = window_.NextScheduledTime();
+    }
+    if (options_.robust.enabled && updates_enabled_) {
+      Tuple cleaned = tuple;
+      const double captured = MaybeCaptureOutlier(cleaned);
+      WindowDelta delta = window_.Ingest(cleaned);
+      if (!delta.cells.empty()) {
+        next_due = std::min(next_due, tuple.time + options_.period);
+      }
+      HandleEvent(delta, captured);
+      continue;
     }
     WindowDelta delta = window_.Ingest(tuple);
     if (!delta.cells.empty()) {
@@ -247,6 +331,15 @@ void ContinuousCpd::SerializeTo(serial::Writer& w) const {
   w.U32(kTagCounters);
   w.U8(updates_enabled_ ? 1 : 0);
   w.I64(events_processed_);
+
+  if (UsesExtendedState()) {
+    w.U32(kTagLoss);
+    w.F64(acc.loss_sum);
+    w.F64(acc.baseline_sum);
+    w.U8(outlier_decay_armed_ ? 1 : 0);
+    w.I64(next_outlier_decay_);
+    outliers_.SerializeTo(w);
+  }
 }
 
 Status ContinuousCpd::RestoreFrom(serial::Reader& r) {
@@ -324,6 +417,17 @@ Status ContinuousCpd::RestoreFrom(serial::Reader& r) {
   SNS_RETURN_IF_ERROR(r.I64(&events_processed_));
   if (events_processed_ < 0) {
     return Status::DataLoss("snapshot event counter is negative");
+  }
+
+  if (UsesExtendedState()) {
+    SNS_RETURN_IF_ERROR(ExpectTag(r, kTagLoss, "loss"));
+    SNS_RETURN_IF_ERROR(r.F64(&acc.loss_sum));
+    SNS_RETURN_IF_ERROR(r.F64(&acc.baseline_sum));
+    uint8_t decay_armed = 0;
+    SNS_RETURN_IF_ERROR(r.U8(&decay_armed));
+    outlier_decay_armed_ = decay_armed != 0;
+    SNS_RETURN_IF_ERROR(r.I64(&next_outlier_decay_));
+    SNS_RETURN_IF_ERROR(outliers_.RestoreFrom(r));
   }
   // Wall-clock latency telemetry restarts at zero — it is nondeterministic
   // by nature and deliberately not part of the snapshot.

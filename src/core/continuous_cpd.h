@@ -32,6 +32,7 @@
 #include "core/fitness_tracker.h"
 #include "core/options.h"
 #include "core/updater.h"
+#include "losses/outlier_store.h"
 #include "stream/continuous_window.h"
 
 namespace sns {
@@ -105,8 +106,12 @@ class ContinuousCpd {
   /// Observer invoked for every window event after the delta has been
   /// applied to the window but before the factor update — the point where
   /// prediction errors |x − x̃| are meaningful for anomaly detection (§VI-G).
-  using EventObserver = std::function<void(
-      const WindowDelta&, const KruskalModel&, const SparseTensor&)>;
+  /// The final argument is the signed outlier mass the robust mode diverted
+  /// from this event into the sparse outlier structure S (0 when robust mode
+  /// is off or the event is a slide/expiry rather than an arrival).
+  using EventObserver =
+      std::function<void(const WindowDelta&, const KruskalModel&,
+                         const SparseTensor&, double)>;
   void SetEventObserver(EventObserver observer) {
     observer_ = std::move(observer);
   }
@@ -123,12 +128,26 @@ class ContinuousCpd {
                      static_cast<double>(events_processed_);
   }
 
+  /// Sparse outlier structure S maintained by the robust mode (empty when
+  /// options().robust.enabled is false).
+  const OutlierStore& outliers() const { return outliers_; }
+
+  /// True when the engine snapshot carries loss/robust state beyond the
+  /// Gaussian baseline — the trigger for the v2 checkpoint envelope. The
+  /// Gaussian non-robust default serializes byte-identically to pre-loss
+  /// builds.
+  bool UsesExtendedState() const {
+    return options_.loss != LossKind::kGaussian || options_.robust.enabled;
+  }
+
   /// Serializes the complete deterministic engine state: window (tensor
   /// layout + schedule), factors, λ, Grams (verbatim — they are maintained
   /// incrementally and bitwise-differ from a recomputation), fitness
   /// accumulators, both Rngs (engine + updater sampling), and the event
-  /// counters. update_seconds_ is wall-clock and deliberately excluded, so
-  /// equal trajectories always serialize to equal bytes.
+  /// counters — plus, only when UsesExtendedState(), a trailing loss section
+  /// (generalized fitness sums, outlier decay schedule, and S).
+  /// update_seconds_ is wall-clock and deliberately excluded, so equal
+  /// trajectories always serialize to equal bytes.
   void SerializeTo(serial::Writer& w) const;
 
   /// Restores into a freshly Created engine with identical mode_dims and
@@ -142,7 +161,16 @@ class ContinuousCpd {
   ContinuousCpd(std::vector<int64_t> mode_dims,
                 const ContinuousCpdOptions& options);
 
-  void HandleEvent(const WindowDelta& delta);
+  void HandleEvent(const WindowDelta& delta, double outlier_capture = 0.0);
+  /// Robust mode (X = L + S): splits the arriving tuple's residual against
+  /// the model's predicted mean into a soft-thresholded outlier part
+  /// (captured into outliers_) and a cleaned part left in the tuple for
+  /// ingestion. Returns the signed captured mass (0 when robust mode is off
+  /// or updates are not yet enabled).
+  double MaybeCaptureOutlier(Tuple& tuple);
+  /// Applies the once-per-period multiplicative decay to S as stream time
+  /// crosses period boundaries.
+  void MaybeDecayOutliers(int64_t time);
 
   ContinuousCpdOptions options_;
   ContinuousTensorWindow window_;
@@ -151,6 +179,10 @@ class ContinuousCpd {
   EventObserver observer_;
   RunningFitnessTracker fitness_tracker_;
   Rng rng_;
+  const LossFunction* loss_ = nullptr;
+  OutlierStore outliers_;
+  int64_t next_outlier_decay_ = 0;
+  bool outlier_decay_armed_ = false;
   bool updates_enabled_ = false;
   int64_t events_processed_ = 0;
   double update_seconds_ = 0.0;

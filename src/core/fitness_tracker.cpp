@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "losses/loss_function.h"
+#include "losses/reference_objective.h"
+
 namespace sns {
 
 void RunningFitnessTracker::Reset(const SparseTensor& window,
@@ -28,9 +31,23 @@ void RunningFitnessTracker::OnWindowDelta(const WindowDelta& delta,
   for (const DeltaCell& cell : delta.cells) {
     const double x_new = window.Get(cell.index);
     const double x_old = x_new - cell.delta;
-    norm_x_sq_ += x_new * x_new - x_old * x_old;
     const double predicted = state.model.Evaluate(cell.index);
-    inner_ += cell.delta * predicted;
+    if (loss_ != nullptr) {
+      // Generalized objective: the cell leaves/enters the window's nonzero
+      // support, so its ℓ terms move between the sums. θ is the pre-update
+      // prediction; OnFactorsUpdated corrects for the factor step below.
+      if (x_old != 0.0) {
+        loss_sum_ -= loss_->Value(x_old, predicted);
+        baseline_sum_ -= loss_->Value(x_old, 0.0);
+      }
+      if (x_new != 0.0) {
+        loss_sum_ += loss_->Value(x_new, predicted);
+        baseline_sum_ += loss_->Value(x_new, 0.0);
+      }
+    } else {
+      norm_x_sq_ += x_new * x_new - x_old * x_old;
+      inner_ += cell.delta * predicted;
+    }
     if (num_cells_ >= static_cast<int>(cells_.size())) continue;
     const size_t slot = static_cast<size_t>(num_cells_);
     cells_[slot] = cell.index;
@@ -44,8 +61,15 @@ void RunningFitnessTracker::OnFactorsUpdated(const CpdState& state) {
   // Local correction: the update's effect on X̃ at the cells it targeted.
   for (int c = 0; c < num_cells_; ++c) {
     const size_t slot = static_cast<size_t>(c);
-    inner_ += new_values_[slot] *
-              (state.model.Evaluate(cells_[slot]) - pre_predictions_[slot]);
+    if (loss_ != nullptr) {
+      if (new_values_[slot] == 0.0) continue;  // Left the nonzero support.
+      loss_sum_ +=
+          loss_->Value(new_values_[slot], state.model.Evaluate(cells_[slot])) -
+          loss_->Value(new_values_[slot], pre_predictions_[slot]);
+    } else {
+      inner_ += new_values_[slot] *
+                (state.model.Evaluate(cells_[slot]) - pre_predictions_[slot]);
+    }
   }
   num_cells_ = 0;
   ++events_since_resync_;
@@ -55,6 +79,12 @@ double RunningFitnessTracker::RunningFitness(const SparseTensor& window,
                                              const CpdState& state) const {
   if (resync_interval_ > 0 && events_since_resync_ >= resync_interval_) {
     ResyncExact(window, state);
+  }
+  if (loss_ != nullptr) {
+    // Generalized fitness 1 − Σℓ(x, x̃)/Σℓ(x, 0): the GCP analog of the
+    // Frobenius formula, agreeing with it for Gaussian up to the √.
+    if (baseline_sum_ <= 0.0) return 0.0;
+    return 1.0 - loss_sum_ / baseline_sum_;
   }
   if (norm_x_sq_ <= 0.0) return 0.0;
   // ‖X̃‖² = λ'(∗_m Q(m))λ over the incrementally maintained Grams.
@@ -79,6 +109,12 @@ double RunningFitnessTracker::RunningFitness(const SparseTensor& window,
 
 void RunningFitnessTracker::ResyncExact(const SparseTensor& window,
                                         const CpdState& state) const {
+  if (loss_ != nullptr) {
+    loss_sum_ = WindowLoss(window, state.model, *loss_);
+    baseline_sum_ = WindowLossBaseline(window, *loss_);
+    events_since_resync_ = 0;
+    return;
+  }
   norm_x_sq_ = window.FrobeniusNormSquared();
   inner_ = state.model.InnerProduct(window);
   events_since_resync_ = 0;

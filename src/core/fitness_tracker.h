@@ -37,6 +37,8 @@
 
 namespace sns {
 
+class LossFunction;
+
 /// Snapshot of the tracker's incremental accumulators, taken between events
 /// (durability checkpoints). Restoring them after Reset reproduces the
 /// tracker's exact estimate trajectory instead of restarting it from an
@@ -45,6 +47,11 @@ struct FitnessAccumulators {
   double norm_x_sq = 0.0;
   double inner = 0.0;
   int64_t events_since_resync = 0;
+  // Generalized-loss terms (losses/): Σℓ(x, x̃) and Σℓ(x, 0) over the window
+  // nonzeros. Unused (and not serialized — kTagFitness bytes are unchanged)
+  // under the Gaussian default.
+  double loss_sum = 0.0;
+  double baseline_sum = 0.0;
 };
 
 /// Maintains a running estimate of the model-vs-window fitness. Owned by
@@ -56,6 +63,13 @@ class RunningFitnessTracker {
   /// exact recomputations of ⟨X̃, X⟩ and ‖X‖² (0 = never resync).
   void Reset(const SparseTensor& window, const CpdState& state,
              int64_t resync_interval);
+
+  /// Switches the tracked objective to a generalized loss (losses/):
+  /// fitness becomes 1 − Σℓ(x, x̃)/Σℓ(x, 0) over the window nonzeros,
+  /// maintained with the same delta-cell increments + amortized exact
+  /// resync. nullptr (the default) keeps the Gaussian Frobenius path
+  /// byte-for-byte untouched. Call before Reset.
+  void SetLoss(const LossFunction* loss) { loss_ = loss; }
 
   /// Accounts one event's window change. Call after the delta has been
   /// applied to `window` but before the factor update (the model still is
@@ -82,12 +96,15 @@ class RunningFitnessTracker {
   /// (no delta in flight). Restore must follow a Reset against the same
   /// window/model the snapshot was taken over.
   FitnessAccumulators SaveAccumulators() const {
-    return {norm_x_sq_, inner_, events_since_resync_};
+    return {norm_x_sq_, inner_, events_since_resync_, loss_sum_,
+            baseline_sum_};
   }
   void RestoreAccumulators(const FitnessAccumulators& acc) {
     norm_x_sq_ = acc.norm_x_sq;
     inner_ = acc.inner;
     events_since_resync_ = acc.events_since_resync;
+    loss_sum_ = acc.loss_sum;
+    baseline_sum_ = acc.baseline_sum;
     num_cells_ = 0;
   }
 
@@ -98,6 +115,11 @@ class RunningFitnessTracker {
   // RunningFitness stays const for read-only callers.
   mutable double norm_x_sq_ = 0.0;  // ‖X‖², exact up to fp accumulation.
   mutable double inner_ = 0.0;      // Estimate of ⟨X̃, X⟩.
+  // Generalized-loss terms, maintained instead of the two above when a
+  // non-Gaussian loss is set.
+  mutable double loss_sum_ = 0.0;      // Estimate of Σℓ(x, x̃) over nnz.
+  mutable double baseline_sum_ = 0.0;  // Σℓ(x, 0) over nnz, exact.
+  const LossFunction* loss_ = nullptr;
   int64_t resync_interval_ = 0;
   mutable int64_t events_since_resync_ = 0;
 

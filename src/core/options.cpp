@@ -56,6 +56,17 @@ Status ContinuousCpdOptions::Validate() const {
     return Status::InvalidArgument(
         "nonnegative_factors requires a clipped variant (SNS+VEC / SNS+RND)");
   }
+  if (robust.enabled) {
+    if (!(robust.threshold > 0.0)) {
+      return Status::InvalidArgument("robust.threshold must be positive");
+    }
+    if (!(robust.decay >= 0.0 && robust.decay <= 1.0)) {
+      return Status::InvalidArgument("robust.decay must be in [0, 1]");
+    }
+    if (robust.capacity < 1) {
+      return Status::InvalidArgument("robust.capacity must be >= 1");
+    }
+  }
   if (init.max_iterations < 1) {
     return Status::InvalidArgument("init.max_iterations must be >= 1");
   }

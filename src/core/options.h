@@ -8,6 +8,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "losses/loss_function.h"
 
 namespace sns {
 
@@ -39,6 +40,30 @@ enum class FactorPrecision {
 
 /// Short display name: "f64", "f32a64".
 std::string FactorPrecisionName(FactorPrecision precision);
+
+/// Robust (outlier-separating) mode: X = L + S following Hawkins & Zhang's
+/// robust streaming factorization (see losses/outlier_store.h). At every
+/// arrival the residual of the observation against the model's predicted
+/// mean is soft-thresholded; the captured part accumulates in a bounded
+/// sparse outlier store keyed by the tuple's non-time coordinate and is
+/// subtracted from the ingested value, so outliers stop being absorbed
+/// into the factors. Works with any loss (the prediction runs through the
+/// loss's link function).
+struct RobustOptions {
+  /// Master switch. Off (the default) leaves the ingest path byte-for-byte
+  /// identical to the non-robust engine.
+  bool enabled = false;
+  /// τ > 0: residual magnitude below which nothing is captured. In units
+  /// of the data values.
+  double threshold = 3.0;
+  /// Per-period multiplier in [0, 1] applied to every stored entry as the
+  /// window advances, draining stale outlier mass. 1 never decays; 0
+  /// forgets each period.
+  double decay = 0.5;
+  /// Maximum number of live outlier entries; the smallest-magnitude entry
+  /// is evicted on overflow. Must be >= 1.
+  int64_t capacity = 4096;
+};
 
 /// Options controlling batch ALS (initialization and the offline baseline).
 struct AlsOptions {
@@ -92,6 +117,14 @@ struct ContinuousCpdOptions {
   /// elementwise kernels are bitwise tier-invariant and the FMA kernels
   /// agree to a few ulps (linalg/rank_dispatch.h).
   bool force_generic_kernels = false;
+  /// Pointwise loss the engine minimizes (losses/loss_function.h). The
+  /// Gaussian default reproduces the paper's least-squares engine exactly
+  /// (bitwise — regression-guarded by tests/losses_gaussian_bitwise_test);
+  /// Poisson / Bernoulli-logit run the damped-Newton GCP row updates of
+  /// losses/gcp_row_update.h instead of the closed-form Gaussian rules.
+  LossKind loss = LossKind::kGaussian;
+  /// Outlier-separating robust mode (see RobustOptions).
+  RobustOptions robust;
   /// ALS settings used by InitializeWithAls().
   AlsOptions init;
   /// Seed for factor initialization and θ-sampling.

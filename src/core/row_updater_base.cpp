@@ -81,6 +81,38 @@ void RowUpdaterBase::BeginEvent(const WindowDelta& delta,
   }
 }
 
+bool RowUpdaterBase::GcpUpdateRow(int mode, int64_t row,
+                                  const SparseTensor& window,
+                                  const WindowDelta& delta, CpdState& state,
+                                  double clip_min, double clip_max,
+                                  int64_t sample_threshold, Rng* rng) {
+  if (loss_ == nullptr || loss_->kind() == LossKind::kGaussian) return false;
+  const bool sampled =
+      sample_threshold > 0 && window.Degree(mode, row) > sample_threshold;
+  if (sampled) {
+    // θ-sampled restriction: uniformly drawn slice cells (zero cells
+    // included — their ℓ(0, θ) terms pull spurious model mass down; delta
+    // cells excluded by the sampler) plus the event's delta cells at their
+    // live window values.
+    SampleSliceCellsInto(window, mode, row, sample_threshold, delta, *rng,
+                         gcp_ws_.cells);
+    for (const DeltaCell& cell : delta.cells) {
+      if (cell.index[mode] != row) continue;
+      gcp_ws_.cells.push_back({cell.index, window.Get(cell.index)});
+    }
+    GcpNewtonRowUpdate(state, mode, row, *loss_, gcp_ws_.cells, clip_min,
+                       clip_max, gcp_ws_);
+  } else {
+    GcpNewtonRowUpdateOnSlice(window, state, mode, row, *loss_, clip_min,
+                              clip_max, gcp_ws_);
+  }
+  // Commit unconditionally: gcp_ws_.old_row holds the pre-update row either
+  // way (GcpNewtonRowUpdate snapshots before deciding), and the Gram /
+  // prev-Gram bookkeeping degenerates gracefully when the row is unchanged.
+  CommitRow(mode, row, gcp_ws_.old_row.data(), state);
+  return true;
+}
+
 const double* RowUpdaterBase::PrevRow(int mode, int64_t row,
                                       const CpdState& state) const {
   if (mode == time_mode_) {

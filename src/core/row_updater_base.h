@@ -29,6 +29,7 @@
 #include "core/gram_product_cache.h"
 #include "core/update_workspace.h"
 #include "core/updater.h"
+#include "losses/gcp_row_update.h"
 
 namespace sns {
 
@@ -41,6 +42,11 @@ class RowUpdaterBase : public EventUpdater {
   /// (workspace table, Gram cache, Cholesky solver). Takes effect at the
   /// next event's workspace Prepare.
   void set_kernel_tier(KernelTier tier) final { tier_ = tier; }
+
+  /// Engine-configured pointwise loss. Gaussian (the default) changes
+  /// nothing anywhere — GcpUpdateRow below bails out before touching any
+  /// loss machinery, keeping the least-squares paths bitwise intact.
+  void set_loss(const LossFunction* loss) final { loss_ = loss; }
 
  protected:
   /// sample_capacity: upper bound on the cells one SampleSliceCellsInto call
@@ -83,6 +89,19 @@ class RowUpdaterBase : public EventUpdater {
   void HadamardOfPrevGramsExcept(const CpdState& state, int skip_mode,
                                  UpdateWorkspace& ws) const;
 
+  /// Non-Gaussian escape hatch shared by every row variant, called first
+  /// thing in each UpdateRow: returns false (doing nothing) under the
+  /// Gaussian default, so the variant runs its exact least-squares rule
+  /// unchanged. For any other loss it performs one damped Newton GCP step
+  /// on the row (losses/gcp_row_update.h) — over the full window slice, or
+  /// over θ-sampled cells plus the event's delta cells when
+  /// sample_threshold > 0 and the slice is heavier than it (the RND
+  /// variants' contract) — commits the row through the usual Gram
+  /// maintenance, and returns true.
+  bool GcpUpdateRow(int mode, int64_t row, const SparseTensor& window,
+                    const WindowDelta& delta, CpdState& state, double clip_min,
+                    double clip_max, int64_t sample_threshold, Rng* rng);
+
   /// Number of distinct rows snapshotted for the current event (test hook
   /// for the dedup guarantee).
   int snapshot_count() const { return num_time_snaps_ + time_mode_; }
@@ -103,6 +122,10 @@ class RowUpdaterBase : public EventUpdater {
 
   UpdateWorkspace ws_;
   GramProductCache gram_cache_;
+  // GCP scratch of the non-Gaussian path; never Prepared (zero footprint)
+  // under the Gaussian default.
+  GcpRowWorkspace gcp_ws_;
+  const LossFunction* loss_ = nullptr;
   KernelTier tier_ = ResolveKernelTier();
   int64_t sample_capacity_;
   int time_mode_ = 0;

@@ -7,6 +7,7 @@
 
 #include "core/als.h"
 #include "core/updater.h"
+#include "losses/gcp_row_update.h"
 
 namespace sns {
 
@@ -19,9 +20,16 @@ class SnsMatUpdater : public EventUpdater {
 
   void set_kernel_tier(KernelTier tier) override { ws_.tier = tier; }
 
+  /// Non-Gaussian losses swap the per-event ALS sweep for a GCP Newton
+  /// sweep (losses/gcp_row_update.h). Gaussian (default) is untouched.
+  void set_loss(const LossFunction* loss) override { loss_ = loss; }
+
  private:
   // Reused sweep scratch: per-event sweeps allocate nothing once warm.
   AlsWorkspace ws_;
+  // GCP sweep scratch; zero footprint under the Gaussian default.
+  GcpRowWorkspace gcp_ws_;
+  const LossFunction* loss_ = nullptr;
 };
 
 }  // namespace sns

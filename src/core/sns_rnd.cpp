@@ -1,5 +1,7 @@
 #include "core/sns_rnd.h"
 
+#include <limits>
+
 #include "core/slice_sampler.h"
 #include "tensor/mttkrp.h"
 
@@ -9,6 +11,11 @@ void SnsRndUpdater::UpdateRow(int mode, int64_t row,
                               const SparseTensor& window,
                               const WindowDelta& delta, CpdState& state,
                               UpdateWorkspace& ws) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  if (GcpUpdateRow(mode, row, window, delta, state, -kInf, kInf,
+                   sample_threshold_, &rng_)) {
+    return;  // Non-Gaussian loss: θ-sampled GCP Newton step replaces Eq. 16.
+  }
   Matrix& factor = state.model.factor(mode);
   const RankKernelTable& kr = *ws.kernels;
   const int64_t padded = ws.padded_rank;

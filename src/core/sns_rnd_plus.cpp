@@ -10,6 +10,10 @@ void SnsRndPlusUpdater::UpdateRow(int mode, int64_t row,
                                   const SparseTensor& window,
                                   const WindowDelta& delta, CpdState& state,
                                   UpdateWorkspace& ws) {
+  if (GcpUpdateRow(mode, row, window, delta, state, clip_min_, clip_max_,
+                   sample_threshold_, &rng_)) {
+    return;  // Non-Gaussian loss: clipped θ-sampled GCP step replaces Eq. 23.
+  }
   const int64_t rank = state.rank();
   Matrix& factor = state.model.factor(mode);
   const RankKernelTable& kr = *ws.kernels;

@@ -1,5 +1,7 @@
 #include "core/sns_vec.h"
 
+#include <limits>
+
 #include "tensor/mttkrp.h"
 
 namespace sns {
@@ -8,6 +10,11 @@ void SnsVecUpdater::UpdateRow(int mode, int64_t row,
                               const SparseTensor& window,
                               const WindowDelta& delta, CpdState& state,
                               UpdateWorkspace& ws) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  if (GcpUpdateRow(mode, row, window, delta, state, -kInf, kInf,
+                   /*sample_threshold=*/0, /*rng=*/nullptr)) {
+    return;  // Non-Gaussian loss: the GCP Newton step replaces Eqs. 9/12.
+  }
   const int time_mode = state.num_modes() - 1;
   Matrix& factor = state.model.factor(mode);
   const RankKernelTable& kr = *ws.kernels;

@@ -42,6 +42,10 @@ void SnsVecPlusUpdater::UpdateRow(int mode, int64_t row,
                                   const SparseTensor& window,
                                   const WindowDelta& delta, CpdState& state,
                                   UpdateWorkspace& ws) {
+  if (GcpUpdateRow(mode, row, window, delta, state, clip_min_, clip_max_,
+                   /*sample_threshold=*/0, /*rng=*/nullptr)) {
+    return;  // Non-Gaussian loss: clipped GCP Newton step replaces Eqs. 21/22.
+  }
   const int64_t rank = state.rank();
   const int time_mode = state.num_modes() - 1;
   Matrix& factor = state.model.factor(mode);

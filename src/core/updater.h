@@ -13,7 +13,8 @@
 
 namespace sns {
 
-class Rng;  // common/random.h
+class Rng;           // common/random.h
+class LossFunction;  // losses/loss_function.h
 
 /// Processes window events. `window` is the live window with the delta
 /// already applied, so it equals the X + ΔX of the update rules; `delta`
@@ -34,6 +35,14 @@ class EventUpdater {
   /// any event. Default: ignored (updaters without SIMD-dispatched hot
   /// loops need no tier).
   virtual void set_kernel_tier(KernelTier /*tier*/) {}
+
+  /// Pointwise loss the updater descends — set by the engine from its
+  /// options before any event (never null afterwards; the engine always
+  /// passes a process-lifetime singleton). Updaters branch on kind():
+  /// Gaussian runs the verbatim least-squares paths, anything else routes
+  /// through the GCP Newton row step (losses/gcp_row_update.h). Default:
+  /// ignored, i.e. Gaussian-only behavior.
+  virtual void set_loss(const LossFunction* /*loss*/) {}
 
   /// The updater's private sampling Rng, or nullptr for deterministic
   /// updaters. Durability checkpoints save and restore it so a restored

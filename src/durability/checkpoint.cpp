@@ -42,7 +42,8 @@ Status WriteStreamCheckpoint(const StreamHandle& handle, uint64_t sequence,
   const std::string& bytes = payload_sink.data();
   serial::Writer w(sink);
   w.U32(kCheckpointMagic);
-  w.U32(kCheckpointVersion);
+  w.U32(handle.UsesExtendedState() ? kCheckpointVersionLoss
+                                   : kCheckpointVersion);
   w.U64(bytes.size());
   w.Bytes(bytes.data(), bytes.size());
   w.U32(Crc32(bytes.data(), bytes.size()));
@@ -60,10 +61,11 @@ StatusOr<RestoredStream> ReadStreamCheckpoint(serial::ByteSource& source) {
         "not a stream checkpoint (bad magic number)");
   }
   SNS_RETURN_IF_ERROR(header.U32(&version));
-  if (version != kCheckpointVersion) {
+  if (version != kCheckpointVersion && version != kCheckpointVersionLoss) {
     return Status::FailedPrecondition(
         "checkpoint has format version " + std::to_string(version) +
-        "; this build reads version " + std::to_string(kCheckpointVersion));
+        "; this build reads versions " + std::to_string(kCheckpointVersion) +
+        " and " + std::to_string(kCheckpointVersionLoss));
   }
   SNS_RETURN_IF_ERROR(header.U64(&payload_size));
   if (payload_size > kMaxPayloadBytes) {
@@ -88,7 +90,7 @@ StatusOr<RestoredStream> ReadStreamCheckpoint(serial::ByteSource& source) {
   serial::Reader payload(payload_source);
   uint64_t sequence = 0;
   SNS_RETURN_IF_ERROR(payload.U64(&sequence));
-  auto handle = StreamHandle::DeserializeState(payload);
+  auto handle = StreamHandle::DeserializeState(payload, version);
   if (!handle.ok()) return handle.status();
   if (payload_source.remaining() != 0) {
     return Status::DataLoss("checkpoint payload carries trailing bytes");

@@ -39,7 +39,15 @@ class SnsService;
 namespace durability {
 
 inline constexpr uint32_t kCheckpointMagic = 0x50434E53;  // "SNCP"
+/// Envelope versions this build writes and reads. Version 1 is the original
+/// Gaussian-only payload; version 2 appends the loss/robust configuration
+/// and the engine's loss section. Streams on the Gaussian non-robust
+/// default keep writing version 1 — byte-identical to pre-loss builds — so
+/// a version-2 envelope is itself proof that non-Gaussian or robust state
+/// was active. Readers accept both; anything newer fails with
+/// kFailedPrecondition rather than guessing at the payload layout.
 inline constexpr uint32_t kCheckpointVersion = 1;
+inline constexpr uint32_t kCheckpointVersionLoss = 2;
 
 /// Failure codes a replayed request may legitimately reproduce: the journal
 /// records every acknowledged request, including ones the stream rejected,

@@ -1,0 +1,127 @@
+#include "losses/loss_function.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace sns {
+namespace {
+
+// θ clamp for the Poisson exponentials: e^±40 spans ~35 decades around 1,
+// far beyond any fitted model value, while keeping e^θ, its products, and
+// the Newton curvatures finite. Without it a transient blow-up row (the
+// unclipped variants can produce one) would turn the whole objective into
+// inf/NaN and poison the damped-step acceptance tests.
+constexpr double kExpClamp = 40.0;
+
+// Curvature floor: keeps Σ d2·h h' positive definite even where the true
+// curvature vanishes (Poisson at θ → −∞, Bernoulli at |θ| → ∞), so the
+// Cholesky fast path of the row solver stays usable.
+constexpr double kCurvatureFloor = 1e-12;
+
+double ClampedExp(double theta) {
+  return std::exp(std::clamp(theta, -kExpClamp, kExpClamp));
+}
+
+// Numerically stable log(1 + e^θ): exact for large |θ| where the naive form
+// overflows (θ > 0) or cancels (θ < 0).
+double Softplus(double theta) {
+  return std::max(theta, 0.0) + std::log1p(std::exp(-std::abs(theta)));
+}
+
+double Sigmoid(double theta) {
+  if (theta >= 0.0) {
+    const double e = std::exp(-theta);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(theta);
+  return e / (1.0 + e);
+}
+
+class GaussianLoss final : public LossFunction {
+ public:
+  LossKind kind() const override { return LossKind::kGaussian; }
+  std::string_view name() const override { return "gaussian"; }
+  double Value(double y, double theta) const override {
+    const double r = theta - y;
+    return r * r;
+  }
+  double FirstDerivative(double y, double theta) const override {
+    return 2.0 * (theta - y);
+  }
+  double SecondDerivative(double /*y*/, double /*theta*/) const override {
+    return 2.0;
+  }
+  double Link(double theta) const override { return theta; }
+};
+
+class PoissonLoss final : public LossFunction {
+ public:
+  LossKind kind() const override { return LossKind::kPoisson; }
+  std::string_view name() const override { return "poisson"; }
+  double Value(double y, double theta) const override {
+    // Negative log-likelihood with log link, dropping the θ-free log(y!)
+    // term: e^θ − y·θ.
+    return ClampedExp(theta) - y * theta;
+  }
+  double FirstDerivative(double y, double theta) const override {
+    return ClampedExp(theta) - y;
+  }
+  double SecondDerivative(double /*y*/, double theta) const override {
+    return std::max(ClampedExp(theta), kCurvatureFloor);
+  }
+  double Link(double theta) const override { return ClampedExp(theta); }
+};
+
+class BernoulliLogitLoss final : public LossFunction {
+ public:
+  LossKind kind() const override { return LossKind::kBernoulliLogit; }
+  std::string_view name() const override { return "bernoulli-logit"; }
+  double Value(double y, double theta) const override {
+    // Negative log-likelihood of y ∈ {0,1} under p = σ(θ):
+    // log(1 + e^θ) − y·θ.
+    return Softplus(theta) - y * theta;
+  }
+  double FirstDerivative(double y, double theta) const override {
+    return Sigmoid(theta) - y;
+  }
+  double SecondDerivative(double /*y*/, double theta) const override {
+    const double p = Sigmoid(theta);
+    return std::max(p * (1.0 - p), kCurvatureFloor);
+  }
+  double Link(double theta) const override { return Sigmoid(theta); }
+};
+
+}  // namespace
+
+std::string LossKindName(LossKind kind) {
+  switch (kind) {
+    case LossKind::kGaussian:
+      return "gaussian";
+    case LossKind::kPoisson:
+      return "poisson";
+    case LossKind::kBernoulliLogit:
+      return "bernoulli-logit";
+  }
+  SNS_CHECK(false && "LossKindName: unhandled LossKind");
+  return "";  // Unreachable.
+}
+
+const LossFunction& GetLossFunction(LossKind kind) {
+  static const GaussianLoss gaussian;
+  static const PoissonLoss poisson;
+  static const BernoulliLogitLoss bernoulli;
+  switch (kind) {
+    case LossKind::kGaussian:
+      return gaussian;
+    case LossKind::kPoisson:
+      return poisson;
+    case LossKind::kBernoulliLogit:
+      return bernoulli;
+  }
+  SNS_CHECK(false && "GetLossFunction: unhandled LossKind");
+  return gaussian;  // Unreachable.
+}
+
+}  // namespace sns

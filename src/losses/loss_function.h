@@ -1,0 +1,72 @@
+// Pluggable pointwise losses for generalized CP decomposition (GCP).
+//
+// The Gaussian engine minimizes Σ (x_J − x̃_J)²; GCP (Hong, Kolda & Duersch;
+// streamed by Phipps, Johnson & Kolda — see PAPERS.md) replaces the square
+// with any twice-differentiable pointwise loss ℓ(y, θ) of the data value y
+// and the model value θ = x̃_J (the natural parameter). Each loss exposes
+// its value, first and second θ-derivatives (the row-update Newton steps in
+// losses/gcp_row_update.h consume them) and its link function μ = Link(θ),
+// the model's prediction of the data mean — the quantity the robust mode
+// (losses/outlier_store.h) subtracts from an observation to form the
+// residual it soft-thresholds.
+//
+// The catalog:
+//   kGaussian       ℓ = (θ − y)²        identity link   continuous data
+//   kPoisson        ℓ = e^θ − y·θ       log link        counts y ≥ 0
+//   kBernoulliLogit ℓ = softplus(θ)−y·θ logistic link   binary y ∈ {0,1}
+//
+// Gaussian is the default and its selection leaves every engine code path
+// byte-for-byte identical to the loss-unaware build (the updaters branch on
+// kind() before touching any loss virtual). Implementations are stateless
+// singletons — GetLossFunction hands out process-lifetime references, so a
+// LossFunction pointer is cheap to store and never owned.
+//
+// This header sits below core/ (it includes nothing from it) so that
+// core/options.h can name LossKind without an include cycle.
+
+#ifndef SLICENSTITCH_LOSSES_LOSS_FUNCTION_H_
+#define SLICENSTITCH_LOSSES_LOSS_FUNCTION_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sns {
+
+/// Which pointwise loss the engine minimizes.
+enum class LossKind : uint8_t {
+  kGaussian = 0,
+  kPoisson = 1,
+  kBernoulliLogit = 2,
+};
+
+/// Short display name: "gaussian", "poisson", "bernoulli-logit".
+std::string LossKindName(LossKind kind);
+
+/// One pointwise loss ℓ(y, θ): y is the observed value, θ the model value
+/// x̃_J at the same cell. Stateless; obtained through GetLossFunction.
+class LossFunction {
+ public:
+  virtual ~LossFunction() = default;
+
+  virtual LossKind kind() const = 0;
+  virtual std::string_view name() const = 0;
+
+  /// ℓ(y, θ).
+  virtual double Value(double y, double theta) const = 0;
+  /// ∂ℓ/∂θ.
+  virtual double FirstDerivative(double y, double theta) const = 0;
+  /// ∂²ℓ/∂θ² — floored away from zero so Newton systems built from it stay
+  /// positive definite (see each implementation's floor).
+  virtual double SecondDerivative(double y, double theta) const = 0;
+  /// μ = E[y | θ]: identity (Gaussian), e^θ (Poisson), σ(θ) (Bernoulli).
+  virtual double Link(double theta) const = 0;
+};
+
+/// Process-lifetime singleton for `kind`. Never fails; out-of-range kinds
+/// (e.g. cast from a corrupt byte) abort via SNS_CHECK in the .cpp.
+const LossFunction& GetLossFunction(LossKind kind);
+
+}  // namespace sns
+
+#endif  // SLICENSTITCH_LOSSES_LOSS_FUNCTION_H_

@@ -1,0 +1,107 @@
+#include "losses/outlier_store.h"
+
+#include <cmath>
+
+#include "common/serial.h"
+
+namespace sns {
+namespace {
+
+// Entries whose accumulated magnitude falls below this are dropped (decay
+// tail, capture cancellation) — mirrors SparseTensor::kZeroEpsilon so the
+// store never carries numeric dust.
+constexpr double kDropEpsilon = 1e-12;
+
+}  // namespace
+
+double OutlierStore::Capture(const ModeIndex& key, double residual) {
+  const double magnitude = std::abs(residual) - threshold_;
+  if (!(magnitude > 0.0)) return 0.0;  // Inlier (or NaN residual): no-op.
+  const double s = residual > 0.0 ? magnitude : -magnitude;
+  ++captures_;
+  auto [it, inserted] = entries_.try_emplace(key, 0.0);
+  it->second += s;
+  if (std::abs(it->second) < kDropEpsilon) {
+    // Oppositely-signed captures cancelled out.
+    entries_.erase(it);
+    return s;
+  }
+  if (inserted && static_cast<int64_t>(entries_.size()) > capacity_) {
+    // Evict the smallest-magnitude entry; the map's key order breaks ties
+    // deterministically (first minimum in iteration order wins).
+    auto victim = entries_.begin();
+    for (auto jt = entries_.begin(); jt != entries_.end(); ++jt) {
+      if (std::abs(jt->second) < std::abs(victim->second)) victim = jt;
+    }
+    entries_.erase(victim);
+    ++evictions_;
+  }
+  return s;
+}
+
+void OutlierStore::Decay() {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    it->second *= decay_;
+    if (std::abs(it->second) < kDropEpsilon) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+double OutlierStore::Get(const ModeIndex& key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? 0.0 : it->second;
+}
+
+void OutlierStore::Clear() {
+  entries_.clear();
+  captures_ = 0;
+  evictions_ = 0;
+}
+
+double OutlierStore::TotalMagnitude() const {
+  double total = 0.0;
+  for (const auto& [key, value] : entries_) total += std::abs(value);
+  return total;
+}
+
+void OutlierStore::SerializeTo(serial::Writer& w) const {
+  w.U64(static_cast<uint64_t>(entries_.size()));
+  for (const auto& [key, value] : entries_) {
+    w.U8(static_cast<uint8_t>(key.size()));
+    for (int m = 0; m < key.size(); ++m) w.I32(key[m]);
+    w.F64(value);
+  }
+  w.U64(captures_);
+  w.U64(evictions_);
+}
+
+Status OutlierStore::RestoreFrom(serial::Reader& r) {
+  entries_.clear();
+  uint64_t count = 0;
+  SNS_RETURN_IF_ERROR(r.U64(&count));
+  auto hint = entries_.end();
+  for (uint64_t i = 0; i < count; ++i) {
+    uint8_t num_modes = 0;
+    SNS_RETURN_IF_ERROR(r.U8(&num_modes));
+    if (num_modes > kMaxTensorModes) {
+      return Status::DataLoss("outlier entry has too many modes");
+    }
+    ModeIndex key;
+    for (int m = 0; m < static_cast<int>(num_modes); ++m) {
+      int32_t index = 0;
+      SNS_RETURN_IF_ERROR(r.I32(&index));
+      key.PushBack(index);
+    }
+    double value = 0.0;
+    SNS_RETURN_IF_ERROR(r.F64(&value));
+    // Serialized in key order, so end() stays the right hint.
+    hint = entries_.emplace_hint(hint, key, value);
+  }
+  SNS_RETURN_IF_ERROR(r.U64(&captures_));
+  return r.U64(&evictions_);
+}
+
+}  // namespace sns

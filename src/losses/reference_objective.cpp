@@ -1,0 +1,23 @@
+#include "losses/reference_objective.h"
+
+namespace sns {
+
+double WindowLoss(const SparseTensor& window, const KruskalModel& model,
+                  const LossFunction& loss) {
+  double total = 0.0;
+  window.ForEachNonzero([&](const ModeIndex& coords, double value) {
+    total += loss.Value(value, model.Evaluate(coords));
+  });
+  return total;
+}
+
+double WindowLossBaseline(const SparseTensor& window,
+                          const LossFunction& loss) {
+  double total = 0.0;
+  window.ForEachNonzero([&](const ModeIndex& /*coords*/, double value) {
+    total += loss.Value(value, 0.0);
+  });
+  return total;
+}
+
+}  // namespace sns

@@ -1,0 +1,28 @@
+// Slow reference objectives for the loss layer's differential tests.
+//
+// Deliberately naive — direct per-cell model evaluation, no kernels, no
+// workspaces, no incremental state — so the streaming implementations
+// (losses/gcp_row_update.h, the generalized fitness tracker) have an
+// independent oracle to be tested against. Never called on a hot path.
+
+#ifndef SLICENSTITCH_LOSSES_REFERENCE_OBJECTIVE_H_
+#define SLICENSTITCH_LOSSES_REFERENCE_OBJECTIVE_H_
+
+#include "losses/loss_function.h"
+#include "tensor/kruskal.h"
+#include "tensor/sparse_tensor.h"
+
+namespace sns {
+
+/// Σ over the non-zeros of `window` of ℓ(x_J, x̃_J) — the window objective
+/// the non-Gaussian updaters descend. O(nnz·M·R).
+double WindowLoss(const SparseTensor& window, const KruskalModel& model,
+                  const LossFunction& loss);
+
+/// Σ over the non-zeros of `window` of ℓ(x_J, 0) — the θ = 0 baseline that
+/// normalizes the generalized fitness 1 − L/L₀. O(nnz).
+double WindowLossBaseline(const SparseTensor& window, const LossFunction& loss);
+
+}  // namespace sns
+
+#endif  // SLICENSTITCH_LOSSES_REFERENCE_OBJECTIVE_H_

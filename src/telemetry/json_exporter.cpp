@@ -118,8 +118,11 @@ std::string ToJsonLine(const ServiceMetricsSnapshot& snapshot,
     AppendField("journal_rotations", s.journal_rotations, &out);
     AppendField("checkpoint_writes", s.checkpoint_writes, &out);
     AppendField("checkpoint_bytes", s.checkpoint_bytes, &out);
+    AppendField("outlier_captures", s.outlier_captures, &out);
+    AppendField("outlier_evictions", s.outlier_evictions, &out);
     AppendHistogram("journal_append_ns", s.journal_append_ns, &out);
     AppendHistogram("checkpoint_write_ns", s.checkpoint_write_ns, &out);
+    AppendHistogram("loss_update_ns", s.loss_update_ns, &out);
     out.pop_back();
     out.append("},");
   }

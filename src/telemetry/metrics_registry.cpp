@@ -60,8 +60,11 @@ ServiceMetricsSnapshot MetricsRegistry::Snapshot() const {
     out.journal_rotations = metrics->journal_rotations.Get();
     out.checkpoint_writes = metrics->checkpoint_writes.Get();
     out.checkpoint_bytes = metrics->checkpoint_bytes.Get();
+    out.outlier_captures = metrics->outlier_captures.Get();
+    out.outlier_evictions = metrics->outlier_evictions.Get();
     out.journal_append_ns = metrics->journal_append_ns.Snapshot();
     out.checkpoint_write_ns = metrics->checkpoint_write_ns.Snapshot();
+    out.loss_update_ns = metrics->loss_update_ns.Snapshot();
     snap.streams.push_back(std::move(out));
   }
   return snap;

@@ -72,11 +72,20 @@ struct StreamMetrics {
   Counter journal_rotations;
   Counter checkpoint_writes;
   Counter checkpoint_bytes;
+  /// Robust-mode tallies (losses/outlier_store.h): arrivals that diverted
+  /// mass into the sparse outlier structure S, and entries displaced from a
+  /// full S. Both stay 0 when robust mode is off.
+  Counter outlier_captures;
+  Counter outlier_evictions;
   /// Write-ahead append latency (includes per-record fsync when the journal
   /// is configured with sync_each_record), nanoseconds.
   LatencyHistogram journal_append_ns;
   /// Full checkpoint write: serialize + write + fsync + rename, nanoseconds.
   LatencyHistogram checkpoint_write_ns;
+  /// Wall time of each applied mutation on streams running a generalized
+  /// (non-Gaussian) loss or robust mode, nanoseconds — the per-loss update
+  /// cost next to the shard-wide apply_ns.
+  LatencyHistogram loss_update_ns;
 };
 
 /// Point-in-time copy of one shard domain.
@@ -108,8 +117,11 @@ struct StreamMetricsSnapshot {
   uint64_t journal_rotations = 0;
   uint64_t checkpoint_writes = 0;
   uint64_t checkpoint_bytes = 0;
+  uint64_t outlier_captures = 0;
+  uint64_t outlier_evictions = 0;
   HistogramSnapshot journal_append_ns;
   HistogramSnapshot checkpoint_write_ns;
+  HistogramSnapshot loss_update_ns;
 };
 
 /// The full service view: every shard, every stream (sorted by name), plus

@@ -148,7 +148,8 @@ TEST(AnomalyIntegrationTest, ContinuousDetectorFindsInjectedSpikes) {
   RunningZScore stats;
   cpd->SetEventObserver([&](const WindowDelta& delta,
                             const KruskalModel& model,
-                            const SparseTensor& window) {
+                            const SparseTensor& window,
+                            double /*outlier_capture*/) {
     if (delta.kind != EventKind::kArrival || delta.cells.empty()) return;
     const ModeIndex& cell = delta.cells[0].index;
     const double error = std::fabs(window.Get(cell) - model.Evaluate(cell));

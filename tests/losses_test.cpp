@@ -1,0 +1,499 @@
+// Loss subsystem coverage: analytic derivatives of every LossFunction
+// against central differences (boundary data values included), link
+// functions, the bounded outlier store's capture/evict/decay/serialize
+// semantics, and the GCP Newton sweep's differential contracts — the
+// monotone non-increase of the reference objective on a static window and
+// the generalized running fitness agreeing with the slow reference.
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/cpu_features.h"
+#include "common/random.h"
+#include "common/serial.h"
+#include "core/continuous_cpd.h"
+#include "core/cpd_state.h"
+#include "core/options.h"
+#include "data/synthetic.h"
+#include "losses/gcp_row_update.h"
+#include "losses/loss_function.h"
+#include "losses/outlier_store.h"
+#include "losses/reference_objective.h"
+#include "tensor/kruskal.h"
+#include "tensor/sparse_tensor.h"
+
+namespace sns {
+namespace {
+
+// --- LossFunction derivatives vs central differences ----------------------
+
+double NumericFirst(const LossFunction& loss, double y, double theta) {
+  const double h = 1e-6 * std::max(1.0, std::fabs(theta));
+  return (loss.Value(y, theta + h) - loss.Value(y, theta - h)) / (2.0 * h);
+}
+
+double NumericSecond(const LossFunction& loss, double y, double theta) {
+  const double h = 1e-6 * std::max(1.0, std::fabs(theta));
+  return (loss.FirstDerivative(y, theta + h) -
+          loss.FirstDerivative(y, theta - h)) /
+         (2.0 * h);
+}
+
+void ExpectDerivativesMatch(const LossFunction& loss, double y, double theta) {
+  const double d1 = loss.FirstDerivative(y, theta);
+  const double d2 = loss.SecondDerivative(y, theta);
+  EXPECT_NEAR(d1, NumericFirst(loss, y, theta),
+              1e-4 * std::max(1.0, std::fabs(d1)))
+      << loss.name() << " d1 at y=" << y << " theta=" << theta;
+  // The analytic second derivative is floored away from zero; only compare
+  // where the true curvature is well above the floor.
+  const double numeric_d2 = NumericSecond(loss, y, theta);
+  if (numeric_d2 > 1e-6) {
+    EXPECT_NEAR(d2, numeric_d2, 1e-4 * std::max(1.0, std::fabs(d2)))
+        << loss.name() << " d2 at y=" << y << " theta=" << theta;
+  }
+  EXPECT_GT(d2, 0.0) << loss.name() << " curvature must stay positive";
+}
+
+TEST(LossFunctionTest, GaussianDerivativesMatchNumericGradients) {
+  const LossFunction& loss = GetLossFunction(LossKind::kGaussian);
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    const double y = rng.UniformDouble() * 6.0 - 3.0;
+    const double theta = rng.UniformDouble() * 10.0 - 5.0;
+    ExpectDerivativesMatch(loss, y, theta);
+  }
+}
+
+TEST(LossFunctionTest, PoissonDerivativesMatchNumericGradients) {
+  const LossFunction& loss = GetLossFunction(LossKind::kPoisson);
+  Rng rng(13);
+  // y = 0 is the boundary of the count domain and must behave like any
+  // other value (ℓ = e^θ there).
+  const double ys[] = {0.0, 1.0, 2.0, 7.5};
+  for (double y : ys) {
+    for (int i = 0; i < 25; ++i) {
+      const double theta = rng.UniformDouble() * 8.0 - 4.0;
+      ExpectDerivativesMatch(loss, y, theta);
+    }
+  }
+}
+
+TEST(LossFunctionTest, BernoulliLogitDerivativesMatchNumericGradients) {
+  const LossFunction& loss = GetLossFunction(LossKind::kBernoulliLogit);
+  Rng rng(17);
+  for (double y : {0.0, 1.0}) {
+    for (int i = 0; i < 25; ++i) {
+      const double theta = rng.UniformDouble() * 10.0 - 5.0;
+      ExpectDerivativesMatch(loss, y, theta);
+    }
+  }
+}
+
+TEST(LossFunctionTest, PoissonStaysFiniteUnderExponentialClamp) {
+  const LossFunction& loss = GetLossFunction(LossKind::kPoisson);
+  for (double theta : {45.0, 100.0, 1e6}) {
+    EXPECT_TRUE(std::isfinite(loss.Value(3.0, theta)));
+    EXPECT_TRUE(std::isfinite(loss.FirstDerivative(3.0, theta)));
+    EXPECT_TRUE(std::isfinite(loss.SecondDerivative(3.0, theta)));
+    EXPECT_TRUE(std::isfinite(loss.Link(theta)));
+  }
+  // Far negative θ: curvature collapses toward 0 but must stay floored.
+  EXPECT_GT(loss.SecondDerivative(0.0, -1e3), 0.0);
+}
+
+TEST(LossFunctionTest, BernoulliSoftplusIsStableAtExtremeTheta) {
+  const LossFunction& loss = GetLossFunction(LossKind::kBernoulliLogit);
+  // softplus(θ) → θ for large θ and → 0 for very negative θ, with no
+  // overflow anywhere in between.
+  EXPECT_NEAR(loss.Value(0.0, 800.0), 800.0, 1e-9);
+  EXPECT_NEAR(loss.Value(0.0, -800.0), 0.0, 1e-9);
+  EXPECT_GT(loss.SecondDerivative(1.0, 700.0), 0.0);
+}
+
+TEST(LossFunctionTest, LinkFunctionsMatchTheCatalog) {
+  EXPECT_DOUBLE_EQ(GetLossFunction(LossKind::kGaussian).Link(1.75), 1.75);
+  EXPECT_DOUBLE_EQ(GetLossFunction(LossKind::kPoisson).Link(0.0), 1.0);
+  EXPECT_NEAR(GetLossFunction(LossKind::kPoisson).Link(2.0), std::exp(2.0),
+              1e-12);
+  EXPECT_DOUBLE_EQ(GetLossFunction(LossKind::kBernoulliLogit).Link(0.0), 0.5);
+  EXPECT_NEAR(GetLossFunction(LossKind::kBernoulliLogit).Link(-3.0),
+              1.0 / (1.0 + std::exp(3.0)), 1e-12);
+}
+
+TEST(LossFunctionTest, MinimizerSitsAtTheMatchingLink) {
+  // ∂ℓ/∂θ = 0 exactly where Link(θ) = y — the GCP stationarity condition.
+  const LossFunction& poisson = GetLossFunction(LossKind::kPoisson);
+  EXPECT_NEAR(poisson.FirstDerivative(5.0, std::log(5.0)), 0.0, 1e-9);
+  const LossFunction& gaussian = GetLossFunction(LossKind::kGaussian);
+  EXPECT_DOUBLE_EQ(gaussian.FirstDerivative(2.5, 2.5), 0.0);
+}
+
+TEST(LossFunctionTest, NamesAndKindsRoundTrip) {
+  for (LossKind kind : {LossKind::kGaussian, LossKind::kPoisson,
+                        LossKind::kBernoulliLogit}) {
+    const LossFunction& loss = GetLossFunction(kind);
+    EXPECT_EQ(loss.kind(), kind);
+    EXPECT_EQ(loss.name(), LossKindName(kind));
+  }
+}
+
+// --- OutlierStore ---------------------------------------------------------
+
+TEST(OutlierStoreTest, CapturesOnlyAboveThresholdAndAccumulates) {
+  OutlierStore store;
+  store.Configure(/*threshold=*/2.0, /*decay=*/0.5, /*capacity=*/4);
+  const ModeIndex key({1, 2});
+
+  EXPECT_DOUBLE_EQ(store.Capture(key, 1.5), 0.0);   // Below τ: untouched.
+  EXPECT_DOUBLE_EQ(store.Capture(key, -2.0), 0.0);  // |r| = τ: untouched.
+  EXPECT_EQ(store.size(), 0);
+  EXPECT_EQ(store.captures(), 0u);
+
+  EXPECT_DOUBLE_EQ(store.Capture(key, 5.0), 3.0);   // Soft-threshold.
+  EXPECT_DOUBLE_EQ(store.Capture(key, -6.0), -4.0);
+  EXPECT_EQ(store.size(), 1);
+  EXPECT_DOUBLE_EQ(store.Get(key), -1.0);  // 3 − 4 accumulated.
+  EXPECT_EQ(store.captures(), 2u);
+  EXPECT_DOUBLE_EQ(store.TotalMagnitude(), 1.0);
+}
+
+TEST(OutlierStoreTest, NanResidualIsNeverCaptured) {
+  OutlierStore store;
+  store.Configure(2.0, 0.5, 4);
+  EXPECT_DOUBLE_EQ(
+      store.Capture(ModeIndex({0}),
+                    std::numeric_limits<double>::quiet_NaN()),
+      0.0);
+  EXPECT_EQ(store.size(), 0);
+}
+
+TEST(OutlierStoreTest, EvictsSmallestMagnitudeDeterministically) {
+  OutlierStore store;
+  store.Configure(1.0, 0.5, /*capacity=*/2);
+  store.Capture(ModeIndex({0}), 4.0);   // +3
+  store.Capture(ModeIndex({1}), -3.0);  // −2
+  store.Capture(ModeIndex({2}), 6.0);   // +5 → evicts key {1} (|−2| min).
+  EXPECT_EQ(store.size(), 2);
+  EXPECT_EQ(store.evictions(), 1u);
+  EXPECT_DOUBLE_EQ(store.Get(ModeIndex({0})), 3.0);
+  EXPECT_DOUBLE_EQ(store.Get(ModeIndex({1})), 0.0);
+  EXPECT_DOUBLE_EQ(store.Get(ModeIndex({2})), 5.0);
+}
+
+TEST(OutlierStoreTest, DecayDrainsStaleMass) {
+  OutlierStore store;
+  store.Configure(1.0, /*decay=*/0.5, 8);
+  store.Capture(ModeIndex({0}), 9.0);  // +8
+  store.Decay();
+  EXPECT_DOUBLE_EQ(store.Get(ModeIndex({0})), 4.0);
+  // Enough decays push the entry under the drop epsilon and it disappears.
+  for (int i = 0; i < 64; ++i) store.Decay();
+  EXPECT_EQ(store.size(), 0);
+}
+
+TEST(OutlierStoreTest, SerializeRestoreRoundTripsContentAndCounters) {
+  OutlierStore store;
+  store.Configure(1.0, 0.5, 2);
+  store.Capture(ModeIndex({3, 1}), 4.5);
+  store.Capture(ModeIndex({0, 2}), -7.0);
+  store.Capture(ModeIndex({5, 5}), 2.25);  // Forces one eviction.
+
+  serial::StringSink sink;
+  serial::Writer w(sink);
+  store.SerializeTo(w);
+  ASSERT_TRUE(w.status().ok());
+
+  OutlierStore restored;
+  restored.Configure(1.0, 0.5, 2);
+  serial::StringSource source(sink.data());
+  serial::Reader r(source);
+  ASSERT_TRUE(restored.RestoreFrom(r).ok());
+
+  EXPECT_EQ(restored.size(), store.size());
+  EXPECT_EQ(restored.captures(), store.captures());
+  EXPECT_EQ(restored.evictions(), store.evictions());
+  for (const auto& [key, value] : store.entries()) {
+    EXPECT_DOUBLE_EQ(restored.Get(key), value);
+  }
+
+  // And the restored store reserializes to identical bytes.
+  serial::StringSink sink2;
+  serial::Writer w2(sink2);
+  restored.SerializeTo(w2);
+  EXPECT_EQ(sink2.data(), sink.data());
+}
+
+// --- GCP Newton sweep: monotone non-increase on a static window -----------
+
+SparseTensor CountWindow(const std::vector<int64_t>& dims, LossKind kind,
+                         uint64_t seed) {
+  SparseTensor window(dims);
+  Rng rng(seed);
+  ModeIndex index;
+  for (size_t m = 0; m < dims.size(); ++m) index.PushBack(0);
+  while (true) {
+    if (rng.UniformDouble() < 0.6) {
+      const double value = kind == LossKind::kBernoulliLogit
+                               ? 1.0
+                               : static_cast<double>(rng.UniformInt(1, 6));
+      window.Set(index, value);
+    }
+    int m = static_cast<int>(dims.size()) - 1;
+    while (m >= 0) {
+      if (++index[m] < dims[static_cast<size_t>(m)]) break;
+      index[m] = 0;
+      --m;
+    }
+    if (m < 0) break;
+  }
+  return window;
+}
+
+TEST(GcpRowUpdateTest, SweepNeverIncreasesTheReferenceObjective) {
+  const std::vector<int64_t> dims = {5, 4, 3};
+  for (LossKind kind : {LossKind::kPoisson, LossKind::kBernoulliLogit}) {
+    const LossFunction& loss = GetLossFunction(kind);
+    const SparseTensor window = CountWindow(dims, kind, 31);
+    Rng rng(7);
+    CpdState state(KruskalModel::Random(dims, /*rank=*/4, rng),
+                   ResolveKernelTier());
+
+    GcpRowWorkspace ws;
+    double prev = WindowLoss(window, state.model, loss);
+    const double initial = prev;
+    for (int sweep = 0; sweep < 6; ++sweep) {
+      GcpSweep(window, state, loss, ws);
+      const double cur = WindowLoss(window, state.model, loss);
+      // Every damped Newton row step accepts only candidates that do not
+      // increase its restricted objective; summed over rows the window
+      // objective cannot go up (small relative slack for fp accumulation).
+      EXPECT_LE(cur, prev * (1.0 + 1e-9) + 1e-9)
+          << LossKindName(kind) << " sweep " << sweep;
+      prev = cur;
+    }
+    EXPECT_LT(prev, initial) << LossKindName(kind)
+                             << ": six sweeps made no progress at all";
+  }
+}
+
+TEST(GcpRowUpdateTest, ClippedStepsRespectTheBox) {
+  const std::vector<int64_t> dims = {5, 4, 3};
+  const LossFunction& loss = GetLossFunction(LossKind::kPoisson);
+  const SparseTensor window = CountWindow(dims, LossKind::kPoisson, 33);
+  Rng rng(9);
+  CpdState state(KruskalModel::Random(dims, 4, rng), ResolveKernelTier());
+
+  GcpRowWorkspace ws;
+  const double clip_max = 0.8;
+  int stepped = 0;
+  for (int mode = 0; mode < 3; ++mode) {
+    for (int64_t row = 0; row < dims[static_cast<size_t>(mode)]; ++row) {
+      if (!GcpNewtonRowUpdateOnSlice(window, state, mode, row, loss,
+                                     /*clip_min=*/0.0, clip_max, ws)) {
+        continue;  // Untouched rows keep their (unclipped) initial values.
+      }
+      ++stepped;
+      const Matrix& factor = state.model.factor(mode);
+      for (int64_t r = 0; r < factor.cols(); ++r) {
+        EXPECT_GE(factor(row, r), 0.0);
+        EXPECT_LE(factor(row, r), clip_max);
+      }
+    }
+  }
+  EXPECT_GT(stepped, 0);
+}
+
+// --- Engine-level differentials -------------------------------------------
+
+ContinuousCpdOptions LossEngineOptions(SnsVariant variant, LossKind loss) {
+  ContinuousCpdOptions options;
+  options.rank = 4;
+  options.window_size = 3;
+  options.period = 30;
+  options.variant = variant;
+  options.sample_threshold = 10;
+  options.clip_bound = 1000.0;
+  options.loss = loss;
+  options.fitness_resync_interval = 1;
+  return options;
+}
+
+DataStream LossStream(int64_t num_events, uint64_t seed) {
+  SyntheticStreamConfig config;
+  config.mode_dims = {6, 5};
+  config.num_events = num_events;
+  config.time_span = 6 * 3 * 30;
+  config.diurnal_period = 90;
+  config.seed = seed;
+  auto stream = GenerateSyntheticStream(config);
+  SNS_CHECK(stream.ok());
+  return std::move(stream).value();
+}
+
+TEST(GeneralizedFitnessTest, RunningFitnessMatchesTheSlowReference) {
+  const DataStream stream = LossStream(120, 41);
+  for (LossKind kind : {LossKind::kPoisson, LossKind::kBernoulliLogit}) {
+    for (SnsVariant variant :
+         {SnsVariant::kVec, SnsVariant::kVecPlus, SnsVariant::kRnd}) {
+      auto engine = ContinuousCpd::Create(
+          {6, 5}, LossEngineOptions(variant, kind));
+      ASSERT_TRUE(engine.ok());
+      ContinuousCpd& cpd = *engine.value();
+      size_t i = 0;
+      const auto& tuples = stream.tuples();
+      for (; i < tuples.size() && tuples[i].time <= 90; ++i) {
+        cpd.IngestOnly(tuples[i]);
+      }
+      cpd.InitializeWithAls();
+      const LossFunction& loss = GetLossFunction(kind);
+      int checked = 0;
+      for (; i < tuples.size(); ++i) {
+        cpd.ProcessTuple(tuples[i]);
+        if (i % 17 != 0) continue;
+        // resync_interval = 1 forces the exact path: the running estimate
+        // must equal the slow reference objective identically.
+        const double expected =
+            1.0 - WindowLoss(cpd.window(), cpd.model(), loss) /
+                      WindowLossBaseline(cpd.window(), loss);
+        EXPECT_NEAR(cpd.RunningFitness(), expected,
+                    1e-9 * std::max(1.0, std::fabs(expected)))
+            << LossKindName(kind) << " " << cpd.updater_name();
+        ++checked;
+      }
+      EXPECT_GT(checked, 0);
+    }
+  }
+}
+
+TEST(GeneralizedFitnessTest, NonGaussianLossActuallyStepsTheFactors) {
+  const DataStream stream = LossStream(80, 43);
+  auto gaussian = ContinuousCpd::Create(
+      {6, 5}, LossEngineOptions(SnsVariant::kVec, LossKind::kGaussian));
+  auto poisson = ContinuousCpd::Create(
+      {6, 5}, LossEngineOptions(SnsVariant::kVec, LossKind::kPoisson));
+  ASSERT_TRUE(gaussian.ok());
+  ASSERT_TRUE(poisson.ok());
+  size_t i = 0;
+  const auto& tuples = stream.tuples();
+  for (; i < tuples.size() && tuples[i].time <= 90; ++i) {
+    gaussian.value()->IngestOnly(tuples[i]);
+    poisson.value()->IngestOnly(tuples[i]);
+  }
+  gaussian.value()->InitializeWithAls();
+  poisson.value()->InitializeWithAls();
+  for (; i < tuples.size(); ++i) {
+    gaussian.value()->ProcessTuple(tuples[i]);
+    poisson.value()->ProcessTuple(tuples[i]);
+  }
+  // Same seed, same data: if the Poisson branch never engaged, the two
+  // trajectories would be identical.
+  bool diverged = false;
+  const Matrix& a = gaussian.value()->model().factor(0);
+  const Matrix& b = poisson.value()->model().factor(0);
+  for (int64_t r = 0; r < a.rows() && !diverged; ++r) {
+    for (int64_t c = 0; c < a.cols() && !diverged; ++c) {
+      diverged = a(r, c) != b(r, c);
+    }
+  }
+  EXPECT_TRUE(diverged);
+  EXPECT_GT(poisson.value()->events_processed(), 0);
+}
+
+// --- Robust mode ----------------------------------------------------------
+
+TEST(RobustModeTest, SpikesAreCapturedIntoSAndCleanedFromTheWindow) {
+  ContinuousCpdOptions options =
+      LossEngineOptions(SnsVariant::kVecPlus, LossKind::kGaussian);
+  options.robust.enabled = true;
+  options.robust.threshold = 3.0;
+  options.robust.decay = 0.5;
+  options.robust.capacity = 16;
+  const DataStream stream = LossStream(100, 47);
+  auto engine = ContinuousCpd::Create({6, 5}, options);
+  ASSERT_TRUE(engine.ok());
+  ContinuousCpd& cpd = *engine.value();
+  size_t i = 0;
+  const auto& tuples = stream.tuples();
+  for (; i < tuples.size() && tuples[i].time <= 90; ++i) {
+    cpd.IngestOnly(tuples[i]);
+  }
+  cpd.InitializeWithAls();
+  int64_t last_time = 0;
+  for (; i < tuples.size(); ++i) {
+    cpd.ProcessTuple(tuples[i]);
+    last_time = tuples[i].time;
+  }
+
+  // A planted spike far above anything the model predicts: the soft
+  // threshold captures (most of) it and the window keeps the cleaned part.
+  Tuple spike;
+  spike.index = ModeIndex({2, 3});
+  spike.value = 500.0;
+  spike.time = last_time;
+  cpd.ProcessTuple(spike);
+
+  EXPECT_GT(cpd.outliers().size(), 0);
+  const double captured = cpd.outliers().Get(spike.index);
+  EXPECT_GT(captured, 400.0);
+  const ModeIndex cell =
+      spike.index.WithAppended(options.window_size - 1);
+  // The window absorbed only value − captured (plus whatever it held).
+  EXPECT_LT(cpd.window().Get(cell), 100.0);
+  EXPECT_GT(cpd.outliers().captures(), 0u);
+}
+
+TEST(RobustModeTest, CaptureIsBoundedByObservedMassUnderExponentialLink) {
+  // Regression: with an exponential link, a transiently over-predicting
+  // model makes the residual hugely negative; an unbounded capture would
+  // write the blown-up prediction μ back into the window as fake mass and
+  // ratchet θ to the exp clamp. The capture is bounded by the observed
+  // cell mass, so the outlier store must stay on the order of the data.
+  ContinuousCpdOptions options =
+      LossEngineOptions(SnsVariant::kVecPlus, LossKind::kPoisson);
+  options.robust.enabled = true;
+  options.robust.threshold = 4.0;
+  options.robust.decay = 0.5;
+  options.robust.capacity = 256;
+  const DataStream stream = LossStream(400, 71);
+  auto engine = ContinuousCpd::Create({6, 5}, options);
+  ASSERT_TRUE(engine.ok());
+  ContinuousCpd& cpd = *engine.value();
+  size_t i = 0;
+  double ingested_mass = 0.0;
+  const auto& tuples = stream.tuples();
+  for (; i < tuples.size() && tuples[i].time <= 90; ++i) {
+    cpd.IngestOnly(tuples[i]);
+  }
+  cpd.InitializeWithAls();
+  for (; i < tuples.size(); ++i) {
+    cpd.ProcessTuple(tuples[i]);
+    ingested_mass += std::fabs(tuples[i].value);
+  }
+  EXPECT_LT(cpd.outliers().TotalMagnitude(), 2.0 * ingested_mass);
+  cpd.window().ForEachNonzero([&](const ModeIndex&, double value) {
+    EXPECT_LT(std::fabs(value), 1e6);
+  });
+}
+
+TEST(RobustModeTest, ValidateRejectsBadRobustConfiguration) {
+  ContinuousCpdOptions options =
+      LossEngineOptions(SnsVariant::kVec, LossKind::kGaussian);
+  options.robust.enabled = true;
+  options.robust.threshold = 0.0;
+  EXPECT_FALSE(ContinuousCpd::Create({4, 4}, options).ok());
+  options.robust.threshold = 1.0;
+  options.robust.decay = 1.5;
+  EXPECT_FALSE(ContinuousCpd::Create({4, 4}, options).ok());
+  options.robust.decay = 0.5;
+  options.robust.capacity = 0;
+  EXPECT_FALSE(ContinuousCpd::Create({4, 4}, options).ok());
+  options.robust.capacity = 8;
+  EXPECT_TRUE(ContinuousCpd::Create({4, 4}, options).ok());
+}
+
+}  // namespace
+}  // namespace sns

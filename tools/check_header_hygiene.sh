@@ -17,7 +17,8 @@ compiler="${1:-${CXX:-g++}}"
 # serialization primitives), the fault-injection surface, the telemetry
 # layer (counters, histograms, registry, timers, JSON export), and the
 # kernel dispatch surface (CPU probe, codelet table contract, float32
-# mirrors).
+# mirrors), and the generalized-loss layer (loss catalog, GCP row update,
+# outlier store, reference objectives).
 headers=(
   src/slicenstitch.h
   src/api/service_options.h
@@ -33,6 +34,10 @@ headers=(
   src/durability/journal.h
   src/linalg/codelets/codelet_tables.h
   src/linalg/matrix32.h
+  src/losses/gcp_row_update.h
+  src/losses/loss_function.h
+  src/losses/outlier_store.h
+  src/losses/reference_objective.h
   src/runtime/mailbox.h
   src/runtime/sharded_executor.h
   src/runtime/task.h
